@@ -1,0 +1,29 @@
+# Convenience targets for the OASSIS reproduction.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples figures clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/culinary_menu.py
+	$(PYTHON) examples/self_treatment_survey.py
+	$(PYTHON) examples/interactive_demo.py --auto --max-questions 20
+
+figures:
+	$(PYTHON) -m repro figures fig5
+	$(PYTHON) -m repro figures fig4f
+	$(PYTHON) -m repro figures multiplicities
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info

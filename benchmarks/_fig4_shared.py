@@ -1,0 +1,39 @@
+"""Shared, memoized Figure-4 domain runs for the benchmark suite.
+
+The crowd-statistics and pace benchmarks consume the same expensive
+multi-user executions; this module runs each domain once per pytest session
+and hands the result to every benchmark that needs it.
+"""
+
+from repro.datasets import culinary, health, travel
+from repro.experiments import run_domain
+
+_CONFIG = {
+    "travel": dict(
+        module=travel, crowd_size=20, max_values_per_var=2, max_more_facts=1
+    ),
+    "culinary": dict(
+        module=culinary, crowd_size=20, max_values_per_var=2, max_more_facts=0
+    ),
+    "self-treatment": dict(
+        module=health, crowd_size=20, max_values_per_var=1, max_more_facts=0
+    ),
+}
+
+_RUNS = {}
+
+
+def domain_run(name: str):
+    """The (cached) Figure 4 protocol result for ``name``."""
+    if name not in _RUNS:
+        config = dict(_CONFIG[name])
+        module = config.pop("module")
+        _RUNS[name] = run_domain(
+            module.build_dataset(),
+            thresholds=(0.2, 0.3, 0.4, 0.5),
+            sample_size=5,
+            seed=1,
+            transactions=40,
+            **config,
+        )
+    return _RUNS[name]

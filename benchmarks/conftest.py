@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every figure/table of the paper has a benchmark that (i) regenerates the
+figure's data series, (ii) prints it in a paper-style text table, and
+(iii) asserts the qualitative trend the paper reports.  Timing is recorded
+via pytest-benchmark with a single round — these are experiment harnesses,
+not micro-benchmarks (those live in test_micro.py).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def show():
+    """Print through pytest's capture so tables appear in the bench log."""
+
+    def _show(text: str) -> None:
+        print()
+        print(text)
+
+    return _show

@@ -1,0 +1,34 @@
+"""Section 6.4 (text): DAG width/depth sweep.
+
+The paper: varying the width between 500 and 2000 and the depth between 4
+and 7 "had no significant effect on the observed trends".  We assert that
+the vertical algorithm stays ahead of the horizontal one at the 50%
+milestone for every shape.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.shape import render_shape_sweep, run_shape_sweep
+
+
+@pytest.mark.benchmark(group="dag-shape")
+def test_shape_sweep(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: run_shape_sweep(
+            widths=(500, 1000, 2000),
+            depths=(4, 7),
+            msp_fraction=0.02,
+            trials=3,
+            milestone=0.5,
+        ),
+    )
+    show(render_shape_sweep(results))
+    for (width, depth), per_algorithm in results.items():
+        vertical = per_algorithm["vertical"]
+        horizontal = per_algorithm["horizontal"]
+        assert vertical is not None and horizontal is not None
+        assert vertical <= horizontal, (
+            f"trend flipped at width={width}, depth={depth}"
+        )

@@ -1,0 +1,66 @@
+"""Figures 4d–4e: pace of data collection (questions vs. % discovered).
+
+Prints, for the travel and self-treatment domains at threshold 0.2, the
+number of questions needed to reach 20/40/60/80/100% of (i) classified
+valid assignments, (ii) valid MSPs, (iii) all MSPs — the three series of
+the paper's line charts.
+
+Paper trends asserted:
+* the series are monotone (more discovery costs more questions);
+* the tail of the classification work is not dramatically cheaper than the
+  head (the paper's "isolated unclassified parts of the DAG" effect);
+* the smaller self-treatment query needs fewer questions overall.
+"""
+
+import pytest
+
+from _fig4_shared import domain_run
+from conftest import run_once
+
+
+def _assert_pace_trends(run):
+    series = run.pace_series()
+    for label, points in series.items():
+        values = [q for _, q in points if q is not None]
+        assert values == sorted(values), f"{label} series must be monotone"
+    # the paper: "towards the end of the execution, classifying each
+    # remaining assignment requires more crowd answers".  The effect shows
+    # in the MSP discovery series (the classified-assignment series can
+    # end with a cheap inference cascade when the final insignificant
+    # answers close out whole subtrees at once).
+    msps = dict(series["all MSPs"])
+    if msps.get(0.2) and msps.get(1.0):
+        first_fifth = msps[0.2]
+        last_fifth = msps[1.0] - msps[0.8]
+        assert last_fifth >= 0
+        assert last_fifth * 2 >= first_fifth or msps[1.0] < 200
+
+
+@pytest.mark.benchmark(group="figure4-pace")
+def test_fig4d_travel(benchmark, show):
+    run = run_once(benchmark, lambda: domain_run("travel"))
+    show(run.pace_table())
+    _assert_pace_trends(run)
+
+
+@pytest.mark.benchmark(group="figure4-pace")
+def test_fig4e_self_treatment(benchmark, show):
+    run = run_once(benchmark, lambda: domain_run("self-treatment"))
+    show(run.pace_table())
+    _assert_pace_trends(run)
+
+
+@pytest.mark.benchmark(group="figure4-pace")
+def test_self_treatment_cheaper_than_travel(benchmark, show):
+    def totals():
+        return (
+            domain_run("travel").rows[0].questions,
+            domain_run("self-treatment").rows[0].questions,
+        )
+
+    travel_questions, health_questions = run_once(benchmark, totals)
+    show(
+        f"total questions at 0.2 — travel: {travel_questions}, "
+        f"self-treatment: {health_questions}"
+    )
+    assert health_questions < travel_questions

@@ -1,0 +1,37 @@
+"""Figure 4f: effect of specialization answers and user-guided pruning.
+
+Synthetic single-user runs (DAG width 500, depth 7, 2% MSPs, 6 trials)
+across the paper's six answer-type configurations, printing the questions
+needed to discover X% of the valid MSPs.
+
+Paper trend asserted: a higher ratio of the special answer types improves
+performance (fewer questions), "although not by much".
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import render_figure4f, run_figure4f
+
+
+@pytest.mark.benchmark(group="figure4f")
+def test_fig4f_answer_types(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: run_figure4f(width=500, depth=7, msp_fraction=0.02, trials=6, seed=0),
+    )
+    show(render_figure4f(results))
+
+    closed = results["100% closed"][1.0]
+    assert closed is not None
+    # every assisted configuration should be no worse (small tolerance for
+    # randomized tie-breaking)
+    for label in ("10% special.", "50% special.", "100% special.",
+                  "25% pruning", "50% pruning"):
+        assisted = results[label][1.0]
+        assert assisted is not None
+        assert assisted <= closed * 1.10, label
+    # and the effect is monotone-ish in the specialization ratio
+    assert results["100% special."][1.0] <= results["10% special."][1.0] * 1.10
+    # pruning helps more with a higher click ratio
+    assert results["50% pruning"][1.0] <= results["25% pruning"][1.0] * 1.10

@@ -1,0 +1,77 @@
+"""Figure 5: vertical vs. horizontal vs. naive while varying the % of MSPs.
+
+Synthetic DAG (width 500, depth 7), valid MSPs planted at 2% / 5% / 10% of
+the nodes, 6 trials.  Prints the questions-to-X%-of-valid-MSPs series for
+the three algorithms.
+
+Paper trends asserted:
+* the vertical algorithm discovers the first MSPs with far fewer questions
+  than the horizontal one (paper: <35% of horizontal's questions at the
+  20% milestone);
+* the gap narrows as more MSPs are found;
+* the naive algorithm is only competitive when MSPs are dense (10%).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments import render_figure5, run_figure5
+
+_RESULTS = {}
+
+
+def _results():
+    if "fig5" not in _RESULTS:
+        _RESULTS["fig5"] = run_figure5(
+            msp_fractions=(0.02, 0.05, 0.10),
+            width=500,
+            depth=7,
+            trials=6,
+            seed=0,
+        )
+    return _RESULTS["fig5"]
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_all_densities(benchmark, show):
+    results = run_once(benchmark, _results)
+    show(render_figure5(results))
+    for fraction, per_algorithm in results.items():
+        vertical_20 = per_algorithm["vertical"][0.2]
+        horizontal_20 = per_algorithm["horizontal"][0.2]
+        assert vertical_20 is not None and horizontal_20 is not None
+        # paper: fewer than 35% of horizontal's questions at 20% discovered;
+        # we assert a conservative 60% to absorb generator differences
+        assert vertical_20 <= horizontal_20 * 0.6, (
+            f"at {fraction:.0%} MSPs: vertical {vertical_20} "
+            f"vs horizontal {horizontal_20}"
+        )
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_gap_narrows_at_completion(benchmark, show):
+    results = run_once(benchmark, _results)
+    for fraction, per_algorithm in results.items():
+        v20 = per_algorithm["vertical"][0.2]
+        h20 = per_algorithm["horizontal"][0.2]
+        v100 = per_algorithm["vertical"][1.0]
+        h100 = per_algorithm["horizontal"][1.0]
+        early_gap = v20 / h20
+        late_gap = v100 / h100
+        show(
+            f"{fraction:.0%} MSPs: vertical/horizontal ratio "
+            f"{early_gap:.2f} early -> {late_gap:.2f} complete"
+        )
+        assert late_gap >= early_gap * 0.9, "gap should narrow, not widen"
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_fig5_naive_needs_dense_msps(benchmark, show):
+    results = run_once(benchmark, _results)
+    sparse_ratio = results[0.02]["naive"][0.4] / results[0.02]["vertical"][0.4]
+    dense_ratio = results[0.10]["naive"][0.4] / results[0.10]["vertical"][0.4]
+    show(
+        f"naive/vertical at 40% discovered: {sparse_ratio:.2f} (2% MSPs) "
+        f"vs {dense_ratio:.2f} (10% MSPs)"
+    )
+    assert dense_ratio < sparse_ratio

@@ -1,0 +1,98 @@
+"""Micro-benchmarks of the performance-critical substrate operations.
+
+Not figures from the paper — standard OSS performance coverage: support
+computation over personal DBs, SPARQL BGP evaluation, lazy successor
+generation, and the vertical algorithm end-to-end on the synthetic DAG.
+"""
+
+import random
+
+import pytest
+
+from repro.assignments import QueryAssignmentSpace
+from repro.datasets import running_example, travel
+from repro.mining import vertical_mine
+from repro.oassisql import parse_query
+from repro.ontology import fact_set
+from repro.sparql import SparqlEngine
+from repro.synth import generate_dag, place_msps
+
+
+@pytest.fixture(scope="module")
+def travel_setting():
+    dataset = travel.build_dataset()
+    members = dataset.build_crowd(size=1, seed=0, transactions=40)
+    return dataset, members[0]
+
+
+@pytest.mark.benchmark(group="micro")
+def test_support_computation(benchmark, travel_setting):
+    dataset, member = travel_setting
+    target = fact_set(("Sport", "doAt", "Gordon Beach"))
+
+    def compute():
+        member.database._hits_cache.clear()
+        return member.database.support(target, dataset.ontology.vocabulary)
+
+    value = benchmark(compute)
+    assert 0.0 <= value <= 1.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_sparql_bgp_evaluation(benchmark):
+    ontology = running_example.build_ontology()
+    engine = SparqlEngine(ontology)
+    query = parse_query(running_example.SAMPLE_QUERY)
+    solutions = benchmark(lambda: list(engine.solutions(query.where)))
+    assert len(solutions) > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lazy_successor_generation(benchmark):
+    ontology = running_example.build_ontology()
+    query = parse_query(running_example.SAMPLE_QUERY)
+
+    def generate():
+        space = QueryAssignmentSpace(
+            ontology, query, more_pool=running_example.more_pool(),
+            max_values_per_var=2, max_more_facts=1,
+        )
+        (root,) = space.roots()
+        frontier = [root]
+        count = 0
+        for _ in range(50):
+            if not frontier:
+                break
+            node = frontier.pop()
+            successors = space.successors(node)
+            count += len(successors)
+            frontier.extend(successors[:2])
+        return count
+
+    count = benchmark(generate)
+    assert count > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_vertical_on_synthetic_dag(benchmark):
+    dag = generate_dag(width=500, depth=7, seed=0)
+    planted = place_msps(dag, 10, valid_only=True, seed=0)
+
+    def mine():
+        return vertical_mine(dag, planted.support, 0.5, rng=random.Random(0))
+
+    result = benchmark(mine)
+    assert len(result.msps) == 10
+
+
+@pytest.mark.benchmark(group="micro")
+def test_ontology_pattern_matching(benchmark):
+    dataset = travel.build_dataset()
+    ontology = dataset.ontology
+    from repro.vocabulary import Relation
+
+    def scan():
+        return sum(1 for _ in ontology.match(relation=Relation("nearBy")))
+
+    count = benchmark(scan)
+    assert count > 0

@@ -1,0 +1,33 @@
+"""Section 6.4 (text): MSP placement distribution sweep.
+
+The paper tried uniform / nearby / far MSP placements, over the whole DAG
+or the valid subset, and saw no trend change.  We assert the
+vertical-beats-horizontal ordering at the 50% milestone for all six
+combinations.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.experiments.distribution import (
+    render_distribution_sweep,
+    run_distribution_sweep,
+)
+
+
+@pytest.mark.benchmark(group="msp-distribution")
+def test_distribution_sweep(benchmark, show):
+    results = run_once(
+        benchmark,
+        lambda: run_distribution_sweep(
+            width=500, depth=7, msp_fraction=0.02, trials=3, milestone=0.5
+        ),
+    )
+    show(render_distribution_sweep(results))
+    for (policy, valid_only), per_algorithm in results.items():
+        vertical = per_algorithm["vertical"]
+        horizontal = per_algorithm["horizontal"]
+        assert vertical is not None and horizontal is not None
+        assert vertical <= horizontal * 1.05, (
+            f"trend flipped for placement={policy}, valid_only={valid_only}"
+        )

@@ -1,0 +1,106 @@
+"""Interactive demo: be the crowd yourself (the Section 6.2 UI, in text).
+
+OASSIS's QueueManager hands out one question at a time; you answer on the
+paper's five-point frequency scale (never / rarely / sometimes / often /
+very often), can *specify* more detail implicitly by answering the follow-up
+questions the traversal generates, and can prune irrelevant values.  As
+answers accumulate, the confirmed recommendations update live.
+
+Run interactively::
+
+    python examples/interactive_demo.py
+
+or let a simulated member answer automatically::
+
+    python examples/interactive_demo.py --auto
+"""
+
+import argparse
+
+from repro import OassisEngine
+from repro.crowd.questions import FREQUENCY_SCALE, frequency_to_support
+from repro.datasets import running_example
+from repro.nlg import render_assignment
+
+
+def answer_interactively(question):
+    print()
+    print(f"Q: {question.text}")
+    options = ", ".join(label for label, _ in FREQUENCY_SCALE)
+    print(f"   ({options}; or 'prune <Value>' / 'quit')")
+    while True:
+        raw = input("> ").strip().lower()
+        if raw in dict(FREQUENCY_SCALE):
+            return ("support", frequency_to_support(raw))
+        if raw.startswith("prune "):
+            return ("prune", raw[len("prune "):].strip())
+        if raw == "quit":
+            return ("quit", None)
+        print("please answer with one of the frequency labels")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--auto", action="store_true",
+                        help="answer automatically from Table 3's u1+u2 average")
+    parser.add_argument("--max-questions", type=int, default=40)
+    args = parser.parse_args()
+
+    ontology = running_example.build_ontology()
+    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=1)
+    qm = engine.queue_manager(
+        running_example.FRAGMENT_QUERY,
+        sample_size=1,
+        more_pool=running_example.more_pool(),
+    )
+
+    databases = running_example.build_personal_databases()
+    vocab = ontology.vocabulary
+
+    def auto_answer(question):
+        facts = qm.space.instantiate(question.assignment)
+        supports = [db.support(facts, vocab) for db in databases.values()]
+        return sum(supports) / len(supports)
+
+    print("=== OASSIS interactive crowd session ===")
+    print("Query: activities at child-friendly NYC attractions (Figure 2,")
+    print("restaurant part omitted for brevity)")
+
+    member_id = "you"
+    answered = 0
+    while answered < args.max_questions:
+        question = qm.next_question(member_id)
+        if question is None:
+            print("\nNo more questions — everything relevant is classified!")
+            break
+        if args.auto:
+            support = auto_answer(question)
+            print(f"Q: {question.text}")
+            print(f"   (auto-answer: {support:.2f})")
+            qm.submit_support(member_id, support)
+        else:
+            kind, value = answer_interactively(question)
+            if kind == "quit":
+                break
+            if kind == "prune":
+                from repro.vocabulary import Element
+
+                qm.submit_prune(member_id, Element(value))
+                print(f"   pruned everything involving {value!r}")
+            else:
+                qm.submit_support(member_id, value)
+        answered += 1
+        msps = qm.current_msps()
+        if msps:
+            print(f"   confirmed so far: "
+                  f"{'; '.join(render_assignment(m) for m in msps)}")
+
+    print()
+    print(f"Session over after {qm.questions_asked} answers.")
+    print("Final recommendations:")
+    for msp in qm.current_msps():
+        print(f"  * {render_assignment(msp)}")
+
+
+if __name__ == "__main__":
+    main()

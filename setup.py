@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e . --no-build-isolation --no-use-pep517`` works
+on machines without the ``wheel`` package (PEP 517 editable installs need
+``bdist_wheel``).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

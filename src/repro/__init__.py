@@ -1,0 +1,78 @@
+"""OASSIS: Query Driven Crowd Mining — a full reproduction (SIGMOD 2014).
+
+Public API highlights::
+
+    from repro import OassisEngine, Ontology, parse_query
+
+    ontology = repro.ontology.load("travel.ttl")
+    engine = OassisEngine(ontology)
+    result = engine.execute(QUERY_TEXT, members)
+    print(result.render())
+
+Subpackages:
+
+* :mod:`repro.vocabulary` — terms and the semantic partial orders;
+* :mod:`repro.ontology` — facts, fact-sets, the triple store, reasoning;
+* :mod:`repro.sparql` — the SPARQL-subset engine used by WHERE clauses;
+* :mod:`repro.oassisql` — the OASSIS-QL parser and AST;
+* :mod:`repro.assignments` — the assignment lattice and lazy generator;
+* :mod:`repro.crowd` — personal DBs, members, aggregation, caching;
+* :mod:`repro.mining` — vertical / multi-user / baseline algorithms;
+* :mod:`repro.engine` — the end-to-end evaluation pipeline;
+* :mod:`repro.synth` — synthetic DAG / crowd generators (Section 6.4);
+* :mod:`repro.datasets` — travel, culinary, self-treatment demo domains;
+* :mod:`repro.experiments` — harnesses regenerating every paper figure.
+"""
+
+from .assignments import Assignment, ExplicitDAG, QueryAssignmentSpace
+from .crowd import (
+    CrowdCache,
+    CrowdMember,
+    CrowdSimulator,
+    FixedSampleAggregator,
+    PersonalDatabase,
+    PlantedPattern,
+    Transaction,
+)
+from .engine import OassisEngine, QueryResult, QueueManager
+from .mining import (
+    MultiUserMiner,
+    horizontal_mine,
+    naive_mine,
+    vertical_mine,
+)
+from .oassisql import Query, parse_query
+from .ontology import Fact, FactSet, Ontology
+from .vocabulary import Element, Relation, Vocabulary, VocabularyBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "CrowdCache",
+    "CrowdMember",
+    "CrowdSimulator",
+    "Element",
+    "ExplicitDAG",
+    "Fact",
+    "FactSet",
+    "FixedSampleAggregator",
+    "MultiUserMiner",
+    "OassisEngine",
+    "Ontology",
+    "PersonalDatabase",
+    "PlantedPattern",
+    "Query",
+    "QueryAssignmentSpace",
+    "QueryResult",
+    "QueueManager",
+    "Relation",
+    "Transaction",
+    "Vocabulary",
+    "VocabularyBuilder",
+    "__version__",
+    "horizontal_mine",
+    "naive_mine",
+    "parse_query",
+    "vertical_mine",
+]

@@ -1,0 +1,14 @@
+"""Assignments, the semantic lattice, and the lazy query-driven generator."""
+
+from .assignment import Assignment, canonical_facts, canonical_values
+from .generator import QueryAssignmentSpace
+from .lattice import AssignmentSpace, ExplicitDAG
+
+__all__ = [
+    "Assignment",
+    "AssignmentSpace",
+    "ExplicitDAG",
+    "QueryAssignmentSpace",
+    "canonical_facts",
+    "canonical_values",
+]

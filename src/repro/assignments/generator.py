@@ -1,0 +1,652 @@
+"""Lazy, query-driven assignment space (Section 5 of the paper).
+
+Given an ontology and a parsed OASSIS-QL query, :class:`QueryAssignmentSpace`
+exposes the expanded assignment DAG of Algorithm 1, generated on demand:
+
+* the *valid* multiplicity-1 assignments come from evaluating the WHERE
+  clause with the SPARQL engine;
+* the space is *expanded* with every generalization of a valid assignment
+  (Algorithm 1, line 1), obtained by walking each value up the taxonomy
+  within the query-derived caps (Figure 3's dashed nodes);
+* assignments with multiplicities are produced lazily by adding values —
+  the combination rule of Proposition 5.1 — rather than eagerly
+  materializing the exponentially large multi-value space;
+* multiplicity 0 drops meta-facts; its validity is checked against the
+  WHERE clause with the dropped variables' patterns removed, per the
+  paper's treatment in Section 5;
+* MORE extensions come from two sources: a caller-supplied candidate pool
+  (every pool fact is offered as a successor), and — matching the paper's
+  "more" button — crowd proposals registered at run time via
+  :meth:`QueryAssignmentSpace.propose_more_fact`.
+
+Blanks (``[]``) in the SATISFYING clause are rewritten to hidden variables
+pinned at wildcard values, which the fact order treats as "anything".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ontology.facts import Fact, FactSet
+from ..ontology.graph import INSTANCE_OF, SUBCLASS_OF, Ontology
+from ..oassisql.ast import (
+    MetaFact,
+    Query,
+    SatisfyingClause,
+    SatTerm,
+)
+from ..sparql.ast import BGP, Blank, Concrete, RelationPattern, Var
+from ..sparql.bindings import Binding
+from ..sparql.engine import SparqlEngine
+from ..vocabulary.terms import (
+    ANY_ELEMENT,
+    ANY_RELATION_WILDCARD,
+    Element,
+    Term,
+)
+from .assignment import Assignment
+from .lattice import AssignmentSpace
+
+
+class QueryAssignmentSpace(AssignmentSpace[Assignment]):
+    """The expanded assignment DAG of an OASSIS-QL query, built lazily."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        query: Query,
+        more_pool: Iterable[Fact] = (),
+        max_values_per_var: int = 3,
+        max_more_facts: int = 2,
+    ):
+        self.ontology = ontology
+        self.vocabulary = ontology.vocabulary
+        self.query = query
+        self.more_pool: Tuple[Fact, ...] = tuple(more_pool)
+        self.max_values_per_var = max_values_per_var
+        self.max_more_facts = max_more_facts
+
+        self.satisfying = _resolve_blanks(query.satisfying)
+        self._hidden_values = _hidden_fixed_values(self.satisfying)
+        self._sat_vars: Tuple[str, ...] = tuple(
+            v.name
+            for v in self.satisfying.variables()
+            if v.name not in self._hidden_values
+        )
+
+        self._engine = SparqlEngine(ontology)
+        self._solutions: List[Binding] = (
+            list(self._engine.solutions(query.where)) if query.where is not None else []
+        )
+        where_vars = {v.name for v in query.where_variables()}
+        self._shared_vars = tuple(v for v in self._sat_vars if v in where_vars)
+        self._free_vars = tuple(v for v in self._sat_vars if v not in where_vars)
+
+        self._caps = self._compute_caps()
+        self._universes: Dict[str, FrozenSet[Term]] = {}
+        self._top_cache: Dict[str, FrozenSet[Term]] = {}
+        # dropped-subset -> (constrained remaining vars, set of value tuples)
+        self._reduced_cache: Dict[FrozenSet[str], Tuple[Tuple[str, ...], Set[Tuple]]] = {}
+        # memoized traversal structure: regenerating successors dominates the
+        # mining runtime otherwise (every BFS pass re-derives them)
+        self._succ_cache: Dict[Assignment, List[Assignment]] = {}
+        self._pred_cache: Dict[Assignment, List[Assignment]] = {}
+        self._valid_cache: Dict[Assignment, bool] = {}
+        self._expansion_cache: Dict[Assignment, bool] = {}
+        self._roots_cache: Optional[List[Assignment]] = None
+        # MORE facts proposed by the crowd (the UI's "more" button): extra
+        # successors registered per node, verified like any other assignment
+        self._proposed_more: Dict[Assignment, List[Assignment]] = {}
+        # per-dropped-subset inverted index: var -> value -> tuple indices,
+        # making single-valued expansion checks O(values) instead of O(tuples)
+        self._tuple_index: Dict[FrozenSet[str], Dict[str, Dict[Term, Set[int]]]] = {}
+
+    # ------------------------------------------------------------ valid base
+
+    def where_solutions(self) -> List[Binding]:
+        """The raw WHERE-clause solutions (all WHERE variables bound)."""
+        return list(self._solutions)
+
+    def valid_base_assignments(self) -> List[Assignment]:
+        """The multiplicity-1 valid assignments (the SPARQL results)."""
+        seen: Set[Assignment] = set()
+        ordered: List[Assignment] = []
+        for values in self._base_tuples(frozenset()):
+            assignment = self._assignment_from_tuple(self._shared_vars, values)
+            if assignment not in seen:
+                seen.add(assignment)
+                ordered.append(assignment)
+        return ordered
+
+    def _base_tuples(self, dropped: FrozenSet[str]) -> Set[Tuple]:
+        """Valid value tuples for the shared vars not in ``dropped``."""
+        remaining, tuples = self._reduced_solutions(dropped)
+        return tuples
+
+    def _reduced_solutions(
+        self, dropped: FrozenSet[str]
+    ) -> Tuple[Tuple[str, ...], Set[Tuple]]:
+        """WHERE solutions with patterns mentioning ``dropped`` removed."""
+        cached = self._reduced_cache.get(dropped)
+        if cached is not None:
+            return cached
+        remaining = tuple(v for v in self._shared_vars if v not in dropped)
+        if self.query.where is None or not remaining:
+            result: Tuple[Tuple[str, ...], Set[Tuple]] = (remaining, set())
+            self._reduced_cache[dropped] = result
+            return result
+        if not dropped:
+            tuples = {
+                tuple(solution.get(name) for name in remaining)
+                for solution in self._solutions
+                if all(name in solution for name in remaining)
+            }
+            result = (remaining, tuples)
+            self._reduced_cache[dropped] = result
+            return result
+        patterns = [
+            p
+            for p in self.query.where
+            if not any(
+                isinstance(part, Var) and part.name in dropped
+                for part in (p.subject, p.relation.term, p.obj)
+            )
+        ]
+        if not patterns:
+            result = (remaining, set())
+            self._reduced_cache[dropped] = result
+            return result
+        reduced_bgp = BGP(patterns)
+        constrained = tuple(
+            name
+            for name in remaining
+            if any(name == v.name for v in reduced_bgp.variables())
+        )
+        tuples = {
+            tuple(solution.get(name) for name in constrained)
+            for solution in self._engine.solutions(reduced_bgp)
+            if all(name in solution for name in constrained)
+        }
+        result = (constrained, tuples)
+        self._reduced_cache[dropped] = result
+        return result
+
+    def _assignment_from_tuple(
+        self, names: Sequence[str], values: Sequence[Term]
+    ) -> Assignment:
+        mapping = {name: {value} for name, value in zip(names, values)}
+        for hidden, fixed in self._hidden_values.items():
+            mapping[hidden] = {fixed}
+        return Assignment.make(self.vocabulary, mapping)
+
+    # ------------------------------------------------------------- universes
+
+    def _compute_caps(self) -> Dict[str, FrozenSet[Element]]:
+        """Per-variable generalization caps inferred from the WHERE clause.
+
+        ``$v subClassOf* C`` and ``$v instanceOf C`` cap ``v`` at ``C``;
+        ``$v instanceOf $w`` inherits ``w``'s cap.  Variables without a
+        discovered cap fall back to the element-order roots.
+        """
+        caps: Dict[str, Set[Element]] = {}
+        if self.query.where is None:
+            return {}
+        # first pass: direct caps
+        for pattern in self.query.where:
+            rel = pattern.relation.term
+            if not isinstance(rel, Concrete):
+                continue
+            if not isinstance(pattern.subject, Var):
+                continue
+            if isinstance(pattern.obj, Concrete) and rel.name in (
+                SUBCLASS_OF,
+                INSTANCE_OF,
+            ):
+                caps.setdefault(pattern.subject.name, set()).add(Element(pattern.obj.name))
+        # second pass: $v instanceOf $w picks up $w's cap
+        for pattern in self.query.where:
+            rel = pattern.relation.term
+            if (
+                isinstance(rel, Concrete)
+                and rel.name == INSTANCE_OF
+                and isinstance(pattern.subject, Var)
+                and isinstance(pattern.obj, Var)
+                and pattern.obj.name in caps
+            ):
+                caps.setdefault(pattern.subject.name, set()).update(
+                    caps[pattern.obj.name]
+                )
+        return {name: frozenset(values) for name, values in caps.items()}
+
+    def universe(self, name: str) -> FrozenSet[Term]:
+        """All candidate values for variable ``name`` in the expanded space.
+
+        For WHERE-bound variables: the generalization closure of the valid
+        values, intersected with the descendants of the variable's caps.
+        For free variables: every element (or relation, for relation-position
+        variables) in the vocabulary.
+        """
+        cached = self._universes.get(name)
+        if cached is not None:
+            return cached
+        if name in self._hidden_values:
+            result: FrozenSet[Term] = frozenset({self._hidden_values[name]})
+        elif name in self._free_vars:
+            result = self._free_universe(name)
+        else:
+            result = self._shared_universe(name)
+        self._universes[name] = result
+        return result
+
+    def _free_universe(self, name: str) -> FrozenSet[Term]:
+        if self._is_relation_var(name):
+            return frozenset(self.vocabulary.relations)
+        return frozenset(self.vocabulary.elements - {ANY_ELEMENT})
+
+    def _shared_universe(self, name: str) -> FrozenSet[Term]:
+        index = self._shared_vars.index(name)
+        base_values: Set[Term] = set()
+        for values in self._base_tuples(frozenset()):
+            base_values.add(values[index])
+        closure: Set[Term] = set()
+        for value in base_values:
+            closure.update(self.vocabulary.ancestors(value))
+        caps = self._caps.get(name)
+        if caps:
+            allowed: Set[Term] = set()
+            for cap in caps:
+                if cap in self.vocabulary.element_order:
+                    allowed.update(self.vocabulary.descendants(cap))
+            closure &= allowed
+        return frozenset(closure)
+
+    def _is_relation_var(self, name: str) -> bool:
+        for meta_fact in self.satisfying.meta_facts:
+            term = meta_fact.relation.term
+            if isinstance(term, Var) and term.name == name:
+                return True
+        return False
+
+    def top_values(self, name: str) -> FrozenSet[Term]:
+        """The most general candidate values of variable ``name``."""
+        cached = self._top_cache.get(name)
+        if cached is not None:
+            return cached
+        universe = self.universe(name)
+        result = frozenset(
+            u
+            for u in universe
+            if not any(
+                u != w and self.vocabulary.leq(w, u) for w in universe
+            )
+        )
+        self._top_cache[name] = result
+        return result
+
+    # ------------------------------------------------------- space interface
+
+    def roots(self) -> List[Assignment]:
+        """Most general assignments: top values for mandatory variables."""
+        if self._roots_cache is not None:
+            return list(self._roots_cache)
+        mandatory: List[str] = []
+        for name in self._sat_vars:
+            if self._min_multiplicity(name) >= 1:
+                mandatory.append(name)
+        choice_lists = [sorted(self.top_values(name)) for name in mandatory]
+        if any(not choices for choices in choice_lists):
+            return []
+        roots: List[Assignment] = []
+        seen: Set[Assignment] = set()
+        for combo in itertools.product(*choice_lists):
+            mapping = {name: {value} for name, value in zip(mandatory, combo)}
+            for hidden, fixed in self._hidden_values.items():
+                mapping[hidden] = {fixed}
+            assignment = Assignment.make(self.vocabulary, mapping)
+            if assignment not in seen and self.in_expansion(assignment):
+                seen.add(assignment)
+                roots.append(assignment)
+        self._roots_cache = roots
+        return list(roots)
+
+    def successors(self, node: Assignment) -> List[Assignment]:
+        cached = self._succ_cache.get(node)
+        if cached is not None:
+            return list(cached)
+        out: List[Assignment] = []
+        seen: Set[Assignment] = set()
+
+        def emit(candidate: Assignment) -> None:
+            if (
+                candidate not in seen
+                and node.strictly_leq(candidate, self.vocabulary)
+                and self.in_expansion(candidate)
+            ):
+                seen.add(candidate)
+                out.append(candidate)
+
+        for name in self._sat_vars:
+            universe = self.universe(name)
+            current = node.get(name)
+            # (i) specialize one value by one taxonomy edge
+            for value in current:
+                for child in self.vocabulary.children(value):
+                    if child in universe:
+                        emit(
+                            node.with_replaced_value(self.vocabulary, name, value, child)
+                        )
+            # (ii) add an incomparable value (lazy combination, Prop. 5.1)
+            if len(current) < self._max_values(name):
+                for candidate in self._addable_values(name, current):
+                    emit(node.with_value(self.vocabulary, name, candidate))
+        # (iii) append a MORE fact from the configured pool
+        if self.satisfying.more and len(node.more) < self.max_more_facts:
+            for fact in self.more_pool:
+                emit(node.with_more_fact(self.vocabulary, fact))
+        # (iv) crowd-proposed MORE extensions (the UI's "more" button)
+        for proposed in self._proposed_more.get(node, ()):
+            emit(proposed)
+        self._succ_cache[node] = out
+        return list(out)
+
+    def propose_more_fact(self, node: Assignment, fact: Fact) -> Optional[Assignment]:
+        """Register a crowd-proposed MORE extension of ``node``.
+
+        This is the paper's "more" button: instead of enumerating candidate
+        MORE facts at every assignment (which would multiply the question
+        load), extensions enter the DAG only when a member volunteers one;
+        the extension is then verified with concrete questions like any
+        other assignment.  Returns the extended assignment, or None when the
+        query has no MORE clause, the extension budget is exhausted, or the
+        fact adds nothing.
+        """
+        if not self.satisfying.more or len(node.more) >= self.max_more_facts:
+            return None
+        extended = node.with_more_fact(self.vocabulary, fact)
+        if extended == node or not node.strictly_leq(extended, self.vocabulary):
+            return None
+        bucket = self._proposed_more.setdefault(node, [])
+        if extended not in bucket:
+            bucket.append(extended)
+            self._succ_cache.pop(node, None)
+        return extended
+
+    def predecessors(self, node: Assignment) -> List[Assignment]:
+        cached = self._pred_cache.get(node)
+        if cached is not None:
+            return list(cached)
+        out: List[Assignment] = []
+        seen: Set[Assignment] = set()
+
+        def emit(candidate: Assignment) -> None:
+            if candidate not in seen and candidate.strictly_leq(node, self.vocabulary):
+                seen.add(candidate)
+                out.append(candidate)
+
+        for name in self._sat_vars:
+            universe = self.universe(name)
+            current = node.get(name)
+            for value in current:
+                # (i) generalize one value by one taxonomy edge
+                for parent in self.vocabulary.parents(value):
+                    if parent in universe:
+                        emit(
+                            node.with_replaced_value(
+                                self.vocabulary, name, value, parent
+                            )
+                        )
+                # (ii) drop a value (inverse of lazy combination)
+                if len(current) > 1 or self._min_multiplicity(name) == 0:
+                    remaining = dict(node.values)
+                    remaining[name] = frozenset(v for v in current if v != value)
+                    emit(Assignment(remaining, node.more))
+        for fact in node.more:
+            remaining_more = frozenset(f for f in node.more if f != fact)
+            emit(Assignment(node.values, remaining_more))
+        self._pred_cache[node] = out
+        return list(out)
+
+    def leq(self, a: Assignment, b: Assignment) -> bool:
+        return a.leq(b, self.vocabulary)
+
+    def is_valid(self, node: Assignment) -> bool:
+        """Validity w.r.t. the WHERE clause and multiplicity annotations."""
+        cached = self._valid_cache.get(node)
+        if cached is not None:
+            return cached
+        result = self._compute_valid(node)
+        self._valid_cache[node] = result
+        return result
+
+    def _compute_valid(self, node: Assignment) -> bool:
+        if node.more and not self.satisfying.more:
+            return False
+        if not self._multiplicities_ok(node):
+            return False
+        dropped = frozenset(
+            name for name in self._shared_vars if not node.get(name)
+        )
+        constrained, tuples = self._reduced_solutions(dropped)
+        if constrained:
+            value_lists = [sorted(node.get(name)) for name in constrained]
+            for combo in itertools.product(*value_lists):
+                if tuple(combo) not in tuples:
+                    return False
+        # free variables: any value drawn from their universe is acceptable
+        for name in self._free_vars:
+            universe = self.universe(name)
+            if any(value not in universe for value in node.get(name)):
+                return False
+        return True
+
+    def in_expansion(self, node: Assignment) -> bool:
+        """Is ``node`` in the expanded set ``A`` of Algorithm 1, line 1?
+
+        ``A = {φ : ∃φ' ∈ A_valid, φ ≤ φ'}`` — the down-closure of the valid
+        assignments.  Traversal is restricted to ``A`` (the paper's DAG);
+        without this restriction the space would be the full product of the
+        per-variable universes, most of which no crowd question should ever
+        touch.
+
+        For each value of each WHERE-bound variable we collect its possible
+        *witness* values among the valid tuples, then search for a coherent
+        witness grid: one witness set per variable whose full cross product
+        consists of valid tuples (this is exactly what a valid assignment
+        with multiplicities looks like, by Proposition 5.1).  Free variables
+        and MORE facts are unconstrained.
+        """
+        cached = self._expansion_cache.get(node)
+        if cached is not None:
+            return cached
+        result = self._compute_in_expansion(node)
+        self._expansion_cache[node] = result
+        return result
+
+    def _compute_in_expansion(self, node: Assignment) -> bool:
+        dropped = frozenset(
+            name for name in self._shared_vars if not node.get(name)
+        )
+        constrained, tuples = self._reduced_solutions(dropped)
+        relevant = [name for name in constrained if node.get(name)]
+        if not relevant or not tuples:
+            return bool(tuples) or not relevant
+        indices = {name: constrained.index(name) for name in relevant}
+        multi = [name for name in relevant if len(node.get(name)) > 1]
+        if not multi:
+            # single-valued: one dominating tuple suffices.  Use the inverted
+            # value->tuples index: the witnesses of value v in variable x are
+            # the tuples whose x-value specializes v.
+            index = self._get_tuple_index(dropped, constrained, tuples)
+            surviving: Optional[Set[int]] = None
+            for name in relevant:
+                (value,) = node.get(name)
+                witnesses: Set[int] = set()
+                per_value = index[name]
+                for specialization in self.vocabulary.descendants(value):
+                    bucket = per_value.get(specialization)
+                    if bucket:
+                        witnesses |= bucket
+                if not witnesses:
+                    return False
+                surviving = witnesses if surviving is None else surviving & witnesses
+                if not surviving:
+                    return False
+            return surviving is None or bool(surviving)
+        return self._witness_grid_exists(node, relevant, indices, tuples)
+
+    def _get_tuple_index(
+        self,
+        dropped: FrozenSet[str],
+        constrained: Tuple[str, ...],
+        tuples: Set[Tuple],
+    ) -> Dict[str, Dict[Term, Set[int]]]:
+        cached = self._tuple_index.get(dropped)
+        if cached is not None:
+            return cached
+        index: Dict[str, Dict[Term, Set[int]]] = {name: {} for name in constrained}
+        for position, t in enumerate(sorted(tuples, key=repr)):
+            for slot, name in enumerate(constrained):
+                index[name].setdefault(t[slot], set()).add(position)
+        self._tuple_index[dropped] = index
+        return index
+
+    def _witness_grid_exists(self, node, relevant, indices, tuples) -> bool:
+        """Search for per-variable witness sets whose grid is all-valid."""
+        # witness options per (variable, value)
+        options: List[Tuple[str, List[Term]]] = []
+        for name in relevant:
+            for value in sorted(node.get(name), key=lambda t: t.name):
+                witnesses = sorted(
+                    {t[indices[name]] for t in tuples
+                     if self.vocabulary.leq(value, t[indices[name]])},
+                    key=lambda t: t.name,
+                )
+                if not witnesses:
+                    return False
+                options.append((name, witnesses))
+        tuple_set = set(tuples)
+
+        def grid_ok(choice: Dict[str, Set[Term]]) -> bool:
+            names = relevant
+            value_lists = [sorted(choice[n], key=lambda t: t.name) for n in names]
+            for combo in itertools.product(*value_lists):
+                candidate = [None] * len(next(iter(tuple_set)))
+                for name, value in zip(names, combo):
+                    candidate[indices[name]] = value
+                if not any(
+                    all(
+                        candidate[i] is None or candidate[i] == t[i]
+                        for i in range(len(t))
+                    )
+                    for t in tuple_set
+                ):
+                    return False
+            return True
+
+        # brute force over witness choices with a safety cap
+        total = 1
+        for _, witnesses in options:
+            total *= len(witnesses)
+            if total > 20000:
+                # fall back to the (slightly looser) per-selection test
+                return self._selectionwise_dominated(node, relevant, indices, tuples)
+        for combo in itertools.product(*(w for _, w in options)):
+            choice: Dict[str, Set[Term]] = {}
+            for (name, _), witness in zip(options, combo):
+                choice.setdefault(name, set()).add(witness)
+            if grid_ok(choice):
+                return True
+        return False
+
+    def _selectionwise_dominated(self, node, relevant, indices, tuples) -> bool:
+        """Looser fallback: every single-value selection has a witness tuple."""
+        value_lists = [sorted(node.get(name)) for name in relevant]
+        for combo in itertools.product(*value_lists):
+            if not any(
+                all(
+                    self.vocabulary.leq(value, t[indices[name]])
+                    for name, value in zip(relevant, combo)
+                )
+                for t in tuples
+            ):
+                return False
+        return True
+
+    def _multiplicities_ok(self, node: Assignment) -> bool:
+        for var in self.satisfying.variables():
+            if var.name in self._hidden_values:
+                continue
+            multiplicity = self.satisfying.multiplicity_of(var)
+            if not multiplicity.admits(len(node.get(var.name))):
+                return False
+        return True
+
+    # --------------------------------------------------------------- helpers
+
+    def _min_multiplicity(self, name: str) -> int:
+        for var in self.satisfying.variables():
+            if var.name == name:
+                return self.satisfying.multiplicity_of(var).minimum
+        return 1
+
+    def _max_values(self, name: str) -> int:
+        for var in self.satisfying.variables():
+            if var.name == name:
+                maximum = self.satisfying.multiplicity_of(var).maximum
+                if maximum is None:
+                    return self.max_values_per_var
+                return maximum
+        return 1
+
+    def _addable_values(
+        self, name: str, current: FrozenSet[Term]
+    ) -> List[Term]:
+        """Most general universe values incomparable to all current values."""
+        universe = self.universe(name)
+        incomparable = [
+            u
+            for u in universe
+            if all(not self.vocabulary.comparable(u, v) for v in current)
+        ]
+        tops = [
+            u
+            for u in incomparable
+            if not any(
+                u != w and self.vocabulary.leq(w, u) for w in incomparable
+            )
+        ]
+        return sorted(tops, key=lambda t: t.name)
+
+    def instantiate(self, node: Assignment) -> FactSet:
+        """``φ(A_SAT)`` for this query's (blank-resolved) SATISFYING clause."""
+        return node.instantiate(self.satisfying)
+
+
+def _resolve_blanks(satisfying: SatisfyingClause) -> SatisfyingClause:
+    """Rewrite ``[]`` occurrences to hidden wildcard-pinned variables."""
+    counter = itertools.count()
+    new_meta_facts: List[MetaFact] = []
+    for meta_fact in satisfying.meta_facts:
+        subject = meta_fact.subject
+        relation = meta_fact.relation
+        obj = meta_fact.obj
+        if isinstance(subject.term, Blank):
+            subject = SatTerm(Var(f"__any_{next(counter)}"))
+        if isinstance(relation.term, Blank):
+            relation = RelationPattern(Var(f"__anyrel_{next(counter)}"))
+        if isinstance(obj.term, Blank):
+            obj = SatTerm(Var(f"__any_{next(counter)}"))
+        new_meta_facts.append(MetaFact(subject, relation, obj))
+    return SatisfyingClause(new_meta_facts, satisfying.more, satisfying.threshold)
+
+
+def _hidden_fixed_values(satisfying: SatisfyingClause) -> Dict[str, Term]:
+    """Fixed wildcard values for the hidden variables of ``_resolve_blanks``."""
+    fixed: Dict[str, Term] = {}
+    for var in satisfying.variables():
+        if var.name.startswith("__any_"):
+            fixed[var.name] = ANY_ELEMENT
+        elif var.name.startswith("__anyrel_"):
+            fixed[var.name] = ANY_RELATION_WILDCARD
+    return fixed

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``parse`` — validate and pretty-print an OASSIS-QL query file (optionally
+  against an ontology file);
+* ``run`` — evaluate a query: either one of the built-in demo domains with
+  a simulated crowd, or a custom ontology + query + personal-history file
+  (single-user mining with Algorithm 1);
+* ``domains`` — list the built-in demo domains;
+* ``figures`` — regenerate one of the paper's figures and print its table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .crowd.member import CrowdMember
+from .crowd.personal_db import PersonalDatabase
+from .datasets import culinary, health, travel
+from .engine.engine import OassisEngine
+from .oassisql.parser import parse_query
+from .oassisql.pretty import format_query
+from .oassisql.validator import validate
+from .ontology import turtle
+
+_DOMAINS = {
+    "travel": travel,
+    "culinary": culinary,
+    "self-treatment": health,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_parse = sub.add_parser("parse", help="validate and pretty-print a query")
+    p_parse.add_argument("query", help="path to an OASSIS-QL file, or '-' for stdin")
+    p_parse.add_argument("--ontology", help="Turtle-ish ontology to validate against")
+
+    p_run = sub.add_parser("run", help="evaluate a query")
+    p_run.add_argument("--domain", choices=sorted(_DOMAINS), help="built-in domain")
+    p_run.add_argument("--threshold", type=float, default=0.2)
+    p_run.add_argument("--crowd-size", type=int, default=20)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--ontology", help="custom ontology file (with --query)")
+    p_run.add_argument("--query", help="custom OASSIS-QL file")
+    p_run.add_argument(
+        "--history",
+        help="personal history file: one transaction per line, facts dotted "
+        "(single-user mining)",
+    )
+    p_run.add_argument("--json", action="store_true",
+                       help="emit the result as JSON instead of text")
+
+    sub.add_parser("domains", help="list built-in demo domains")
+
+    p_fig = sub.add_parser("figures", help="regenerate a paper figure")
+    p_fig.add_argument(
+        "which",
+        choices=["fig4f", "fig5", "shape", "distribution", "multiplicities"],
+    )
+    p_fig.add_argument("--trials", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    if args.command == "parse":
+        return _cmd_parse(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "domains":
+        return _cmd_domains()
+    if args.command == "figures":
+        return _cmd_figures(args)
+    parser.error("unknown command")
+    return 2
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_parse(args) -> int:
+    query = parse_query(_read(args.query))
+    problems = []
+    if args.ontology:
+        ontology = turtle.load(args.ontology)
+        problems = validate(query, ontology)
+    print(format_query(query))
+    if problems:
+        print()
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_domains() -> int:
+    for name, module in sorted(_DOMAINS.items()):
+        dataset = module.build_dataset()
+        print(
+            f"{name:16} {len(dataset.ontology)} ontology facts, "
+            f"{len(dataset.patterns)} planted patterns"
+        )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    if args.domain:
+        return _run_domain(args)
+    if args.ontology and args.query:
+        return _run_custom(args)
+    print("run needs either --domain or both --ontology and --query", file=sys.stderr)
+    return 2
+
+
+def _run_domain(args) -> int:
+    module = _DOMAINS[args.domain]
+    dataset = module.build_dataset()
+    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    query = engine.parse(dataset.query(args.threshold))
+    crowd = dataset.build_crowd(size=args.crowd_size, seed=args.seed)
+    result = engine.execute(
+        query, crowd, sample_size=5, more_pool=dataset.more_pool
+    )
+    print(result.to_json() if args.json else result.render())
+    return 0
+
+
+def _run_custom(args) -> int:
+    ontology = turtle.load(args.ontology)
+    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=0)
+    query = engine.parse(_read(args.query))
+    if not args.history:
+        print("custom runs need --history (a personal transaction file)",
+              file=sys.stderr)
+        return 2
+    lines = [l.strip() for l in _read(args.history).splitlines()
+             if l.strip() and not l.startswith("#")]
+    database = PersonalDatabase.parse(lines)
+    member = CrowdMember("you", database, ontology.vocabulary)
+    result = engine.execute_single_user(query, member)
+    print(result.to_json() if args.json else result.render())
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    if args.which == "fig4f":
+        from .experiments import render_figure4f, run_figure4f
+
+        print(render_figure4f(run_figure4f(trials=args.trials)))
+    elif args.which == "fig5":
+        from .experiments import render_figure5, run_figure5
+
+        print(render_figure5(run_figure5(trials=args.trials)))
+    elif args.which == "shape":
+        from .experiments.shape import render_shape_sweep, run_shape_sweep
+
+        print(render_shape_sweep(run_shape_sweep(trials=args.trials)))
+    elif args.which == "distribution":
+        from .experiments.distribution import (
+            render_distribution_sweep,
+            run_distribution_sweep,
+        )
+
+        print(render_distribution_sweep(run_distribution_sweep(trials=args.trials)))
+    elif args.which == "multiplicities":
+        from .experiments.multiplicities import (
+            render_multiplicities,
+            run_multiplicities_experiment,
+        )
+
+        print(render_multiplicities(run_multiplicities_experiment()))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

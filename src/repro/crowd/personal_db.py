@@ -1,0 +1,102 @@
+"""Personal databases: the virtual transaction DBs of Section 2.
+
+A crowd member's history is a bag of *transactions*, each a fact-set
+describing one occasion.  The database is "virtual" — the real system never
+sees it and can only probe it through questions — but the simulation needs a
+concrete object to answer from, and the tests need Table 3's ``D_u1`` and
+``D_u2`` to reproduce Example 2.7's support values exactly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from ..ontology.facts import FactLike, FactSet, parse_fact_set
+from ..vocabulary.vocabulary import Vocabulary
+
+
+class Transaction:
+    """One occasion in a personal history: an id plus a fact-set."""
+
+    __slots__ = ("transaction_id", "facts")
+
+    def __init__(self, transaction_id: str, facts: Union[FactSet, Iterable[FactLike]]):
+        self.transaction_id = transaction_id
+        self.facts = facts if isinstance(facts, FactSet) else FactSet(facts)
+
+    def implies(self, fact_set: FactSet, vocabulary: Vocabulary) -> bool:
+        """Does this transaction imply ``fact_set`` (``fact_set ≤ T``)?"""
+        return self.facts.implies(fact_set, vocabulary)
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.transaction_id!r}, {self.facts!r})"
+
+
+class PersonalDatabase:
+    """The (virtual) transaction database ``D_u`` of one crowd member."""
+
+    def __init__(self, transactions: Iterable[Transaction] = ()):
+        self._transactions: List[Transaction] = list(transactions)
+        # members are asked about many structurally-identical fact-sets
+        # (cache replay, multiple traversal paths); memoize hit counts
+        self._hits_cache: dict = {}
+
+    @classmethod
+    def from_fact_sets(
+        cls, fact_sets: Sequence[Union[FactSet, Iterable[FactLike]]], prefix: str = "T"
+    ) -> "PersonalDatabase":
+        """Build from raw fact-sets, auto-numbering transaction ids."""
+        return cls(
+            Transaction(f"{prefix}{i}", fs) for i, fs in enumerate(fact_sets, start=1)
+        )
+
+    @classmethod
+    def parse(cls, texts: Sequence[str], prefix: str = "T") -> "PersonalDatabase":
+        """Build from the paper's dotted notation, one string per transaction."""
+        return cls.from_fact_sets([parse_fact_set(t) for t in texts], prefix=prefix)
+
+    def add(self, transaction: Transaction) -> None:
+        self._transactions.append(transaction)
+        self._hits_cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self._transactions)
+
+    def support(self, fact_set: FactSet, vocabulary: Vocabulary) -> float:
+        """``supp_u(A) = |{T : A ≤ T}| / |D_u|`` (Section 2).
+
+        An empty database yields support 0; the empty fact-set has support 1
+        (implied by every transaction).
+        """
+        if not self._transactions:
+            return 0.0
+        return self._hits(fact_set, vocabulary) / len(self._transactions)
+
+    def _hits(self, fact_set: FactSet, vocabulary: Vocabulary) -> int:
+        cached = self._hits_cache.get(fact_set)
+        if cached is not None:
+            return cached
+        hits = sum(
+            1 for t in self._transactions if t.implies(fact_set, vocabulary)
+        )
+        self._hits_cache[fact_set] = hits
+        return hits
+
+    def support_fraction(self, fact_set: FactSet, vocabulary: Vocabulary) -> Fraction:
+        """Exact rational support, for tests that assert paper values."""
+        if not self._transactions:
+            return Fraction(0)
+        return Fraction(self._hits(fact_set, vocabulary), len(self._transactions))
+
+    def supporting_transactions(
+        self, fact_set: FactSet, vocabulary: Vocabulary
+    ) -> List[Transaction]:
+        """The transactions that imply ``fact_set``."""
+        return [t for t in self._transactions if t.implies(fact_set, vocabulary)]
+
+    def __repr__(self) -> str:
+        return f"PersonalDatabase({len(self._transactions)} transactions)"

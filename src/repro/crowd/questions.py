@@ -1,0 +1,151 @@
+"""Questions posed to the crowd and the answers they produce.
+
+Two question types (Section 2):
+
+* :class:`ConcreteQuestion` — "How often do you ⟨fact-set⟩?"  Answered with
+  a support value, in the UI via the five-point frequency scale.
+* :class:`SpecializationQuestion` — "What type of X do you ...?"  Answered
+  with a more specific assignment (chosen from offered candidates) and its
+  support, or "none of these" (which classifies *all* offered candidates as
+  support 0 at once — the Section 6.2 optimization).
+
+A third interaction, :class:`PruneAnswer`, models the user-guided pruning
+click: the member declares a value irrelevant, zeroing every assignment that
+involves it or a specialization of it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence, Tuple
+
+from ..assignments.assignment import Assignment
+from ..ontology.facts import FactSet
+from ..vocabulary.terms import Term
+
+#: The UI's five-point frequency scale (Section 6.2): answer label ->
+#: interpreted support value.
+FREQUENCY_SCALE: Tuple[Tuple[str, float], ...] = (
+    ("never", 0.0),
+    ("rarely", 0.25),
+    ("sometimes", 0.5),
+    ("often", 0.75),
+    ("very often", 1.0),
+)
+
+
+def frequency_to_support(label: str) -> float:
+    """Interpret a frequency label as a support value."""
+    for name, value in FREQUENCY_SCALE:
+        if name == label:
+            return value
+    raise ValueError(f"unknown frequency label {label!r}")
+
+
+def support_to_frequency(support: float) -> str:
+    """Quantize a support value to the nearest frequency label."""
+    if not 0.0 <= support <= 1.0:
+        raise ValueError(f"support must be in [0, 1], got {support}")
+    best_label, best_distance = FREQUENCY_SCALE[0][0], abs(support)
+    for name, value in FREQUENCY_SCALE:
+        distance = abs(support - value)
+        if distance < best_distance:
+            best_label, best_distance = name, distance
+    return best_label
+
+
+def quantize_support(support: float) -> float:
+    """Snap ``support`` to the five-point scale (what the UI records)."""
+    return frequency_to_support(support_to_frequency(support))
+
+
+class QuestionKind(enum.Enum):
+    CONCRETE = "concrete"
+    SPECIALIZATION = "specialization"
+
+
+class Question:
+    """Base class: a question about one assignment's fact-set."""
+
+    kind: QuestionKind
+
+    def __init__(self, assignment: Assignment, fact_set: FactSet):
+        self.assignment = assignment
+        self.fact_set = fact_set
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.assignment!r})"
+
+
+class ConcreteQuestion(Question):
+    """Retrieve the member's support for the fact-set."""
+
+    kind = QuestionKind.CONCRETE
+
+
+class SpecializationQuestion(Question):
+    """Ask the member to pick (and rate) a more specific assignment.
+
+    ``candidates`` are the successor assignments the system can offer (the
+    UI's auto-completion suggestions).
+    """
+
+    kind = QuestionKind.SPECIALIZATION
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        fact_set: FactSet,
+        candidates: Sequence[Assignment],
+    ):
+        super().__init__(assignment, fact_set)
+        self.candidates = list(candidates)
+
+
+class Answer:
+    """Base class for crowd answers."""
+
+
+class SupportAnswer(Answer):
+    """A plain support value for the asked assignment."""
+
+    def __init__(self, support: float):
+        if not 0.0 <= support <= 1.0:
+            raise ValueError(f"support must be in [0, 1], got {support}")
+        self.support = support
+
+    def __repr__(self) -> str:
+        return f"SupportAnswer({self.support})"
+
+
+class SpecializationAnswer(Answer):
+    """The member chose a more specific assignment and rated it."""
+
+    def __init__(self, chosen: Assignment, support: float):
+        if not 0.0 <= support <= 1.0:
+            raise ValueError(f"support must be in [0, 1], got {support}")
+        self.chosen = chosen
+        self.support = support
+
+    def __repr__(self) -> str:
+        return f"SpecializationAnswer({self.chosen!r}, {self.support})"
+
+
+class NoneOfTheseAnswer(Answer):
+    """No offered specialization is relevant: all candidates get support 0."""
+
+    def __init__(self, candidates: Sequence[Assignment]):
+        self.candidates = list(candidates)
+
+    def __repr__(self) -> str:
+        return f"NoneOfTheseAnswer({len(self.candidates)} candidates)"
+
+
+class PruneAnswer(Answer):
+    """User-guided pruning: ``value`` (and its specializations) is irrelevant."""
+
+    def __init__(self, value: Term):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"PruneAnswer({self.value!r})"

@@ -1,0 +1,73 @@
+"""Crowd member selection: consistency checks and spammer filtering.
+
+Section 4.2 proposes exploiting support monotonicity to vet members: for a
+cooperative member, whenever ``φ ≤ φ'`` the reported support of ``φ`` must
+be at least that of ``φ'`` (a habit cannot be rarer than its
+specialization).  Spammers answering at random violate this constantly.
+
+:func:`consistency_violation_ratio` measures a member's violation rate over
+the comparable pairs among their answers (with a tolerance for honest
+noise), and :func:`filter_members` flags members exceeding a cutoff.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence, Set, Tuple
+
+
+def consistency_violation_ratio(
+    answers: Sequence[Tuple[Hashable, float]],
+    leq,
+    tolerance: float = 0.05,
+) -> float:
+    """Fraction of comparable answer pairs violating support monotonicity.
+
+    ``answers`` is a member's (assignment, support) history; ``leq(a, b)``
+    is the assignment order.  Returns 0.0 when no pair is comparable.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    comparable = 0
+    violations = 0
+    for i, (a, support_a) in enumerate(answers):
+        for b, support_b in answers[i + 1:]:
+            if a == b:
+                continue
+            if leq(a, b):
+                comparable += 1
+                if support_a + tolerance < support_b:
+                    violations += 1
+            elif leq(b, a):
+                comparable += 1
+                if support_b + tolerance < support_a:
+                    violations += 1
+    if comparable == 0:
+        return 0.0
+    return violations / comparable
+
+
+def filter_members(
+    answers_by_member: Mapping[str, Sequence[Tuple[Hashable, float]]],
+    leq,
+    tolerance: float = 0.05,
+    max_violation_ratio: float = 0.3,
+) -> Set[str]:
+    """Member ids whose violation ratio exceeds ``max_violation_ratio``."""
+    flagged: Set[str] = set()
+    for member_id, answers in answers_by_member.items():
+        ratio = consistency_violation_ratio(answers, leq, tolerance=tolerance)
+        if ratio > max_violation_ratio:
+            flagged.add(member_id)
+    return flagged
+
+
+def trust_scores(
+    answers_by_member: Mapping[str, Sequence[Tuple[Hashable, float]]],
+    leq,
+    tolerance: float = 0.05,
+) -> Dict[str, float]:
+    """Per-member trust = 1 - violation ratio (for TrustWeightedAggregator)."""
+    return {
+        member_id: 1.0 - consistency_violation_ratio(answers, leq, tolerance=tolerance)
+        for member_id, answers in answers_by_member.items()
+    }

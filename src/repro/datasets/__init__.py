@@ -1,0 +1,11 @@
+"""Demo and experiment datasets: running example + three crowd domains."""
+
+from . import culinary, health, running_example, travel
+from .base import DomainDataset
+
+__all__ = ["DomainDataset", "culinary", "health", "running_example", "travel"]
+
+
+def all_domains():
+    """The three Section 6.3 experiment domains, freshly built."""
+    return [travel.build_dataset(), culinary.build_dataset(), health.build_dataset()]

@@ -1,0 +1,69 @@
+"""Shared structure for the three Section 6.3 experiment domains."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..crowd.member import CrowdMember
+from ..crowd.simulation import CrowdSimulator, PlantedPattern
+from ..ontology.facts import Fact
+from ..ontology.graph import Ontology
+
+
+class DomainDataset:
+    """One experiment domain: ontology + query + planted ground truth."""
+
+    def __init__(
+        self,
+        name: str,
+        ontology: Ontology,
+        query_template: str,
+        patterns: Sequence[PlantedPattern],
+        noise_facts: Sequence[Fact] = (),
+        more_pool: Sequence[Fact] = (),
+        irrelevant_values: Sequence = (),
+    ):
+        self.name = name
+        self.ontology = ontology
+        self._query_template = query_template
+        self.patterns = list(patterns)
+        self.noise_facts = list(noise_facts)
+        self.more_pool = list(more_pool)
+        self.irrelevant_values = list(irrelevant_values)
+
+    def query(self, threshold: float = 0.2) -> str:
+        """The domain's OASSIS-QL query at the given support threshold."""
+        return self._query_template.format(threshold=threshold)
+
+    def simulator(self, seed: int = 0) -> CrowdSimulator:
+        return CrowdSimulator(
+            self.ontology.vocabulary,
+            self.patterns,
+            noise_facts=self.noise_facts,
+            seed=seed,
+        )
+
+    def build_crowd(
+        self,
+        size: int = 40,
+        seed: int = 0,
+        transactions: int = 40,
+        specialization_ratio: float = 0.12,
+        pruning_ratio: float = 0.13,
+        noise: float = 0.0,
+        quantize: bool = False,
+        max_questions: Optional[int] = None,
+        more_tip_ratio: float = 0.15,
+    ) -> List[CrowdMember]:
+        """A simulated crowd whose behaviour matches the paper's ratios."""
+        return self.simulator(seed).build_population(
+            size,
+            transactions=transactions,
+            noise=noise,
+            quantize=quantize,
+            specialization_ratio=specialization_ratio,
+            pruning_ratio=pruning_ratio,
+            irrelevant_values=self.irrelevant_values,
+            max_questions=max_questions,
+            more_tip_ratio=more_tip_ratio,
+        )

@@ -1,0 +1,139 @@
+"""Culinary preferences domain (Section 6.3).
+
+Queries retrieve popular combinations of dishes and drinks — "crowd members
+often have a steak with fries and a coke; when they eat muesli with yogurt
+for breakfast they drink apple juice".  This is a *class-seeking* query
+(both variables range over taxonomy classes), so every MSP is valid, and the
+``$x+`` multiplicity lets MSPs combine several dishes (the paper's
+steak+fries example).  Of the three domains this one has the largest
+assignment DAG.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..crowd.simulation import PlantedPattern
+from ..ontology.facts import Fact, fact_set
+from ..ontology.graph import Ontology
+from ..vocabulary.terms import Element
+from .base import DomainDataset
+
+QUERY_TEMPLATE = """
+SELECT FACT-SETS
+WHERE
+  $x subClassOf* Food .
+  $y subClassOf* Drink
+SATISFYING
+  $x+ servedWith $y
+WITH SUPPORT = {threshold}
+"""
+
+_FOOD_TREE = {
+    "Snack": {"Fries": {}, "Onion Rings": {}, "Pretzel": {}, "Nachos": {}, "Popcorn": {}},
+    "Main Dish": {
+        "Meat Dish": {"Steak": {}, "Schnitzel": {}, "Kebab": {}},
+        "Burger": {"Beef Burger": {}, "Veggie Burger": {}},
+        "Pizza": {"Margherita": {}, "Pepperoni Pizza": {}},
+        "Pasta": {"Spaghetti": {}, "Lasagna": {}},
+        "Stew": {"Goulash": {}, "Chili": {}},
+    },
+    "Breakfast": {
+        "Muesli with Yogurt": {},
+        "Granola": {},
+        "Omelette": {},
+        "Pancakes": {},
+        "Shakshuka": {},
+    },
+    "Health Food": {
+        "Salad": {"Greek Salad": {}, "Quinoa Salad": {}, "Caesar Salad": {}},
+        "Smoothie Bowl": {},
+        "Hummus Plate": {},
+    },
+    "Dessert": {"Ice Cream": {}, "Cheesecake": {}, "Brownie": {}, "Fruit Plate": {}},
+}
+
+_DRINK_TREE = {
+    "Soft Drink": {"Coke": {}, "Sprite": {}, "Lemonade": {}},
+    "Juice": {"Apple Juice": {}, "Orange Juice": {}, "Carrot Juice": {}},
+    "Hot Drink": {
+        "Coffee": {"Espresso": {}, "Cappuccino": {}, "Latte": {}},
+        "Tea": {"Green Tea": {}, "Mint Tea": {}},
+    },
+    "Alcoholic": {"Beer": {}, "Red Wine": {}, "White Wine": {}},
+    "Water": {"Still Water": {}, "Sparkling Water": {}},
+}
+
+
+def build_ontology() -> Ontology:
+    ontology = Ontology()
+    ontology.add(Fact("Food", "subClassOf", "Consumable"))
+    ontology.add(Fact("Drink", "subClassOf", "Consumable"))
+
+    def add_tree(parent: str, spec: dict) -> None:
+        for name, children in spec.items():
+            ontology.add(Fact(name, "subClassOf", parent))
+            add_tree(name, children)
+
+    add_tree("Food", _FOOD_TREE)
+    add_tree("Drink", _DRINK_TREE)
+    ontology.vocabulary.add_relation("servedWith")
+    return ontology
+
+
+def _patterns() -> List[PlantedPattern]:
+    return [
+        # the paper's own findings
+        PlantedPattern(
+            fact_set(
+                ("Steak", "servedWith", "Coke"),
+                ("Fries", "servedWith", "Coke"),
+            ),
+            0.55,
+        ),
+        PlantedPattern(
+            fact_set(("Muesli with Yogurt", "servedWith", "Apple Juice")),
+            0.47,
+        ),
+        # other strong pairings
+        PlantedPattern(fact_set(("Beef Burger", "servedWith", "Beer")), 0.52),
+        PlantedPattern(fact_set(("Shakshuka", "servedWith", "Cappuccino")), 0.38),
+        PlantedPattern(fact_set(("Greek Salad", "servedWith", "Lemonade")), 0.33),
+        PlantedPattern(
+            fact_set(
+                ("Margherita", "servedWith", "Sprite"),
+                ("Fries", "servedWith", "Sprite"),
+            ),
+            0.28,
+        ),
+        PlantedPattern(fact_set(("Cheesecake", "servedWith", "Espresso")), 0.26),
+        PlantedPattern(fact_set(("Hummus Plate", "servedWith", "Mint Tea")), 0.22),
+        # sibling leaves that merge into class-level MSPs at low thresholds
+        PlantedPattern(fact_set(("Spaghetti", "servedWith", "Red Wine")), 0.13),
+        PlantedPattern(fact_set(("Lasagna", "servedWith", "Red Wine")), 0.13),
+        PlantedPattern(fact_set(("Goulash", "servedWith", "Beer")), 0.12),
+        PlantedPattern(fact_set(("Chili", "servedWith", "Beer")), 0.12),
+    ]
+
+
+def _noise_facts() -> List[Fact]:
+    return [
+        Fact("Popcorn", "servedWith", "Coke"),
+        Fact("Pancakes", "servedWith", "Orange Juice"),
+        Fact("Ice Cream", "servedWith", "Still Water"),
+        Fact("Nachos", "servedWith", "Beer"),
+        Fact("Brownie", "servedWith", "Latte"),
+        Fact("Omelette", "servedWith", "Green Tea"),
+    ]
+
+
+def build_dataset() -> DomainDataset:
+    """The culinary domain, ready for the Figure 4 experiments."""
+    return DomainDataset(
+        name="culinary",
+        ontology=build_ontology(),
+        query_template=QUERY_TEMPLATE,
+        patterns=_patterns(),
+        noise_facts=_noise_facts(),
+        irrelevant_values=[Element("Alcoholic"), Element("Dessert")],
+    )

@@ -1,0 +1,107 @@
+"""Self-treatment domain (Section 6.3).
+
+Queries find what crowd members take to relieve common illness symptoms —
+information for health researchers.  Like the culinary domain this is a
+class-seeking query (all MSPs valid); it has the smallest assignment DAG
+and required the fewest questions in the paper's runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..crowd.simulation import PlantedPattern
+from ..ontology.facts import Fact, fact_set
+from ..ontology.graph import Ontology
+from ..vocabulary.terms import Element
+from .base import DomainDataset
+
+QUERY_TEMPLATE = """
+SELECT FACT-SETS
+WHERE
+  $s subClassOf* Symptom .
+  $r subClassOf* Remedy
+SATISFYING
+  $r takeFor $s
+WITH SUPPORT = {threshold}
+"""
+
+_SYMPTOM_TREE = {
+    "Pain": {
+        "Headache": {"Migraine": {}, "Tension Headache": {}},
+        "Back Pain": {},
+        "Joint Pain": {},
+    },
+    "Cold Symptom": {"Cough": {}, "Sore Throat": {}, "Runny Nose": {}},
+    "Digestive Issue": {"Heartburn": {}, "Nausea": {}},
+    "Sleep Issue": {"Insomnia": {}, "Fatigue": {}},
+}
+
+_REMEDY_TREE = {
+    "Medication": {
+        "Painkiller": {"Ibuprofen": {}, "Paracetamol": {}, "Aspirin": {}},
+        "Antacid": {},
+        "Cough Syrup": {},
+    },
+    "Home Remedy": {
+        "Tea with Honey": {},
+        "Ginger Tea": {},
+        "Chicken Soup": {},
+        "Saline Rinse": {},
+    },
+    "Practice": {"Rest": {}, "Meditation": {}, "Stretching": {}, "Warm Bath": {}},
+}
+
+
+def build_ontology() -> Ontology:
+    ontology = Ontology()
+    ontology.add(Fact("Symptom", "subClassOf", "Condition"))
+    ontology.add(Fact("Remedy", "subClassOf", "Treatment"))
+
+    def add_tree(parent: str, spec: dict) -> None:
+        for name, children in spec.items():
+            ontology.add(Fact(name, "subClassOf", parent))
+            add_tree(name, children)
+
+    add_tree("Symptom", _SYMPTOM_TREE)
+    add_tree("Remedy", _REMEDY_TREE)
+    ontology.vocabulary.add_relation("takeFor")
+    return ontology
+
+
+def _patterns() -> List[PlantedPattern]:
+    return [
+        PlantedPattern(fact_set(("Ibuprofen", "takeFor", "Tension Headache")), 0.56),
+        PlantedPattern(fact_set(("Tea with Honey", "takeFor", "Sore Throat")), 0.51),
+        PlantedPattern(fact_set(("Rest", "takeFor", "Migraine")), 0.42),
+        PlantedPattern(fact_set(("Chicken Soup", "takeFor", "Runny Nose")), 0.34),
+        PlantedPattern(fact_set(("Stretching", "takeFor", "Back Pain")), 0.31),
+        PlantedPattern(fact_set(("Antacid", "takeFor", "Heartburn")), 0.25),
+        PlantedPattern(fact_set(("Ginger Tea", "takeFor", "Nausea")), 0.22),
+        # sibling leaves merging into class-level MSPs at low thresholds
+        PlantedPattern(fact_set(("Paracetamol", "takeFor", "Fatigue")), 0.12),
+        PlantedPattern(fact_set(("Aspirin", "takeFor", "Fatigue")), 0.12),
+        PlantedPattern(fact_set(("Meditation", "takeFor", "Insomnia")), 0.13),
+        PlantedPattern(fact_set(("Warm Bath", "takeFor", "Insomnia")), 0.13),
+    ]
+
+
+def _noise_facts() -> List[Fact]:
+    return [
+        Fact("Saline Rinse", "takeFor", "Runny Nose"),
+        Fact("Cough Syrup", "takeFor", "Cough"),
+        Fact("Rest", "takeFor", "Fatigue"),
+        Fact("Ibuprofen", "takeFor", "Joint Pain"),
+    ]
+
+
+def build_dataset() -> DomainDataset:
+    """The self-treatment domain, ready for the Figure 4 experiments."""
+    return DomainDataset(
+        name="self-treatment",
+        ontology=build_ontology(),
+        query_template=QUERY_TEMPLATE,
+        patterns=_patterns(),
+        noise_facts=_noise_facts(),
+        irrelevant_values=[Element("Meditation")],
+    )

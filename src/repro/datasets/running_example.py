@@ -1,0 +1,135 @@
+"""The paper's running example: Figure 1, Figure 2 and Table 3.
+
+Everything here mirrors the paper exactly, so tests can assert the paper's
+own numbers: ``supp_u1`` of Example 2.7, the 5/12 vs 1/3 averages of
+Example 3.1, and the Figure 3 lattice around (Central Park, Biking).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..crowd.personal_db import PersonalDatabase
+from ..ontology.facts import Fact
+from ..ontology.graph import Ontology
+
+#: The Figure 2 query (verbatim, with the paper's formatting).
+SAMPLE_QUERY = """
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity .
+  $z instanceOf Restaurant.
+  $z nearBy $x
+SATISFYING
+  $y+ doAt $x .
+  [] eatAt $z.
+  MORE
+WITH SUPPORT = 0.4
+"""
+
+#: The grey-highlighted fragment used in Section 4's walkthrough (Figure 3):
+#: just the activity-at-attraction part, without the nearby restaurant.
+FRAGMENT_QUERY = """
+SELECT FACT-SETS
+WHERE
+  $w subClassOf* Attraction.
+  $x instanceOf $w.
+  $x inside NYC.
+  $x hasLabel "child-friendly".
+  $y subClassOf* Activity
+SATISFYING
+  $y+ doAt $x
+WITH SUPPORT = 0.4
+"""
+
+
+def build_ontology() -> Ontology:
+    """The Figure 1 sample ontology."""
+    ontology = Ontology()
+    triples = [
+        # top level
+        ("Place", "subClassOf", "Thing"),
+        ("Activity", "subClassOf", "Thing"),
+        # places
+        ("City", "subClassOf", "Place"),
+        ("Restaurant", "subClassOf", "Place"),
+        ("Attraction", "subClassOf", "Place"),
+        ("Outdoor", "subClassOf", "Attraction"),
+        ("Indoor", "subClassOf", "Attraction"),
+        ("Zoo", "subClassOf", "Outdoor"),
+        ("Park", "subClassOf", "Outdoor"),
+        ("Swimming pool", "subClassOf", "Indoor"),
+        ("NYC", "instanceOf", "City"),
+        ("Central Park", "instanceOf", "Park"),
+        ("Madison Square", "instanceOf", "Park"),
+        ("Bronx Zoo", "instanceOf", "Zoo"),
+        ("Maoz Veg", "instanceOf", "Restaurant"),
+        ("Pine", "instanceOf", "Restaurant"),
+        ("Central Park", "inside", "NYC"),
+        ("Bronx Zoo", "inside", "NYC"),
+        ("Madison Square", "inside", "NYC"),
+        ("Maoz Veg", "nearBy", "Central Park"),
+        ("Pine", "nearBy", "Bronx Zoo"),
+        # activities
+        ("Sport", "subClassOf", "Activity"),
+        ("Feed a monkey", "subClassOf", "Activity"),
+        ("Water Sport", "subClassOf", "Sport"),
+        ("Ball Game", "subClassOf", "Sport"),
+        ("Biking", "subClassOf", "Sport"),
+        ("Basketball", "subClassOf", "Ball Game"),
+        ("Baseball", "subClassOf", "Ball Game"),
+        ("Swimming", "subClassOf", "Water Sport"),
+        ("Water Polo", "subClassOf", "Water Sport"),
+        # food (appears in transactions via eatAt facts)
+        ("Food", "subClassOf", "Thing"),
+        ("Falafel", "subClassOf", "Food"),
+        ("Pasta", "subClassOf", "Food"),
+    ]
+    for subject, relation, obj in triples:
+        ontology.add(Fact(subject, relation, obj))
+    # Figure 1's "nearBy ≤ inside" annotation
+    ontology.vocabulary.specialize_relation("nearBy", "inside")
+    # relations used only in personal histories
+    ontology.vocabulary.add_relation("doAt")
+    ontology.vocabulary.add_relation("eatAt")
+    # elements that appear in transactions but not in the ontology (§2)
+    ontology.vocabulary.add_element("Boathouse")
+    ontology.vocabulary.add_element("Rent Bikes")
+    # labels for the child-friendly filter
+    ontology.add_label("Central Park", "child-friendly")
+    ontology.add_label("Bronx Zoo", "child-friendly")
+    return ontology
+
+
+def build_personal_databases() -> Dict[str, PersonalDatabase]:
+    """Table 3: the personal DBs of crowd members u1 and u2."""
+    d_u1 = PersonalDatabase.parse(
+        [
+            "Basketball doAt Central Park. Falafel eatAt Maoz Veg",
+            "Feed a monkey doAt Bronx Zoo. Pasta eatAt Pine",
+            "Biking doAt Central Park. Rent Bikes doAt Boathouse. "
+            "Falafel eatAt Maoz Veg",
+            "Baseball doAt Central Park. Biking doAt Central Park. "
+            "Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+            "Feed a monkey doAt Bronx Zoo. Pasta eatAt Pine",
+            "Feed a monkey doAt Bronx Zoo",
+        ]
+    )
+    d_u2 = PersonalDatabase.parse(
+        [
+            "Baseball doAt Central Park. Biking doAt Central Park. "
+            "Rent Bikes doAt Boathouse. Falafel eatAt Maoz Veg",
+            "Feed a monkey doAt Bronx Zoo. Pasta eatAt Pine",
+        ],
+        prefix="T",
+    )
+    return {"u1": d_u1, "u2": d_u2}
+
+
+def more_pool() -> List[Fact]:
+    """Candidate MORE facts (in the full system the crowd proposes these)."""
+    return [Fact("Rent Bikes", "doAt", "Boathouse")]

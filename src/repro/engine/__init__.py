@@ -1,0 +1,16 @@
+"""Engine layer: full pipeline, crowd adapters, queue manager, results."""
+
+from .adapters import MemberUser
+from .engine import OassisEngine
+from .queue_manager import PendingQuestion, QueueManager
+from .results import QueryResult, ResultRow, build_result
+
+__all__ = [
+    "MemberUser",
+    "OassisEngine",
+    "PendingQuestion",
+    "QueryResult",
+    "QueueManager",
+    "ResultRow",
+    "build_result",
+]

@@ -1,0 +1,252 @@
+"""OassisEngine: the full query-evaluation pipeline (Section 6.1).
+
+Ties together the OASSIS-QL parser, the SPARQL engine, the lazy assignment
+generator, the crowd adapters and the mining algorithms::
+
+    engine = OassisEngine(ontology)
+    result = engine.execute(query_text, members, sample_size=5)
+    print(result.render())
+
+``execute`` runs the multi-user algorithm against real/simulated crowd
+members; ``execute_single_user`` runs Algorithm 1 against one member;
+``replay`` re-evaluates a query at a different threshold from cached
+answers (the Section 6.3 threshold sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+from ..assignments.assignment import Assignment
+from ..assignments.generator import QueryAssignmentSpace
+from ..crowd.aggregator import FixedSampleAggregator
+from ..crowd.cache import CrowdCache
+from ..crowd.member import CrowdMember
+from ..crowd.questions import ConcreteQuestion
+from ..mining.multiuser import MultiUserMiner
+from ..mining.replay import ReplayResult, replay_from_cache
+from ..mining.vertical import vertical_mine
+from ..oassisql.ast import Query
+from ..oassisql.parser import parse_query
+from ..oassisql.validator import ensure_valid
+from ..ontology.facts import Fact
+from ..ontology.graph import Ontology
+from ..nlg.templates import DEFAULT_TEMPLATES, QuestionTemplates
+from .adapters import MemberUser
+from .queue_manager import QueueManager
+from .results import QueryResult, build_result
+
+
+class OassisEngine:
+    """Crowd-assisted evaluation of OASSIS-QL queries over an ontology."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        templates: QuestionTemplates = DEFAULT_TEMPLATES,
+        max_values_per_var: int = 3,
+        max_more_facts: int = 1,
+    ):
+        self.ontology = ontology
+        self.templates = templates
+        self.max_values_per_var = max_values_per_var
+        self.max_more_facts = max_more_facts
+
+    # -------------------------------------------------------------- parsing
+
+    def parse(self, text: str) -> Query:
+        """Parse and validate a query against this engine's ontology."""
+        query = parse_query(text)
+        ensure_valid(query, self.ontology)
+        return query
+
+    def _as_query(self, query: Union[str, Query]) -> Query:
+        return self.parse(query) if isinstance(query, str) else query
+
+    def build_space(
+        self, query: Union[str, Query], more_pool: Iterable[Fact] = ()
+    ) -> QueryAssignmentSpace:
+        """The lazy assignment space for ``query``."""
+        return QueryAssignmentSpace(
+            self.ontology,
+            self._as_query(query),
+            more_pool=more_pool,
+            max_values_per_var=self.max_values_per_var,
+            max_more_facts=self.max_more_facts,
+        )
+
+    # ------------------------------------------------------------ execution
+
+    def execute(
+        self,
+        query: Union[str, Query],
+        members: Sequence[CrowdMember],
+        sample_size: int = 5,
+        cache: Optional[CrowdCache] = None,
+        more_pool: Iterable[Fact] = (),
+        include_invalid: bool = False,
+        max_total_questions: Optional[int] = None,
+    ) -> QueryResult:
+        """Evaluate with the multi-user algorithm over ``members``."""
+        parsed = self._as_query(query)
+        space = self.build_space(parsed, more_pool=more_pool)
+        aggregator = FixedSampleAggregator(parsed.threshold, sample_size=sample_size)
+        users = [MemberUser(member, space) for member in members]
+        miner = MultiUserMiner(
+            space,
+            users,
+            aggregator,
+            cache=cache,
+            max_total_questions=max_total_questions,
+        )
+        mined = miner.run()
+        return build_result(
+            parsed,
+            space,
+            mined.msps,
+            mined.questions,
+            support_of=aggregator.average_support,
+            include_invalid=include_invalid,
+        )
+
+    def execute_single_user(
+        self,
+        query: Union[str, Query],
+        member: CrowdMember,
+        more_pool: Iterable[Fact] = (),
+        include_invalid: bool = False,
+        max_questions: Optional[int] = None,
+    ) -> QueryResult:
+        """Evaluate with Algorithm 1 against a single member."""
+        parsed = self._as_query(query)
+        space = self.build_space(parsed, more_pool=more_pool)
+        answers: Dict[Assignment, float] = {}
+
+        def oracle(node: Assignment) -> float:
+            question = ConcreteQuestion(node, space.instantiate(node))
+            support = member.answer_concrete(question).support
+            answers[node] = support
+            return support
+
+        mined = vertical_mine(
+            space, oracle, parsed.threshold, max_questions=max_questions
+        )
+        return build_result(
+            parsed,
+            space,
+            mined.msps,
+            mined.questions,
+            support_of=answers.get,
+            include_invalid=include_invalid,
+        )
+
+    def replay(
+        self,
+        query: Union[str, Query],
+        member_ids: Sequence[str],
+        cache: CrowdCache,
+        threshold: Optional[float] = None,
+        sample_size: int = 5,
+        include_invalid: bool = False,
+        more_pool: Iterable[Fact] = (),
+        space: Optional[QueryAssignmentSpace] = None,
+    ) -> Tuple[QueryResult, ReplayResult]:
+        """Re-evaluate from cached answers, optionally at a new threshold.
+
+        The crowd is never contacted: the traversal consumes the cached
+        per-assignment answer lists, and the returned mining result's
+        ``questions`` field counts only the cached answers actually used
+        (the Section 6.3 accounting).  ``member_ids`` is accepted for
+        interface symmetry with :meth:`execute` but not needed — replay
+        aggregates whatever answers the cache holds per assignment.
+
+        Pass the original run's ``space`` to retain crowd-proposed MORE
+        extensions (a fresh space would not regenerate them).
+        """
+        parsed = self._as_query(query)
+        if threshold is not None:
+            satisfying = parsed.satisfying
+            satisfying = type(satisfying)(
+                satisfying.meta_facts, satisfying.more, threshold
+            )
+            parsed = Query(
+                parsed.select_format, parsed.select_all, parsed.where, satisfying
+            )
+        if space is None:
+            space = self.build_space(parsed, more_pool=more_pool)
+        mined = replay_from_cache(
+            space, cache, parsed.threshold, sample_size=sample_size
+        )
+
+        def support_of(node):
+            answers = cache.answers_for(node)[:sample_size]
+            if not answers:
+                return None
+            return sum(s for _, s in answers) / len(answers)
+
+        result = build_result(
+            parsed,
+            space,
+            mined.msps,
+            mined.questions,
+            support_of=support_of,
+            include_invalid=include_invalid,
+        )
+        return result, mined
+
+    def screen_members(
+        self,
+        query: Union[str, Query],
+        members: Sequence[CrowdMember],
+        probes_per_member: int = 8,
+        tolerance: float = 0.05,
+        max_violation_ratio: float = 0.2,
+    ):
+        """Consistency-screen members before mining (Section 4.2).
+
+        Each member answers a few *calibration* questions along a
+        general→specific chain of the query's assignment space; support
+        monotonicity (a specialization can never be more frequent than its
+        generalization) flags spammers.  Returns ``(kept, flagged)``.
+        """
+        from ..crowd.selection import filter_members
+
+        parsed = self._as_query(query)
+        space = self.build_space(parsed)
+        probes = []
+        frontier = list(space.roots())
+        while frontier and len(probes) < probes_per_member:
+            node = frontier.pop(0)
+            probes.append(node)
+            successors = space.successors(node)
+            if successors:
+                frontier.append(successors[0])
+        answers_by_member = {}
+        for member in members:
+            answers = []
+            for probe in probes:
+                question = ConcreteQuestion(probe, space.instantiate(probe))
+                answers.append((probe, member.answer_concrete(question).support))
+            answers_by_member[member.member_id] = answers
+        flagged_ids = filter_members(
+            answers_by_member,
+            space.leq,
+            tolerance=tolerance,
+            max_violation_ratio=max_violation_ratio,
+        )
+        kept = [m for m in members if m.member_id not in flagged_ids]
+        flagged = [m for m in members if m.member_id in flagged_ids]
+        return kept, flagged
+
+    def queue_manager(
+        self,
+        query: Union[str, Query],
+        sample_size: int = 5,
+        cache: Optional[CrowdCache] = None,
+        more_pool: Iterable[Fact] = (),
+    ) -> QueueManager:
+        """An interactive QueueManager for UI-style integration."""
+        parsed = self._as_query(query)
+        space = self.build_space(parsed, more_pool=more_pool)
+        aggregator = FixedSampleAggregator(parsed.threshold, sample_size=sample_size)
+        return QueueManager(space, aggregator, cache=cache, templates=self.templates)

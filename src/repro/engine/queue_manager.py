@@ -1,0 +1,195 @@
+"""QueueManager: the interactive question-queue façade (Section 6.1).
+
+Where :class:`~repro.mining.multiuser.MultiUserMiner` drives simulated
+members itself, :class:`QueueManager` inverts control for interactive use
+(the UI example): callers pull the next question for a member and push the
+member's answers back.  Internally it maintains the same global
+classification state, aggregator-driven inference and per-member traversal
+stacks, and prunes queued assignments that become irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..assignments.assignment import Assignment
+from ..assignments.generator import QueryAssignmentSpace
+from ..crowd.aggregator import Aggregator, Verdict
+from ..crowd.cache import CrowdCache
+from ..mining.state import ClassificationState, Status
+from ..mining.trace import MspTracker
+from ..nlg.templates import DEFAULT_TEMPLATES, QuestionTemplates
+from ..vocabulary.terms import Term
+
+
+class PendingQuestion:
+    """A question handed to a member, awaiting their answer."""
+
+    def __init__(self, member_id: str, assignment: Assignment, text: str):
+        self.member_id = member_id
+        self.assignment = assignment
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"PendingQuestion({self.member_id!r}, {self.assignment!r})"
+
+
+class QueueManager:
+    """Per-member question queues over a query assignment space."""
+
+    def __init__(
+        self,
+        space: QueryAssignmentSpace,
+        aggregator: Aggregator,
+        cache: Optional[CrowdCache] = None,
+        templates: QuestionTemplates = DEFAULT_TEMPLATES,
+    ):
+        self.space = space
+        self.aggregator = aggregator
+        self.cache = cache
+        self.templates = templates
+        self.state: ClassificationState[Assignment] = ClassificationState(space)
+        self.tracker: MspTracker[Assignment] = MspTracker(space, self.state)
+        self.questions_asked = 0
+        self._stacks: Dict[str, List[Assignment]] = {}
+        self._visited: Dict[str, Set[Assignment]] = {}
+        self._answers: Dict[str, Dict[Assignment, float]] = {}
+        self._pruned: Dict[str, List[Term]] = {}
+        self._pending: Dict[str, PendingQuestion] = {}
+
+    # -------------------------------------------------------------- members
+
+    def register_member(self, member_id: str) -> None:
+        """Open a session for ``member_id`` (idempotent)."""
+        if member_id not in self._stacks:
+            self._stacks[member_id] = list(reversed(self.space.roots()))
+            self._visited[member_id] = set()
+            self._answers[member_id] = {}
+            self._pruned[member_id] = []
+
+    # ------------------------------------------------------------- questions
+
+    def next_question(self, member_id: str) -> Optional[PendingQuestion]:
+        """The next question for ``member_id``; None when their queue is dry.
+
+        A previously handed-out, unanswered question is returned again.
+        """
+        self.register_member(member_id)
+        pending = self._pending.get(member_id)
+        if pending is not None:
+            return pending
+        stack = self._stacks[member_id]
+        visited = self._visited[member_id]
+        answers = self._answers[member_id]
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                continue
+            visited.add(node)
+            if self.state.status(node) is Status.INSIGNIFICANT:
+                continue
+            if self._is_personally_pruned(member_id, node):
+                continue
+            if node in answers:
+                if answers[node] >= self.aggregator.threshold:
+                    self._push_successors(member_id, node)
+                continue
+            text = self.templates.concrete_question(self.space.instantiate(node))
+            pending = PendingQuestion(member_id, node, text)
+            self._pending[member_id] = pending
+            return pending
+        return None
+
+    def submit_support(self, member_id: str, support: float) -> None:
+        """Record the member's support answer for their pending question."""
+        pending = self._pending.pop(member_id, None)
+        if pending is None:
+            raise RuntimeError(f"no pending question for {member_id!r}")
+        if not 0.0 <= support <= 1.0:
+            raise ValueError(f"support must be in [0, 1], got {support}")
+        self.questions_asked += 1
+        node = pending.assignment
+        self._answers[member_id][node] = support
+        self._record(node, member_id, support)
+        if (
+            support >= self.aggregator.threshold
+            and self.state.status(node) is not Status.INSIGNIFICANT
+        ):
+            self._push_successors(member_id, node)
+
+    def submit_prune(self, member_id: str, value: Term) -> None:
+        """Record a user-guided pruning click on the pending question.
+
+        The pending question is answered with support 0 and every assignment
+        involving ``value`` (or a specialization) is dropped from the
+        member's queue.
+        """
+        pending = self._pending.pop(member_id, None)
+        if pending is None:
+            raise RuntimeError(f"no pending question for {member_id!r}")
+        self.questions_asked += 1
+        self._pruned[member_id].append(value)
+        self._answers[member_id][pending.assignment] = 0.0
+        self._record(pending.assignment, member_id, 0.0)
+
+    # --------------------------------------------------------------- results
+
+    def current_msps(self) -> List[Assignment]:
+        """The MSPs confirmed so far (incremental output)."""
+        self.tracker.refresh(force=True)
+        return sorted(self.tracker.confirmed(), key=repr)
+
+    def current_valid_msps(self) -> List[Assignment]:
+        self.tracker.refresh(force=True)
+        return sorted(self.tracker.confirmed_valid(), key=repr)
+
+    def is_complete(self) -> bool:
+        """No reachable assignment is still unclassified."""
+        seen: Set[Assignment] = set()
+        frontier = list(self.space.roots())
+        seen.update(frontier)
+        index = 0
+        while index < len(frontier):
+            node = frontier[index]
+            index += 1
+            status = self.state.status(node)
+            if status is Status.UNKNOWN:
+                return False
+            if status is Status.INSIGNIFICANT:
+                continue
+            for successor in self.space.successors(node):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return True
+
+    # --------------------------------------------------------------- helpers
+
+    def _record(self, node: Assignment, member_id: str, support: float) -> None:
+        self.aggregator.add_answer(node, member_id, support)
+        if self.cache is not None:
+            self.cache.record(node, member_id, support)
+        verdict = self.aggregator.verdict(node)
+        if verdict is Verdict.SIGNIFICANT:
+            if self.state.status(node) is Status.UNKNOWN:
+                self.state.mark_significant(node)
+            self.tracker.note_significant(node)
+        elif verdict is Verdict.INSIGNIFICANT:
+            if self.state.status(node) is Status.UNKNOWN:
+                self.state.mark_insignificant(node)
+
+    def _push_successors(self, member_id: str, node: Assignment) -> None:
+        visited = self._visited[member_id]
+        stack = self._stacks[member_id]
+        for successor in self.space.successors(node):
+            if successor not in visited:
+                stack.append(successor)
+
+    def _is_personally_pruned(self, member_id: str, node: Assignment) -> bool:
+        vocabulary = self.space.vocabulary
+        for token in self._pruned[member_id]:
+            for values in node.values.values():
+                for value in values:
+                    if vocabulary.leq(token, value):
+                        return True
+        return False

@@ -1,0 +1,119 @@
+"""Query results: MSP assignments rendered per the SELECT statement."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..assignments.assignment import Assignment
+from ..assignments.generator import QueryAssignmentSpace
+from ..oassisql.ast import Query
+from ..ontology.facts import FactSet
+
+
+class ResultRow:
+    """One answer: an MSP assignment with its fact-set and metadata."""
+
+    def __init__(
+        self,
+        assignment: Assignment,
+        fact_set: FactSet,
+        support: Optional[float],
+        valid: bool,
+    ):
+        self.assignment = assignment
+        self.fact_set = fact_set
+        self.support = support
+        self.valid = valid
+
+    def variables(self) -> Dict[str, List[str]]:
+        """Visible variable bindings (hidden blank variables dropped)."""
+        return {
+            name: sorted(v.name for v in values)
+            for name, values in self.assignment.values.items()
+            if not name.startswith("__")
+        }
+
+    def __repr__(self) -> str:
+        support = "?" if self.support is None else f"{self.support:.3f}"
+        return f"ResultRow({self.fact_set!r}, support={support}, valid={self.valid})"
+
+
+class QueryResult:
+    """The full result of evaluating an OASSIS-QL query."""
+
+    def __init__(
+        self,
+        query: Query,
+        rows: Sequence[ResultRow],
+        questions: int,
+        all_msps: Sequence[Assignment],
+    ):
+        self.query = query
+        self.rows = list(rows)
+        self.questions = questions
+        self.all_msps = list(all_msps)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def fact_sets(self) -> List[FactSet]:
+        return [row.fact_set for row in self.rows]
+
+    def render(self) -> str:
+        """Human-readable report, one MSP per block."""
+        lines: List[str] = [f"{len(self.rows)} answer(s), {self.questions} question(s) asked"]
+        for index, row in enumerate(self.rows, start=1):
+            support = "?" if row.support is None else f"{row.support:.2f}"
+            lines.append(f"[{index}] support={support} valid={row.valid}")
+            for fact in sorted(row.fact_set):
+                lines.append(f"    {fact}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """A JSON-serializable summary of the result."""
+        return {
+            "questions": self.questions,
+            "answers": [
+                {
+                    "support": row.support,
+                    "valid": row.valid,
+                    "variables": row.variables(),
+                    "facts": [str(f) for f in sorted(row.fact_set)],
+                }
+                for row in self.rows
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` summary as a JSON string."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def build_result(
+    query: Query,
+    space: QueryAssignmentSpace,
+    msps: Sequence[Assignment],
+    questions: int,
+    support_of=None,
+    include_invalid: bool = False,
+) -> QueryResult:
+    """Assemble a :class:`QueryResult` from mined MSP assignments.
+
+    By default only valid MSPs are reported (the paper's output); with
+    ``include_invalid`` the near-miss MSPs (e.g. a class where an instance
+    was requested) are included too, marked invalid.
+    """
+    rows: List[ResultRow] = []
+    for assignment in msps:
+        valid = space.is_valid(assignment)
+        if not valid and not include_invalid:
+            continue
+        support = support_of(assignment) if support_of is not None else None
+        rows.append(ResultRow(assignment, space.instantiate(assignment), support, valid))
+    rows.sort(key=lambda r: (-(r.support if r.support is not None else 0.0), repr(r.assignment)))
+    return QueryResult(query, rows, questions, list(msps))

@@ -1,0 +1,24 @@
+"""Experiment harnesses regenerating every table and figure of the paper."""
+
+from . import ablations, distribution, figure4, figure4f, figure5, multiplicities, shape
+from .figure4 import DomainRun, run_domain
+from .figure4f import render_figure4f, run_figure4f
+from .figure5 import render_figure5, run_figure5
+from .reporting import format_table
+
+__all__ = [
+    "DomainRun",
+    "ablations",
+    "distribution",
+    "figure4",
+    "figure4f",
+    "figure5",
+    "format_table",
+    "multiplicities",
+    "render_figure4f",
+    "render_figure5",
+    "run_domain",
+    "run_figure4f",
+    "run_figure5",
+    "shape",
+]

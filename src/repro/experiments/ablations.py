@@ -1,0 +1,191 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+* :func:`run_expansion_ablation` — Algorithm 1 line 1 expands the valid
+  assignments with every generalization before traversal.  The ablation
+  compares traversal over the expanded space against traversal restricted
+  to the valid nodes only (questions to complete, questions per MSP).
+* :func:`run_cache_ablation` — threshold replay from the CrowdCache vs.
+  re-running the crowd from scratch at each threshold (Section 6.3's
+  caching optimization).
+* :func:`run_decided_generals_ablation` — the Section 4.2 refinement of
+  re-asking users about already-decided general assignments, on vs. off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..assignments.lattice import ExplicitDAG
+from ..crowd.aggregator import FixedSampleAggregator
+from ..crowd.cache import CrowdCache
+from ..datasets.base import DomainDataset
+from ..engine.adapters import MemberUser
+from ..engine.engine import OassisEngine
+from ..mining.multiuser import MultiUserMiner
+from ..mining.vertical import vertical_mine
+from ..synth.dag_gen import generate_dag
+from ..synth.msp_placement import place_msps
+from .reporting import format_table
+
+
+def induced_valid_subdag(dag: ExplicitDAG[int]) -> ExplicitDAG[int]:
+    """The sub-DAG induced on the valid nodes.
+
+    Edges connect valid node ``a`` to valid node ``b`` when ``b`` is
+    reachable from ``a`` through invalid nodes only — the traversal a
+    no-expansion algorithm would see.
+    """
+    valid = set(dag.valid_nodes())
+    sub: ExplicitDAG[int] = ExplicitDAG()
+    for node in valid:
+        sub.add_node(node)
+    for node in valid:
+        # BFS through invalid nodes to the nearest valid descendants
+        frontier = list(dag.successors(node))
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            if current in valid:
+                sub.add_edge(node, current)
+                continue
+            for successor in dag.successors(current):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+    sub.set_valid(valid)
+    return sub
+
+
+def run_expansion_ablation(
+    width: int = 500,
+    depth: int = 7,
+    msp_fraction: float = 0.02,
+    trials: int = 3,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Vertical mining on the expanded space vs. the valid-only space."""
+    rows: List[Dict[str, object]] = []
+    for trial in range(trials):
+        dag = generate_dag(width=width, depth=depth, seed=seed + trial)
+        msp_count = max(1, round(msp_fraction * len(dag)))
+        planted = place_msps(
+            dag, msp_count, policy="uniform", valid_only=True, seed=seed + trial
+        )
+        expanded = vertical_mine(dag, planted.support, 0.5)
+        valid_only_dag = induced_valid_subdag(dag)
+        restricted = vertical_mine(valid_only_dag, planted.support, 0.5)
+        rows.append(
+            {
+                "trial": trial,
+                "expanded_questions": expanded.questions,
+                "valid_only_questions": restricted.questions,
+                "expanded_valid_msps": len(expanded.valid_msps),
+                "valid_only_msps": len(restricted.valid_msps),
+            }
+        )
+    return rows
+
+
+def render_expansion_ablation(rows: List[Dict[str, object]]) -> str:
+    headers = [
+        "trial",
+        "expanded questions",
+        "valid-only questions",
+        "expanded valid MSPs",
+        "valid-only MSPs",
+    ]
+    table = [
+        (
+            r["trial"],
+            r["expanded_questions"],
+            r["valid_only_questions"],
+            r["expanded_valid_msps"],
+            r["valid_only_msps"],
+        )
+        for r in rows
+    ]
+    return format_table(headers, table, title="Ablation — expansion to generalizations")
+
+
+def run_cache_ablation(
+    dataset: DomainDataset,
+    thresholds: Sequence[float] = (0.2, 0.3, 0.4, 0.5),
+    crowd_size: int = 20,
+    sample_size: int = 5,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Crowd questions per threshold: cached replay vs. fresh execution."""
+    base_threshold = min(thresholds)
+    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    query = engine.parse(dataset.query(base_threshold))
+    cache = CrowdCache()
+
+    crowd = dataset.build_crowd(size=crowd_size, seed=seed)
+    space = engine.build_space(query, more_pool=dataset.more_pool)
+    aggregator = FixedSampleAggregator(base_threshold, sample_size=sample_size)
+    users = [MemberUser(member, space) for member in crowd]
+    base = MultiUserMiner(space, users, aggregator, cache=cache).run()
+
+    rows: List[Dict[str, object]] = [
+        {
+            "threshold": base_threshold,
+            "cached_questions": base.questions,
+            "fresh_questions": base.questions,
+        }
+    ]
+    member_ids = [m.member_id for m in crowd]
+    for threshold in sorted(thresholds):
+        if threshold == base_threshold:
+            continue
+        _, replayed = engine.replay(
+            query, member_ids, cache, threshold=threshold, sample_size=sample_size
+        )
+        fresh_crowd = dataset.build_crowd(size=crowd_size, seed=seed)
+        fresh = engine.execute(
+            engine.parse(dataset.query(threshold)),
+            fresh_crowd,
+            sample_size=sample_size,
+            more_pool=dataset.more_pool,
+        )
+        rows.append(
+            {
+                "threshold": threshold,
+                "cached_questions": replayed.questions,
+                "fresh_questions": fresh.questions,
+            }
+        )
+    return rows
+
+
+def render_cache_ablation(rows: List[Dict[str, object]], name: str) -> str:
+    headers = ["threshold", "cached replay (answers used)", "fresh crowd questions"]
+    table = [
+        (r["threshold"], r["cached_questions"], r["fresh_questions"]) for r in rows
+    ]
+    return format_table(
+        headers, table, title=f"Ablation — answer caching across thresholds ({name})"
+    )
+
+
+def run_decided_generals_ablation(
+    dataset: DomainDataset,
+    crowd_size: int = 20,
+    sample_size: int = 5,
+    seed: int = 0,
+    threshold: float = 0.2,
+) -> Dict[str, int]:
+    """Total questions with and without re-asking decided generals."""
+    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    query = engine.parse(dataset.query(threshold))
+    counts: Dict[str, int] = {}
+    for label, flag in (("skip decided", False), ("re-ask decided", True)):
+        space = engine.build_space(query, more_pool=dataset.more_pool)
+        crowd = dataset.build_crowd(size=crowd_size, seed=seed)
+        aggregator = FixedSampleAggregator(threshold, sample_size=sample_size)
+        users = [MemberUser(member, space) for member in crowd]
+        miner = MultiUserMiner(
+            space, users, aggregator, ask_decided_generals=flag,
+            max_total_questions=50000,
+        )
+        counts[label] = miner.run().questions
+    return counts

@@ -1,0 +1,50 @@
+"""Plain-text reporting helpers for the experiment harnesses.
+
+The benchmarks print the same rows/series the paper's figures chart, as
+aligned text tables; EXPERIMENTS.md records the paper-vs-measured
+comparison produced from these.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percentage_milestones(
+    fractions: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0)
+) -> List[float]:
+    """The default X-axis milestones of the pace plots."""
+    return list(fractions)
+
+
+def average_ignoring_none(values: Sequence[Optional[float]]) -> Optional[float]:
+    """Mean of the non-None entries; None if all entries are None."""
+    present = [v for v in values if v is not None]
+    if not present:
+        return None
+    return sum(present) / len(present)

@@ -1,0 +1,86 @@
+"""Horizontal (Apriori-inspired) baseline — Section 6.4.
+
+Levelwise bottom-up evaluation: an assignment is asked about only after
+*all* of its immediate predecessors have been verified significant, exactly
+like Apriori's candidate generation.  It shares the Observation 4.4
+inference scheme with the vertical algorithm and never re-asks classified
+assignments, so the comparison isolates the traversal order.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Set, TypeVar
+
+from ..assignments.lattice import AssignmentSpace
+from .state import ClassificationState, Status
+from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
+from .vertical import SupportOracle
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def horizontal_mine(
+    space: AssignmentSpace[Node],
+    support_oracle: SupportOracle,
+    threshold: float,
+    valid_nodes: Optional[Sequence[Node]] = None,
+    target_msps: Optional[Sequence[Node]] = None,
+    max_questions: Optional[int] = None,
+) -> MiningResult[Node]:
+    """Levelwise mining: breadth-first, gated on all-predecessors-significant."""
+    state: ClassificationState[Node] = ClassificationState(space)
+    tracker: MspTracker[Node] = MspTracker(space, state)
+    trace = MiningTrace()
+    progress = ValidProgress(state, valid_nodes) if valid_nodes is not None else None
+    targets = TargetTracker(state, target_msps) if target_msps is not None else None
+    questions = 0
+
+    def sample() -> None:
+        classified_valid = progress.refresh() if progress is not None else 0
+        targets_found = targets.refresh() if targets is not None else 0
+        tracker.refresh()
+        confirmed, confirmed_valid = tracker.counts()
+        trace.sample(questions, confirmed, confirmed_valid, classified_valid, targets_found)
+
+    def ask(node: Node) -> bool:
+        nonlocal questions
+        questions += 1
+        significant = support_oracle(node) >= threshold
+        if significant:
+            state.mark_significant(node)
+            tracker.note_significant(node)
+        else:
+            state.mark_insignificant(node)
+        sample()
+        return significant
+
+    # frontier of candidates whose predecessors are all known significant
+    pending: List[Node] = list(space.roots())
+    enqueued: Set[Node] = set(pending)
+    index = 0
+    while index < len(pending):
+        if max_questions is not None and questions >= max_questions:
+            break
+        node = pending[index]
+        index += 1
+        status = state.status(node)
+        if status is Status.UNKNOWN:
+            significant = ask(node)
+        else:
+            significant = status is Status.SIGNIFICANT
+            if significant:
+                tracker.note_significant(node)
+        if not significant:
+            continue
+        for successor in space.successors(node):
+            if successor in enqueued:
+                continue
+            predecessors = space.predecessors(successor)
+            if all(state.status(p) is Status.SIGNIFICANT for p in predecessors):
+                enqueued.add(successor)
+                pending.append(successor)
+
+    tracker.refresh(force=True)
+    msps = sorted(tracker.confirmed(), key=repr)
+    valid_msps = [n for n in msps if space.is_valid(n)]
+    return MiningResult(msps, valid_msps, questions, trace, state)

@@ -1,0 +1,215 @@
+"""Classic frequent-itemset mining, plain and taxonomy-aware.
+
+Two related roles in the reproduction:
+
+* Section 4.1 notes that OASSIS-QL with multiplicities captures standard
+  frequent itemset mining (empty WHERE clause, ``$x+ [] []`` SATISFYING).
+  :func:`frequent_itemsets` is the reference Apriori [Agrawal & Srikant 94]
+  the reduction is checked against.
+* Section 7 traces the taxonomy idea to Srikant & Agrawal's generalized
+  association rules; :func:`generalized_frequent_itemsets` implements that
+  Cumulate-style algorithm over a term taxonomy, and
+  :func:`mine_frequent_fact_sets` applies the same levelwise scheme
+  directly to materialized personal databases — OASSIS-QL evaluation
+  *without* a crowd, the paper's "independent contribution outside of the
+  crowd setting".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Set, TypeVar
+
+from ..ontology.facts import Fact, FactSet
+from ..vocabulary.orders import PartialOrder
+from ..vocabulary.terms import Term
+from ..vocabulary.vocabulary import Vocabulary
+from .msp import maximal_nodes
+
+Item = TypeVar("Item", bound=Hashable)
+
+
+def support_count(
+    transactions: Sequence[FrozenSet[Item]], itemset: FrozenSet[Item]
+) -> int:
+    """Number of transactions containing ``itemset``."""
+    return sum(1 for t in transactions if itemset <= t)
+
+
+def frequent_itemsets(
+    transactions: Sequence[Iterable[Item]], min_support: float
+) -> Dict[FrozenSet[Item], float]:
+    """Apriori: all itemsets with relative support >= ``min_support``.
+
+    Returns a mapping itemset -> support.  ``min_support`` is relative to
+    the number of transactions; an empty transaction list yields {}.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError(f"min_support must be in (0, 1], got {min_support}")
+    rows = [frozenset(t) for t in transactions]
+    if not rows:
+        return {}
+    total = len(rows)
+    needed = min_support * total
+
+    # level 1
+    counts: Dict[FrozenSet[Item], int] = {}
+    for row in rows:
+        for item in row:
+            key = frozenset({item})
+            counts[key] = counts.get(key, 0) + 1
+    frequent: Dict[FrozenSet[Item], float] = {
+        itemset: count / total
+        for itemset, count in counts.items()
+        if count >= needed
+    }
+    level = [s for s in frequent]
+    k = 1
+    while level:
+        k += 1
+        candidates = _apriori_gen(level, k)
+        counts = {c: 0 for c in candidates}
+        if counts:
+            for row in rows:
+                for candidate in candidates:
+                    if candidate <= row:
+                        counts[candidate] += 1
+        level = []
+        for candidate, count in counts.items():
+            if count >= needed:
+                frequent[candidate] = count / total
+                level.append(candidate)
+    return frequent
+
+
+def _apriori_gen(level: List[FrozenSet[Item]], k: int) -> List[FrozenSet[Item]]:
+    """Join step + prune step of Apriori candidate generation."""
+    prior = set(level)
+    candidates: Set[FrozenSet[Item]] = set()
+    for a, b in itertools.combinations(level, 2):
+        union = a | b
+        if len(union) != k:
+            continue
+        if all(frozenset(sub) in prior for sub in itertools.combinations(union, k - 1)):
+            candidates.add(union)
+    return sorted(candidates, key=lambda s: sorted(map(repr, s)))
+
+
+def extend_with_ancestors(
+    transaction: Iterable[Term], taxonomy: PartialOrder
+) -> FrozenSet[Term]:
+    """A transaction plus every ancestor of its items (Cumulate's T')."""
+    extended: Set[Term] = set()
+    for item in transaction:
+        if item in taxonomy:
+            extended.update(taxonomy.ancestors(item))
+        else:
+            extended.add(item)
+    return frozenset(extended)
+
+
+def generalized_frequent_itemsets(
+    transactions: Sequence[Iterable[Term]],
+    taxonomy: PartialOrder,
+    min_support: float,
+) -> Dict[FrozenSet[Term], float]:
+    """Srikant–Agrawal generalized itemsets over a term taxonomy.
+
+    Each transaction is extended with the ancestors of its items, then
+    Apriori runs on the extended data; itemsets containing both an item and
+    one of its ancestors are pruned (their support equals that of the set
+    without the ancestor, so they are redundant).
+    """
+    extended = [extend_with_ancestors(t, taxonomy) for t in transactions]
+    raw = frequent_itemsets(extended, min_support)
+    result: Dict[FrozenSet[Term], float] = {}
+    for itemset, support in raw.items():
+        redundant = any(
+            a != b and taxonomy.leq(a, b)
+            for a in itemset
+            for b in itemset
+        )
+        if not redundant:
+            result[itemset] = support
+    return result
+
+
+def mine_frequent_fact_sets(
+    databases: Sequence[Sequence[FactSet]],
+    vocabulary: Vocabulary,
+    threshold: float,
+    max_size: int = 3,
+) -> Dict[FactSet, float]:
+    """Frequent fact-sets over materialized personal DBs (no crowd).
+
+    The significance measure matches Section 2: per-person support is the
+    fraction of transactions implying the fact-set, and the overall support
+    is the average over persons.  Candidate facts are the generalization
+    closures of the facts observed in the data; fact-sets grow levelwise
+    with the standard anti-monotonicity pruning.  Fact-sets that contain
+    two ≤-comparable facts are redundant and skipped.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    if not databases:
+        return {}
+
+    candidate_facts: Set[Fact] = set()
+    for database in databases:
+        for transaction in database:
+            for fact in transaction:
+                for subject in vocabulary.ancestors(fact.subject):
+                    for relation in vocabulary.ancestors(fact.relation):
+                        for obj in vocabulary.ancestors(fact.obj):
+                            candidate_facts.add(Fact(subject, relation, obj))
+
+    def average_support(fact_set: FactSet) -> float:
+        total = 0.0
+        for database in databases:
+            if not database:
+                continue
+            hits = sum(
+                1 for t in database if t.implies(fact_set, vocabulary)
+            )
+            total += hits / len(database)
+        return total / len(databases)
+
+    result: Dict[FactSet, float] = {}
+    level: List[FactSet] = []
+    for fact in sorted(candidate_facts):
+        fact_set = FactSet([fact])
+        support = average_support(fact_set)
+        if support >= threshold:
+            result[fact_set] = support
+            level.append(fact_set)
+
+    size = 1
+    while level and size < max_size:
+        size += 1
+        seen: Set[FactSet] = set()
+        next_level: List[FactSet] = []
+        for a, b in itertools.combinations(level, 2):
+            union = a | b
+            if len(union) != size or union in seen:
+                continue
+            seen.add(union)
+            facts = list(union)
+            comparable = any(
+                f != g and (f.leq(g, vocabulary) or g.leq(f, vocabulary))
+                for f, g in itertools.combinations(facts, 2)
+            )
+            if comparable:
+                continue
+            support = average_support(union)
+            if support >= threshold:
+                result[union] = support
+                next_level.append(union)
+        level = next_level
+    return result
+
+
+def maximal_fact_sets(
+    fact_sets: Iterable[FactSet], vocabulary: Vocabulary
+) -> List[FactSet]:
+    """The ≤-maximal (most specific) fact-sets — the MSP analogue."""
+    return maximal_nodes(list(fact_sets), lambda a, b: a.leq(b, vocabulary))

@@ -1,0 +1,87 @@
+"""MSP definitions and brute-force reference computations (Def. 4.3).
+
+These helpers compute ground-truth answers by exhaustive enumeration; tests
+use them to verify that the interactive algorithms return exactly the right
+MSP sets, and experiments use them to plant consistent significance
+landscapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, TypeVar
+
+from ..assignments.lattice import AssignmentSpace
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def maximal_nodes(
+    nodes: Iterable[Node], leq: Callable[[Node, Node], bool]
+) -> List[Node]:
+    """The ≤-maximal (most specific) elements of ``nodes``."""
+    pool = list(nodes)
+    return [
+        a
+        for a in pool
+        if not any(a != b and leq(a, b) for b in pool)
+    ]
+
+
+def minimal_nodes(
+    nodes: Iterable[Node], leq: Callable[[Node, Node], bool]
+) -> List[Node]:
+    """The ≤-minimal (most general) elements of ``nodes``."""
+    pool = list(nodes)
+    return [
+        a
+        for a in pool
+        if not any(a != b and leq(b, a) for b in pool)
+    ]
+
+
+def brute_force_msps(
+    space: AssignmentSpace[Node],
+    significant: Callable[[Node], bool],
+    valid_only: bool = True,
+) -> List[Node]:
+    """All MSPs by exhaustive enumeration of the space.
+
+    ``Def. 4.3``: a valid, significant assignment with no valid significant
+    successor.  With ``valid_only=False``, maximality is taken over all
+    significant assignments instead (the expanded-space MSPs the vertical
+    algorithm discovers before intersecting with the valid set).
+    """
+    nodes = space.all_nodes()
+    if valid_only:
+        candidates = [n for n in nodes if space.is_valid(n) and significant(n)]
+    else:
+        candidates = [n for n in nodes if significant(n)]
+    return maximal_nodes(candidates, space.leq)
+
+
+def downward_closed(
+    space: AssignmentSpace[Node], significant: Callable[[Node], bool]
+) -> bool:
+    """Check Observation 4.4 on a (small) space: significance is a down-set."""
+    nodes = space.all_nodes()
+    for node in nodes:
+        if not significant(node):
+            continue
+        for other in nodes:
+            if space.leq(other, node) and not significant(other):
+                return False
+    return True
+
+
+def negative_border(
+    space: AssignmentSpace[Node], significant: Callable[[Node], bool]
+) -> List[Node]:
+    """The minimal insignificant assignments (``msp⁻`` of Prop. 4.7/4.8).
+
+    These are the most general assignments that are *not* significant; any
+    sound algorithm must ask at least about them plus the MSPs
+    (Proposition 4.8's lower bound).
+    """
+    nodes = space.all_nodes()
+    insignificant = [n for n in nodes if not significant(n)]
+    return minimal_nodes(insignificant, space.leq)

@@ -1,0 +1,439 @@
+"""Multi-user crowd mining (Section 4.2) with QueueManager semantics.
+
+Each crowd member runs the same top-down traversal as the single-user
+vertical algorithm, but *inference is global*: answers stream into a
+black-box aggregator, and only its verdicts classify assignments (via the
+Observation 4.4 closure).  The per-user refinements of Section 4.2 are all
+implemented:
+
+1. per-user sessions that can stop at any point (``willing()``);
+2. answers are recorded per assignment (aggregator + CrowdCache);
+3. classification happens on the aggregator's SIGNIFICANT / INSIGNIFICANT /
+   UNDECIDED verdicts;
+4. a user is not asked about successors of an assignment that is
+   insignificant *for them* or already insignificant overall;
+5. MSPs are confirmed globally, when all successors of a significant
+   assignment are classified insignificant.
+
+Traversal starts from the overall most general assignments even when they
+are already classified (the Section 4.2 refinement); by default users
+descend *without* being re-asked about assignments whose global verdict is
+already decided (set ``ask_decided_generals=True`` to spend the redundant
+questions on per-user routing instead — the ablation benchmark compares
+both).  The driver interleaves users round-robin, one question per turn,
+emulating members answering in parallel; it stops as soon as no
+globally-unclassified assignment remains reachable, so cached answers beyond
+that point are "not used" (the Section 6.3 accounting).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+from ..assignments.lattice import AssignmentSpace
+from ..crowd.aggregator import Aggregator, Verdict
+from ..crowd.cache import CrowdCache
+from .state import ClassificationState, Status
+from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class UserOracle(Generic[Node]):
+    """Adapter between the miner and one (simulated) crowd member."""
+
+    def __init__(self, member_id: str):
+        self.member_id = member_id
+
+    def willing(self) -> bool:
+        """May this user still be asked questions?"""
+        return True
+
+    def support(self, node: Node) -> Optional[float]:
+        """The user's support for ``node``; None = cannot answer."""
+        raise NotImplementedError
+
+    def wants_specialization(self) -> bool:
+        """Does the user opt into an open-ended question right now?"""
+        return False
+
+    def choose_specialization(
+        self, node: Node, candidates: Sequence[Node]
+    ) -> Optional[Tuple[Node, float]]:
+        """Pick a personally frequent candidate, or None ("none of these")."""
+        return None
+
+    def prune_value(self, node: Node) -> Optional[object]:
+        """A pruning token if the user prunes while viewing ``node``."""
+        return None
+
+    def matches_prune(self, node: Node, token: object) -> bool:
+        """Is ``node`` covered by a previously returned pruning token?"""
+        return False
+
+    def more_tip(self, node: Node):
+        """A volunteered MORE fact for ``node`` (the UI's "more" button)."""
+        return None
+
+
+class FunctionUser(UserOracle[Node]):
+    """A user backed by a plain support function (synthetic experiments)."""
+
+    def __init__(
+        self,
+        member_id: str,
+        support_fn: Callable[[Node], float],
+        max_questions: Optional[int] = None,
+    ):
+        super().__init__(member_id)
+        self._support_fn = support_fn
+        self._max_questions = max_questions
+        self.questions = 0
+
+    def willing(self) -> bool:
+        return self._max_questions is None or self.questions < self._max_questions
+
+    def support(self, node: Node) -> Optional[float]:
+        self.questions += 1
+        return self._support_fn(node)
+
+
+class ReplayUser(UserOracle[Node]):
+    """A user whose answers come from a :class:`CrowdCache` (Section 6.3).
+
+    Used to re-evaluate a query at a higher threshold without re-asking the
+    crowd.  Nodes with no cached answer are reported as unanswerable.
+    """
+
+    def __init__(self, member_id: str, cache: CrowdCache):
+        super().__init__(member_id)
+        self._cache = cache
+        self.cache_misses = 0
+
+    def support(self, node: Node) -> Optional[float]:
+        cached = self._cache.lookup(node, self.member_id)
+        if cached is None:
+            self.cache_misses += 1
+        return cached
+
+
+class _Session(Generic[Node]):
+    """Per-user traversal state."""
+
+    def __init__(self, user: UserOracle[Node], roots: Sequence[Node]):
+        self.user = user
+        self.stack: List[Node] = list(reversed(list(roots)))
+        self.visited: Set[Node] = set()
+        self.answers: Dict[Node, float] = {}
+        self.prune_tokens: List[object] = []
+        self.done = False
+
+
+class QuestionStats:
+    """Answer-type accounting (the Section 6.3 percentages)."""
+
+    def __init__(self) -> None:
+        self.concrete = 0
+        self.specialization = 0
+        self.none_of_these = 0
+        self.pruning_clicks = 0
+        self.more_tips = 0
+
+    @property
+    def total(self) -> int:
+        return self.concrete + self.specialization + self.pruning_clicks
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "concrete": self.concrete,
+            "specialization": self.specialization,
+            "none_of_these": self.none_of_these,
+            "pruning_clicks": self.pruning_clicks,
+            "more_tips": self.more_tips,
+        }
+
+
+class MultiUserResult(MiningResult[Node]):
+    """Multi-user outcome: adds question statistics and per-user counts."""
+
+    def __init__(
+        self,
+        msps: Sequence[Node],
+        valid_msps: Sequence[Node],
+        questions: int,
+        trace: MiningTrace,
+        state: ClassificationState[Node],
+        stats: QuestionStats,
+        questions_per_user: Dict[str, int],
+    ):
+        super().__init__(msps, valid_msps, questions, trace, state)
+        self.stats = stats
+        self.questions_per_user = dict(questions_per_user)
+
+
+class MultiUserMiner(Generic[Node]):
+    """Drives the multi-user algorithm over an assignment space."""
+
+    def __init__(
+        self,
+        space: AssignmentSpace[Node],
+        users: Sequence[UserOracle[Node]],
+        aggregator: Aggregator,
+        cache: Optional[CrowdCache] = None,
+        ask_decided_generals: bool = False,
+        valid_nodes: Optional[Sequence[Node]] = None,
+        target_msps: Optional[Sequence[Node]] = None,
+        max_total_questions: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.space = space
+        self.users = list(users)
+        self.aggregator = aggregator
+        self.cache = cache
+        self.ask_decided_generals = ask_decided_generals
+        self.max_total_questions = max_total_questions
+        self.rng = rng if rng is not None else random.Random(0)
+
+        self.state: ClassificationState[Node] = ClassificationState(space)
+        # sampling is throttled: large crowds over lazy spaces would spend
+        # more time measuring progress than mining otherwise
+        self.tracker: MspTracker[Node] = MspTracker(space, self.state, stride=5)
+        self.trace = MiningTrace()
+        self.progress = (
+            ValidProgress(self.state, valid_nodes, stride=10)
+            if valid_nodes is not None
+            else None
+        )
+        self.targets = (
+            TargetTracker(self.state, target_msps) if target_msps is not None else None
+        )
+        self.stats = QuestionStats()
+        self.questions = 0
+        self.questions_per_user: Dict[str, int] = {}
+        self.threshold = aggregator.threshold
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> MultiUserResult[Node]:
+        sessions = [_Session(user, self.space.roots()) for user in self.users]
+        # termination: each turn either poses a question or drains the
+        # user's stack; when nothing was posed in a full round every stack
+        # is empty, which subsumes the global-completeness check
+        while not self._budget_exhausted():
+            progressed = False
+            for session in sessions:
+                if self._budget_exhausted():
+                    break
+                if session.done or not session.user.willing():
+                    continue
+                if self._user_turn(session):
+                    progressed = True
+            if not progressed:
+                break  # every user is done or unwilling
+        # final forced sample so the trace's last point reflects the truth
+        classified_valid = (
+            self.progress.refresh(force=True) if self.progress is not None else 0
+        )
+        targets_found = self.targets.refresh() if self.targets is not None else 0
+        self.tracker.refresh(force=True)
+        confirmed, confirmed_valid = self.tracker.counts()
+        self.trace.sample(
+            self.questions, confirmed, confirmed_valid, classified_valid, targets_found
+        )
+        msps = sorted(self.tracker.confirmed(), key=repr)
+        valid_msps = [n for n in msps if self.space.is_valid(n)]
+        return MultiUserResult(
+            msps,
+            valid_msps,
+            self.questions,
+            self.trace,
+            self.state,
+            self.stats,
+            self.questions_per_user,
+        )
+
+    def _budget_exhausted(self) -> bool:
+        return (
+            self.max_total_questions is not None
+            and self.questions >= self.max_total_questions
+        )
+
+    def _globally_complete(self) -> bool:
+        """No reachable assignment is still globally unclassified."""
+        seen: Set[Node] = set()
+        frontier = list(self.space.roots())
+        seen.update(frontier)
+        index = 0
+        while index < len(frontier):
+            node = frontier[index]
+            index += 1
+            status = self.state.status(node)
+            if status is Status.UNKNOWN:
+                return False
+            if status is Status.INSIGNIFICANT:
+                continue
+            for successor in self.space.successors(node):
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return True
+
+    # ------------------------------------------------------------ user turn
+
+    def _user_turn(self, session: _Session[Node]) -> bool:
+        """Advance one user until a question is posed; False = user done."""
+        while session.stack:
+            node = session.stack.pop()
+            if node in session.visited:
+                continue
+            session.visited.add(node)
+            if self.state.status(node) is Status.INSIGNIFICANT:
+                continue  # pruned globally (QueueManager)
+            if any(
+                session.user.matches_prune(node, token)
+                for token in session.prune_tokens
+            ):
+                continue  # pruned for this user
+            if node in session.answers:
+                if session.answers[node] >= self.threshold:
+                    self._push_successors(session, node)
+                continue
+            decided = self.aggregator.verdict(node) is not Verdict.UNDECIDED
+            if decided and not self.ask_decided_generals:
+                # descend optimistically without spending a question
+                if self.state.status(node) is Status.SIGNIFICANT:
+                    self._push_successors(session, node)
+                continue
+            posed = self._pose_question(session, node)
+            if posed:
+                return True
+            # user could not answer (replay cache miss): move on
+        session.done = True
+        return False
+
+    def _pose_question(self, session: _Session[Node], node: Node) -> bool:
+        support = session.user.support(node)
+        if support is None:
+            return False
+        self.questions += 1
+        self.questions_per_user[session.user.member_id] = (
+            self.questions_per_user.get(session.user.member_id, 0) + 1
+        )
+        session.answers[node] = support
+        token = session.user.prune_value(node)
+        if token is not None:
+            # the interaction was a pruning click: support 0, subtree pruned
+            self.stats.pruning_clicks += 1
+            session.prune_tokens.append(token)
+            session.answers[node] = 0.0
+            self._record_answer(node, session.user.member_id, 0.0)
+            self._sample()
+            return True
+        self.stats.concrete += 1
+        self._record_answer(node, session.user.member_id, support)
+        personally_significant = support >= self.threshold
+        overall_insignificant = self.state.status(node) is Status.INSIGNIFICANT
+        if personally_significant and not overall_insignificant:
+            self._maybe_propose_more(session, node)
+            if session.user.wants_specialization():
+                self._sample()
+                self._pose_specialization(session, node)
+            else:
+                self._push_successors(session, node)
+                self._sample()
+        else:
+            self._sample()
+        return True
+
+    def _pose_specialization(self, session: _Session[Node], node: Node) -> None:
+        candidates = [
+            s
+            for s in self.space.successors(node)
+            if self.state.status(s) is not Status.INSIGNIFICANT
+            and s not in session.answers
+            and not any(
+                session.user.matches_prune(s, t) for t in session.prune_tokens
+            )
+        ]
+        if not candidates:
+            return
+        self.questions += 1
+        self.questions_per_user[session.user.member_id] = (
+            self.questions_per_user.get(session.user.member_id, 0) + 1
+        )
+        self.stats.specialization += 1
+        choice = session.user.choose_specialization(node, candidates)
+        if choice is None:
+            # "none of these": zero answers for every offered candidate
+            self.stats.none_of_these += 1
+            for candidate in candidates:
+                session.answers[candidate] = 0.0
+                self._record_answer(candidate, session.user.member_id, 0.0)
+        else:
+            chosen, support = choice
+            session.answers[chosen] = support
+            self._record_answer(chosen, session.user.member_id, support)
+            # explore the named specialization first, the rest later
+            for candidate in candidates:
+                if candidate != chosen and candidate not in session.visited:
+                    session.stack.append(candidate)
+            session.visited.discard(chosen)
+            session.stack.append(chosen)
+        self._sample()
+
+    def _maybe_propose_more(self, session: _Session[Node], node: Node) -> None:
+        """Register a volunteered MORE extension (no question cost).
+
+        The paper's "more" button accompanies an answer; the proposed
+        extension becomes a successor of ``node`` in the lazy space and is
+        then verified with ordinary concrete questions.
+        """
+        if not hasattr(self.space, "propose_more_fact"):
+            return
+        tip = session.user.more_tip(node)
+        if tip is None:
+            return
+        extended = self.space.propose_more_fact(node, tip)
+        if extended is not None:
+            self.stats.more_tips += 1
+
+    def _push_successors(self, session: _Session[Node], node: Node) -> None:
+        for successor in self.space.successors(node):
+            if successor not in session.visited:
+                session.stack.append(successor)
+
+    # ------------------------------------------------------------ recording
+
+    def _record_answer(self, node: Node, member_id: str, support: float) -> None:
+        self.aggregator.add_answer(node, member_id, support)
+        if self.cache is not None:
+            self.cache.record(node, member_id, support)
+        verdict = self.aggregator.verdict(node)
+        if verdict is Verdict.SIGNIFICANT:
+            if self.state.status(node) is Status.UNKNOWN:
+                self.state.mark_significant(node)
+            self.tracker.note_significant(node)
+        elif verdict is Verdict.INSIGNIFICANT:
+            if self.state.status(node) is Status.UNKNOWN:
+                self.state.mark_insignificant(node)
+
+    def _sample(self) -> None:
+        classified_valid = self.progress.refresh() if self.progress is not None else 0
+        targets_found = self.targets.refresh() if self.targets is not None else 0
+        self.tracker.refresh()
+        confirmed, confirmed_valid = self.tracker.counts()
+        self.trace.sample(
+            self.questions, confirmed, confirmed_valid, classified_valid, targets_found
+        )

@@ -1,0 +1,68 @@
+"""Naive baseline — Section 6.4.
+
+Randomly picks an unclassified *valid* assignment and asks about it, using
+the same Observation 4.4 inference scheme as the other algorithms (and never
+asking about already-classified assignments).  It performs well only when
+MSPs are dense enough for lucky guesses.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional, Sequence, TypeVar
+
+from ..assignments.lattice import AssignmentSpace
+from .state import ClassificationState
+from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
+from .vertical import SupportOracle
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def naive_mine(
+    space: AssignmentSpace[Node],
+    support_oracle: SupportOracle,
+    threshold: float,
+    rng: Optional[random.Random] = None,
+    valid_nodes: Optional[Sequence[Node]] = None,
+    target_msps: Optional[Sequence[Node]] = None,
+    max_questions: Optional[int] = None,
+) -> MiningResult[Node]:
+    """Random-order probing of the valid assignments.
+
+    ``valid_nodes`` may be supplied to avoid re-materializing the space;
+    otherwise the space is enumerated and filtered through ``is_valid``.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    if valid_nodes is None:
+        valid_nodes = [n for n in space.all_nodes() if space.is_valid(n)]
+    state: ClassificationState[Node] = ClassificationState(space)
+    tracker: MspTracker[Node] = MspTracker(space, state)
+    trace = MiningTrace()
+    progress = ValidProgress(state, valid_nodes)
+    targets = TargetTracker(state, target_msps) if target_msps is not None else None
+    questions = 0
+
+    order = list(valid_nodes)
+    rng.shuffle(order)
+    for node in order:
+        if max_questions is not None and questions >= max_questions:
+            break
+        if state.is_classified(node):
+            continue
+        questions += 1
+        if support_oracle(node) >= threshold:
+            state.mark_significant(node)
+            tracker.note_significant(node)
+        else:
+            state.mark_insignificant(node)
+        classified_valid = progress.refresh()
+        targets_found = targets.refresh() if targets is not None else 0
+        tracker.refresh()
+        confirmed, confirmed_valid = tracker.counts()
+        trace.sample(questions, confirmed, confirmed_valid, classified_valid, targets_found)
+
+    tracker.refresh(force=True)
+    msps = sorted(tracker.confirmed(), key=repr)
+    valid_msps = [n for n in msps if space.is_valid(n)]
+    return MiningResult(msps, valid_msps, questions, trace, state)

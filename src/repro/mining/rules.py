@@ -1,0 +1,90 @@
+"""Association-rule mining over fact-sets (the language-guide extension).
+
+The paper's language guide describes mining association rules in addition
+to plain fact-sets (Sections 3 and 7 reference DMQL-style rule mining).
+This module derives rules ``X ⇒ Y`` from a frequent-fact-set table: the
+antecedent and consequent are disjoint fact-sets whose union is frequent,
+scored by the standard confidence ``supp(X ∪ Y) / supp(X)`` and lift.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Mapping, NamedTuple, Optional
+
+from ..ontology.facts import Fact, FactSet
+from ..vocabulary.vocabulary import Vocabulary
+
+
+class AssociationRule(NamedTuple):
+    """``antecedent ⇒ consequent`` with its quality measures."""
+
+    antecedent: FactSet
+    consequent: FactSet
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        left = " . ".join(str(f) for f in sorted(self.antecedent))
+        right = " . ".join(str(f) for f in sorted(self.consequent))
+        return (
+            f"{left} => {right} "
+            f"(supp={self.support:.2f}, conf={self.confidence:.2f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def mine_association_rules(
+    frequent: Mapping[FactSet, float],
+    min_confidence: float = 0.6,
+    vocabulary: Optional[Vocabulary] = None,
+    min_lift: float = 0.0,
+) -> List[AssociationRule]:
+    """Rules from a frequent-fact-set table (e.g. ``mine_frequent_fact_sets``).
+
+    Every frequent fact-set of size ≥ 2 is split into all non-trivial
+    (antecedent, consequent) partitions; a rule is kept when the antecedent
+    is itself in the table (it must be, by anti-monotonicity) and the
+    confidence clears ``min_confidence``.  When a ``vocabulary`` is given,
+    rules whose consequent is implied by the antecedent (a generalization)
+    are dropped as uninformative.  ``min_lift`` filters out rules whose
+    consequent is nearly independent of the antecedent (class-level
+    near-tautologies such as "Food ⇒ Drink" have lift ≈ 1).
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ValueError(f"min_confidence must be in (0, 1], got {min_confidence}")
+    rules: List[AssociationRule] = []
+    for fact_set, support in frequent.items():
+        facts = sorted(fact_set)
+        if len(facts) < 2:
+            continue
+        for antecedent_facts in _proper_subsets(facts):
+            antecedent = FactSet(antecedent_facts)
+            consequent = FactSet(f for f in facts if f not in antecedent_facts)
+            antecedent_support = frequent.get(antecedent)
+            if not antecedent_support:
+                continue
+            confidence = support / antecedent_support
+            if confidence < min_confidence:
+                continue
+            if vocabulary is not None and consequent.leq(antecedent, vocabulary):
+                continue  # the consequent is already implied: no information
+            consequent_support = frequent.get(consequent)
+            lift = (
+                confidence / consequent_support
+                if consequent_support
+                else float("inf")
+            )
+            if lift < min_lift:
+                continue
+            rules.append(
+                AssociationRule(antecedent, consequent, support, confidence, lift)
+            )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, str(r)))
+    return rules
+
+
+def _proper_subsets(facts: List[Fact]) -> Iterator[tuple]:
+    for size in range(1, len(facts)):
+        yield from itertools.combinations(facts, size)

@@ -1,0 +1,153 @@
+"""Top-k and diversified answers (Section 8 future-work extensions).
+
+* :func:`vertical_mine_top_k` — Algorithm 1 with early termination once
+  ``k`` MSPs are confirmed.  The vertical traversal makes this effective:
+  it produces complete MSPs incrementally (the paper: "answers can be
+  returned faster, as soon as they are identified"), so stopping early
+  saves the whole remaining exploration.
+* :func:`diversify` — pick ``k`` answers that are pairwise semantically
+  far apart, by greedy max-min selection under a lattice distance (the
+  symmetric difference of the assignments' down-sets is approximated by
+  value-level taxonomy distance).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, List, Optional, Sequence, TypeVar
+
+from ..assignments.assignment import Assignment
+from ..assignments.lattice import AssignmentSpace
+from ..vocabulary.vocabulary import Vocabulary
+from .state import ClassificationState
+from .trace import MiningResult, MiningTrace, MspTracker
+from .vertical import SupportOracle, find_minimal_unclassified
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def vertical_mine_top_k(
+    space: AssignmentSpace[Node],
+    support_oracle: SupportOracle,
+    threshold: float,
+    k: int,
+    valid_only: bool = True,
+    max_questions: Optional[int] = None,
+) -> MiningResult[Node]:
+    """Run the vertical algorithm until ``k`` (valid) MSPs are confirmed."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    state: ClassificationState[Node] = ClassificationState(space)
+    tracker: MspTracker[Node] = MspTracker(space, state)
+    trace = MiningTrace()
+    questions = 0
+    msps: List[Node] = []
+
+    def ask(node: Node) -> bool:
+        nonlocal questions
+        questions += 1
+        significant = support_oracle(node) >= threshold
+        if significant:
+            state.mark_significant(node)
+            tracker.note_significant(node)
+        else:
+            state.mark_insignificant(node)
+        tracker.refresh()
+        confirmed, confirmed_valid = tracker.counts()
+        trace.sample(questions, confirmed, confirmed_valid, 0)
+        return significant
+
+    def collected() -> int:
+        return len([m for m in msps if not valid_only or space.is_valid(m)])
+
+    while collected() < k:
+        if max_questions is not None and questions >= max_questions:
+            break
+        current = find_minimal_unclassified(space, state)
+        if current is None:
+            break
+        if not ask(current):
+            continue
+        while True:
+            unclassified = [
+                s for s in space.successors(current) if not state.is_classified(s)
+            ]
+            if not unclassified:
+                break
+            descended = False
+            for successor in unclassified:
+                if state.is_classified(successor):
+                    continue
+                if ask(successor):
+                    current = successor
+                    descended = True
+                    break
+            if not descended:
+                break
+        msps.append(current)
+
+    unique = list(dict.fromkeys(msps))
+    valid_msps = [n for n in unique if space.is_valid(n)]
+    if valid_only:
+        reported = valid_msps[:k]
+    else:
+        reported = unique[:k]
+    return MiningResult(reported, valid_msps[:k], questions, trace, state)
+
+
+def assignment_distance(a: Assignment, b: Assignment, vocabulary: Vocabulary) -> float:
+    """A simple semantic distance between assignments.
+
+    Per shared variable, 0 when the value sets are equal, 0.5 when they are
+    comparable (one refines the other), 1 when incomparable; variables
+    present in only one assignment count 1.  MORE facts contribute their
+    symmetric difference size (capped at 1).  The result is normalized by
+    the number of contributing components.
+    """
+    names = set(a.values) | set(b.values)
+    total = 0.0
+    parts = 0
+    for name in names:
+        parts += 1
+        va, vb = a.get(name), b.get(name)
+        if va == vb:
+            continue
+        if not va or not vb:
+            total += 1.0
+            continue
+        sub = Assignment({name: va})
+        sup = Assignment({name: vb})
+        if sub.leq(sup, vocabulary) or sup.leq(sub, vocabulary):
+            total += 0.5
+        else:
+            total += 1.0
+    if a.more or b.more:
+        parts += 1
+        if a.more != b.more:
+            total += min(1.0, len(a.more ^ b.more))
+    if parts == 0:
+        return 0.0
+    return total / parts
+
+
+def diversify(
+    answers: Sequence[Node],
+    k: int,
+    distance: Callable[[Node, Node], float],
+    seed: int = 0,
+) -> List[Node]:
+    """Greedy max-min selection of ``k`` mutually distant answers."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    pool = list(answers)
+    if len(pool) <= k:
+        return pool
+    rng = random.Random(seed)
+    chosen = [pool.pop(rng.randrange(len(pool)))]
+    while len(chosen) < k and pool:
+        best_index = max(
+            range(len(pool)),
+            key=lambda i: min(distance(pool[i], c) for c in chosen),
+        )
+        chosen.append(pool.pop(best_index))
+    return chosen

@@ -1,0 +1,174 @@
+"""The vertical algorithm (Algorithm 1) — single-user query evaluation.
+
+Top-down traversal of the expanded assignment space: repeatedly pick the
+most general unclassified assignment, and while it is significant, chase
+unclassified immediate successors, descending on every significant answer.
+The most specific significant assignment reached is appended to the output;
+``ask`` classifies whole up-/down-sets per Observation 4.4, so most of the
+space is never asked about.
+
+Optional hooks reproduce the Section 6.2/6.4 interaction optimizations:
+
+* ``specialization_oracle`` — with probability ``specialization_ratio``,
+  instead of probing successors one by one the (simulated) user is asked an
+  open question and directly names a significant successor, or answers
+  "none of these", classifying every offered candidate at once;
+* ``prune_oracle`` — with probability ``pruning_ratio`` a question is
+  accompanied by a user-guided pruning click, classifying extra nodes as
+  insignificant at no question cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, List, Optional, Sequence, Set, TypeVar
+
+from ..assignments.lattice import AssignmentSpace
+from .state import ClassificationState, Status
+from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
+
+Node = TypeVar("Node", bound=Hashable)
+
+#: A support oracle: maps a node to the (single) user's support value.
+SupportOracle = Callable[[Node], float]
+
+#: A specialization oracle: given the current node and the offered
+#: candidates, returns a significant candidate or None ("none of these").
+SpecializationOracle = Callable[[Node, Sequence[Node]], Optional[Node]]
+
+#: A pruning oracle: given the just-asked node, returns extra nodes whose
+#: up-sets should be classified insignificant for free.
+PruneOracle = Callable[[Node], Sequence[Node]]
+
+
+def find_minimal_unclassified(
+    space: AssignmentSpace[Node], state: ClassificationState[Node]
+) -> Optional[Node]:
+    """The most general unclassified node, by top-down BFS from the roots.
+
+    Never descends through insignificant nodes (their up-sets are fully
+    classified).  Returns None when everything reachable is classified.
+    """
+    seen: Set[Node] = set()
+    frontier: List[Node] = []
+    for root in space.roots():
+        if root not in seen:
+            seen.add(root)
+            frontier.append(root)
+    index = 0
+    while index < len(frontier):
+        node = frontier[index]
+        index += 1
+        status = state.status(node)
+        if status is Status.UNKNOWN:
+            return node
+        if status is Status.INSIGNIFICANT:
+            continue
+        for successor in space.successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return None
+
+
+def vertical_mine(
+    space: AssignmentSpace[Node],
+    support_oracle: SupportOracle,
+    threshold: float,
+    specialization_oracle: Optional[SpecializationOracle] = None,
+    specialization_ratio: float = 0.0,
+    prune_oracle: Optional[PruneOracle] = None,
+    pruning_ratio: float = 0.0,
+    rng: Optional[random.Random] = None,
+    valid_nodes: Optional[Sequence[Node]] = None,
+    target_msps: Optional[Sequence[Node]] = None,
+    max_questions: Optional[int] = None,
+) -> MiningResult[Node]:
+    """Run Algorithm 1 against a single (simulated) user.
+
+    ``valid_nodes``, when given, enables the classified-valid progress
+    series in the trace (used by the pace-of-collection figures).
+    """
+    rng = rng if rng is not None else random.Random(0)
+    state: ClassificationState[Node] = ClassificationState(space)
+    tracker: MspTracker[Node] = MspTracker(space, state)
+    trace = MiningTrace()
+    progress = ValidProgress(state, valid_nodes) if valid_nodes is not None else None
+    targets = TargetTracker(state, target_msps) if target_msps is not None else None
+    questions = 0
+    msps: List[Node] = []
+
+    def sample() -> None:
+        classified_valid = progress.refresh() if progress is not None else 0
+        targets_found = targets.refresh() if targets is not None else 0
+        tracker.refresh()
+        confirmed, confirmed_valid = tracker.counts()
+        trace.sample(questions, confirmed, confirmed_valid, classified_valid, targets_found)
+
+    def ask(node: Node) -> bool:
+        nonlocal questions
+        questions += 1
+        support = support_oracle(node)
+        significant = support >= threshold
+        if significant:
+            state.mark_significant(node)
+            tracker.note_significant(node)
+        else:
+            state.mark_insignificant(node)
+        if prune_oracle is not None and rng.random() < pruning_ratio:
+            for pruned in prune_oracle(node):
+                state.mark_insignificant(pruned)
+        sample()
+        return significant
+
+    def budget_left() -> bool:
+        return max_questions is None or questions < max_questions
+
+    while budget_left():
+        current = find_minimal_unclassified(space, state)
+        if current is None:
+            break
+        if not ask(current):
+            continue
+        # inner loop: chase significant successors
+        descending = True
+        while descending and budget_left():
+            unclassified = [
+                s for s in space.successors(current) if not state.is_classified(s)
+            ]
+            if not unclassified:
+                break
+            if specialization_oracle is not None and rng.random() < specialization_ratio:
+                questions += 1
+                chosen = specialization_oracle(current, unclassified)
+                if chosen is None:
+                    # "none of these": every offered candidate is support 0
+                    for candidate in unclassified:
+                        state.mark_insignificant(candidate)
+                    sample()
+                    break
+                state.mark_significant(chosen)
+                tracker.note_significant(chosen)
+                sample()
+                current = chosen
+                continue
+            descending = False
+            for successor in unclassified:
+                if not budget_left():
+                    break
+                if state.is_classified(successor):
+                    continue  # classified by an earlier ask in this scan
+                if ask(successor):
+                    current = successor
+                    descending = True
+                    break
+        msps.append(current)
+
+    unique_msps: List[Node] = []
+    seen: Set[Node] = set()
+    for node in msps:
+        if node not in seen:
+            seen.add(node)
+            unique_msps.append(node)
+    valid_msps = [n for n in unique_msps if space.is_valid(n)]
+    return MiningResult(unique_msps, valid_msps, questions, trace, state)

@@ -1,0 +1,5 @@
+"""Natural-language question templating for the crowdsourcing UI."""
+
+from .templates import DEFAULT_TEMPLATES, QuestionTemplates, render_assignment
+
+__all__ = ["DEFAULT_TEMPLATES", "QuestionTemplates", "render_assignment"]

@@ -1,0 +1,85 @@
+"""Natural-language question generation (Section 6.2).
+
+Questions are produced from domain-specific templates keyed by relation
+name; ontology elements are plugged into the template slots, exactly as in
+the paper's example where the assignment φ17 renders as "How often do you
+engage in ball games in Central Park?".  Unknown relations fall back to a
+generic "{subject} {relation} {object}" phrasing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..assignments.assignment import Assignment
+from ..ontology.facts import Fact, FactSet
+from ..vocabulary.terms import ANY_ELEMENT, ANY_RELATION_WILDCARD
+
+
+class QuestionTemplates:
+    """Registry of per-relation verb-phrase templates.
+
+    A template is a format string with ``{subject}`` and ``{object}``
+    placeholders, e.g. ``"do {subject} at {object}"`` for ``doAt``.
+    """
+
+    def __init__(self, templates: Optional[Dict[str, str]] = None):
+        self._templates: Dict[str, str] = dict(templates) if templates else {}
+
+    def register(self, relation: str, template: str) -> None:
+        if "{subject}" not in template or "{object}" not in template:
+            raise ValueError("template needs {subject} and {object} placeholders")
+        self._templates[relation] = template
+
+    def phrase(self, fact: Fact) -> str:
+        """The verb phrase for one fact."""
+        subject = "anything" if fact.subject == ANY_ELEMENT else fact.subject.name.lower()
+        obj = "anywhere" if fact.obj == ANY_ELEMENT else fact.obj.name
+        template = self._templates.get(fact.relation.name)
+        if template is None:
+            if fact.relation == ANY_RELATION_WILDCARD:
+                return f"do anything involving {subject} and {obj}"
+            return f"{subject} {fact.relation.name} {obj}"
+        return template.format(subject=subject, object=obj)
+
+    def concrete_question(self, fact_set: FactSet) -> str:
+        """Render "How often do you X and also Y?" for a fact-set."""
+        phrases = [self.phrase(f) for f in sorted(fact_set)]
+        if not phrases:
+            return "How often does this happen?"
+        joined = " and also ".join(phrases)
+        return f"How often do you {joined}?"
+
+    def specialization_question(self, fact_set: FactSet, focus: str) -> str:
+        """Render "What type of ⟨focus⟩ do you ...? How often?"."""
+        phrases = [self.phrase(f) for f in sorted(fact_set)]
+        joined = " and also ".join(phrases) if phrases else "do that"
+        return (
+            f"What type of {focus.lower()} do you mean when you {joined}? "
+            "How often do you do that?"
+        )
+
+
+#: Templates for the travel / culinary / self-treatment demo domains.
+DEFAULT_TEMPLATES = QuestionTemplates(
+    {
+        "doAt": "do {subject} at {object}",
+        "eatAt": "eat {subject} at {object}",
+        "drinkWith": "drink {subject} with {object}",
+        "takeFor": "take {subject} for {object}",
+        "visit": "visit {object} for {subject}",
+    }
+)
+
+
+def render_assignment(assignment: Assignment) -> str:
+    """A compact human-readable rendering of an assignment."""
+    parts: List[str] = []
+    for name, values in sorted(assignment.values.items()):
+        if name.startswith("__"):
+            continue
+        rendered = ", ".join(sorted(v.name for v in values))
+        parts.append(f"${name} = {rendered}")
+    for fact in sorted(assignment.more):
+        parts.append(f"(more) {fact}")
+    return "; ".join(parts) if parts else "(empty assignment)"

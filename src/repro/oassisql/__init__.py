@@ -1,0 +1,27 @@
+"""OASSIS-QL: the crowd-mining query language of Section 3."""
+
+from .ast import (
+    MetaFact,
+    Multiplicity,
+    Query,
+    SatisfyingClause,
+    SatTerm,
+    SelectFormat,
+)
+from .parser import parse_query
+from .pretty import format_query
+from .validator import ValidationError, ensure_valid, validate
+
+__all__ = [
+    "MetaFact",
+    "Multiplicity",
+    "Query",
+    "SatTerm",
+    "SatisfyingClause",
+    "SelectFormat",
+    "ValidationError",
+    "ensure_valid",
+    "format_query",
+    "parse_query",
+    "validate",
+]

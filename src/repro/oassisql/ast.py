@@ -1,0 +1,220 @@
+"""AST for OASSIS-QL queries (Section 3 of the paper).
+
+A query has four parts::
+
+    SELECT (FACT-SETS | VARIABLES) [ALL]
+    WHERE       <basic graph pattern over the ontology>
+    SATISFYING  <meta-fact-set with multiplicities> [MORE]
+    WITH SUPPORT = <threshold>
+
+The WHERE clause reuses the SPARQL AST (:class:`repro.sparql.ast.BGP`); the
+SATISFYING clause is a list of :class:`MetaFact` whose variable occurrences
+carry :class:`Multiplicity` annotations, plus an optional MORE flag (sugar
+for any number of unrestricted extra facts).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple, Union
+
+from ..sparql.ast import BGP, Blank, Concrete, RelationPattern, StringLiteral, Var
+
+
+class SelectFormat(enum.Enum):
+    """Answer format requested by the SELECT statement."""
+
+    FACT_SETS = "FACT-SETS"
+    VARIABLES = "VARIABLES"
+
+
+class Multiplicity(enum.Enum):
+    """How many instantiations of a variable a meta-fact asks for.
+
+    The paper's notations: default is exactly one; ``+`` at least one;
+    ``*`` any number (including zero); ``?`` optional (zero or one).
+    """
+
+    EXACTLY_ONE = ""
+    AT_LEAST_ONE = "+"
+    ANY = "*"
+    OPTIONAL = "?"
+
+    @property
+    def minimum(self) -> int:
+        """Smallest admissible number of values."""
+        return 1 if self in (Multiplicity.EXACTLY_ONE, Multiplicity.AT_LEAST_ONE) else 0
+
+    @property
+    def maximum(self) -> Optional[int]:
+        """Largest admissible number of values (None = unbounded)."""
+        if self is Multiplicity.EXACTLY_ONE:
+            return 1
+        if self is Multiplicity.OPTIONAL:
+            return 1
+        return None
+
+    def admits(self, count: int) -> bool:
+        """Does a value-set of size ``count`` satisfy this multiplicity?"""
+        if count < self.minimum:
+            return False
+        return self.maximum is None or count <= self.maximum
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class SatTerm:
+    """One position of a meta-fact: a pattern term plus a multiplicity."""
+
+    __slots__ = ("term", "multiplicity")
+
+    def __init__(
+        self,
+        term: Union[Var, Concrete, Blank, StringLiteral],
+        multiplicity: Multiplicity = Multiplicity.EXACTLY_ONE,
+    ):
+        if multiplicity is not Multiplicity.EXACTLY_ONE and not isinstance(term, Var):
+            raise ValueError("multiplicity annotations require a variable")
+        self.term = term
+        self.multiplicity = multiplicity
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SatTerm)
+            and self.term == other.term
+            and self.multiplicity == other.multiplicity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.term, self.multiplicity))
+
+    def __repr__(self) -> str:
+        return f"SatTerm({self.term!r}, {self.multiplicity!r})"
+
+    def __str__(self) -> str:
+        return f"{self.term}{self.multiplicity}"
+
+
+class MetaFact:
+    """One ``subject relation object`` pattern of the SATISFYING clause."""
+
+    __slots__ = ("subject", "relation", "obj")
+
+    def __init__(self, subject: SatTerm, relation: RelationPattern, obj: SatTerm):
+        self.subject = subject
+        self.relation = relation
+        self.obj = obj
+
+    def variables(self) -> Tuple[Var, ...]:
+        found: List[Var] = []
+        for part in (self.subject.term, self.relation.term, self.obj.term):
+            if isinstance(part, Var):
+                found.append(part)
+        return tuple(found)
+
+    def multiplicity_of(self, var: Var) -> Multiplicity:
+        """Multiplicity annotation of ``var`` in this meta-fact."""
+        for sat_term in (self.subject, self.obj):
+            if sat_term.term == var:
+                return sat_term.multiplicity
+        if self.relation.term == var:
+            return Multiplicity.EXACTLY_ONE
+        raise KeyError(f"{var!r} does not occur in {self!r}")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MetaFact)
+            and self.subject == other.subject
+            and self.relation == other.relation
+            and self.obj == other.obj
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.relation, self.obj))
+
+    def __repr__(self) -> str:
+        return f"MetaFact({self.subject!r}, {self.relation!r}, {self.obj!r})"
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.relation} {self.obj}"
+
+
+class SatisfyingClause:
+    """The SATISFYING statement: meta-facts, MORE flag, support threshold."""
+
+    __slots__ = ("meta_facts", "more", "threshold")
+
+    def __init__(self, meta_facts: List[MetaFact], more: bool, threshold: float):
+        if not meta_facts:
+            raise ValueError("SATISFYING requires at least one meta-fact")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"support threshold must be in (0, 1], got {threshold}")
+        self.meta_facts = list(meta_facts)
+        self.more = more
+        self.threshold = threshold
+
+    def variables(self) -> Tuple[Var, ...]:
+        """Variables in first-occurrence order, without duplicates."""
+        seen = {}
+        for meta_fact in self.meta_facts:
+            for var in meta_fact.variables():
+                seen.setdefault(var.name, var)
+        return tuple(seen.values())
+
+    def multiplicity_of(self, var: Var) -> Multiplicity:
+        """The multiplicity of ``var`` (first annotated occurrence wins)."""
+        annotated = [
+            sat_term.multiplicity
+            for meta_fact in self.meta_facts
+            for sat_term in (meta_fact.subject, meta_fact.obj)
+            if sat_term.term == var and sat_term.multiplicity is not Multiplicity.EXACTLY_ONE
+        ]
+        if annotated:
+            return annotated[0]
+        return Multiplicity.EXACTLY_ONE
+
+    def __repr__(self) -> str:
+        return (
+            f"SatisfyingClause({self.meta_facts!r}, more={self.more}, "
+            f"threshold={self.threshold})"
+        )
+
+
+class Query:
+    """A complete OASSIS-QL query."""
+
+    __slots__ = ("select_format", "select_all", "where", "satisfying")
+
+    def __init__(
+        self,
+        select_format: SelectFormat,
+        select_all: bool,
+        where: Optional[BGP],
+        satisfying: SatisfyingClause,
+    ):
+        self.select_format = select_format
+        self.select_all = select_all
+        self.where = where  # None = empty WHERE (pure itemset mining)
+        self.satisfying = satisfying
+
+    @property
+    def threshold(self) -> float:
+        return self.satisfying.threshold
+
+    def where_variables(self) -> Tuple[Var, ...]:
+        return self.where.variables() if self.where is not None else ()
+
+    def satisfying_variables(self) -> Tuple[Var, ...]:
+        return self.satisfying.variables()
+
+    def free_satisfying_variables(self) -> Tuple[Var, ...]:
+        """SATISFYING variables not constrained by the WHERE clause."""
+        bound = {v.name for v in self.where_variables()}
+        return tuple(v for v in self.satisfying_variables() if v.name not in bound)
+
+    def __repr__(self) -> str:
+        return (
+            f"Query({self.select_format}, all={self.select_all}, "
+            f"where={self.where!r}, satisfying={self.satisfying!r})"
+        )

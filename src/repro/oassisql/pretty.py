@@ -1,0 +1,33 @@
+"""Pretty-printing of OASSIS-QL queries (round-trips through the parser)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..sparql.ast import BGP
+from .ast import Query
+
+
+def format_query(query: Query, indent: str = "  ") -> str:
+    """Render ``query`` in the paper's layout (Figure 2)."""
+    lines: List[str] = []
+    select = f"SELECT {query.select_format.value}"
+    if query.select_all:
+        select += " ALL"
+    lines.append(select)
+    lines.append("WHERE")
+    if query.where is None:
+        lines.append(f"{indent}{{ }}")
+    else:
+        lines.extend(_format_bgp(query.where, indent))
+    lines.append("SATISFYING")
+    for meta_fact in query.satisfying.meta_facts:
+        lines.append(f"{indent}{meta_fact} .")
+    if query.satisfying.more:
+        lines.append(f"{indent}MORE")
+    lines.append(f"WITH SUPPORT = {query.satisfying.threshold:g}")
+    return "\n".join(lines)
+
+
+def _format_bgp(bgp: BGP, indent: str) -> List[str]:
+    return [f"{indent}{pattern} ." for pattern in bgp]

@@ -1,0 +1,107 @@
+"""Semantic validation of parsed OASSIS-QL queries.
+
+The parser only enforces syntax; this module checks the constraints that
+make a query *evaluable* against a given ontology:
+
+* every concrete term mentioned in the query exists in the vocabulary;
+* SATISFYING variables are either bound by the WHERE clause or explicitly
+  free (allowed — they then range over the whole vocabulary, as in the
+  frequent-itemset reduction);
+* variables in relation position are not also used in element position;
+* the support threshold is in (0, 1] (re-checked; the AST enforces it too).
+
+Problems are collected and reported together.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..ontology.graph import HAS_LABEL, Ontology
+from ..sparql.ast import BGP, Concrete, Var
+from .ast import Query
+
+
+class ValidationError(ValueError):
+    """Raised when a query fails validation; carries all problems."""
+
+    def __init__(self, problems: List[str]):
+        super().__init__("; ".join(problems))
+        self.problems = list(problems)
+
+
+def validate(query: Query, ontology: Optional[Ontology] = None) -> List[str]:
+    """Validate ``query``; returns the list of problems (empty if valid).
+
+    When ``ontology`` is given, concrete names are checked against its
+    vocabulary.
+    """
+    problems: List[str] = []
+    _check_variable_kinds(query, problems)
+    if ontology is not None:
+        _check_known_terms(query, ontology, problems)
+    return problems
+
+
+def ensure_valid(query: Query, ontology: Optional[Ontology] = None) -> None:
+    """Raise :class:`ValidationError` if ``query`` has any problem."""
+    problems = validate(query, ontology)
+    if problems:
+        raise ValidationError(problems)
+
+
+def _check_variable_kinds(query: Query, problems: List[str]) -> None:
+    element_vars: Set[str] = set()
+    relation_vars: Set[str] = set()
+
+    def scan_bgp(bgp: Optional[BGP]) -> None:
+        if bgp is None:
+            return
+        for pattern in bgp:
+            for node in (pattern.subject, pattern.obj):
+                if isinstance(node, Var):
+                    element_vars.add(node.name)
+            if isinstance(pattern.relation.term, Var):
+                relation_vars.add(pattern.relation.term.name)
+
+    scan_bgp(query.where)
+    for meta_fact in query.satisfying.meta_facts:
+        for sat_term in (meta_fact.subject, meta_fact.obj):
+            if isinstance(sat_term.term, Var):
+                element_vars.add(sat_term.term.name)
+        if isinstance(meta_fact.relation.term, Var):
+            relation_vars.add(meta_fact.relation.term.name)
+
+    for name in sorted(element_vars & relation_vars):
+        problems.append(
+            f"variable ${name} is used both in element and relation position"
+        )
+
+
+def _check_known_terms(query: Query, ontology: Ontology, problems: List[str]) -> None:
+    vocabulary = ontology.vocabulary
+
+    def check_element(name: str, where: str) -> None:
+        if not vocabulary.has_element(name):
+            problems.append(f"unknown element {name!r} in {where}")
+
+    def check_relation(name: str, where: str) -> None:
+        if name == HAS_LABEL:
+            return
+        if not vocabulary.has_relation(name):
+            problems.append(f"unknown relation {name!r} in {where}")
+
+    if query.where is not None:
+        for pattern in query.where:
+            if isinstance(pattern.subject, Concrete):
+                check_element(pattern.subject.name, "WHERE")
+            if isinstance(pattern.obj, Concrete):
+                check_element(pattern.obj.name, "WHERE")
+            if isinstance(pattern.relation.term, Concrete):
+                check_relation(pattern.relation.term.name, "WHERE")
+    for meta_fact in query.satisfying.meta_facts:
+        for sat_term in (meta_fact.subject, meta_fact.obj):
+            if isinstance(sat_term.term, Concrete):
+                check_element(sat_term.term.name, "SATISFYING")
+        if isinstance(meta_fact.relation.term, Concrete):
+            check_relation(meta_fact.relation.term.name, "SATISFYING")

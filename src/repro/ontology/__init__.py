@@ -1,0 +1,31 @@
+"""Ontology layer: facts, fact-sets, the indexed triple store and reasoning."""
+
+from .facts import Fact, FactSet, as_fact, fact_set, parse_fact_set
+from .graph import (
+    HAS_LABEL,
+    INSTANCE_OF,
+    SUBCLASS_OF,
+    TAXONOMY_RELATIONS,
+    Ontology,
+)
+from .reasoner import Reasoner
+from .turtle import TurtleSyntaxError, dump, dumps, load, loads
+
+__all__ = [
+    "HAS_LABEL",
+    "INSTANCE_OF",
+    "SUBCLASS_OF",
+    "TAXONOMY_RELATIONS",
+    "Fact",
+    "FactSet",
+    "Ontology",
+    "Reasoner",
+    "TurtleSyntaxError",
+    "as_fact",
+    "dump",
+    "dumps",
+    "fact_set",
+    "load",
+    "loads",
+    "parse_fact_set",
+]

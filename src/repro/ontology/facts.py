@@ -1,0 +1,192 @@
+"""Facts and fact-sets with the semantic partial order (Defs. 2.2 and 2.5).
+
+A fact is a triple ``<e1, r, e2>``; a fact-set is a set of facts.  The
+partial order lifts the vocabulary orders componentwise:
+
+* ``f ≤ f'`` iff every component of ``f`` is ≤ its counterpart in ``f'``;
+* ``A ≤ B`` iff every fact of ``A`` has a ≥-specific witness in ``B``.
+
+A transaction *implies* a fact-set ``A`` when ``A ≤ T``; that is exactly the
+notion of support counting used throughout the paper (Example 2.7).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Tuple, Union
+
+from ..vocabulary.terms import (
+    ANY_ELEMENT,
+    ANY_RELATION_WILDCARD,
+    Element,
+    Relation,
+    as_element,
+    as_relation,
+)
+from ..vocabulary.vocabulary import Vocabulary
+
+
+class Fact:
+    """An RDF-style triple ``<subject, relation, obj>`` over the vocabulary."""
+
+    __slots__ = ("subject", "relation", "obj", "_hash")
+
+    def __init__(self, subject, relation, obj):
+        self.subject: Element = as_element(subject)
+        self.relation: Relation = as_relation(relation)
+        self.obj: Element = as_element(obj)
+        self._hash = hash((self.subject, self.relation, self.obj))
+
+    def as_tuple(self) -> Tuple[Element, Relation, Element]:
+        return (self.subject, self.relation, self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Fact) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Fact") -> bool:
+        # deterministic sorting only; semantic comparison is leq()
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return (self.subject.name, self.relation.name, self.obj.name) < (
+            other.subject.name,
+            other.relation.name,
+            other.obj.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"Fact({self.subject.name!r}, {self.relation.name!r}, {self.obj.name!r})"
+
+    def __str__(self) -> str:
+        # the paper's RDF-ish rendering: "Biking doAt Central Park"
+        return f"{self.subject} {self.relation} {self.obj}"
+
+    def leq(self, other: "Fact", vocabulary: Vocabulary) -> bool:
+        """Is ``self ≤ other`` under the vocabulary orders (Def. 2.5)?
+
+        Wildcard components (:data:`~repro.vocabulary.terms.ANY_ELEMENT`,
+        :data:`~repro.vocabulary.terms.ANY_RELATION_WILDCARD`, standing for
+        the ``[]`` of OASSIS-QL) are more general than any counterpart.
+        """
+        subject_ok = self.subject == ANY_ELEMENT or vocabulary.leq(
+            self.subject, other.subject
+        )
+        relation_ok = self.relation == ANY_RELATION_WILDCARD or vocabulary.leq(
+            self.relation, other.relation
+        )
+        obj_ok = self.obj == ANY_ELEMENT or vocabulary.leq(self.obj, other.obj)
+        return subject_ok and relation_ok and obj_ok
+
+
+FactLike = Union[Fact, Tuple]
+
+
+def as_fact(value: FactLike) -> Fact:
+    """Coerce a ``Fact`` or a 3-tuple of term-likes to a :class:`Fact`."""
+    if isinstance(value, Fact):
+        return value
+    if isinstance(value, tuple) and len(value) == 3:
+        return Fact(*value)
+    raise TypeError(f"cannot interpret {value!r} as a fact")
+
+
+class FactSet:
+    """An immutable set of facts with the lifted semantic order."""
+
+    __slots__ = ("_facts", "_hash")
+
+    def __init__(self, facts: Iterable[FactLike] = ()):
+        self._facts: FrozenSet[Fact] = frozenset(as_fact(f) for f in facts)
+        self._hash = hash(self._facts)
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        return self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: FactLike) -> bool:
+        return as_fact(fact) in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FactSet):
+            return self._facts == other._facts
+        if isinstance(other, (set, frozenset)):
+            return self._facts == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __or__(self, other: "FactSet") -> "FactSet":
+        return FactSet(self._facts | other._facts)
+
+    def __repr__(self) -> str:
+        inner = ". ".join(str(f) for f in sorted(self._facts))
+        return f"FactSet({inner})"
+
+    def leq(self, other: "FactSet", vocabulary: Vocabulary) -> bool:
+        """``self ≤ other``: every fact here has a more-specific witness there."""
+        return all(
+            any(f.leq(g, vocabulary) for g in other._facts) for f in self._facts
+        )
+
+    def implies(self, fact_set: "FactSet", vocabulary: Vocabulary) -> bool:
+        """Does this fact-set (viewed as a transaction) imply ``fact_set``?
+
+        Implication is ``fact_set ≤ self`` (Def. 2.5's final paragraph).
+        """
+        return fact_set.leq(self, vocabulary)
+
+    def implies_fact(self, fact: FactLike, vocabulary: Vocabulary) -> bool:
+        """Does this fact-set imply the single ``fact``?"""
+        target = as_fact(fact)
+        return any(target.leq(g, vocabulary) for g in self._facts)
+
+
+def fact_set(*facts: FactLike) -> FactSet:
+    """Convenience constructor: ``fact_set(("Biking","doAt","Central Park"))``."""
+    return FactSet(facts)
+
+
+def parse_fact_set(text: str, relations: AbstractSet[str] = frozenset()) -> FactSet:
+    """Parse the paper's dotted notation into a fact-set.
+
+    ``"Biking doAt Central Park. Falafel eatAt Maoz Veg"`` — facts are
+    separated by ``.``; within a fact one token is the relation and the
+    tokens around it form (possibly multi-word) element names.  The relation
+    token is located as follows: a token from ``relations`` if given;
+    otherwise a lowerCamelCase token (``doAt``, ``eatAt``, ``subClassOf`` —
+    the paper's convention); otherwise the single all-lowercase inner token.
+    Ambiguity raises ``ValueError``.
+    """
+    def camel(token: str) -> bool:
+        return token[:1].islower() and any(c.isupper() for c in token[1:])
+
+    facts = []
+    for chunk in text.split("."):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        tokens = chunk.split()
+        inner = range(1, len(tokens) - 1)
+        candidates = [i for i in inner if tokens[i] in relations]
+        if not candidates:
+            candidates = [i for i in inner if camel(tokens[i])]
+        if not candidates:
+            candidates = [i for i in inner if tokens[i].islower()]
+        if len(candidates) != 1:
+            raise ValueError(
+                f"cannot uniquely locate the relation token in {chunk!r}"
+            )
+        i = candidates[0]
+        subject = " ".join(tokens[:i])
+        relation = tokens[i]
+        obj = " ".join(tokens[i + 1:])
+        facts.append(Fact(subject, relation, obj))
+    return FactSet(facts)

@@ -1,0 +1,111 @@
+"""Subsumption reasoning utilities over an ontology.
+
+The mining algorithms repeatedly need taxonomy-aware queries that go beyond
+raw triple lookup: "which elements are instances/subclasses (possibly
+indirect) of X", "what is the set of most-specific common generalizations of
+two terms", "enumerate the facts implied by a transaction".  These live here
+so the SPARQL engine and the assignment generator stay small.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from ..vocabulary.terms import Element, Term, as_element
+from .facts import Fact, FactSet
+from .graph import INSTANCE_OF, Ontology
+
+
+class Reasoner:
+    """Read-only semantic queries against an :class:`Ontology`."""
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self.vocabulary = ontology.vocabulary
+
+    # ------------------------------------------------------------- taxonomy
+
+    def subclasses(self, element, *, strict: bool = False) -> FrozenSet[Element]:
+        """All (possibly indirect) specializations of ``element``.
+
+        This is the evaluation of ``$w subClassOf* element`` when ``strict``
+        is False, and ``subClassOf+`` when True.  It relies on the element
+        order, which :meth:`Ontology.add` keeps in sync with the asserted
+        ``subClassOf``/``instanceOf`` facts.
+        """
+        elem = as_element(element)
+        descendants = self.vocabulary.descendants(elem)
+        result = descendants if not strict else descendants - {elem}
+        return frozenset(e for e in result if isinstance(e, Element))
+
+    def superclasses(self, element, *, strict: bool = False) -> FrozenSet[Element]:
+        """All (possibly indirect) generalizations of ``element``."""
+        elem = as_element(element)
+        ancestors = self.vocabulary.ancestors(elem)
+        result = ancestors if not strict else ancestors - {elem}
+        return frozenset(e for e in result if isinstance(e, Element))
+
+    def instances(self, klass) -> FrozenSet[Element]:
+        """Direct ``instanceOf`` assertions whose object is any subclass.
+
+        ``instances(Restaurant)`` returns Maoz Veg. and Pine even when the
+        ``instanceOf`` edge is asserted against a subclass of Restaurant.
+        """
+        k = as_element(klass)
+        rel = INSTANCE_OF
+        if not self.vocabulary.has_relation(rel):
+            return frozenset()
+        instance_of = self.vocabulary.relation(rel)
+        found: Set[Element] = set()
+        for sub in self.subclasses(k):
+            found.update(self.ontology.subjects(instance_of, sub))
+        return frozenset(found)
+
+    def is_instance(self, candidate, klass) -> bool:
+        return as_element(candidate) in self.instances(klass)
+
+    # ----------------------------------------------------------- implication
+
+    def implied_facts(self, transaction: FactSet) -> FrozenSet[Fact]:
+        """All facts implied by ``transaction``: generalize each component.
+
+        Example 2.6: a transaction containing ``Basketball doAt Central
+        Park`` implies ``Sport doAt Central Park``.  The result can be large
+        (product of ancestor sets) and is mainly used in tests and the
+        itemset-mining reduction.
+        """
+        implied: Set[Fact] = set()
+        for fact in transaction:
+            subject_gen = self.vocabulary.ancestors(fact.subject)
+            relation_gen = self.vocabulary.ancestors(fact.relation)
+            object_gen = self.vocabulary.ancestors(fact.obj)
+            for s in subject_gen:
+                for r in relation_gen:
+                    for o in object_gen:
+                        implied.add(Fact(s, r, o))
+        return frozenset(implied)
+
+    def least_upper_bounds(self, a: Term, b: Term) -> FrozenSet[Term]:
+        """Most-specific common generalizations of two terms (may be many).
+
+        In a tree taxonomy this is the singleton least common ancestor; in a
+        DAG there may be several incomparable ones.
+        """
+        common = self.vocabulary.ancestors(a) & self.vocabulary.ancestors(b)
+        maximal = {
+            t
+            for t in common
+            if not any(t != u and self.vocabulary.leq(t, u) for u in common)
+        }
+        return frozenset(maximal)
+
+    # ----------------------------------------------------------- consistency
+
+    def check_taxonomy_acyclic(self) -> bool:
+        """The element order is a DAG by construction; expose for sanity."""
+        order = self.vocabulary.element_order
+        seen_total = 0
+        for root in order.roots():
+            seen_total += len(order.descendants(root))
+        # an acyclic order reaches every term from the roots at least once
+        return seen_total >= len(order) or len(order) == 0

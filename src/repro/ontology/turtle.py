@@ -1,0 +1,183 @@
+"""A small Turtle-like serialization for ontologies.
+
+The paper stores its ontology "in RDF format"; since the reproduction has no
+rdflib, this module provides a human-editable text format that round-trips
+:class:`~repro.ontology.graph.Ontology` instances.  The grammar is a Turtle
+subset adapted to multi-word names:
+
+* one statement per line, terminated by ``.`` (optional);
+* ``<Subject Name> relation <Object Name> .`` — angle brackets delimit
+  element names that may contain spaces; bare tokens work for single words;
+* ``<Element> hasLabel "some label" .`` — label facts;
+* ``# ...`` comments and blank lines are ignored;
+* relation-order declarations: ``@relorder nearBy <= inside .`` records
+  ``nearBy ≤R inside``;
+* vocabulary declarations for terms with no asserted fact:
+  ``@relation doAt .`` and ``@element <Boathouse> .`` (the paper's model
+  allows transaction-only terms, Section 2).
+
+``subClassOf``/``instanceOf`` statements update the element order exactly
+as :meth:`Ontology.add` does.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..vocabulary.vocabulary import Vocabulary
+from .facts import Fact
+from .graph import HAS_LABEL, Ontology
+
+_TOKEN_RE = re.compile(
+    r"""
+    <(?P<bracketed>[^<>]+)>      # <multi word name>
+  | "(?P<string>[^"]*)"          # "string label"
+  | (?P<bare>[^\s.]+)            # bare token (no spaces/periods)
+    """,
+    re.VERBOSE,
+)
+
+
+class TurtleSyntaxError(ValueError):
+    """Raised on malformed input, with the offending line number."""
+
+    def __init__(self, message: str, line_no: int):
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _tokenize(line: str, line_no: int) -> List[Tuple[str, str]]:
+    """Split a statement line into (kind, text) tokens."""
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    stripped = line.rstrip()
+    if stripped.endswith("."):
+        stripped = stripped[:-1]
+    while pos < len(stripped):
+        if stripped[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(stripped, pos)
+        if match is None:
+            raise TurtleSyntaxError(f"cannot tokenize at column {pos}: {stripped!r}", line_no)
+        if match.lastgroup == "bracketed":
+            tokens.append(("name", match.group("bracketed").strip()))
+        elif match.lastgroup == "string":
+            tokens.append(("string", match.group("string")))
+        else:
+            tokens.append(("name", match.group("bare")))
+        pos = match.end()
+    return tokens
+
+
+def loads(text: str, vocabulary: Optional[Vocabulary] = None) -> Ontology:
+    """Parse Turtle-like ``text`` into a fresh :class:`Ontology`."""
+    ontology = Ontology(vocabulary)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("@relorder"):
+            _parse_relorder(line, line_no, ontology)
+            continue
+        if line.startswith("@relation") or line.startswith("@element"):
+            _parse_declaration(line, line_no, ontology)
+            continue
+        tokens = _tokenize(line, line_no)
+        if len(tokens) != 3:
+            raise TurtleSyntaxError(
+                f"expected 3 terms per statement, got {len(tokens)}", line_no
+            )
+        (skind, subject), (rkind, relation), (okind, obj) = tokens
+        if skind != "name" or rkind != "name":
+            raise TurtleSyntaxError("subject and relation must be names", line_no)
+        if relation == HAS_LABEL:
+            if okind != "string":
+                raise TurtleSyntaxError('hasLabel object must be a "string"', line_no)
+            ontology.add_label(subject, obj)
+        else:
+            if okind != "name":
+                raise TurtleSyntaxError(
+                    f"string object only allowed with {HAS_LABEL}", line_no
+                )
+            ontology.add(Fact(subject, relation, obj))
+    return ontology
+
+
+def _parse_relorder(line: str, line_no: int, ontology: Ontology) -> None:
+    body = line[len("@relorder"):].strip()
+    if body.endswith("."):
+        body = body[:-1].strip()
+    parts = [p.strip() for p in body.split("<=")]
+    if len(parts) != 2 or not all(parts):
+        raise TurtleSyntaxError("@relorder expects 'general <= specific'", line_no)
+    ontology.vocabulary.specialize_relation(parts[0], parts[1])
+
+
+def _parse_declaration(line: str, line_no: int, ontology: Ontology) -> None:
+    keyword, _, body = line.partition(" ")
+    body = body.strip()
+    if body.endswith("."):
+        body = body[:-1].strip()
+    if body.startswith("<") and body.endswith(">"):
+        body = body[1:-1].strip()
+    if not body:
+        raise TurtleSyntaxError(f"{keyword} expects a term name", line_no)
+    if keyword == "@relation":
+        ontology.vocabulary.add_relation(body)
+    else:
+        ontology.vocabulary.add_element(body)
+
+
+def load(path) -> Ontology:
+    """Parse the file at ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())
+
+
+def _render_name(name: str) -> str:
+    return f"<{name}>" if (" " in name or "." in name) else name
+
+
+def dumps(ontology: Ontology) -> str:
+    """Serialize ``ontology`` (facts, labels, relation order) to text."""
+    lines: List[str] = ["# OASSIS ontology"]
+    for general, specific in sorted(
+        ontology.vocabulary.relation_order.edges(), key=lambda e: (e[0].name, e[1].name)
+    ):
+        lines.append(f"@relorder {general.name} <= {specific.name} .")
+    # declare vocabulary-only terms so they survive a round trip
+    asserted_relations = {f.relation for f in ontology}
+    for relation in sorted(ontology.vocabulary.relations):
+        if relation not in asserted_relations and not any(
+            True for _ in ontology.vocabulary.relation_order.children(relation)
+        ) and not ontology.vocabulary.relation_order.parents(relation):
+            lines.append(f"@relation {relation.name} .")
+    asserted_elements = set()
+    for fact in ontology:
+        asserted_elements.add(fact.subject)
+        asserted_elements.add(fact.obj)
+    labelled = {
+        element
+        for element in ontology.vocabulary.elements
+        if ontology.labels(element)
+    }
+    for element in sorted(ontology.vocabulary.elements):
+        if element not in asserted_elements and element not in labelled:
+            lines.append(f"@element {_render_name(element.name)} .")
+    for fact in sorted(ontology):
+        lines.append(
+            f"{_render_name(fact.subject.name)} {fact.relation.name} "
+            f"{_render_name(fact.obj.name)} ."
+        )
+    for element in sorted(ontology.vocabulary.elements):
+        for label in sorted(ontology.labels(element)):
+            lines.append(f'{_render_name(element.name)} {HAS_LABEL} "{label}" .')
+    return "\n".join(lines) + "\n"
+
+
+def dump(ontology: Ontology, path) -> None:
+    """Serialize ``ontology`` to the file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(ontology))

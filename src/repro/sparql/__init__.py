@@ -1,0 +1,36 @@
+"""SPARQL-subset layer: BGP AST, parser and evaluation engine."""
+
+from .ast import (
+    BGP,
+    Blank,
+    Concrete,
+    PathMod,
+    RelationPattern,
+    StringLiteral,
+    TriplePattern,
+    Var,
+)
+from .bindings import Binding
+from .engine import SparqlEngine
+from .lexer import LexError, ParseError, Token, TokenStream, tokenize
+from .parser import parse_bgp, parse_bgp_tokens
+
+__all__ = [
+    "BGP",
+    "Binding",
+    "Blank",
+    "Concrete",
+    "LexError",
+    "ParseError",
+    "PathMod",
+    "RelationPattern",
+    "SparqlEngine",
+    "StringLiteral",
+    "Token",
+    "TokenStream",
+    "TriplePattern",
+    "Var",
+    "parse_bgp",
+    "parse_bgp_tokens",
+    "tokenize",
+]

@@ -1,0 +1,215 @@
+"""AST node types for the SPARQL subset used by OASSIS-QL WHERE clauses.
+
+A *basic graph pattern* (BGP) is a list of triple patterns.  Each position
+of a triple pattern holds one of:
+
+* :class:`Var` — a named query variable (``$x`` / ``?x``);
+* :class:`Concrete` — a fixed vocabulary term;
+* :class:`Blank` — ``[]``, an anonymous existential;
+* :class:`StringLiteral` — a quoted string (only meaningful as the object
+  of a ``hasLabel`` pattern).
+
+Relations may additionally carry a :class:`PathMod` quantifier, giving the
+property paths the paper uses (``subClassOf*``).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterator, List, Tuple, Union
+
+
+class PathMod(enum.Enum):
+    """Property-path quantifier attached to a relation pattern."""
+
+    NONE = ""       #: exactly one edge
+    STAR = "*"      #: zero or more edges
+    PLUS = "+"      #: one or more edges
+    OPT = "?"       #: zero or one edge
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Var:
+    """A named query variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+_blank_counter = itertools.count()
+
+
+class Blank:
+    """``[]`` — an anonymous variable, unique per occurrence."""
+
+    __slots__ = ("uid",)
+
+    def __init__(self) -> None:
+        self.uid = next(_blank_counter)
+
+    def as_var(self) -> Var:
+        """The hidden variable this blank stands for."""
+        return Var(f"__blank_{self.uid}")
+
+    def __repr__(self) -> str:
+        return f"Blank(#{self.uid})"
+
+    def __str__(self) -> str:
+        return "[]"
+
+
+class Concrete:
+    """A fixed term name (resolution to Element/Relation happens at eval)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Concrete) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("concrete", self.name))
+
+    def __repr__(self) -> str:
+        return f"Concrete({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"<{self.name}>" if " " in self.name else self.name
+
+
+class StringLiteral:
+    """A quoted string, e.g. the label in ``$x hasLabel "child-friendly"``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StringLiteral) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("string", self.value))
+
+    def __repr__(self) -> str:
+        return f"StringLiteral({self.value!r})"
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+NodePattern = Union[Var, Concrete, Blank, StringLiteral]
+
+
+class RelationPattern:
+    """A relation position: a term or variable plus a path quantifier."""
+
+    __slots__ = ("term", "mod")
+
+    def __init__(self, term: Union[Var, Concrete, Blank], mod: PathMod = PathMod.NONE):
+        if isinstance(term, (Var, Blank)) and mod is not PathMod.NONE:
+            raise ValueError("path quantifiers require a concrete relation")
+        self.term = term
+        self.mod = mod
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RelationPattern)
+            and self.term == other.term
+            and self.mod == other.mod
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.term, self.mod))
+
+    def __repr__(self) -> str:
+        return f"RelationPattern({self.term!r}, {self.mod!r})"
+
+    def __str__(self) -> str:
+        return f"{self.term}{self.mod}"
+
+
+class TriplePattern:
+    """One ``subject relation object`` pattern."""
+
+    __slots__ = ("subject", "relation", "obj")
+
+    def __init__(self, subject: NodePattern, relation: RelationPattern, obj: NodePattern):
+        self.subject = subject
+        self.relation = relation
+        self.obj = obj
+
+    def variables(self) -> Tuple[Var, ...]:
+        """Named variables appearing in this pattern, in position order."""
+        found: List[Var] = []
+        for part in (self.subject, self.relation.term, self.obj):
+            if isinstance(part, Var):
+                found.append(part)
+        return tuple(found)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and self.subject == other.subject
+            and self.relation == other.relation
+            and self.obj == other.obj
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.relation, self.obj))
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.relation!r}, {self.obj!r})"
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.relation} {self.obj}"
+
+
+class BGP:
+    """A basic graph pattern: a conjunction of triple patterns."""
+
+    __slots__ = ("patterns",)
+
+    def __init__(self, patterns: List[TriplePattern]):
+        self.patterns = list(patterns)
+
+    def variables(self) -> Tuple[Var, ...]:
+        """Named variables in first-occurrence order (no duplicates)."""
+        seen = {}
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                seen.setdefault(var.name, var)
+        return tuple(seen.values())
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[TriplePattern]:
+        return iter(self.patterns)
+
+    def __repr__(self) -> str:
+        return f"BGP({self.patterns!r})"
+
+    def __str__(self) -> str:
+        return " .\n".join(str(p) for p in self.patterns)

@@ -1,0 +1,59 @@
+"""Solution bindings produced by BGP evaluation.
+
+A :class:`Binding` is an immutable mapping from variable names to values
+(elements, relations, or label strings).  Evaluation works with plain dicts
+internally and freezes them on output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+from ..vocabulary.terms import Element, Relation
+
+BindingValue = Union[Element, Relation, str]
+
+
+class Binding(Mapping[str, BindingValue]):
+    """An immutable variable assignment (one SPARQL solution row)."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, mapping: Mapping[str, BindingValue]):
+        self._items: Tuple[Tuple[str, BindingValue], ...] = tuple(
+            sorted(mapping.items())
+        )
+
+    def __getitem__(self, key: str) -> BindingValue:
+        for name, value in self._items:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def as_dict(self) -> Dict[str, BindingValue]:
+        return dict(self._items)
+
+    def project(self, names) -> "Binding":
+        """Restrict to the given variable names (missing names are dropped)."""
+        wanted = set(names)
+        return Binding({n: v for n, v in self._items if n in wanted})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v}" for n, v in self._items)
+        return f"Binding({inner})"

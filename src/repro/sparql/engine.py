@@ -1,0 +1,272 @@
+"""BGP evaluation over an :class:`~repro.ontology.graph.Ontology`.
+
+The evaluator performs a backtracking join over the triple patterns with a
+greedy selectivity heuristic: at each step it picks the not-yet-evaluated
+pattern with the most bound positions under the current partial binding
+(label patterns and fully-concrete patterns first).
+
+Relation patterns match *semantically*: a pattern naming relation ``r``
+matches asserted edges labeled with any ``r' ≥R r`` (see
+:func:`repro.sparql.paths.matching_relations`), which is how Figure 1's
+``nearBy ≤ inside`` makes ``$z nearBy $x`` see ``inside`` edges.  Element
+positions match syntactically, mirroring the paper's use of a stock SPARQL
+engine for the WHERE clause.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from ..ontology.graph import HAS_LABEL, Ontology
+from ..vocabulary.terms import Element, Relation
+from .ast import (
+    BGP,
+    Blank,
+    Concrete,
+    NodePattern,
+    PathMod,
+    StringLiteral,
+    TriplePattern,
+    Var,
+)
+from .bindings import Binding, BindingValue
+from .paths import backward_closure, forward_closure, matching_relations, path_pairs
+
+
+class SparqlEngine:
+    """Evaluates BGPs against a fixed ontology."""
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+
+    # ------------------------------------------------------------ public API
+
+    def solutions(self, bgp: BGP) -> Iterator[Binding]:
+        """All solution bindings of ``bgp``, projected to named variables.
+
+        Blank nodes are treated as existentials: they are bound during the
+        search but dropped from the output, and duplicate projections are
+        suppressed.
+        """
+        named = {v.name for v in bgp.variables()}
+        seen: Set[Binding] = set()
+        for env in self._search(list(bgp.patterns), {}):
+            projected = Binding({k: v for k, v in env.items() if k in named})
+            if projected not in seen:
+                seen.add(projected)
+                yield projected
+
+    def ask(self, bgp: BGP) -> bool:
+        """Does ``bgp`` have at least one solution?"""
+        for _ in self._search(list(bgp.patterns), {}):
+            return True
+        return False
+
+    # --------------------------------------------------------------- search
+
+    def _search(
+        self, remaining: List[TriplePattern], env: Dict[str, BindingValue]
+    ) -> Iterator[Dict[str, BindingValue]]:
+        if not remaining:
+            yield dict(env)
+            return
+        index = self._pick_pattern(remaining, env)
+        pattern = remaining[index]
+        rest = remaining[:index] + remaining[index + 1:]
+        for extension in self._match_pattern(pattern, env):
+            merged = dict(env)
+            merged.update(extension)
+            yield from self._search(rest, merged)
+
+    def _pick_pattern(
+        self, patterns: List[TriplePattern], env: Dict[str, BindingValue]
+    ) -> int:
+        def bound_score(pattern: TriplePattern) -> int:
+            score = 0
+            for part in (pattern.subject, pattern.relation.term, pattern.obj):
+                if isinstance(part, (Concrete, StringLiteral)):
+                    score += 2
+                elif isinstance(part, Var) and part.name in env:
+                    score += 2
+                elif isinstance(part, Blank):
+                    score += 0
+                else:
+                    score -= 1
+            return score
+
+        best = 0
+        best_score = bound_score(patterns[0])
+        for i, pattern in enumerate(patterns[1:], start=1):
+            score = bound_score(pattern)
+            if score > best_score:
+                best, best_score = i, score
+        return best
+
+    # ------------------------------------------------------ pattern matching
+
+    def _match_pattern(
+        self, pattern: TriplePattern, env: Dict[str, BindingValue]
+    ) -> Iterator[Dict[str, BindingValue]]:
+        rel_term = pattern.relation.term
+        if isinstance(rel_term, Concrete) and rel_term.name == HAS_LABEL:
+            yield from self._match_label(pattern, env)
+            return
+        yield from self._match_edge(pattern, env)
+
+    def _match_label(
+        self, pattern: TriplePattern, env: Dict[str, BindingValue]
+    ) -> Iterator[Dict[str, BindingValue]]:
+        subject = self._resolve_node(pattern.subject, env)
+        obj = self._resolve_node(pattern.obj, env)
+        if isinstance(obj, str):
+            candidates = self.ontology.elements_with_label(obj)
+            if isinstance(subject, Element):
+                if subject in candidates:
+                    yield {}
+                return
+            for element in sorted(candidates, key=lambda e: e.name):
+                yield self._bind_node(pattern.subject, element)
+            return
+        # object is an unbound var/blank: enumerate labels of the subject(s)
+        if isinstance(subject, Element):
+            for label in sorted(self.ontology.labels(subject)):
+                yield self._bind_node(pattern.obj, label)
+            return
+        for element in sorted(
+            {e for e in self.ontology.vocabulary.elements if self.ontology.labels(e)},
+            key=lambda e: e.name,
+        ):
+            for label in sorted(self.ontology.labels(element)):
+                extension = self._bind_node(pattern.subject, element)
+                extension.update(self._bind_node(pattern.obj, label))
+                yield extension
+
+    def _match_edge(
+        self, pattern: TriplePattern, env: Dict[str, BindingValue]
+    ) -> Iterator[Dict[str, BindingValue]]:
+        subject = self._resolve_node(pattern.subject, env)
+        obj = self._resolve_node(pattern.obj, env)
+        rel_term = pattern.relation.term
+        mod = pattern.relation.mod
+
+        if isinstance(rel_term, Concrete):
+            relation = Relation(rel_term.name)
+            yield from self._match_known_relation(pattern, relation, mod, subject, obj)
+            return
+
+        # variable/blank relation: iterate the asserted relations
+        if isinstance(rel_term, Var) and rel_term.name in env:
+            bound = env[rel_term.name]
+            if not isinstance(bound, Relation):
+                return
+            yield from self._match_known_relation(pattern, bound, PathMod.NONE, subject, obj)
+            return
+        for relation in sorted(self.ontology.vocabulary.relations, key=lambda r: r.name):
+            for extension in self._match_known_relation(
+                pattern, relation, PathMod.NONE, subject, obj, exact_relation=True
+            ):
+                full = self._bind_node_rel(rel_term, relation)
+                full.update(extension)
+                yield full
+
+    def _match_known_relation(
+        self,
+        pattern: TriplePattern,
+        relation: Relation,
+        mod: PathMod,
+        subject: Optional[Union[Element, str]],
+        obj: Optional[Union[Element, str]],
+        exact_relation: bool = False,
+    ) -> Iterator[Dict[str, BindingValue]]:
+        if isinstance(subject, str) or isinstance(obj, str):
+            return  # strings only participate in hasLabel patterns
+        if mod is PathMod.NONE and exact_relation:
+            relations = frozenset({relation})
+        else:
+            relations = matching_relations(self.ontology, relation)
+
+        if isinstance(subject, Element) and isinstance(obj, Element):
+            if self._pair_matches(subject, obj, relation, mod, relations):
+                yield {}
+            return
+        if isinstance(subject, Element):
+            targets = (
+                forward_closure(self.ontology, subject, relation, mod)
+                if mod is not PathMod.NONE
+                else frozenset(
+                    o for r in relations for o in self.ontology.objects(subject, r)
+                )
+            )
+            for target in sorted(targets, key=lambda e: e.name):
+                yield self._bind_node(pattern.obj, target)
+            return
+        if isinstance(obj, Element):
+            sources = (
+                backward_closure(self.ontology, obj, relation, mod)
+                if mod is not PathMod.NONE
+                else frozenset(
+                    s for r in relations for s in self.ontology.subjects(r, obj)
+                )
+            )
+            for source in sorted(sources, key=lambda e: e.name):
+                yield self._bind_node(pattern.subject, source)
+            return
+        # both ends free
+        for start, end in sorted(
+            set(path_pairs(self.ontology, relation, mod)),
+            key=lambda pair: (pair[0].name, pair[1].name),
+        ):
+            extension = self._bind_node(pattern.subject, start)
+            obj_ext = self._bind_node(pattern.obj, end)
+            # consistency when subject and object share a variable
+            conflict = any(
+                key in extension and extension[key] != value
+                for key, value in obj_ext.items()
+            )
+            if conflict:
+                continue
+            extension.update(obj_ext)
+            yield extension
+
+    def _pair_matches(
+        self,
+        subject: Element,
+        obj: Element,
+        relation: Relation,
+        mod: PathMod,
+        relations,
+    ) -> bool:
+        if mod is PathMod.NONE:
+            return any(obj in self.ontology.objects(subject, r) for r in relations)
+        return obj in forward_closure(self.ontology, subject, relation, mod)
+
+    # -------------------------------------------------------------- helpers
+
+    def _resolve_node(
+        self, node: NodePattern, env: Dict[str, BindingValue]
+    ) -> Optional[Union[Element, str]]:
+        """Concrete value of ``node`` under ``env``, or None if unbound."""
+        if isinstance(node, Concrete):
+            return Element(node.name)
+        if isinstance(node, StringLiteral):
+            return node.value
+        if isinstance(node, Var) and node.name in env:
+            value = env[node.name]
+            if isinstance(value, (Element, str)):
+                return value
+            return None
+        return None
+
+    def _bind_node(self, node: NodePattern, value: BindingValue) -> Dict[str, BindingValue]:
+        if isinstance(node, Var):
+            return {node.name: value}
+        if isinstance(node, Blank):
+            return {node.as_var().name: value}
+        return {}
+
+    def _bind_node_rel(self, node, relation: Relation) -> Dict[str, BindingValue]:
+        if isinstance(node, Var):
+            return {node.name: relation}
+        if isinstance(node, Blank):
+            return {node.as_var().name: relation}
+        return {}

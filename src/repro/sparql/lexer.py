@@ -1,0 +1,148 @@
+"""Tokenizer shared by the SPARQL-subset parser and the OASSIS-QL parser.
+
+Token kinds:
+
+* ``VAR`` — ``$name`` or ``?name``;
+* ``NAME`` — a bare identifier (letters, digits, ``_``, ``-``) or a
+  bracketed multi-word name ``<Central Park>``;
+* ``STRING`` — ``"..."``;
+* ``NUMBER`` — integer or decimal literal;
+* ``LBRACKET_PAIR`` — the blank node ``[]``;
+* punctuation: ``DOT`` ``STAR`` ``PLUS`` ``QMARK`` ``EQ`` ``GE`` ``GT``
+  ``LBRACE`` ``RBRACE``;
+* ``EOF`` — end of input.
+
+Keywords are *not* distinguished here; parsers compare NAME token text
+case-insensitively.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class LexError(ValueError):
+    """Raised on input that cannot be tokenized."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.line = line
+        self.column = column
+
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r]+"),
+    ("NEWLINE", r"\n"),
+    ("COMMENT", r"#[^\n]*"),
+    ("VAR", r"[$?][A-Za-z_][A-Za-z0-9_]*"),
+    ("STRING", r'"[^"\n]*"'),
+    ("NUMBER", r"\d+\.\d+|\.\d+|\d+"),
+    ("BRACKETED", r"<[^<>\n]+>"),
+    ("LBRACKET_PAIR", r"\[\s*\]"),
+    ("NAME", r"[A-Za-z_][A-Za-z0-9_'-]*"),
+    ("GE", r">="),
+    ("GT", r">"),
+    ("EQ", r"="),
+    ("DOT", r"\."),
+    ("STAR", r"\*"),
+    ("PLUS", r"\+"),
+    ("QMARK", r"\?"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("COMMA", r","),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` fully; raises :class:`LexError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _MASTER_RE.match(text, pos)
+        if match is None:
+            raise LexError(f"unexpected character {text[pos]!r}", line, pos - line_start + 1)
+        kind = match.lastgroup
+        value = match.group()
+        column = pos - line_start + 1
+        pos = match.end()
+        if kind == "NEWLINE":
+            line += 1
+            line_start = pos
+            continue
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "VAR":
+            tokens.append(Token("VAR", value[1:], line, column))
+        elif kind == "STRING":
+            tokens.append(Token("STRING", value[1:-1], line, column))
+        elif kind == "BRACKETED":
+            tokens.append(Token("NAME", value[1:-1].strip(), line, column))
+        else:
+            tokens.append(Token(kind, value, line, column))
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.kind} {token.text!r}", token)
+        return self.next()
+
+    def at_keyword(self, *words: str) -> bool:
+        """Is the current token a NAME equal (case-insensitively) to any word?"""
+        token = self.peek()
+        return token.kind == "NAME" and token.text.upper() in {w.upper() for w in words}
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not self.at_keyword(word):
+            raise ParseError(f"expected keyword {word}, found {token.text!r}", token)
+        return self.next()
+
+    def eat(self, kind: str) -> bool:
+        """Consume the current token if it has ``kind``; report success."""
+        if self.peek().kind == kind:
+            self.next()
+            return True
+        return False
+
+
+class ParseError(ValueError):
+    """Raised by parsers on unexpected tokens."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__(f"{message} (line {token.line}, column {token.column})")
+        self.token = token

@@ -1,0 +1,124 @@
+"""Parser for basic graph patterns (the WHERE-clause fragment of SPARQL).
+
+Grammar (``.`` terminates a pattern; the final dot is optional)::
+
+    bgp     := triple (DOT triple)* DOT?
+    triple  := node relpat node
+    node    := VAR | NAME | STRING | '[]'
+    relpat  := (VAR | NAME) pathmod?
+    pathmod := '*' | '+' | '?'
+
+This module parses a *bare* BGP; the OASSIS-QL parser wraps it with the
+SELECT/WHERE/SATISFYING structure and multiplicity annotations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    BGP,
+    Blank,
+    Concrete,
+    NodePattern,
+    PathMod,
+    RelationPattern,
+    StringLiteral,
+    TriplePattern,
+    Var,
+)
+from .lexer import ParseError, TokenStream, tokenize
+
+#: NAME tokens that terminate a BGP when they appear in subject position
+#: (used when a BGP is embedded inside a larger query).
+_DEFAULT_STOP_WORDS = frozenset()
+
+
+def parse_bgp(text: str) -> BGP:
+    """Parse ``text`` as a standalone basic graph pattern."""
+    stream = TokenStream(tokenize(text))
+    bgp = parse_bgp_tokens(stream)
+    stream.expect("EOF")
+    return bgp
+
+
+def parse_bgp_tokens(
+    stream: TokenStream,
+    stop_keywords: frozenset = _DEFAULT_STOP_WORDS,
+) -> BGP:
+    """Parse triple patterns from ``stream`` until EOF, ``}`` or a stop word.
+
+    ``stop_keywords`` are compared case-insensitively against NAME tokens in
+    subject position, letting callers embed BGPs before keywords such as
+    ``SATISFYING``.
+    """
+    patterns: List[TriplePattern] = []
+    while True:
+        token = stream.peek()
+        if token.kind in ("EOF", "RBRACE"):
+            break
+        if token.kind == "NAME" and token.text.upper() in stop_keywords:
+            break
+        patterns.append(_parse_triple(stream))
+        if not stream.eat("DOT"):
+            # a triple not followed by '.' must be the last one
+            token = stream.peek()
+            if token.kind in ("EOF", "RBRACE") or (
+                token.kind == "NAME" and token.text.upper() in stop_keywords
+            ):
+                break
+            raise ParseError("expected '.' between triple patterns", token)
+    if not patterns:
+        raise ParseError("empty graph pattern", stream.peek())
+    return BGP(patterns)
+
+
+def _parse_triple(stream: TokenStream) -> TriplePattern:
+    subject = _parse_node(stream, position="subject")
+    relation = _parse_relation(stream)
+    obj = _parse_node(stream, position="object")
+    return TriplePattern(subject, relation, obj)
+
+
+def _parse_node(stream: TokenStream, position: str) -> NodePattern:
+    token = stream.peek()
+    if token.kind == "VAR":
+        stream.next()
+        return Var(token.text)
+    if token.kind == "NAME":
+        stream.next()
+        return Concrete(token.text)
+    if token.kind == "LBRACKET_PAIR":
+        stream.next()
+        return Blank()
+    if token.kind == "STRING":
+        if position != "object":
+            raise ParseError("string literals are only allowed in object position", token)
+        stream.next()
+        return StringLiteral(token.text)
+    raise ParseError(f"expected a term in {position} position", token)
+
+
+def _parse_relation(stream: TokenStream) -> RelationPattern:
+    token = stream.peek()
+    if token.kind == "VAR":
+        stream.next()
+        return RelationPattern(Var(token.text))
+    if token.kind == "LBRACKET_PAIR":
+        stream.next()
+        return RelationPattern(Blank())
+    if token.kind != "NAME":
+        raise ParseError("expected a relation name or variable", token)
+    stream.next()
+    mod = PathMod.NONE
+    nxt = stream.peek()
+    if nxt.kind == "STAR":
+        stream.next()
+        mod = PathMod.STAR
+    elif nxt.kind == "PLUS":
+        stream.next()
+        mod = PathMod.PLUS
+    elif nxt.kind == "QMARK":
+        stream.next()
+        mod = PathMod.OPT
+    return RelationPattern(Concrete(token.text), mod)

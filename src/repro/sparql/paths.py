@@ -1,0 +1,135 @@
+"""Property-path evaluation (``subClassOf*`` and friends).
+
+A quantified relation pattern ``r*`` matches a pair ``(a, b)`` when ``b`` is
+reachable from ``a`` via zero or more asserted edges labeled with ``r`` *or
+any specialization of r* in ``≤R`` (matching the semantic-implication
+reading of relation patterns used throughout the engine).  ``r+`` requires
+at least one edge, ``r?`` at most one.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, Set, Tuple
+
+from ..ontology.graph import Ontology
+from ..vocabulary.terms import Element, Relation
+from .ast import PathMod
+
+
+def matching_relations(ontology: Ontology, relation: Relation) -> FrozenSet[Relation]:
+    """Asserted relations that satisfy a pattern naming ``relation``.
+
+    These are the ``≤R``-specializations of ``relation`` that exist in the
+    vocabulary; e.g. a ``nearBy`` pattern also scans ``inside`` edges when
+    ``nearBy ≤R inside``.
+    """
+    if relation not in ontology.vocabulary.relation_order:
+        return frozenset({relation})
+    return frozenset(
+        r
+        for r in ontology.vocabulary.relation_order.descendants(relation)
+        if isinstance(r, Relation)
+    )
+
+
+def _step(ontology: Ontology, node: Element, relations: FrozenSet[Relation]) -> Set[Element]:
+    """One forward step along any of ``relations``."""
+    out: Set[Element] = set()
+    for rel in relations:
+        out.update(ontology.objects(node, rel))
+    return out
+
+
+def _step_back(ontology: Ontology, node: Element, relations: FrozenSet[Relation]) -> Set[Element]:
+    """One backward step along any of ``relations``."""
+    out: Set[Element] = set()
+    for rel in relations:
+        out.update(ontology.subjects(rel, node))
+    return out
+
+
+def forward_closure(
+    ontology: Ontology, start: Element, relation: Relation, mod: PathMod
+) -> FrozenSet[Element]:
+    """All ``b`` such that ``(start, b)`` matches ``relation{mod}``."""
+    relations = matching_relations(ontology, relation)
+    if mod is PathMod.NONE:
+        return frozenset(_step(ontology, start, relations))
+    if mod is PathMod.OPT:
+        return frozenset(_step(ontology, start, relations) | {start})
+    if mod is PathMod.PLUS:
+        # >= 1 forward step: BFS seeded from the direct successors
+        seen = set(_step(ontology, start, relations))
+        frontier = list(seen)
+        while frontier:
+            node = frontier.pop()
+            for nxt in _step(ontology, node, relations):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for nxt in _step(ontology, node, relations):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def backward_closure(
+    ontology: Ontology, end: Element, relation: Relation, mod: PathMod
+) -> FrozenSet[Element]:
+    """All ``a`` such that ``(a, end)`` matches ``relation{mod}``."""
+    relations = matching_relations(ontology, relation)
+    if mod is PathMod.NONE:
+        return frozenset(_step_back(ontology, end, relations))
+    if mod is PathMod.OPT:
+        return frozenset(_step_back(ontology, end, relations) | {end})
+    if mod is PathMod.PLUS:
+        # >= 1 backward step: BFS seeded from the direct predecessors
+        seen = set(_step_back(ontology, end, relations))
+        frontier = list(seen)
+        while frontier:
+            node = frontier.pop()
+            for nxt in _step_back(ontology, node, relations):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return frozenset(seen)
+    seen = {end}
+    frontier = [end]
+    while frontier:
+        node = frontier.pop()
+        for nxt in _step_back(ontology, node, relations):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def path_pairs(
+    ontology: Ontology, relation: Relation, mod: PathMod
+) -> Iterator[Tuple[Element, Element]]:
+    """Enumerate all pairs matching ``relation{mod}`` (both ends free).
+
+    For quantified paths the candidate universe is every element incident to
+    a matching edge (plus, for ``*``/``?``, the zero-step identity pairs on
+    those elements).
+    """
+    relations = matching_relations(ontology, relation)
+    nodes: Set[Element] = set()
+    for rel in relations:
+        for fact in ontology.match(relation=rel):
+            nodes.add(fact.subject)
+            nodes.add(fact.obj)
+    if mod is PathMod.NONE:
+        for rel in relations:
+            for fact in ontology.match(relation=rel):
+                yield (fact.subject, fact.obj)
+        return
+    for start in nodes:
+        for end in forward_closure(ontology, start, relation, mod):
+            yield (start, end)

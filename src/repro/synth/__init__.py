@@ -1,0 +1,12 @@
+"""Synthetic workload generators for the Section 6.4 experiments."""
+
+from .dag_gen import dag_statistics, generate_dag, layer_sizes
+from .msp_placement import PlantedSignificance, place_msps
+
+__all__ = [
+    "PlantedSignificance",
+    "dag_statistics",
+    "generate_dag",
+    "layer_sizes",
+    "place_msps",
+]

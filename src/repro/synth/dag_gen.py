@@ -1,0 +1,99 @@
+"""Synthetic assignment-DAG generation (Section 6.4).
+
+The paper's synthetic experiments run on a DAG "similar to the one generated
+in our crowd experiments with the travel query" with the width varied
+between 500 and 2000 and the depth between 4 and 7 (by pruning/replicating
+parts).  We generate layered DAGs with controlled width and depth:
+
+* ``depth + 1`` layers; layer 0 holds the roots;
+* layer sizes ramp up toward the configured width (taxonomy products fan
+  out multiplicatively, so deeper layers are wider, like the travel DAG);
+* every node has at least one parent in the previous layer, plus extra
+  random cross edges for DAG-ness;
+* a configurable fraction of the nodes (biased toward the deep, specific
+  layers) is marked *valid*, mirroring how SPARQL results sit at the bottom
+  of the expanded space while their generalizations are invalid.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..assignments.lattice import ExplicitDAG
+
+
+def layer_sizes(width: int, depth: int, root_count: int = 1) -> List[int]:
+    """Layer sizes ramping geometrically from ``root_count`` to ``width``."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    if width < root_count:
+        raise ValueError("width must be at least the root count")
+    sizes = [root_count]
+    for level in range(1, depth + 1):
+        fraction = level / depth
+        size = max(root_count, round(root_count * (width / root_count) ** fraction))
+        sizes.append(min(size, width))
+    sizes[-1] = width
+    return sizes
+
+
+def generate_dag(
+    width: int = 500,
+    depth: int = 7,
+    seed: int = 0,
+    extra_edge_probability: float = 0.15,
+    valid_fraction: float = 0.6,
+    root_count: int = 1,
+) -> ExplicitDAG[int]:
+    """A layered synthetic assignment DAG with integer nodes.
+
+    ``width`` is the size of the deepest (widest) layer; ``depth`` the
+    number of edge levels.  Validity is assigned to the ``valid_fraction``
+    most specific nodes (deep layers first), like real query spaces where
+    the SPARQL results are the specific assignments.
+    """
+    rng = random.Random(seed)
+    sizes = layer_sizes(width, depth, root_count)
+    dag: ExplicitDAG[int] = ExplicitDAG()
+    layers: List[List[int]] = []
+    next_id = 0
+    for size in sizes:
+        layer = list(range(next_id, next_id + size))
+        next_id += size
+        layers.append(layer)
+        for node in layer:
+            dag.add_node(node)
+    for upper, lower in zip(layers, layers[1:]):
+        for child in lower:
+            parent = rng.choice(upper)
+            dag.add_edge(parent, child)
+            # sprinkle extra parents for DAG (not tree) structure
+            while rng.random() < extra_edge_probability:
+                extra = rng.choice(upper)
+                if extra != parent:
+                    dag.add_edge(extra, child)
+                    break
+    total = len(dag)
+    valid_count = round(valid_fraction * total)
+    valid: List[int] = []
+    for layer in reversed(layers):
+        for node in layer:
+            if len(valid) >= valid_count:
+                break
+            valid.append(node)
+        if len(valid) >= valid_count:
+            break
+    dag.set_valid(valid)
+    return dag
+
+
+def dag_statistics(dag: ExplicitDAG[int]) -> dict:
+    """Shape statistics used by the experiment reports."""
+    return {
+        "nodes": len(dag),
+        "valid": len(dag.valid_nodes()),
+        "height": dag.height(),
+        "width": dag.width(),
+        "roots": len(dag.roots()),
+    }

@@ -1,0 +1,135 @@
+"""Planting MSPs in a synthetic DAG (Section 6.4).
+
+Given a DAG, we pick a set of incomparable nodes as the intended MSPs and
+derive the significance landscape: a node is significant iff it is a
+generalization of (≤) some chosen MSP.  Three placement policies match the
+paper's: uniform random, biased to *nearby* MSPs (pairwise DAG distance at
+most a bound), and biased to *far* MSPs (pairwise distance at least a
+bound).  MSPs can be drawn from the whole DAG or from the valid subset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, List, Sequence, Set
+
+from ..assignments.lattice import ExplicitDAG
+
+
+class PlantedSignificance:
+    """The ground truth of one synthetic experiment."""
+
+    def __init__(self, dag: ExplicitDAG[int], msps: Sequence[int]):
+        self.dag = dag
+        self.msps = list(msps)
+        significant: Set[int] = set()
+        for msp in self.msps:
+            significant.update(dag.ancestors(msp))
+        self._significant: FrozenSet[int] = frozenset(significant)
+
+    def is_significant(self, node: int) -> bool:
+        return node in self._significant
+
+    def support(self, node: int) -> float:
+        """A deterministic support value consistent with the landscape.
+
+        Significant nodes get a value above any sensible threshold,
+        insignificant ones 0 — synthetic experiments vary the *structure*,
+        not the noise (the paper simulates a single exact user).
+        """
+        return 1.0 if node in self._significant else 0.0
+
+    @property
+    def significant_nodes(self) -> FrozenSet[int]:
+        return self._significant
+
+    def valid_msps(self) -> List[int]:
+        return [m for m in self.msps if self.dag.is_valid(m)]
+
+
+def _undirected_distance(dag: ExplicitDAG[int], a: int, b: int, limit: int) -> int:
+    """BFS distance in the undirected DAG, capped at ``limit`` (cap = inf)."""
+    if a == b:
+        return 0
+    seen = {a}
+    frontier = [a]
+    distance = 0
+    while frontier and distance < limit:
+        distance += 1
+        nxt: List[int] = []
+        for node in frontier:
+            for neighbour in list(dag.successors(node)) + list(dag.predecessors(node)):
+                if neighbour == b:
+                    return distance
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    nxt.append(neighbour)
+        frontier = nxt
+    return limit + 1
+
+
+def _incomparable(dag: ExplicitDAG[int], chosen: Sequence[int], candidate: int) -> bool:
+    return all(
+        not dag.leq(candidate, m) and not dag.leq(m, candidate) for m in chosen
+    )
+
+
+def place_msps(
+    dag: ExplicitDAG[int],
+    count: int,
+    policy: str = "uniform",
+    valid_only: bool = True,
+    seed: int = 0,
+    nearby_distance: int = 4,
+    far_distance: int = 6,
+    max_attempts_factor: int = 50,
+) -> PlantedSignificance:
+    """Choose ``count`` pairwise-incomparable MSPs under a placement policy.
+
+    ``policy`` is one of ``"uniform"``, ``"nearby"`` (pairwise distance at
+    most ``nearby_distance``) or ``"far"`` (at least ``far_distance``).  If
+    the policy cannot be fully satisfied the constraint is relaxed for the
+    remaining picks (the paper reports the policies made no difference, so
+    best-effort placement is sufficient).
+    """
+    if policy not in ("uniform", "nearby", "far"):
+        raise ValueError(f"unknown placement policy {policy!r}")
+    rng = random.Random(seed)
+    pool = dag.valid_nodes() if valid_only else dag.nodes()
+    # prefer deep nodes: MSPs are maximal, so leaves-first ordering converges
+    pool = sorted(pool, key=lambda n: (-dag.depth(n), n))
+    chosen: List[int] = []
+    attempts = 0
+    max_attempts = max_attempts_factor * max(count, 1)
+    relax = False
+    while len(chosen) < count and attempts < max_attempts:
+        attempts += 1
+        candidate = rng.choice(pool)
+        if candidate in chosen or not _incomparable(dag, chosen, candidate):
+            continue
+        if chosen and not relax:
+            if policy == "nearby":
+                anchor = chosen[-1]
+                if (
+                    _undirected_distance(dag, anchor, candidate, nearby_distance)
+                    > nearby_distance
+                ):
+                    continue
+            elif policy == "far":
+                if any(
+                    _undirected_distance(dag, m, candidate, far_distance)
+                    <= far_distance - 1
+                    for m in chosen
+                ):
+                    continue
+        chosen.append(candidate)
+        if attempts >= max_attempts // 2:
+            relax = True
+    if len(chosen) < count:
+        # relax all constraints except incomparability
+        for candidate in pool:
+            if len(chosen) >= count:
+                break
+            if candidate not in chosen and _incomparable(dag, chosen, candidate):
+                chosen.append(candidate)
+    return PlantedSignificance(dag, chosen)

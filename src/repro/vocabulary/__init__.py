@@ -1,0 +1,29 @@
+"""Vocabulary layer: terms and the semantic partial orders of Def. 2.1."""
+
+from .builders import VocabularyBuilder
+from .orders import CycleError, PartialOrder
+from .terms import (
+    ANY_RELATION,
+    THING,
+    Element,
+    Relation,
+    Term,
+    as_element,
+    as_relation,
+)
+from .vocabulary import UnknownTermError, Vocabulary
+
+__all__ = [
+    "ANY_RELATION",
+    "THING",
+    "CycleError",
+    "Element",
+    "PartialOrder",
+    "Relation",
+    "Term",
+    "UnknownTermError",
+    "Vocabulary",
+    "VocabularyBuilder",
+    "as_element",
+    "as_relation",
+]

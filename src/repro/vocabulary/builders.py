@@ -1,0 +1,76 @@
+"""Fluent construction of vocabularies and taxonomies.
+
+:class:`VocabularyBuilder` offers a compact way to declare element and
+relation taxonomies, used heavily by the domain datasets and the tests::
+
+    vocab = (VocabularyBuilder()
+             .element_tree("Thing", {
+                 "Activity": {"Sport": {"Biking": {}, "Ball Game": {"Basketball": {}}}},
+                 "Place": {"City": {"NYC": {}}},
+             })
+             .relation("doAt")
+             .relation_chain("nearBy", "inside")
+             .build())
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from .vocabulary import Vocabulary
+
+#: Nested-dict taxonomy spec: name -> spec of children (empty dict = leaf).
+TreeSpec = Mapping[str, "TreeSpec"]
+
+
+class VocabularyBuilder:
+    """Incrementally assemble a :class:`~repro.vocabulary.Vocabulary`."""
+
+    def __init__(self, vocabulary: Optional[Vocabulary] = None):
+        self._vocab = vocabulary if vocabulary is not None else Vocabulary()
+
+    def element(self, name: str, parent: Optional[str] = None) -> "VocabularyBuilder":
+        """Declare an element, optionally under ``parent``."""
+        self._vocab.add_element(name)
+        if parent is not None:
+            self._vocab.specialize_element(parent, name)
+        return self
+
+    def relation(self, name: str, parent: Optional[str] = None) -> "VocabularyBuilder":
+        """Declare a relation, optionally under ``parent``."""
+        self._vocab.add_relation(name)
+        if parent is not None:
+            self._vocab.specialize_relation(parent, name)
+        return self
+
+    def element_tree(self, root: str, spec: TreeSpec) -> "VocabularyBuilder":
+        """Declare a whole element taxonomy from a nested mapping."""
+        self._vocab.add_element(root)
+        self._add_tree(root, spec)
+        return self
+
+    def _add_tree(self, parent: str, spec: TreeSpec) -> None:
+        for name, children in spec.items():
+            self._vocab.specialize_element(parent, name)
+            if children:
+                self._add_tree(name, children)
+
+    def element_chain(self, *names: str) -> "VocabularyBuilder":
+        """Declare ``names[0] ≤ names[1] ≤ ...`` as a chain of elements."""
+        for general, specific in zip(names, names[1:]):
+            self._vocab.specialize_element(general, specific)
+        if len(names) == 1:
+            self._vocab.add_element(names[0])
+        return self
+
+    def relation_chain(self, *names: str) -> "VocabularyBuilder":
+        """Declare ``names[0] ≤ names[1] ≤ ...`` as a chain of relations."""
+        for general, specific in zip(names, names[1:]):
+            self._vocab.specialize_relation(general, specific)
+        if len(names) == 1:
+            self._vocab.add_relation(names[0])
+        return self
+
+    def build(self) -> Vocabulary:
+        """The assembled vocabulary (further builder calls keep extending it)."""
+        return self._vocab

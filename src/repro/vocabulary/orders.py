@@ -1,0 +1,275 @@
+"""Partial orders over terms (the ``≤E`` and ``≤R`` of Definition 2.1).
+
+The paper orders terms by *reversed subsumption*: ``a ≤ b`` means that *b is
+more specific than a* (``Sport ≤ Biking`` because biking is a sport).  We
+represent such an order as a DAG whose edges point from a term to its
+*immediate specializations* (children).  Reachability gives the full order.
+
+The structure supports the operations the mining algorithms need:
+
+* ``leq(a, b)`` — is ``a ≤ b``?  (memoized reachability)
+* ``children(a)`` / ``parents(a)`` — immediate specializations /
+  generalizations, the ``⋖`` steps of the assignment lattice;
+* ``descendants`` / ``ancestors`` — reflexive-transitive closures, used by
+  ``subClassOf*`` path evaluation and by up-set/down-set classification;
+* ``roots()`` / ``leaves()`` — extremes of the order;
+* ``depth(a)`` — longest chain from a root, used by synthetic-DAG shaping.
+
+Cycles are rejected on insertion (a partial order must be acyclic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from .terms import Term
+
+
+class CycleError(ValueError):
+    """Raised when an edge insertion would create a cycle in the order."""
+
+
+class PartialOrder:
+    """A partial order over :class:`~repro.vocabulary.terms.Term` objects.
+
+    Stored as an explicit Hasse-like DAG.  Edges need not form a transitive
+    reduction — redundant edges are tolerated and ignored by reachability —
+    but :meth:`children` only reports direct edges, so builders should add
+    immediate-specialization edges only.
+    """
+
+    def __init__(self) -> None:
+        self._children: Dict[Term, Set[Term]] = {}
+        self._parents: Dict[Term, Set[Term]] = {}
+        # memoized reflexive-transitive descendant sets, invalidated on edit
+        self._desc_cache: Dict[Term, FrozenSet[Term]] = {}
+        self._anc_cache: Dict[Term, FrozenSet[Term]] = {}
+        self._depth_cache: Dict[Term, int] = {}
+        self._edge_count = 0
+        #: bumped on every structural change; cheap cache-invalidation stamp
+        self.version = 0
+
+    @property
+    def edge_count(self) -> int:
+        """Number of immediate edges (used for cache invalidation stamps)."""
+        return self._edge_count
+
+    # ------------------------------------------------------------------ edit
+
+    def add_term(self, term: Term) -> None:
+        """Register ``term`` as a member of the order (idempotent)."""
+        if term not in self._children:
+            self._children[term] = set()
+            self._parents[term] = set()
+            self._invalidate()
+
+    def add_edge(self, general: Term, specific: Term) -> None:
+        """Record ``general ≤ specific`` as an immediate edge.
+
+        Raises :class:`CycleError` if the edge would make the relation
+        cyclic (including self-loops).
+        """
+        if general == specific:
+            raise CycleError(f"self-loop on {general!r}")
+        self.add_term(general)
+        self.add_term(specific)
+        if self._reaches(specific, general):
+            raise CycleError(f"edge {general!r} -> {specific!r} would create a cycle")
+        self._children[general].add(specific)
+        self._parents[specific].add(general)
+        self._edge_count += 1
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self._desc_cache.clear()
+        self._anc_cache.clear()
+        self._depth_cache.clear()
+
+    # ----------------------------------------------------------------- query
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._children)
+
+    def terms(self) -> FrozenSet[Term]:
+        """All terms registered in the order."""
+        return frozenset(self._children)
+
+    def children(self, term: Term) -> FrozenSet[Term]:
+        """Immediate specializations of ``term`` (empty if unknown)."""
+        return frozenset(self._children.get(term, ()))
+
+    def parents(self, term: Term) -> FrozenSet[Term]:
+        """Immediate generalizations of ``term`` (empty if unknown)."""
+        return frozenset(self._parents.get(term, ()))
+
+    def _reaches(self, src: Term, dst: Term) -> bool:
+        """Uncached reachability used during edits (cache may be stale)."""
+        if src == dst:
+            return True
+        seen = {src}
+        stack = [src]
+        while stack:
+            node = stack.pop()
+            for child in self._children.get(node, ()):
+                if child == dst:
+                    return True
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return False
+
+    def leq(self, general: Term, specific: Term) -> bool:
+        """Is ``general ≤ specific`` (reflexive)?
+
+        Terms not registered in the order are only related to themselves,
+        mirroring the paper's treatment of vocabulary terms that appear in
+        transactions but not in the ontology (e.g. ``Boathouse``).
+        """
+        if general == specific:
+            return True
+        if general not in self._children or specific not in self._children:
+            return False
+        return specific in self.descendants(general)
+
+    def comparable(self, a: Term, b: Term) -> bool:
+        """Are ``a`` and ``b`` related in either direction?"""
+        return self.leq(a, b) or self.leq(b, a)
+
+    def descendants(self, term: Term) -> FrozenSet[Term]:
+        """Reflexive-transitive specializations of ``term``."""
+        cached = self._desc_cache.get(term)
+        if cached is not None:
+            return cached
+        seen: Set[Term] = {term}
+        stack = [term]
+        while stack:
+            node = stack.pop()
+            for child in self._children.get(node, ()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        result = frozenset(seen)
+        self._desc_cache[term] = result
+        return result
+
+    def ancestors(self, term: Term) -> FrozenSet[Term]:
+        """Reflexive-transitive generalizations of ``term``."""
+        cached = self._anc_cache.get(term)
+        if cached is not None:
+            return cached
+        seen: Set[Term] = {term}
+        stack = [term]
+        while stack:
+            node = stack.pop()
+            for parent in self._parents.get(node, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        result = frozenset(seen)
+        self._anc_cache[term] = result
+        return result
+
+    def strict_descendants(self, term: Term) -> FrozenSet[Term]:
+        """Transitive (non-reflexive) specializations."""
+        return self.descendants(term) - {term}
+
+    def strict_ancestors(self, term: Term) -> FrozenSet[Term]:
+        """Transitive (non-reflexive) generalizations."""
+        return self.ancestors(term) - {term}
+
+    def roots(self) -> FrozenSet[Term]:
+        """Terms with no parent (the most general terms)."""
+        return frozenset(t for t, ps in self._parents.items() if not ps)
+
+    def leaves(self) -> FrozenSet[Term]:
+        """Terms with no child (the most specific terms)."""
+        return frozenset(t for t, cs in self._children.items() if not cs)
+
+    def depth(self, term: Term) -> int:
+        """Length of the longest chain from a root to ``term`` (roots: 0)."""
+        cached = self._depth_cache.get(term)
+        if cached is not None:
+            return cached
+        # iterative longest-path on a DAG via memoized DFS
+        order = self._topo_from_ancestors(term)
+        for node in order:
+            parents = self._parents.get(node, ())
+            if not parents:
+                self._depth_cache[node] = 0
+            else:
+                self._depth_cache[node] = 1 + max(self._depth_cache[p] for p in parents)
+        return self._depth_cache[term]
+
+    def _topo_from_ancestors(self, term: Term) -> List[Term]:
+        """Topological order of ``term``'s ancestors, parents first."""
+        visited: Set[Term] = set()
+        order: List[Term] = []
+        stack: List[Tuple[Term, bool]] = [(term, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node in visited:
+                continue
+            visited.add(node)
+            stack.append((node, True))
+            for parent in self._parents.get(node, ()):
+                if parent not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def height(self) -> int:
+        """Longest chain length in the whole order (0 for flat orders)."""
+        if not self._children:
+            return 0
+        return max(self.depth(t) for t in self._children)
+
+    def minimal_generalization_steps(self, general: Term, specific: Term) -> int:
+        """Shortest edge distance from ``general`` down to ``specific``.
+
+        Used by the synthetic MSP placement policies ("nearby" vs "far"
+        MSPs, Section 6.4).  Raises ``ValueError`` if not ``general ≤
+        specific``.
+        """
+        if general == specific:
+            return 0
+        if not self.leq(general, specific):
+            raise ValueError(f"{general!r} is not ≤ {specific!r}")
+        frontier = {general}
+        dist = 0
+        while frontier:
+            dist += 1
+            nxt: Set[Term] = set()
+            for node in frontier:
+                for child in self._children.get(node, ()):
+                    if child == specific:
+                        return dist
+                    nxt.add(child)
+            frontier = nxt
+        raise AssertionError("unreachable: leq held but BFS did not find target")
+
+    def copy(self) -> "PartialOrder":
+        """An independent deep copy of the order."""
+        dup = PartialOrder()
+        for term, children in self._children.items():
+            dup.add_term(term)
+            for child in children:
+                dup._children.setdefault(term, set()).add(child)
+                dup._parents.setdefault(child, set()).add(term)
+                dup.add_term(child)
+        dup._edge_count = self._edge_count
+        return dup
+
+    def edges(self) -> Iterator[Tuple[Term, Term]]:
+        """Iterate over all (general, specific) immediate edges."""
+        for term, children in self._children.items():
+            for child in children:
+                yield (term, child)

@@ -1,0 +1,122 @@
+"""Terms: the atomic names of the OASSIS data model.
+
+The paper's vocabulary (Definition 2.1) consists of two disjoint universes:
+*elements* (nouns and actions such as ``Place``, ``NYC`` or ``Biking``) and
+*relations* (``inside``, ``nearBy``, ``doAt`` ...).  Both are plain
+interned strings at heart, but we wrap them in small value types so that a
+fact ``<Biking, doAt, Central Park>`` cannot accidentally be built with a
+relation in an element slot.
+
+Terms are immutable, hashable and cheap: equality is by kind and name.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+
+class Term:
+    """Base class for :class:`Element` and :class:`Relation`.
+
+    A term is identified by its ``name``.  Two terms are equal iff they have
+    the same concrete class and the same name, so terms can be used freely
+    as dictionary keys and set members.
+    """
+
+    __slots__ = ("name", "_hash")
+
+    #: short tag used in ``repr`` and serialization ("elem" / "rel")
+    kind = "term"
+
+    def __init__(self, name: str):
+        if not isinstance(name, str):
+            raise TypeError(f"term name must be a string, got {type(name).__name__}")
+        if not name:
+            raise ValueError("term name must be non-empty")
+        self.name = name
+        # terms are hashed on every index lookup; precompute once
+        self._hash = hash((self.kind, name))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.name == other.name  # type: ignore[attr-defined]
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Term") -> bool:
+        # Lexicographic tie-breaking so sorted() on terms is deterministic.
+        # This is *not* the semantic order; see repro.vocabulary.orders.
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (self.kind, self.name) < (other.kind, other.name)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Element(Term):
+    """A vocabulary element: an entity, class or action name."""
+
+    __slots__ = ()
+    kind = "elem"
+
+
+class Relation(Term):
+    """A vocabulary relation name (an RDF-style predicate)."""
+
+    __slots__ = ()
+    kind = "rel"
+
+
+#: Anything accepted where an element is expected by convenience APIs.
+ElementLike = Union[Element, str]
+#: Anything accepted where a relation is expected by convenience APIs.
+RelationLike = Union[Relation, str]
+
+
+def as_element(value: ElementLike) -> Element:
+    """Coerce ``value`` to an :class:`Element` (strings are wrapped)."""
+    if isinstance(value, Element):
+        return value
+    if isinstance(value, Relation):
+        raise TypeError(f"expected an element, got relation {value.name!r}")
+    return Element(value)
+
+
+def as_relation(value: RelationLike) -> Relation:
+    """Coerce ``value`` to a :class:`Relation` (strings are wrapped)."""
+    if isinstance(value, Relation):
+        return value
+    if isinstance(value, Element):
+        raise TypeError(f"expected a relation, got element {value.name!r}")
+    return Relation(value)
+
+
+def as_elements(values: Iterable[ElementLike]) -> tuple:
+    """Coerce an iterable of element-likes to a tuple of :class:`Element`."""
+    return tuple(as_element(v) for v in values)
+
+
+#: The designated most-general element.  Ontologies are not required to use
+#: it, but builders root their taxonomy here by default (mirroring the
+#: "Thing" node of Figure 1 in the paper).
+THING = Element("Thing")
+
+#: The designated most-general relation, used by the MORE construct where a
+#: completely unconstrained predicate is required.
+ANY_RELATION = Relation("anyRelation")
+
+#: Wildcard element standing for the paper's ``[]`` ("anything, as long as
+#: one exists").  Facts with a wildcard component are treated as more
+#: general than any fact agreeing on the other components — see
+#: :meth:`repro.ontology.facts.Fact.leq`.
+ANY_ELEMENT = Element("__any__")
+
+#: Wildcard relation counterpart of :data:`ANY_ELEMENT`.
+ANY_RELATION_WILDCARD = Relation("__anyrel__")

@@ -1,0 +1,159 @@
+"""The vocabulary of Definition 2.1: ``V = (E, ≤E, R, ≤R)``.
+
+A :class:`Vocabulary` bundles the element and relation universes together
+with their partial orders and exposes the semantic comparisons the rest of
+the system builds on (term lookup, ``leq`` dispatching on term kind,
+immediate specializations for lattice traversal).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from .orders import PartialOrder
+from .terms import Element, Relation, Term
+
+
+class UnknownTermError(KeyError):
+    """Raised when a name does not resolve to a vocabulary term."""
+
+
+class Vocabulary:
+    """Element and relation universes with their specialization orders."""
+
+    def __init__(self) -> None:
+        self.element_order = PartialOrder()
+        self.relation_order = PartialOrder()
+        self._elements: Dict[str, Element] = {}
+        self._relations: Dict[str, Relation] = {}
+        # leq is the innermost loop of support computation; pair-memoized.
+        # Invalidated when either order gains an edge (see leq()).
+        self._leq_cache: Dict[tuple, bool] = {}
+        self._leq_cache_stamp: int = -1
+
+    # ------------------------------------------------------------- mutation
+
+    def add_element(self, name: str) -> Element:
+        """Register (or fetch) the element called ``name``."""
+        elem = self._elements.get(name)
+        if elem is None:
+            elem = Element(name)
+            self._elements[name] = elem
+            self.element_order.add_term(elem)
+        return elem
+
+    def add_relation(self, name: str) -> Relation:
+        """Register (or fetch) the relation called ``name``."""
+        rel = self._relations.get(name)
+        if rel is None:
+            rel = Relation(name)
+            self._relations[name] = rel
+            self.relation_order.add_term(rel)
+        return rel
+
+    def specialize_element(self, general: str, specific: str) -> None:
+        """Record ``general ≤E specific`` (e.g. ``Sport ≤ Biking``)."""
+        self.element_order.add_edge(self.add_element(general), self.add_element(specific))
+
+    def specialize_relation(self, general: str, specific: str) -> None:
+        """Record ``general ≤R specific`` (e.g. ``nearBy ≤ inside``)."""
+        self.relation_order.add_edge(self.add_relation(general), self.add_relation(specific))
+
+    # --------------------------------------------------------------- lookup
+
+    def element(self, name: str) -> Element:
+        """The element called ``name``; raises :class:`UnknownTermError`."""
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise UnknownTermError(f"unknown element {name!r}") from None
+
+    def relation(self, name: str) -> Relation:
+        """The relation called ``name``; raises :class:`UnknownTermError`."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownTermError(f"unknown relation {name!r}") from None
+
+    def has_element(self, name: str) -> bool:
+        return name in self._elements
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    @property
+    def elements(self) -> FrozenSet[Element]:
+        return frozenset(self._elements.values())
+
+    @property
+    def relations(self) -> FrozenSet[Relation]:
+        return frozenset(self._relations.values())
+
+    def __len__(self) -> int:
+        """|E| + |R| — the vocabulary size used in Proposition 4.7."""
+        return len(self._elements) + len(self._relations)
+
+    # ------------------------------------------------------------ semantics
+
+    def _order_for(self, term: Term) -> PartialOrder:
+        if isinstance(term, Element):
+            return self.element_order
+        if isinstance(term, Relation):
+            return self.relation_order
+        raise TypeError(f"not a vocabulary term: {term!r}")
+
+    def leq(self, general: Term, specific: Term) -> bool:
+        """Dispatching ``≤``: elements via ``≤E``, relations via ``≤R``.
+
+        Terms of different kinds are incomparable.
+        """
+        if general is specific:
+            return True
+        stamp = self.element_order.version + self.relation_order.version
+        if stamp != self._leq_cache_stamp:
+            self._leq_cache.clear()
+            self._leq_cache_stamp = stamp
+        key = (general, specific)
+        cached = self._leq_cache.get(key)
+        if cached is None:
+            if type(general) is not type(specific):
+                cached = False
+            else:
+                cached = self._order_for(general).leq(general, specific)
+            self._leq_cache[key] = cached
+        return cached
+
+    def comparable(self, a: Term, b: Term) -> bool:
+        """Are ``a`` and ``b`` related in either direction (or equal)?"""
+        return self.leq(a, b) or self.leq(b, a)
+
+    def children(self, term: Term) -> FrozenSet[Term]:
+        """Immediate specializations of ``term`` in its order."""
+        return self._order_for(term).children(term)
+
+    def parents(self, term: Term) -> FrozenSet[Term]:
+        """Immediate generalizations of ``term`` in its order."""
+        return self._order_for(term).parents(term)
+
+    def descendants(self, term: Term) -> FrozenSet[Term]:
+        """Reflexive-transitive specializations of ``term``."""
+        return self._order_for(term).descendants(term)
+
+    def ancestors(self, term: Term) -> FrozenSet[Term]:
+        """Reflexive-transitive generalizations of ``term``."""
+        return self._order_for(term).ancestors(term)
+
+    def copy(self) -> "Vocabulary":
+        dup = Vocabulary()
+        dup._elements = dict(self._elements)
+        dup._relations = dict(self._relations)
+        dup.element_order = self.element_order.copy()
+        dup.relation_order = self.relation_order.copy()
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"Vocabulary(|E|={len(self._elements)}, |R|={len(self._relations)}, "
+            f"element_edges={sum(1 for _ in self.element_order.edges())}, "
+            f"relation_edges={sum(1 for _ in self.relation_order.edges())})"
+        )

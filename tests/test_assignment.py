@@ -1,0 +1,239 @@
+"""Unit tests for assignments with multiplicities (Definition 4.1)."""
+
+import pytest
+
+from repro.assignments import Assignment, canonical_facts, canonical_values
+from repro.datasets import running_example
+from repro.oassisql import parse_query
+from repro.ontology import Fact
+from repro.vocabulary import Element
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    return running_example.build_ontology().vocabulary
+
+
+@pytest.fixture(scope="module")
+def satisfying():
+    # use the blank-resolved clause via the generator's rewrite
+    from repro.assignments.generator import _resolve_blanks
+
+    query = parse_query(running_example.SAMPLE_QUERY)
+    return _resolve_blanks(query.satisfying)
+
+
+def E(name: str) -> Element:
+    return Element(name)
+
+
+class TestCanonicalization:
+    def test_canonical_values_drops_generalizations(self, vocab):
+        values = canonical_values({E("Sport"), E("Biking")}, vocab)
+        assert values == {E("Biking")}
+
+    def test_canonical_values_keeps_incomparable(self, vocab):
+        values = canonical_values({E("Biking"), E("Ball Game")}, vocab)
+        assert values == {E("Biking"), E("Ball Game")}
+
+    def test_canonical_values_idempotent(self, vocab):
+        once = canonical_values({E("Sport"), E("Biking"), E("Baseball")}, vocab)
+        assert canonical_values(once, vocab) == once
+
+    def test_canonical_facts(self, vocab):
+        facts = canonical_facts(
+            {
+                Fact("Sport", "doAt", "Central Park"),
+                Fact("Biking", "doAt", "Central Park"),
+            },
+            vocab,
+        )
+        assert facts == {Fact("Biking", "doAt", "Central Park")}
+
+
+class TestOrderRelation:
+    def test_leq_single_values(self, vocab):
+        general = Assignment.single(vocab, x=E("Park"), y=E("Sport"))
+        specific = Assignment.single(vocab, x=E("Central Park"), y=E("Biking"))
+        assert general.leq(specific, vocab)
+        assert not specific.leq(general, vocab)
+
+    def test_leq_requires_witness_per_value(self, vocab):
+        small = Assignment.make(vocab, {"y": {E("Ball Game")}})
+        big = Assignment.make(vocab, {"y": {E("Biking"), E("Basketball")}})
+        # Ball Game <= Basketball gives the witness
+        assert small.leq(big, vocab)
+        # but {Biking} has no witness in {Ball Game}
+        assert not Assignment.make(vocab, {"y": {E("Biking")}}).leq(
+            Assignment.make(vocab, {"y": {E("Ball Game")}}), vocab
+        )
+
+    def test_subset_is_more_general(self, vocab):
+        one = Assignment.make(vocab, {"y": {E("Biking")}})
+        two = Assignment.make(vocab, {"y": {E("Biking"), E("Ball Game")}})
+        assert one.leq(two, vocab)
+        assert not two.leq(one, vocab)
+
+    def test_missing_variable_means_empty(self, vocab):
+        empty = Assignment.make(vocab, {})
+        bound = Assignment.single(vocab, x=E("Park"))
+        assert empty.leq(bound, vocab)
+        assert not bound.leq(empty, vocab)
+
+    def test_more_facts_participate_in_order(self, vocab):
+        base = Assignment.single(vocab, x=E("Central Park"))
+        extended = base.with_more_fact(vocab, Fact("Rent Bikes", "doAt", "Boathouse"))
+        assert base.leq(extended, vocab)
+        assert not extended.leq(base, vocab)
+
+    def test_strictly_leq(self, vocab):
+        a = Assignment.single(vocab, x=E("Park"))
+        assert not a.strictly_leq(a, vocab)
+        b = Assignment.single(vocab, x=E("Central Park"))
+        assert a.strictly_leq(b, vocab)
+
+    def test_figure3_example_phi17_leq_phi20(self, vocab):
+        phi17 = Assignment.single(vocab, x=E("Central Park"), y=E("Ball Game"))
+        phi20 = Assignment.single(vocab, x=E("Central Park"), y=E("Baseball"))
+        assert phi17.leq(phi20, vocab)
+
+
+class TestInstantiation:
+    def test_phi16_instantiation(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        phi16 = Assignment.make(
+            vocab,
+            {
+                "x": {E("Central Park")},
+                "y": {E("Biking")},
+                "z": {E("Maoz Veg")},
+                "__any_0": {ANY_ELEMENT},
+            },
+        )
+        facts = phi16.instantiate(satisfying)
+        assert Fact("Biking", "doAt", "Central Park") in facts
+        assert Fact(ANY_ELEMENT, "eatAt", "Maoz Veg") in facts
+        assert len(facts) == 2
+
+    def test_multiplicity_cross_product(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        phi = Assignment.make(
+            vocab,
+            {
+                "x": {E("Central Park")},
+                "y": {E("Biking"), E("Baseball")},
+                "z": {E("Maoz Veg")},
+                "__any_0": {ANY_ELEMENT},
+            },
+        )
+        facts = phi.instantiate(satisfying)
+        assert Fact("Biking", "doAt", "Central Park") in facts
+        assert Fact("Baseball", "doAt", "Central Park") in facts
+
+    def test_multiplicity_zero_drops_meta_fact(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        phi = Assignment.make(
+            vocab,
+            {
+                "x": {E("Central Park")},
+                "z": {E("Maoz Veg")},
+                "__any_0": {ANY_ELEMENT},
+            },
+        )
+        facts = phi.instantiate(satisfying)
+        # $y+ doAt $x dropped since y is empty; [] eatAt $z remains
+        assert len(facts) == 1
+        assert Fact(ANY_ELEMENT, "eatAt", "Maoz Veg") in facts
+
+    def test_more_facts_appended(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        phi = Assignment.make(
+            vocab,
+            {"x": {E("Central Park")}, "y": {E("Biking")}, "z": {E("Maoz Veg")},
+             "__any_0": {ANY_ELEMENT}},
+            more=[Fact("Rent Bikes", "doAt", "Boathouse")],
+        )
+        assert Fact("Rent Bikes", "doAt", "Boathouse") in phi.instantiate(satisfying)
+
+
+class TestMultiplicityChecks:
+    def test_satisfies_multiplicities(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        good = Assignment.make(
+            vocab,
+            {"x": {E("Central Park")}, "y": {E("Biking")}, "z": {E("Maoz Veg")},
+             "__any_0": {ANY_ELEMENT}},
+        )
+        assert good.satisfies_multiplicities(satisfying)
+
+    def test_y_zero_violates_at_least_one(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        missing_y = Assignment.make(
+            vocab,
+            {"x": {E("Central Park")}, "z": {E("Maoz Veg")}, "__any_0": {ANY_ELEMENT}},
+        )
+        assert not missing_y.satisfies_multiplicities(satisfying)
+
+    def test_x_two_values_violates_exactly_one(self, vocab, satisfying):
+        from repro.vocabulary.terms import ANY_ELEMENT
+
+        two_x = Assignment.make(
+            vocab,
+            {"x": {E("Central Park"), E("Bronx Zoo")}, "y": {E("Biking")},
+             "z": {E("Maoz Veg")}, "__any_0": {ANY_ELEMENT}},
+        )
+        assert not two_x.satisfies_multiplicities(satisfying)
+
+
+class TestDerivation:
+    def test_with_value_canonicalizes(self, vocab):
+        a = Assignment.make(vocab, {"y": {E("Biking")}})
+        same = a.with_value(vocab, "y", E("Sport"))  # more general: no-op
+        assert same == a
+        bigger = a.with_value(vocab, "y", E("Ball Game"))
+        assert bigger.get("y") == {E("Biking"), E("Ball Game")}
+
+    def test_with_replaced_value(self, vocab):
+        a = Assignment.make(vocab, {"y": {E("Ball Game")}})
+        b = a.with_replaced_value(vocab, "y", E("Ball Game"), E("Baseball"))
+        assert b.get("y") == {E("Baseball")}
+
+    def test_with_more_fact_and_replace(self, vocab):
+        a = Assignment.make(vocab, {"x": {E("Park")}})
+        b = a.with_more_fact(vocab, Fact("Rent Bikes", "doAt", "Boathouse"))
+        assert len(b.more) == 1
+        c = b.with_replaced_more_fact(
+            vocab,
+            Fact("Rent Bikes", "doAt", "Boathouse"),
+            Fact("Rent Bikes", "doAt", "Central Park"),
+        )
+        assert Fact("Rent Bikes", "doAt", "Central Park") in c.more
+
+    def test_restrict(self, vocab):
+        a = Assignment.make(
+            vocab, {"x": {E("Park")}, "y": {E("Biking")}},
+            more=[Fact("A", "doAt", "B")],
+        )
+        r = a.restrict(["x"])
+        assert r.variables() == {"x"}
+        assert not r.more
+
+    def test_size(self, vocab):
+        a = Assignment.make(
+            vocab, {"x": {E("Park")}, "y": {E("Biking"), E("Ball Game")}},
+            more=[Fact("A", "doAt", "B")],
+        )
+        assert a.size() == 4
+
+    def test_equality_and_hash(self, vocab):
+        a = Assignment.single(vocab, x=E("Park"))
+        b = Assignment.single(vocab, x=E("Park"))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1

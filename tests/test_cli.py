@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import running_example
+from repro.ontology import turtle
+
+
+@pytest.fixture()
+def query_file(tmp_path):
+    path = tmp_path / "query.oql"
+    path.write_text(running_example.FRAGMENT_QUERY)
+    return str(path)
+
+
+@pytest.fixture()
+def ontology_file(tmp_path):
+    ontology = running_example.build_ontology()
+    path = tmp_path / "onto.ttl"
+    turtle.dump(ontology, path)
+    return str(path)
+
+
+class TestParseCommand:
+    def test_parse_pretty_prints(self, query_file, capsys):
+        assert main(["parse", query_file]) == 0
+        out = capsys.readouterr().out
+        assert "SELECT FACT-SETS" in out
+        assert "WITH SUPPORT" in out
+
+    def test_parse_with_ontology_ok(self, query_file, ontology_file, capsys):
+        assert main(["parse", query_file, "--ontology", ontology_file]) == 0
+
+    def test_parse_reports_problems(self, tmp_path, ontology_file, capsys):
+        bad = tmp_path / "bad.oql"
+        bad.write_text(
+            "SELECT FACT-SETS WHERE $x inside Paris "
+            "SATISFYING $x doAt NYC WITH SUPPORT = 0.3"
+        )
+        assert main(["parse", str(bad), "--ontology", ontology_file]) == 1
+        assert "Paris" in capsys.readouterr().err
+
+
+class TestDomainsCommand:
+    def test_lists_domains(self, capsys):
+        assert main(["domains"]) == 0
+        out = capsys.readouterr().out
+        assert "travel" in out
+        assert "culinary" in out
+        assert "self-treatment" in out
+
+
+class TestRunCommand:
+    def test_run_requires_target(self, capsys):
+        assert main(["run"]) == 2
+
+    def test_run_domain(self, capsys):
+        code = main(
+            ["run", "--domain", "self-treatment", "--crowd-size", "10",
+             "--threshold", "0.3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "question(s) asked" in out
+
+    def test_run_custom_single_user(self, tmp_path, ontology_file, capsys):
+        query = tmp_path / "q.oql"
+        query.write_text(running_example.FRAGMENT_QUERY)
+        history = tmp_path / "history.txt"
+        history.write_text(
+            "# my outings\n"
+            "Biking doAt Central Park\n"
+            "Biking doAt Central Park. Basketball doAt Central Park\n"
+            "Basketball doAt Central Park\n"
+        )
+        code = main(
+            ["run", "--ontology", ontology_file, "--query", str(query),
+             "--history", str(history)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Biking doAt Central Park" in out
+
+    def test_run_custom_without_history_fails(self, tmp_path, ontology_file, capsys):
+        query = tmp_path / "q.oql"
+        query.write_text(running_example.FRAGMENT_QUERY)
+        assert main(
+            ["run", "--ontology", ontology_file, "--query", str(query)]
+        ) == 2

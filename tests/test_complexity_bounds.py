@@ -1,0 +1,65 @@
+"""Sanity checks for the crowd-complexity bounds (Props. 4.7 and 4.8).
+
+Proposition 4.8 lower-bounds any concrete-question algorithm by
+``|msp_valid| + |msp⁻_valid|``; Proposition 4.7 upper-bounds the vertical
+algorithm by ``O((|E| + |R|)(|msp| + |msp⁻|))``.  We check both on explicit
+DAGs (where the vocabulary factor maps to the max out-degree) and the upper
+bound's query-space form on the running example.
+"""
+
+import pytest
+
+from repro.assignments import QueryAssignmentSpace
+from repro.datasets import running_example
+from repro.mining import brute_force_msps, negative_border, vertical_mine
+from repro.oassisql import parse_query
+from repro.synth import generate_dag, place_msps
+
+
+class TestExplicitDagBounds:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lower_bound(self, seed):
+        dag = generate_dag(width=80, depth=5, seed=seed, valid_fraction=1.0)
+        planted = place_msps(dag, 4, seed=seed)
+        result = vertical_mine(dag, planted.support, 0.5)
+        msps = brute_force_msps(dag, planted.is_significant, valid_only=False)
+        border = negative_border(dag, planted.is_significant)
+        # every MSP and every minimal-insignificant node must be asked
+        assert result.questions >= len(msps) + len(border) - 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_upper_bound_with_degree_factor(self, seed):
+        dag = generate_dag(width=80, depth=5, seed=seed, valid_fraction=1.0)
+        planted = place_msps(dag, 4, seed=seed)
+        result = vertical_mine(dag, planted.support, 0.5)
+        msps = brute_force_msps(dag, planted.is_significant, valid_only=False)
+        border = negative_border(dag, planted.is_significant)
+        max_degree = max(len(dag.successors(n)) for n in dag.nodes())
+        depth = dag.height() + 1
+        bound = (max_degree * depth + 1) * (len(msps) + len(border))
+        assert result.questions <= bound
+
+
+class TestQuerySpaceBound:
+    def test_proposition_47_on_running_example(self):
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        vocab = ontology.vocabulary
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        space = QueryAssignmentSpace(ontology, query, max_values_per_var=2)
+
+        def u_avg(node):
+            facts = space.instantiate(node)
+            return (
+                dbs["u1"].support(facts, vocab) + dbs["u2"].support(facts, vocab)
+            ) / 2
+
+        result = vertical_mine(space, u_avg, 0.4)
+        msps = brute_force_msps(
+            space, lambda n: u_avg(n) >= 0.4, valid_only=False
+        )
+        border = negative_border(space, lambda n: u_avg(n) >= 0.4)
+        vocabulary_size = len(vocab)  # |E| + |R|
+        bound = vocabulary_size * (len(msps) + len(border))
+        assert result.questions <= bound
+        assert result.questions >= len(msps)

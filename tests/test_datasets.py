@@ -1,0 +1,85 @@
+"""Tests for the three experiment domains (Section 6.3)."""
+
+import pytest
+
+from repro.datasets import all_domains, culinary, health, travel
+from repro.engine import OassisEngine
+from repro.oassisql import parse_query, validate
+
+
+@pytest.fixture(scope="module", params=["travel", "culinary", "health"])
+def dataset(request):
+    module = {"travel": travel, "culinary": culinary, "health": health}[request.param]
+    return module.build_dataset()
+
+
+class TestDomainConstruction:
+    def test_ontology_nonempty(self, dataset):
+        assert len(dataset.ontology) > 20
+
+    def test_query_parses_and_validates(self, dataset):
+        query = parse_query(dataset.query(0.2))
+        assert validate(query, dataset.ontology) == []
+
+    def test_query_threshold_substitution(self, dataset):
+        assert parse_query(dataset.query(0.35)).threshold == 0.35
+
+    def test_patterns_use_known_vocabulary(self, dataset):
+        vocab = dataset.ontology.vocabulary
+        for pattern in dataset.patterns:
+            for fact in pattern.fact_set:
+                assert vocab.has_element(fact.subject.name), fact
+                assert vocab.has_relation(fact.relation.name), fact
+                assert vocab.has_element(fact.obj.name), fact
+
+    def test_patterns_span_thresholds(self, dataset):
+        supports = sorted(p.mean_support for p in dataset.patterns)
+        assert supports[0] < 0.2  # some merge-only leaves
+        assert supports[-1] > 0.5  # some survive the top threshold
+
+    def test_crowd_builds_deterministically(self, dataset):
+        a = dataset.build_crowd(size=3, seed=9, transactions=10)
+        b = dataset.build_crowd(size=3, seed=9, transactions=10)
+        for ma, mb in zip(a, b):
+            for ta, tb in zip(ma.database, mb.database):
+                assert ta.facts == tb.facts
+
+    def test_crowd_behaviour_ratios_wired(self, dataset):
+        members = dataset.build_crowd(size=2, seed=0)
+        for member in members:
+            assert member.specialization_ratio == pytest.approx(0.12)
+            assert member.pruning_ratio == pytest.approx(0.13)
+
+
+class TestDomainSemantics:
+    def test_travel_query_space_has_invalid_generals(self):
+        ds = travel.build_dataset()
+        engine = OassisEngine(ds.ontology, max_values_per_var=1, max_more_facts=0)
+        query = engine.parse(ds.query(0.2))
+        space = engine.build_space(query)
+        (root,) = space.roots()
+        # the root binds classes, not instances: invalid for this query
+        assert not space.is_valid(root)
+        assert space.valid_base_assignments()
+
+    def test_class_queries_have_valid_roots(self):
+        for module in (culinary, health):
+            ds = module.build_dataset()
+            engine = OassisEngine(ds.ontology, max_values_per_var=1)
+            query = engine.parse(ds.query(0.2))
+            space = engine.build_space(query)
+            for root in space.roots():
+                assert space.is_valid(root)
+
+    def test_all_domains_helper(self):
+        domains = all_domains()
+        assert [d.name for d in domains] == ["travel", "culinary", "self-treatment"]
+
+    def test_planted_support_realized_in_crowd(self):
+        ds = health.build_dataset()
+        members = ds.build_crowd(size=25, seed=3, transactions=50)
+        strongest = max(ds.patterns, key=lambda p: p.mean_support)
+        average = sum(
+            m.true_support(strongest.fact_set) for m in members
+        ) / len(members)
+        assert average == pytest.approx(strongest.mean_support, abs=0.12)

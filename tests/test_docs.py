@@ -1,0 +1,76 @@
+"""Documentation consistency: the examples in the docs must stay runnable."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.oassisql import parse_query
+
+DOCS = pathlib.Path(__file__).resolve().parent.parent / "docs"
+ROOT = DOCS.parent
+
+
+def _full_queries(text: str):
+    """Complete OASSIS-QL queries from ```sparql blocks (skip grammar BNF)."""
+    for block in re.findall(r"```sparql\n(.*?)```", text, re.S):
+        if "SELECT" not in block or "WITH SUPPORT" not in block:
+            continue
+        if "(" in block:
+            continue  # the grammar skeleton, not a concrete query
+        if "--" in block:
+            block = "\n".join(line.split("--")[0] for line in block.splitlines())
+        yield block
+
+
+class TestLanguageGuide:
+    def test_worked_examples_parse(self):
+        text = (DOCS / "LANGUAGE.md").read_text()
+        queries = list(_full_queries(text))
+        assert len(queries) >= 3
+        for query in queries:
+            parse_query(query)
+
+    def test_readme_query_parses(self):
+        text = (ROOT / "README.md").read_text()
+        queries = list(_full_queries(text))
+        assert queries, "README should contain the Figure 2 query"
+        for query in queries:
+            parse_query(query)
+
+
+class TestExampleData:
+    def test_shipped_ontology_loads(self):
+        from repro.ontology import turtle
+
+        ontology = turtle.load(ROOT / "examples" / "data" / "nyc.ttl")
+        assert len(ontology) > 10
+        assert ontology.vocabulary.has_relation("doAt")
+
+    def test_shipped_query_validates_against_shipped_ontology(self):
+        from repro.oassisql import validate
+        from repro.ontology import turtle
+
+        ontology = turtle.load(ROOT / "examples" / "data" / "nyc.ttl")
+        query = parse_query(
+            (ROOT / "examples" / "data" / "activities.oql").read_text()
+        )
+        assert validate(query, ontology) == []
+
+    def test_shipped_history_parses(self):
+        from repro.crowd import PersonalDatabase
+
+        lines = [
+            line.strip()
+            for line in (ROOT / "examples" / "data" / "history.txt")
+            .read_text()
+            .splitlines()
+            if line.strip() and not line.startswith("#")
+        ]
+        database = PersonalDatabase.parse(lines)
+        assert len(database) == 6
+
+    def test_documented_files_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "docs/LANGUAGE.md", "docs/ARCHITECTURE.md", "Makefile"):
+            assert (ROOT / name).exists(), name

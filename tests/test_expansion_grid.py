@@ -1,0 +1,89 @@
+"""The coherent-witness-grid expansion test (Proposition 5.1 semantics).
+
+A multi-valued assignment belongs to the expanded set ``A`` only if it is
+dominated by a *combination* of valid assignments — which must agree on
+every other variable.  A per-selection check is not enough; these tests pin
+the difference down.
+"""
+
+import pytest
+
+from repro.assignments import Assignment, QueryAssignmentSpace
+from repro.oassisql import parse_query
+from repro.ontology import Fact, Ontology
+from repro.vocabulary import Element
+
+QUERY = """
+SELECT FACT-SETS
+WHERE
+  $x subClassOf* Food .
+  $y subClassOf* Drink .
+  $x goesWith $y
+SATISFYING
+  $x+ servedWith $y
+WITH SUPPORT = 0.5
+"""
+
+
+@pytest.fixture()
+def space():
+    """Foods A1, A2; drinks B1 with child B1c.
+
+    Valid (goesWith) pairs: (A1, B1) and (A2, B1c) — they never share a
+    drink value, so no combination with two foods exists.
+    """
+    ontology = Ontology()
+    ontology.add(Fact("A1", "subClassOf", "Food"))
+    ontology.add(Fact("A2", "subClassOf", "Food"))
+    ontology.add(Fact("B1", "subClassOf", "Drink"))
+    ontology.add(Fact("B1c", "subClassOf", "B1"))
+    ontology.add(Fact("A1", "goesWith", "B1"))
+    ontology.add(Fact("A2", "goesWith", "B1c"))
+    ontology.vocabulary.add_relation("servedWith")
+    query = parse_query(QUERY)
+    return QueryAssignmentSpace(ontology, query, max_values_per_var=2)
+
+
+def E(name):
+    return Element(name)
+
+
+class TestWitnessGrid:
+    def test_single_valued_membership(self, space):
+        vocab = space.vocabulary
+        assert space.in_expansion(
+            Assignment.make(vocab, {"x": {E("A1")}, "y": {E("B1")}})
+        )
+        assert space.in_expansion(
+            Assignment.make(vocab, {"x": {E("A2")}, "y": {E("B1")}})
+        )  # generalizes (A2, B1c)
+
+    def test_single_valued_non_membership(self, space):
+        vocab = space.vocabulary
+        # (A1, B1c) is not dominated by any valid pair: A1 only goes with B1
+        assert not space.in_expansion(
+            Assignment.make(vocab, {"x": {E("A1")}, "y": {E("B1c")}})
+        )
+
+    def test_multi_value_requires_coherent_combination(self, space):
+        vocab = space.vocabulary
+        # every selection of ({A1, A2}, B1) is dominated by SOME valid pair,
+        # but no single combination covers both foods with one drink value:
+        # the assignment is NOT in the expansion
+        node = Assignment.make(vocab, {"x": {E("A1"), E("A2")}, "y": {E("B1")}})
+        assert not space.in_expansion(node)
+
+    def test_multi_value_with_shared_partner(self, space):
+        vocab = space.vocabulary
+        # make a genuine combination possible and check the grid finds it
+        space.ontology.add(Fact("A2", "goesWith", "B1"))
+        fresh = QueryAssignmentSpace(
+            space.ontology, space.query, max_values_per_var=2
+        )
+        node = Assignment.make(vocab, {"x": {E("A1"), E("A2")}, "y": {E("B1")}})
+        assert fresh.in_expansion(node)
+        assert fresh.is_valid(node)
+
+    def test_traversal_never_generates_incoherent_combos(self, space):
+        for node in space.all_nodes():
+            assert space.in_expansion(node), node

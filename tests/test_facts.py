@@ -1,0 +1,142 @@
+"""Unit tests for facts and fact-sets (Definitions 2.2 and 2.5)."""
+
+import pytest
+
+from repro.ontology.facts import Fact, FactSet, as_fact, fact_set, parse_fact_set
+from repro.vocabulary import Vocabulary
+from repro.vocabulary.terms import ANY_ELEMENT, ANY_RELATION_WILDCARD, Element
+
+
+@pytest.fixture()
+def vocab() -> Vocabulary:
+    v = Vocabulary()
+    v.specialize_element("Activity", "Sport")
+    v.specialize_element("Sport", "Biking")
+    v.specialize_element("Sport", "Ball Game")
+    v.specialize_element("Ball Game", "Basketball")
+    v.specialize_element("Place", "Park")
+    v.specialize_element("Park", "Central Park")
+    v.specialize_relation("nearBy", "inside")
+    v.add_relation("doAt")
+    return v
+
+
+class TestFact:
+    def test_construction_from_strings(self):
+        f = Fact("Biking", "doAt", "Central Park")
+        assert f.subject == Element("Biking")
+        assert str(f) == "Biking doAt Central Park"
+
+    def test_equality_and_hash(self):
+        a = Fact("A", "r", "B")
+        assert a == Fact("A", "r", "B")
+        assert hash(a) == hash(Fact("A", "r", "B"))
+        assert a != Fact("A", "r", "C")
+
+    def test_as_fact_from_tuple(self):
+        assert as_fact(("A", "r", "B")) == Fact("A", "r", "B")
+
+    def test_as_fact_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_fact("not a fact")
+
+    def test_leq_componentwise(self, vocab):
+        general = Fact("Sport", "doAt", "Park")
+        specific = Fact("Biking", "doAt", "Central Park")
+        assert general.leq(specific, vocab)
+        assert not specific.leq(general, vocab)
+
+    def test_leq_relation_order(self, vocab):
+        # Example 2.6: <Central Park, nearBy, NYC> is *more specific* info
+        # than <Central Park, inside, NYC>?  No: f3 = inside-fact, f4 =
+        # nearBy-fact, and f3 ≤ f4 requires inside ≥ nearBy.
+        near = Fact("Central Park", "nearBy", "NYC")
+        inside = Fact("Central Park", "inside", "NYC")
+        assert near.leq(inside, vocab)
+        assert not inside.leq(near, vocab)
+
+    def test_leq_reflexive(self, vocab):
+        f = Fact("Biking", "doAt", "Central Park")
+        assert f.leq(f, vocab)
+
+    def test_wildcard_subject_matches_anything(self, vocab):
+        wild = Fact(ANY_ELEMENT, "doAt", "Central Park")
+        concrete = Fact("Biking", "doAt", "Central Park")
+        assert wild.leq(concrete, vocab)
+        assert not concrete.leq(wild, vocab)
+
+    def test_wildcard_relation_matches_anything(self, vocab):
+        wild = Fact("Biking", ANY_RELATION_WILDCARD, "Central Park")
+        concrete = Fact("Biking", "doAt", "Central Park")
+        assert wild.leq(concrete, vocab)
+
+    def test_sorting_deterministic(self):
+        facts = sorted([Fact("B", "r", "X"), Fact("A", "r", "X")])
+        assert facts[0].subject == Element("A")
+
+
+class TestFactSet:
+    def test_leq_every_fact_needs_witness(self, vocab):
+        small = fact_set(("Sport", "doAt", "Park"))
+        big = fact_set(("Biking", "doAt", "Central Park"), ("A", "doAt", "B"))
+        assert small.leq(big, vocab)
+        assert not big.leq(small, vocab)
+
+    def test_empty_set_leq_everything(self, vocab):
+        assert FactSet().leq(fact_set(("A", "r", "B")), vocab)
+
+    def test_implies_transaction_reading(self, vocab):
+        transaction = fact_set(("Basketball", "doAt", "Central Park"))
+        query = fact_set(("Sport", "doAt", "Central Park"))
+        assert transaction.implies(query, vocab)
+        assert not transaction.implies(
+            fact_set(("Biking", "doAt", "Central Park")), vocab
+        )
+
+    def test_implies_fact(self, vocab):
+        transaction = fact_set(("Basketball", "doAt", "Central Park"))
+        assert transaction.implies_fact(("Ball Game", "doAt", "Park"), vocab)
+        assert not transaction.implies_fact(("Biking", "doAt", "Park"), vocab)
+
+    def test_union_and_contains(self):
+        a = fact_set(("A", "r", "B"))
+        b = fact_set(("C", "r", "D"))
+        union = a | b
+        assert len(union) == 2
+        assert ("A", "r", "B") in union
+
+    def test_equality_with_raw_sets(self):
+        assert fact_set(("A", "r", "B")) == {Fact("A", "r", "B")}
+
+    def test_hashable(self):
+        assert {fact_set(("A", "r", "B")), fact_set(("A", "r", "B"))}
+
+
+class TestParseFactSet:
+    def test_single_fact(self):
+        fs = parse_fact_set("Biking doAt Central Park")
+        assert fs == fact_set(("Biking", "doAt", "Central Park"))
+
+    def test_multiple_facts_dotted(self):
+        fs = parse_fact_set("Biking doAt Central Park. Falafel eatAt Maoz Veg")
+        assert len(fs) == 2
+
+    def test_multiword_subject_with_lowercase_words(self):
+        fs = parse_fact_set("Feed a monkey doAt Bronx Zoo")
+        assert fs == fact_set(("Feed a monkey", "doAt", "Bronx Zoo"))
+
+    def test_known_relations_break_ties(self):
+        fs = parse_fact_set("a b c", relations={"b"})
+        assert fs == fact_set(("a", "b", "c"))
+
+    def test_single_lowercase_inner_token_is_relation(self):
+        assert parse_fact_set("a b c") == fact_set(("a", "b", "c"))
+
+    def test_ambiguous_raises(self):
+        with pytest.raises(ValueError):
+            # two inner lowercase tokens, no relation hint
+            parse_fact_set("a b c d")
+
+    def test_empty_chunks_ignored(self):
+        fs = parse_fact_set("Biking doAt Park. . ")
+        assert len(fs) == 1

@@ -1,0 +1,103 @@
+"""Figure 3 structure tests: the paper's own lattice, node by node.
+
+Node numbering follows Figure 3; each node shows (φ(x), φ(y)) for the
+grey-highlighted fragment of the sample query (the nearby-restaurant part
+omitted).
+"""
+
+import pytest
+
+from repro.assignments import Assignment, QueryAssignmentSpace
+from repro.datasets import running_example
+from repro.oassisql import parse_query
+from repro.vocabulary import Element
+
+
+def E(name):
+    return Element(name)
+
+
+@pytest.fixture(scope="module")
+def space():
+    ontology = running_example.build_ontology()
+    query = parse_query(running_example.FRAGMENT_QUERY)
+    return QueryAssignmentSpace(ontology, query, max_values_per_var=2)
+
+
+@pytest.fixture(scope="module")
+def nodes(space):
+    vocab = space.vocabulary
+
+    def node(x, y_values):
+        return Assignment.make(vocab, {"x": {E(x)}, "y": set(map(E, y_values))})
+
+    return {
+        1: node("Attraction", ["Activity"]),
+        3: node("Outdoor", ["Activity"]),
+        15: node("Central Park", ["Sport"]),
+        16: node("Central Park", ["Biking"]),
+        17: node("Central Park", ["Ball Game"]),
+        18: node("Central Park", ["Biking", "Ball Game"]),
+        19: node("Central Park", ["Basketball"]),
+        20: node("Central Park", ["Baseball"]),
+        "monkey": node("Bronx Zoo", ["Feed a monkey"]),
+        "park_sport": node("Park", ["Sport"]),
+    }
+
+
+class TestExample42:
+    def test_phi17_leq_phi20(self, space, nodes):
+        """φ17 ≤ φ20 since Ball Game ≤ Baseball (Example 4.2)."""
+        assert space.leq(nodes[17], nodes[20])
+        assert not space.leq(nodes[20], nodes[17])
+
+    def test_phi17_immediate_successor_phi20(self, space, nodes):
+        """φ17 ⋖ φ20: Baseball is an immediate child of Ball Game."""
+        assert nodes[20] in space.successors(nodes[17])
+
+    def test_phi15_successors_include_sport_specializations(self, space, nodes):
+        successors = space.successors(nodes[15])
+        assert nodes[16] in successors  # Sport -> Biking
+        assert nodes[17] in successors  # Sport -> Ball Game
+
+    def test_node1_is_the_unique_root(self, space, nodes):
+        assert space.roots() == [nodes[1]]
+
+    def test_example46_descent_path_exists(self, space, nodes):
+        """The outer-loop trace of Example 4.6 descends 1 -> 3 -> ... -> 17."""
+        assert nodes[3] in space.successors(nodes[1])
+        # every listed node is ≤ node 20's region appropriately
+        assert space.leq(nodes[1], nodes[17])
+        assert space.leq(nodes[3], nodes[17])
+        assert space.leq(nodes[15], nodes[17])
+
+
+class TestExample52:
+    def test_node18_combination_of_16_and_17(self, space, nodes):
+        """Node 18 (multiplicity 2) arises by lazily combining 16 and 17."""
+        assert nodes[18] in space.successors(nodes[17])
+        assert nodes[16] in space.predecessors(nodes[18])
+        assert nodes[17] in space.predecessors(nodes[18])
+
+    def test_node18_in_expansion(self, space, nodes):
+        assert space.in_expansion(nodes[18])
+        assert space.is_valid(nodes[18])
+
+
+class TestValidityColours:
+    """Figure 3's dashed nodes are invalid w.r.t. the WHERE clause."""
+
+    def test_instance_nodes_valid(self, space, nodes):
+        for key in (15, 16, 17, 18, 19, 20, "monkey"):
+            assert space.is_valid(nodes[key]), key
+
+    def test_class_level_nodes_invalid(self, space, nodes):
+        # (Park, Sport) binds a class where an instance is required: dashed
+        assert not space.is_valid(nodes["park_sport"])
+        assert not space.is_valid(nodes[1])
+        assert not space.is_valid(nodes[3])
+
+    def test_dashed_nodes_still_in_expansion(self, space, nodes):
+        # the algorithm explores them even though they are invalid
+        assert space.in_expansion(nodes["park_sport"])
+        assert space.in_expansion(nodes[1])

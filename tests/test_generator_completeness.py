@@ -1,0 +1,123 @@
+"""Completeness of the lazy generator: it must reach ALL of ``A``.
+
+If the successor rules missed a member of the expansion set, the miner
+could silently miss MSPs.  These tests brute-force the expansion set of
+small random query spaces and check every member is reachable from the
+roots via ``successors``.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assignments import Assignment, QueryAssignmentSpace
+from repro.oassisql import parse_query
+from repro.ontology import Fact, Ontology
+from repro.vocabulary import Element
+
+QUERY = """
+SELECT FACT-SETS
+WHERE
+  $x subClassOf* Food .
+  $y subClassOf* Drink .
+  $x goesWith $y
+SATISFYING
+  $x+ servedWith $y
+WITH SUPPORT = 0.5
+"""
+
+
+@st.composite
+def random_spaces(draw):
+    """A small random two-taxonomy ontology with random goesWith pairs."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    foods = draw(st.integers(min_value=2, max_value=4))
+    drinks = draw(st.integers(min_value=1, max_value=3))
+    ontology = Ontology()
+    food_leaves = []
+    for index in range(foods):
+        name = f"F{index}"
+        # random tree: attach to Food or an earlier food
+        parent = "Food" if index == 0 or rng.random() < 0.6 else f"F{rng.randrange(index)}"
+        ontology.add(Fact(name, "subClassOf", parent))
+        food_leaves.append(name)
+    drink_leaves = []
+    for index in range(drinks):
+        name = f"D{index}"
+        parent = "Drink" if index == 0 or rng.random() < 0.6 else f"D{rng.randrange(index)}"
+        ontology.add(Fact(name, "subClassOf", parent))
+        drink_leaves.append(name)
+    # random goesWith pairs (at least one)
+    pairs = draw(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=foods - 1),
+                st.integers(min_value=0, max_value=drinks - 1),
+            ),
+            min_size=1,
+            max_size=foods * drinks,
+        )
+    )
+    for f, d in pairs:
+        ontology.add(Fact(f"F{f}", "goesWith", f"D{d}"))
+    ontology.vocabulary.add_relation("servedWith")
+    query = parse_query(QUERY)
+    return QueryAssignmentSpace(ontology, query, max_values_per_var=2)
+
+
+def brute_force_expansion(space: QueryAssignmentSpace):
+    """All multiplicity-respecting members of ``A`` by exhaustive search."""
+    vocab = space.vocabulary
+    x_universe = sorted(space.universe("x"), key=str)
+    y_universe = sorted(space.universe("y"), key=str)
+    members = []
+    x_sets = [frozenset({v}) for v in x_universe] + [
+        frozenset(pair) for pair in itertools.combinations(x_universe, 2)
+    ]
+    for x_values in x_sets:
+        for y_value in y_universe:
+            node = Assignment.make(vocab, {"x": set(x_values), "y": {y_value}})
+            # skip non-canonical value sets (comparable pairs collapse)
+            if len(node.get("x")) != len(x_values):
+                continue
+            if space.in_expansion(node):
+                members.append(node)
+    return members
+
+
+@given(random_spaces())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_every_expansion_member_is_reachable(space):
+    reachable = set(space.all_nodes())
+    for member in brute_force_expansion(space):
+        assert member in reachable, f"unreachable expansion member: {member!r}"
+
+
+@given(random_spaces())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_reachable_set_is_inside_expansion(space):
+    for node in space.all_nodes():
+        assert space.in_expansion(node), f"traversal left A: {node!r}"
+
+
+@given(random_spaces())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_expansion_is_downward_closed(space):
+    vocab = space.vocabulary
+    nodes = space.all_nodes()
+    for node in nodes:
+        for predecessor in space.predecessors(node):
+            # predecessors of an A-member must be in A (down-closure)
+            if predecessor.get("x") and predecessor.get("y"):
+                assert space.in_expansion(predecessor), (node, predecessor)
+
+
+@given(random_spaces())
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_valid_base_reachable(space):
+    reachable = set(space.all_nodes())
+    for base in space.valid_base_assignments():
+        assert base in reachable

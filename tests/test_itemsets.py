@@ -1,0 +1,165 @@
+"""Tests for classic and taxonomy-aware frequent itemset mining."""
+
+import pytest
+
+from repro.crowd import PersonalDatabase
+from repro.datasets import running_example
+from repro.mining import (
+    extend_with_ancestors,
+    frequent_itemsets,
+    generalized_frequent_itemsets,
+    maximal_fact_sets,
+    mine_frequent_fact_sets,
+)
+from repro.ontology import Fact, fact_set
+from repro.vocabulary import Element, PartialOrder
+
+
+class TestApriori:
+    TRANSACTIONS = [
+        {"bread", "milk"},
+        {"bread", "diapers", "beer", "eggs"},
+        {"milk", "diapers", "beer", "cola"},
+        {"bread", "milk", "diapers", "beer"},
+        {"bread", "milk", "diapers", "cola"},
+    ]
+
+    def test_singletons(self):
+        frequent = frequent_itemsets(self.TRANSACTIONS, 0.6)
+        assert frequent[frozenset({"bread"})] == pytest.approx(0.8)
+        assert frozenset({"eggs"}) not in frequent
+
+    def test_pairs(self):
+        frequent = frequent_itemsets(self.TRANSACTIONS, 0.6)
+        assert frozenset({"bread", "milk"}) in frequent
+        assert frozenset({"diapers", "beer"}) in frequent
+        assert frozenset({"milk", "beer"}) not in frequent
+
+    def test_antimonotone(self):
+        frequent = frequent_itemsets(self.TRANSACTIONS, 0.4)
+        for itemset, support in frequent.items():
+            for item in itemset:
+                smaller = itemset - {item}
+                if smaller:
+                    assert frequent[smaller] >= support
+
+    def test_empty_transactions(self):
+        assert frequent_itemsets([], 0.5) == {}
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            frequent_itemsets(self.TRANSACTIONS, 0.0)
+
+    def test_threshold_one_keeps_universal_items(self):
+        transactions = [{"a", "b"}, {"a"}]
+        frequent = frequent_itemsets(transactions, 1.0)
+        assert frozenset({"a"}) in frequent
+        assert frozenset({"b"}) not in frequent
+
+
+class TestGeneralizedItemsets:
+    @pytest.fixture()
+    def taxonomy(self) -> PartialOrder:
+        order = PartialOrder()
+        order.add_edge(Element("Drink"), Element("Beer"))
+        order.add_edge(Element("Drink"), Element("Cola"))
+        order.add_edge(Element("Food"), Element("Bread"))
+        order.add_edge(Element("Food"), Element("Milk"))
+        return order
+
+    def test_extend_with_ancestors(self, taxonomy):
+        extended = extend_with_ancestors([Element("Beer")], taxonomy)
+        assert extended == {Element("Beer"), Element("Drink")}
+
+    def test_items_outside_taxonomy_kept(self, taxonomy):
+        extended = extend_with_ancestors([Element("Napkin")], taxonomy)
+        assert extended == {Element("Napkin")}
+
+    def test_class_level_itemsets_found(self, taxonomy):
+        transactions = [
+            {Element("Beer"), Element("Bread")},
+            {Element("Cola"), Element("Bread")},
+            {Element("Beer"), Element("Milk")},
+            {Element("Cola"), Element("Milk")},
+        ]
+        frequent = generalized_frequent_itemsets(transactions, taxonomy, 0.75)
+        # no single drink is frequent, but the Drink class is
+        assert frozenset({Element("Drink")}) in frequent
+        assert frozenset({Element("Beer")}) not in frequent
+        assert frozenset({Element("Drink"), Element("Food")}) in frequent
+
+    def test_redundant_mixed_levels_pruned(self, taxonomy):
+        transactions = [{Element("Beer")}] * 4
+        frequent = generalized_frequent_itemsets(transactions, taxonomy, 0.5)
+        assert frozenset({Element("Beer"), Element("Drink")}) not in frequent
+        assert frozenset({Element("Beer")}) in frequent
+
+
+class TestFactSetMining:
+    """Mining Table 3 directly — OASSIS-QL without a crowd (Section 1)."""
+
+    @pytest.fixture(scope="class")
+    def setting(self):
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        databases = [
+            [t.facts for t in dbs["u1"]],
+            [t.facts for t in dbs["u2"]],
+        ]
+        return ontology.vocabulary, databases
+
+    def test_known_frequent_fact_set(self, setting):
+        vocab, databases = setting
+        frequent = mine_frequent_fact_sets(databases, vocab, 0.4, max_size=2)
+        biking = fact_set(("Biking", "doAt", "Central Park"))
+        assert biking in frequent
+        assert frequent[biking] == pytest.approx(5 / 12)
+
+    def test_monkey_feeding_frequent(self, setting):
+        vocab, databases = setting
+        frequent = mine_frequent_fact_sets(databases, vocab, 0.4, max_size=1)
+        monkey = fact_set(("Feed a monkey", "doAt", "Bronx Zoo"))
+        assert frequent[monkey] == pytest.approx((3 / 6 + 1 / 2) / 2)
+
+    def test_rare_fact_absent(self, setting):
+        vocab, databases = setting
+        frequent = mine_frequent_fact_sets(databases, vocab, 0.4, max_size=1)
+        assert fact_set(("Basketball", "doAt", "Central Park")) not in frequent
+
+    def test_size_two_combinations(self, setting):
+        vocab, databases = setting
+        frequent = mine_frequent_fact_sets(databases, vocab, 0.4, max_size=2)
+        combo = fact_set(
+            ("Biking", "doAt", "Central Park"),
+            ("Falafel", "eatAt", "Maoz Veg"),
+        )
+        assert combo in frequent
+
+    def test_comparable_pairs_skipped(self, setting):
+        vocab, databases = setting
+        frequent = mine_frequent_fact_sets(databases, vocab, 0.3, max_size=2)
+        redundant = fact_set(
+            ("Biking", "doAt", "Central Park"),
+            ("Sport", "doAt", "Central Park"),
+        )
+        assert redundant not in frequent
+
+    def test_maximal_fact_sets(self, setting):
+        vocab, _ = setting
+        sets = [
+            fact_set(("Sport", "doAt", "Central Park")),
+            fact_set(("Biking", "doAt", "Central Park")),
+            fact_set(("Pasta", "eatAt", "Pine")),
+        ]
+        maximal = maximal_fact_sets(sets, vocab)
+        assert fact_set(("Sport", "doAt", "Central Park")) not in maximal
+        assert len(maximal) == 2
+
+    def test_invalid_threshold(self, setting):
+        vocab, databases = setting
+        with pytest.raises(ValueError):
+            mine_frequent_fact_sets(databases, vocab, 0.0)
+
+    def test_empty_databases(self, setting):
+        vocab, _ = setting
+        assert mine_frequent_fact_sets([], vocab, 0.5) == {}

@@ -1,0 +1,222 @@
+"""Tests for the vertical algorithm and the horizontal/naive baselines."""
+
+import random
+
+import pytest
+
+from repro.assignments import ExplicitDAG
+from repro.mining import (
+    brute_force_msps,
+    downward_closed,
+    find_minimal_unclassified,
+    horizontal_mine,
+    maximal_nodes,
+    minimal_nodes,
+    naive_mine,
+    negative_border,
+    vertical_mine,
+)
+from repro.mining.state import ClassificationState
+from repro.synth import generate_dag, place_msps
+
+
+def make_oracle(significant):
+    return lambda node: 1.0 if node in significant else 0.0
+
+
+@pytest.fixture()
+def small_dag() -> ExplicitDAG:
+    dag = ExplicitDAG()
+    edges = [
+        (0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (2, 5),
+        (3, 6), (4, 6), (4, 7), (5, 7), (6, 8), (7, 9),
+    ]
+    for a, b in edges:
+        dag.add_edge(a, b)
+    return dag
+
+
+class TestMspUtilities:
+    def test_maximal_minimal(self, small_dag):
+        nodes = [0, 1, 3, 4]
+        assert set(maximal_nodes(nodes, small_dag.leq)) == {3, 4}
+        assert set(minimal_nodes(nodes, small_dag.leq)) == {0}
+
+    def test_brute_force_msps(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+        assert set(brute_force_msps(small_dag, lambda n: n in significant)) == {3, 4}
+
+    def test_downward_closed_detects_violation(self, small_dag):
+        assert downward_closed(small_dag, lambda n: n in {0, 1, 3})
+        assert not downward_closed(small_dag, lambda n: n in {3})  # 1, 0 missing
+
+    def test_negative_border(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+        border = set(negative_border(small_dag, lambda n: n in significant))
+        # minimal insignificant: 5 (child of significant 2) and 6 (children
+        # of significant 3, 4); 7 is above the insignificant 5, not minimal
+        assert border == {5, 6}
+
+
+class TestVertical:
+    def test_recovers_msps(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+        result = vertical_mine(small_dag, make_oracle(significant), 0.5)
+        assert set(result.msps) == {3, 4}
+
+    def test_nothing_significant(self, small_dag):
+        result = vertical_mine(small_dag, make_oracle(set()), 0.5)
+        assert result.msps == []
+        assert result.questions == 1  # asking the root settles everything
+
+    def test_everything_significant(self, small_dag):
+        significant = set(range(10))
+        result = vertical_mine(small_dag, make_oracle(significant), 0.5)
+        assert set(result.msps) == {8, 9}
+
+    def test_never_asks_classified(self, small_dag):
+        asked = []
+
+        def oracle(node):
+            asked.append(node)
+            return 1.0 if node in {0, 1, 2, 3, 4} else 0.0
+
+        vertical_mine(small_dag, oracle, 0.5)
+        assert len(asked) == len(set(asked)), "a node was asked twice"
+
+    def test_lower_bound_msp_plus_border(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+        result = vertical_mine(small_dag, make_oracle(significant), 0.5)
+        msps = set(brute_force_msps(small_dag, lambda n: n in significant))
+        border = set(negative_border(small_dag, lambda n: n in significant))
+        assert result.questions >= len(msps | border) - 1
+
+    def test_max_questions_cutoff(self, small_dag):
+        result = vertical_mine(
+            small_dag, make_oracle({0, 1, 2, 3, 4}), 0.5, max_questions=2
+        )
+        assert result.questions <= 2
+
+    def test_trace_monotone(self, small_dag):
+        result = vertical_mine(small_dag, make_oracle({0, 1, 2, 3, 4}), 0.5)
+        questions = [p.questions for p in result.trace.points]
+        assert questions == sorted(questions)
+        msps_found = [p.msps_found for p in result.trace.points]
+        assert msps_found == sorted(msps_found)
+        assert msps_found[-1] == 2
+
+    def test_specialization_oracle_reduces_questions(self):
+        dag = generate_dag(width=120, depth=5, seed=3)
+        planted = place_msps(dag, 6, valid_only=True, seed=3)
+
+        def spec(node, candidates):
+            for candidate in candidates:
+                if planted.is_significant(candidate):
+                    return candidate
+            return None
+
+        plain = vertical_mine(dag, planted.support, 0.5, rng=random.Random(1))
+        helped = vertical_mine(
+            dag,
+            planted.support,
+            0.5,
+            specialization_oracle=spec,
+            specialization_ratio=1.0,
+            rng=random.Random(1),
+        )
+        assert set(helped.msps) == set(plain.msps)
+        assert helped.questions <= plain.questions
+
+    def test_prune_oracle_classifies_for_free(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+
+        def prune(node):
+            return [s for s in small_dag.successors(node) if s not in significant]
+
+        pruned = vertical_mine(
+            small_dag,
+            make_oracle(significant),
+            0.5,
+            prune_oracle=prune,
+            pruning_ratio=1.0,
+            rng=random.Random(0),
+        )
+        plain = vertical_mine(small_dag, make_oracle(significant), 0.5)
+        assert set(pruned.msps) == set(plain.msps)
+        assert pruned.questions <= plain.questions
+
+
+class TestFindMinimalUnclassified:
+    def test_returns_root_first(self, small_dag):
+        state = ClassificationState(small_dag)
+        assert find_minimal_unclassified(small_dag, state) == 0
+
+    def test_skips_insignificant_subtrees(self, small_dag):
+        state = ClassificationState(small_dag)
+        state.mark_significant(0)
+        state.mark_insignificant(1)
+        found = find_minimal_unclassified(small_dag, state)
+        assert found == 2
+
+    def test_none_when_complete(self, small_dag):
+        state = ClassificationState(small_dag)
+        state.mark_insignificant(0)
+        assert find_minimal_unclassified(small_dag, state) is None
+
+
+class TestBaselines:
+    def test_horizontal_recovers_msps(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+        result = horizontal_mine(small_dag, make_oracle(significant), 0.5)
+        assert set(result.msps) == {3, 4}
+
+    def test_naive_recovers_msps(self, small_dag):
+        significant = {0, 1, 2, 3, 4}
+        result = naive_mine(
+            small_dag, make_oracle(significant), 0.5, rng=random.Random(5)
+        )
+        assert set(result.msps) == {3, 4}
+
+    def test_all_algorithms_agree_on_random_dags(self):
+        for seed in range(4):
+            dag = generate_dag(width=60, depth=4, seed=seed, valid_fraction=1.0)
+            planted = place_msps(dag, 4, valid_only=True, seed=seed)
+            expected = set(
+                brute_force_msps(dag, planted.is_significant, valid_only=False)
+            )
+            for algorithm in (vertical_mine, horizontal_mine, naive_mine):
+                result = algorithm(dag, planted.support, 0.5)
+                assert set(result.msps) == expected, algorithm.__name__
+
+    def test_vertical_beats_naive_on_average_when_msps_sparse(self):
+        # one deep MSP among many wide siblings: a single naive run can get
+        # lucky, but on average the top-down descent wins (the Figure 5
+        # trend at low MSP density)
+        dag = ExplicitDAG()
+        depth = 12
+        for level in range(depth):
+            dag.add_edge(level, level + 1)
+            for branch in range(4):
+                dag.add_edge(level, 100 + 10 * level + branch)
+        significant = set(range(depth + 1))
+        vertical = vertical_mine(dag, make_oracle(significant), 0.5)
+        naive_costs = []
+        for seed in range(10):
+            naive = naive_mine(
+                dag, make_oracle(significant), 0.5, rng=random.Random(seed)
+            )
+            naive_costs.append(naive.trace.questions_to_reach_msps(1.0, 1))
+        naive_avg = sum(naive_costs) / len(naive_costs)
+        assert vertical.trace.questions_to_reach_msps(1.0, 1) <= naive_avg
+
+    def test_horizontal_never_asks_unsupported_candidates(self, small_dag):
+        asked = []
+
+        def oracle(node):
+            asked.append(node)
+            return 1.0 if node in {0, 1, 3} else 0.0
+
+        horizontal_mine(small_dag, oracle, 0.5)
+        # node 6 has predecessors 3 (significant) and 4 (insignificant);
+        # Apriori-style gating must not ask it
+        assert 6 not in asked

@@ -1,0 +1,104 @@
+"""Unit tests for ClassificationState and the Observation 4.4 inference."""
+
+import pytest
+
+from repro.assignments import Assignment, ExplicitDAG, QueryAssignmentSpace
+from repro.datasets import running_example
+from repro.mining import ClassificationState, Status
+from repro.oassisql import parse_query
+from repro.vocabulary import Element
+
+
+@pytest.fixture()
+def chain_dag() -> ExplicitDAG:
+    dag = ExplicitDAG()
+    for a, b in [(0, 1), (1, 2), (2, 3)]:
+        dag.add_edge(a, b)
+    return dag
+
+
+class TestFastStrategy:
+    def test_significant_classifies_down_set(self, chain_dag):
+        state = ClassificationState(chain_dag)
+        state.mark_significant(2)
+        assert state.status(0) is Status.SIGNIFICANT
+        assert state.status(1) is Status.SIGNIFICANT
+        assert state.status(2) is Status.SIGNIFICANT
+        assert state.status(3) is Status.UNKNOWN
+
+    def test_insignificant_classifies_up_set(self, chain_dag):
+        state = ClassificationState(chain_dag)
+        state.mark_insignificant(1)
+        assert state.status(0) is Status.UNKNOWN
+        assert state.status(1) is Status.INSIGNIFICANT
+        assert state.status(3) is Status.INSIGNIFICANT
+
+    def test_is_classified_helpers(self, chain_dag):
+        state = ClassificationState(chain_dag)
+        state.mark_significant(0)
+        assert state.is_significant(0)
+        assert state.is_classified(0)
+        assert not state.is_classified(1)
+        assert not state.is_insignificant(0)
+
+
+class TestWitnessStrategy:
+    @pytest.fixture()
+    def lazy_space(self) -> QueryAssignmentSpace:
+        ontology = running_example.build_ontology()
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        return QueryAssignmentSpace(ontology, query, max_values_per_var=1)
+
+    def test_down_set_inference(self, lazy_space):
+        vocab = lazy_space.vocabulary
+        state = ClassificationState(lazy_space)
+        specific = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Biking")}}
+        )
+        general = Assignment.make(
+            vocab, {"x": {Element("Park")}, "y": {Element("Sport")}}
+        )
+        state.mark_significant(specific)
+        assert state.status(general) is Status.SIGNIFICANT
+        assert state.status(specific) is Status.SIGNIFICANT
+
+    def test_up_set_inference(self, lazy_space):
+        vocab = lazy_space.vocabulary
+        state = ClassificationState(lazy_space)
+        general = Assignment.make(
+            vocab, {"x": {Element("Outdoor")}, "y": {Element("Water Sport")}}
+        )
+        specific = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Swimming")}}
+        )
+        state.mark_insignificant(general)
+        assert state.status(specific) is Status.INSIGNIFICANT
+
+    def test_witness_antichain_maintenance(self, lazy_space):
+        vocab = lazy_space.vocabulary
+        state = ClassificationState(lazy_space)
+        general = Assignment.make(
+            vocab, {"x": {Element("Park")}, "y": {Element("Sport")}}
+        )
+        specific = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Biking")}}
+        )
+        state.mark_significant(general)
+        state.mark_significant(specific)
+        # the general witness is subsumed: antichain keeps only the specific
+        assert state.significant_witnesses() == [specific]
+        # marking an already-implied node is a no-op
+        state.mark_significant(general)
+        assert state.significant_witnesses() == [specific]
+
+    def test_incomparable_statuses_independent(self, lazy_space):
+        vocab = lazy_space.vocabulary
+        state = ClassificationState(lazy_space)
+        biking = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Biking")}}
+        )
+        monkey = Assignment.make(
+            vocab, {"x": {Element("Bronx Zoo")}, "y": {Element("Feed a monkey")}}
+        )
+        state.mark_significant(biking)
+        assert state.status(monkey) is Status.UNKNOWN

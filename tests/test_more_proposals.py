@@ -1,0 +1,193 @@
+"""Tests for crowd-proposed MORE extensions (the UI's "more" button)."""
+
+import pytest
+
+from repro.assignments import Assignment, QueryAssignmentSpace
+from repro.crowd import CrowdMember, FixedSampleAggregator
+from repro.datasets import running_example
+from repro.engine.adapters import MemberUser
+from repro.mining import MultiUserMiner
+from repro.oassisql import parse_query
+from repro.ontology import Fact, fact_set
+from repro.vocabulary import Element
+from repro.vocabulary.terms import ANY_ELEMENT
+
+
+def E(name):
+    return Element(name)
+
+
+@pytest.fixture()
+def space():
+    ontology = running_example.build_ontology()
+    query = parse_query(running_example.SAMPLE_QUERY)
+    # no pool: MORE extensions only via proposals
+    return QueryAssignmentSpace(
+        ontology, query, max_values_per_var=2, max_more_facts=1
+    )
+
+
+@pytest.fixture()
+def biking_node(space):
+    return Assignment.make(
+        space.vocabulary,
+        {"x": {E("Central Park")}, "y": {E("Biking")}, "z": {E("Maoz Veg")},
+         "__any_0": {ANY_ELEMENT}},
+    )
+
+
+class TestProposeMoreFact:
+    def test_no_pool_means_no_more_successors(self, space, biking_node):
+        assert not any(s.more for s in space.successors(biking_node))
+
+    def test_proposal_becomes_successor(self, space, biking_node):
+        tip = Fact("Rent Bikes", "doAt", "Boathouse")
+        extended = space.propose_more_fact(biking_node, tip)
+        assert extended is not None
+        assert tip in extended.more
+        assert extended in space.successors(biking_node)
+
+    def test_proposal_idempotent(self, space, biking_node):
+        tip = Fact("Rent Bikes", "doAt", "Boathouse")
+        first = space.propose_more_fact(biking_node, tip)
+        second = space.propose_more_fact(biking_node, tip)
+        assert first == second
+        with_more = [s for s in space.successors(biking_node) if s.more]
+        assert len(with_more) == 1
+
+    def test_budget_respected(self, space, biking_node):
+        first = space.propose_more_fact(
+            biking_node, Fact("Rent Bikes", "doAt", "Boathouse")
+        )
+        # max_more_facts=1: extending the extension is refused
+        assert space.propose_more_fact(
+            first, Fact("Pasta", "eatAt", "Pine")
+        ) is None
+
+    def test_query_without_more_refuses(self):
+        ontology = running_example.build_ontology()
+        query = parse_query(running_example.FRAGMENT_QUERY)  # no MORE
+        space = QueryAssignmentSpace(ontology, query)
+        node = space.roots()[0]
+        assert space.propose_more_fact(
+            node, Fact("Rent Bikes", "doAt", "Boathouse")
+        ) is None
+
+
+class TestMemberTips:
+    @pytest.fixture()
+    def member(self):
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        return CrowdMember(
+            "u1", dbs["u1"], ontology.vocabulary, more_tip_ratio=1.0
+        )
+
+    def test_suggests_cooccurring_fact(self, member):
+        target = fact_set(
+            ("Biking", "doAt", "Central Park"),
+            (ANY_ELEMENT, "eatAt", "Maoz Veg"),
+        )
+        tip = member.suggest_more_fact(target, force=True)
+        # both supporting transactions (T3, T4) rent bikes at the Boathouse
+        assert tip == Fact("Rent Bikes", "doAt", "Boathouse")
+
+    def test_no_tip_when_nothing_cooccurs(self, member):
+        target = fact_set(("Feed a monkey", "doAt", "Bronx Zoo"))
+        tip = member.suggest_more_fact(target, force=True)
+        # Pasta at Pine co-occurs in 2 of 3 supporting transactions
+        assert tip == Fact("Pasta", "eatAt", "Pine")
+
+    def test_no_tip_without_support(self, member):
+        target = fact_set(("Swimming", "doAt", "Central Park"))
+        assert member.suggest_more_fact(target, force=True) is None
+
+    def test_ratio_zero_never_volunteers(self):
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        member = CrowdMember("u1", dbs["u1"], ontology.vocabulary,
+                             more_tip_ratio=0.0)
+        target = fact_set(("Biking", "doAt", "Central Park"))
+        assert member.suggest_more_fact(target) is None
+
+
+class TestEndToEndProposedMore:
+    def test_tip_reaches_the_output(self):
+        """A crowd of u_avg-like members proposes and verifies a MORE tip."""
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        vocab = ontology.vocabulary
+        query = parse_query(running_example.SAMPLE_QUERY)
+        space = QueryAssignmentSpace(
+            ontology, query, max_values_per_var=2, max_more_facts=1
+        )
+
+        class AvgMember(CrowdMember):
+            def __init__(self, member_id):
+                from repro.crowd import PersonalDatabase
+
+                super().__init__(member_id, dbs["u1"], vocab, more_tip_ratio=1.0)
+
+            def true_support(self, fact_set):
+                return (
+                    dbs["u1"].support(fact_set, vocab)
+                    + dbs["u2"].support(fact_set, vocab)
+                ) / 2
+
+        members = [AvgMember(f"m{i}") for i in range(5)]
+        aggregator = FixedSampleAggregator(0.4, sample_size=5)
+        users = [MemberUser(m, space) for m in members]
+        result = MultiUserMiner(space, users, aggregator).run()
+        assert result.stats.more_tips > 0
+        extended_msps = [m for m in result.valid_msps if m.more]
+        assert extended_msps, "the Rent Bikes tip should survive as an MSP"
+        assert any(
+            Fact("Rent Bikes", "doAt", "Boathouse") in m.more
+            for m in extended_msps
+        )
+
+
+class TestReplayKeepsProposals:
+    def test_replay_on_shared_space_retains_more_extensions(self):
+        """Threshold replay must see the crowd-proposed MORE extensions."""
+        from repro.crowd import CrowdCache
+        from repro.mining import replay_from_cache
+
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        vocab = ontology.vocabulary
+        query = parse_query(running_example.SAMPLE_QUERY)
+        space = QueryAssignmentSpace(
+            ontology, query, max_values_per_var=2, max_more_facts=1
+        )
+
+        class AvgMember(CrowdMember):
+            def __init__(self, member_id):
+                from repro.crowd import PersonalDatabase
+
+                super().__init__(member_id, dbs["u1"], vocab, more_tip_ratio=1.0)
+
+            def true_support(self, fact_set):
+                return (
+                    dbs["u1"].support(fact_set, vocab)
+                    + dbs["u2"].support(fact_set, vocab)
+                ) / 2
+
+        members = [AvgMember(f"m{i}") for i in range(5)]
+        cache = CrowdCache()
+        aggregator = FixedSampleAggregator(0.4, sample_size=5)
+        users = [MemberUser(m, space) for m in members]
+        base = MultiUserMiner(space, users, aggregator, cache=cache).run()
+        base_extended = [m for m in base.valid_msps if m.more]
+        assert base_extended
+
+        # same threshold replay on the SAME space keeps the extension
+        replayed = replay_from_cache(space, cache, 0.4, sample_size=5)
+        assert any(m.more for m in replayed.valid_msps)
+
+        # a fresh space (no proposals) would lose it
+        fresh = QueryAssignmentSpace(
+            ontology, query, max_values_per_var=2, max_more_facts=1
+        )
+        replayed_fresh = replay_from_cache(fresh, cache, 0.4, sample_size=5)
+        assert not any(m.more for m in replayed_fresh.valid_msps)

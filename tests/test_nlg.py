@@ -1,0 +1,83 @@
+"""Tests for natural-language question templating (Section 6.2)."""
+
+import pytest
+
+from repro.assignments import Assignment
+from repro.nlg import DEFAULT_TEMPLATES, QuestionTemplates, render_assignment
+from repro.ontology import Fact, fact_set
+from repro.vocabulary import Element, Vocabulary
+from repro.vocabulary.terms import ANY_ELEMENT
+
+
+class TestTemplates:
+    def test_paper_phi17_rendering(self):
+        # "How often do you engage in ball games in Central Park?" modulo
+        # our verb phrasing
+        question = DEFAULT_TEMPLATES.concrete_question(
+            fact_set(("Ball Game", "doAt", "Central Park"))
+        )
+        assert question == "How often do you do ball game at Central Park?"
+
+    def test_conjunction(self):
+        question = DEFAULT_TEMPLATES.concrete_question(
+            fact_set(
+                ("Biking", "doAt", "Central Park"),
+                ("Falafel", "eatAt", "Maoz Veg"),
+            )
+        )
+        assert "and also" in question
+        assert question.startswith("How often do you")
+        assert question.endswith("?")
+
+    def test_wildcard_renders_as_anything(self):
+        question = DEFAULT_TEMPLATES.concrete_question(
+            fact_set((ANY_ELEMENT, "eatAt", "Maoz Veg"))
+        )
+        assert "anything" in question
+
+    def test_unknown_relation_fallback(self):
+        question = DEFAULT_TEMPLATES.concrete_question(
+            fact_set(("Kite", "flownAt", "Beach"))
+        )
+        assert "flownAt" in question
+
+    def test_specialization_question(self):
+        question = DEFAULT_TEMPLATES.specialization_question(
+            fact_set(("Sport", "doAt", "Central Park")), "Sport"
+        )
+        assert question.startswith("What type of sport")
+        assert "How often" in question
+
+    def test_register_custom_template(self):
+        templates = QuestionTemplates()
+        templates.register("drinkWith", "drink {subject} with {object}")
+        phrase = templates.phrase(Fact("Coffee", "drinkWith", "Cake"))
+        assert phrase == "drink coffee with Cake"
+
+    def test_register_rejects_bad_template(self):
+        templates = QuestionTemplates()
+        with pytest.raises(ValueError):
+            templates.register("r", "no placeholders")
+
+    def test_empty_fact_set(self):
+        assert "?" in DEFAULT_TEMPLATES.concrete_question(fact_set())
+
+
+class TestRenderAssignment:
+    def test_renders_variables_and_more(self):
+        vocab = Vocabulary()
+        vocab.add_element("Biking")
+        vocab.add_element("Central Park")
+        assignment = Assignment.make(
+            vocab,
+            {"y": {Element("Biking")}, "__any_0": {ANY_ELEMENT}},
+            more=[Fact("Rent Bikes", "doAt", "Boathouse")],
+        )
+        text = render_assignment(assignment)
+        assert "$y = Biking" in text
+        assert "(more) Rent Bikes doAt Boathouse" in text
+        assert "__any_0" not in text  # hidden variables omitted
+
+    def test_empty_assignment(self):
+        vocab = Vocabulary()
+        assert render_assignment(Assignment.make(vocab, {})) == "(empty assignment)"

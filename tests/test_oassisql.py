@@ -1,0 +1,192 @@
+"""Unit tests for the OASSIS-QL parser, AST and validator."""
+
+import pytest
+
+from repro.datasets import running_example
+from repro.oassisql import (
+    Multiplicity,
+    SelectFormat,
+    ValidationError,
+    ensure_valid,
+    format_query,
+    parse_query,
+    validate,
+)
+from repro.sparql import Concrete, ParseError, Var
+
+
+class TestParseFigure2:
+    def test_parses(self):
+        query = parse_query(running_example.SAMPLE_QUERY)
+        assert query.select_format is SelectFormat.FACT_SETS
+        assert not query.select_all
+        assert len(query.where) == 7
+        assert len(query.satisfying.meta_facts) == 2
+        assert query.satisfying.more
+        assert query.threshold == 0.4
+
+    def test_multiplicity_annotation(self):
+        query = parse_query(running_example.SAMPLE_QUERY)
+        assert query.satisfying.multiplicity_of(Var("y")) is Multiplicity.AT_LEAST_ONE
+        assert query.satisfying.multiplicity_of(Var("x")) is Multiplicity.EXACTLY_ONE
+
+    def test_where_and_satisfying_variables(self):
+        query = parse_query(running_example.SAMPLE_QUERY)
+        assert {v.name for v in query.where_variables()} == {"w", "x", "y", "z"}
+        assert {v.name for v in query.satisfying_variables()} == {"x", "y", "z"}
+        assert query.free_satisfying_variables() == ()
+
+
+class TestSyntaxVariants:
+    def test_select_variables(self):
+        query = parse_query(
+            "SELECT VARIABLES WHERE $x r A SATISFYING $x s B WITH SUPPORT = 0.3"
+        )
+        assert query.select_format is SelectFormat.VARIABLES
+
+    def test_select_all(self):
+        query = parse_query(
+            "SELECT FACT-SETS ALL WHERE $x r A SATISFYING $x s B WITH SUPPORT = 0.3"
+        )
+        assert query.select_all
+
+    def test_braced_bodies(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE { $x r A } SATISFYING { $x s B } WITH SUPPORT = 0.3"
+        )
+        assert len(query.where) == 1
+
+    def test_empty_where_braced(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE { } SATISFYING $x+ [] [] WITH SUPPORT = 0.5"
+        )
+        assert query.where is None
+        assert query.free_satisfying_variables()[0].name == "x"
+
+    def test_empty_where_bare(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE SATISFYING $x+ [] [] WITH SUPPORT = 0.5"
+        )
+        assert query.where is None
+
+    def test_support_operators(self):
+        for op in ("=", ">=", ">"):
+            query = parse_query(
+                f"SELECT FACT-SETS WHERE $x r A SATISFYING $x s B WITH SUPPORT {op} 0.25"
+            )
+            assert query.threshold == 0.25
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query(
+            "select fact-sets where $x r A satisfying $x s B with support = 0.3"
+        )
+        assert query.threshold == 0.3
+
+    def test_star_multiplicity(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE $x r A SATISFYING $x* s B WITH SUPPORT = 0.3"
+        )
+        assert query.satisfying.multiplicity_of(Var("x")) is Multiplicity.ANY
+
+    def test_optional_multiplicity(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE $x r A SATISFYING $x? s B WITH SUPPORT = 0.3"
+        )
+        assert query.satisfying.multiplicity_of(Var("x")) is Multiplicity.OPTIONAL
+
+
+class TestMultiplicityEnum:
+    def test_admits(self):
+        assert Multiplicity.EXACTLY_ONE.admits(1)
+        assert not Multiplicity.EXACTLY_ONE.admits(0)
+        assert not Multiplicity.EXACTLY_ONE.admits(2)
+        assert Multiplicity.AT_LEAST_ONE.admits(3)
+        assert not Multiplicity.AT_LEAST_ONE.admits(0)
+        assert Multiplicity.ANY.admits(0)
+        assert Multiplicity.OPTIONAL.admits(0)
+        assert Multiplicity.OPTIONAL.admits(1)
+        assert not Multiplicity.OPTIONAL.admits(2)
+
+
+class TestParseErrors:
+    def test_missing_satisfying(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT FACT-SETS WHERE $x r A WITH SUPPORT = 0.3")
+
+    def test_missing_threshold(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT FACT-SETS WHERE $x r A SATISFYING $x s B")
+
+    def test_bad_select_format(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT NONSENSE WHERE $x r A SATISFYING $x s B WITH SUPPORT = 0.3")
+
+    def test_empty_satisfying(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT FACT-SETS WHERE $x r A SATISFYING WITH SUPPORT = 0.3")
+
+    def test_threshold_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT FACT-SETS WHERE $x r A SATISFYING $x s B WITH SUPPORT = 1.5")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "SELECT FACT-SETS WHERE $x r A SATISFYING $x s B WITH SUPPORT = 0.3 extra"
+            )
+
+
+class TestValidator:
+    def test_valid_query_against_ontology(self):
+        ontology = running_example.build_ontology()
+        query = parse_query(running_example.SAMPLE_QUERY)
+        assert validate(query, ontology) == []
+        ensure_valid(query, ontology)
+
+    def test_unknown_element_reported(self):
+        ontology = running_example.build_ontology()
+        query = parse_query(
+            "SELECT FACT-SETS WHERE $x inside Paris SATISFYING $x doAt NYC WITH SUPPORT = 0.3"
+        )
+        problems = validate(query, ontology)
+        assert any("Paris" in p for p in problems)
+        with pytest.raises(ValidationError):
+            ensure_valid(query, ontology)
+
+    def test_unknown_relation_reported(self):
+        ontology = running_example.build_ontology()
+        query = parse_query(
+            "SELECT FACT-SETS WHERE $x flysTo NYC SATISFYING $x doAt NYC WITH SUPPORT = 0.3"
+        )
+        assert any("flysTo" in p for p in validate(query, ontology))
+
+    def test_haslabel_not_required_in_vocabulary(self):
+        ontology = running_example.build_ontology()
+        query = parse_query(
+            'SELECT FACT-SETS WHERE $x hasLabel "child-friendly" '
+            "SATISFYING $x doAt NYC WITH SUPPORT = 0.3"
+        )
+        assert validate(query, ontology) == []
+
+    def test_variable_kind_conflict(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE $x $y A SATISFYING $y doAt $x WITH SUPPORT = 0.3"
+        )
+        problems = validate(query)
+        assert any("both in element and relation position" in p for p in problems)
+
+
+class TestPrettyPrinting:
+    def test_round_trip(self):
+        query = parse_query(running_example.SAMPLE_QUERY)
+        text = format_query(query)
+        reparsed = parse_query(text)
+        assert len(reparsed.where) == len(query.where)
+        assert reparsed.threshold == query.threshold
+        assert reparsed.satisfying.more == query.satisfying.more
+
+    def test_empty_where_renders(self):
+        query = parse_query(
+            "SELECT FACT-SETS WHERE { } SATISFYING $x+ [] [] WITH SUPPORT = 0.5"
+        )
+        assert "{ }" in format_query(query)

@@ -1,0 +1,55 @@
+"""Public-API integrity: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.vocabulary",
+    "repro.ontology",
+    "repro.sparql",
+    "repro.oassisql",
+    "repro.assignments",
+    "repro.crowd",
+    "repro.mining",
+    "repro.engine",
+    "repro.nlg",
+    "repro.synth",
+    "repro.datasets",
+    "repro.experiments",
+]
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", sorted(repro.__all__))
+    def test_top_level_all_resolves(self, name):
+        assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) and not obj.__doc__:
+                undocumented.append(name)
+        assert not undocumented, f"classes without docstrings: {undocumented}"
+
+    def test_cli_entrypoint_importable(self):
+        from repro.cli import main
+
+        assert callable(main)

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) for the core orders and algorithms."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.assignments import Assignment, ExplicitDAG, canonical_values
+from repro.crowd import PersonalDatabase, Transaction
+from repro.mining import (
+    brute_force_msps,
+    horizontal_mine,
+    naive_mine,
+    vertical_mine,
+)
+from repro.ontology import Fact, FactSet
+from repro.vocabulary import Element, Vocabulary
+
+
+# ---------------------------------------------------------------- strategies
+
+
+@st.composite
+def taxonomies(draw):
+    """A random tree taxonomy over elements e0..e{n-1} (e0 the root)."""
+    size = draw(st.integers(min_value=2, max_value=12))
+    vocab = Vocabulary()
+    elements = [Element(f"e{i}") for i in range(size)]
+    vocab.add_element("e0")
+    for i in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=i - 1))
+        vocab.specialize_element(f"e{parent}", f"e{i}")
+    return vocab, elements
+
+
+@st.composite
+def layered_dags(draw):
+    """A small random layered DAG with a downward-closed significant set."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    layers = draw(st.integers(min_value=2, max_value=4))
+    widths = [1] + [draw(st.integers(min_value=1, max_value=5)) for _ in range(layers)]
+    dag: ExplicitDAG = ExplicitDAG()
+    node_id = 0
+    previous: list = []
+    for width in widths:
+        current = list(range(node_id, node_id + width))
+        node_id += width
+        for node in current:
+            dag.add_node(node)
+            if previous:
+                dag.add_edge(rng.choice(previous), node)
+        previous = current
+    # random downward-closed significance: pick seeds, close downward
+    seeds = [n for n in dag.nodes() if rng.random() < 0.4]
+    significant = set()
+    for seed in seeds:
+        significant.update(dag.ancestors(seed))
+    return dag, significant
+
+
+# -------------------------------------------------------------------- orders
+
+
+@given(taxonomies(), st.data())
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+def test_element_order_is_partial_order(tax, data):
+    vocab, elements = tax
+    a = data.draw(st.sampled_from(elements))
+    b = data.draw(st.sampled_from(elements))
+    c = data.draw(st.sampled_from(elements))
+    # reflexive
+    assert vocab.leq(a, a)
+    # antisymmetric
+    if vocab.leq(a, b) and vocab.leq(b, a):
+        assert a == b
+    # transitive
+    if vocab.leq(a, b) and vocab.leq(b, c):
+        assert vocab.leq(a, c)
+
+
+@given(taxonomies(), st.data())
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_canonical_values_is_canonical(tax, data):
+    vocab, elements = tax
+    values = data.draw(st.sets(st.sampled_from(elements), min_size=1, max_size=5))
+    canon = canonical_values(values, vocab)
+    # antichain
+    for a in canon:
+        for b in canon:
+            if a != b:
+                assert not vocab.leq(a, b)
+    # idempotent
+    assert canonical_values(canon, vocab) == canon
+    # equivalent: mutual domination with the original set
+    for v in values:
+        assert any(vocab.leq(v, c) for c in canon)
+
+
+@given(taxonomies(), st.data())
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_fact_set_order_reflexive_transitive(tax, data):
+    vocab, elements = tax
+    vocab.add_relation("r")
+
+    def random_fact_set():
+        pairs = data.draw(
+            st.lists(
+                st.tuples(st.sampled_from(elements), st.sampled_from(elements)),
+                min_size=1,
+                max_size=3,
+            )
+        )
+        return FactSet([Fact(s, "r", o) for s, o in pairs])
+
+    a = random_fact_set()
+    b = random_fact_set()
+    c = random_fact_set()
+    assert a.leq(a, vocab)
+    if a.leq(b, vocab) and b.leq(c, vocab):
+        assert a.leq(c, vocab)
+
+
+@given(taxonomies(), st.data())
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+def test_support_is_antitone_in_specificity(tax, data):
+    """φ ≤ φ' implies supp(φ) ≥ supp(φ') — Observation 4.4's engine."""
+    vocab, elements = tax
+    vocab.add_relation("r")
+    transactions = data.draw(
+        st.lists(
+            st.sets(
+                st.tuples(st.sampled_from(elements), st.sampled_from(elements)),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    db = PersonalDatabase(
+        Transaction(f"T{i}", FactSet([Fact(s, "r", o) for s, o in t]))
+        for i, t in enumerate(transactions)
+    )
+    general_pair = data.draw(st.tuples(st.sampled_from(elements), st.sampled_from(elements)))
+    general = FactSet([Fact(general_pair[0], "r", general_pair[1])])
+    # specialize both components within the taxonomy
+    specific_subject = data.draw(
+        st.sampled_from(sorted(vocab.descendants(general_pair[0]), key=str))
+    )
+    specific_object = data.draw(
+        st.sampled_from(sorted(vocab.descendants(general_pair[1]), key=str))
+    )
+    specific = FactSet([Fact(specific_subject, "r", specific_object)])
+    assert general.leq(specific, vocab)
+    assert db.support(general, vocab) >= db.support(specific, vocab)
+
+
+# ---------------------------------------------------------------- algorithms
+
+
+@given(layered_dags())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_all_miners_recover_brute_force_msps(setup):
+    dag, significant = setup
+    expected = set(brute_force_msps(dag, lambda n: n in significant))
+    oracle = lambda n: 1.0 if n in significant else 0.0
+    for miner in (vertical_mine, horizontal_mine, naive_mine):
+        result = miner(dag, oracle, 0.5)
+        assert set(result.msps) == expected, miner.__name__
+
+
+@given(layered_dags())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_vertical_never_asks_twice(setup):
+    dag, significant = setup
+    asked = []
+
+    def oracle(node):
+        asked.append(node)
+        return 1.0 if node in significant else 0.0
+
+    vertical_mine(dag, oracle, 0.5)
+    assert len(asked) == len(set(asked))
+
+
+@given(layered_dags())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_vertical_asks_at_most_every_node(setup):
+    dag, significant = setup
+    result = vertical_mine(
+        dag, lambda n: 1.0 if n in significant else 0.0, 0.5
+    )
+    assert result.questions <= len(dag)
+
+
+@given(taxonomies(), st.data())
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+def test_assignment_order_properties(tax, data):
+    vocab, elements = tax
+
+    def random_assignment():
+        values = data.draw(
+            st.sets(st.sampled_from(elements), min_size=1, max_size=3)
+        )
+        return Assignment.make(vocab, {"x": values})
+
+    a = random_assignment()
+    b = random_assignment()
+    c = random_assignment()
+    assert a.leq(a, vocab)
+    if a.leq(b, vocab) and b.leq(c, vocab):
+        assert a.leq(c, vocab)
+    # canonical representatives make the preorder a partial order
+    if a.leq(b, vocab) and b.leq(a, vocab):
+        assert a == b
+
+
+@given(layered_dags(), st.data())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_classification_state_matches_reference(setup, data):
+    """The incremental witness-log state equals a brute-force reference."""
+    from repro.mining import ClassificationState, Status
+
+    dag, significant = setup
+
+    class NoFastPath:
+        """Hide ancestors/descendants so the witness strategy is used."""
+
+        def __init__(self, inner):
+            self._inner = inner
+
+        def roots(self):
+            return self._inner.roots()
+
+        def successors(self, node):
+            return self._inner.successors(node)
+
+        def predecessors(self, node):
+            return self._inner.predecessors(node)
+
+        def leq(self, a, b):
+            return self._inner.leq(a, b)
+
+        def is_valid(self, node):
+            return self._inner.is_valid(node)
+
+    wrapped = NoFastPath(dag)
+    state = ClassificationState(wrapped)
+    reference = ClassificationState(dag)  # fast-path reference
+    nodes = dag.nodes()
+    marks = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(nodes), st.booleans()),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    for node, mark_significant in marks:
+        # keep the marks consistent with a downward-closed landscape
+        if mark_significant and node in significant:
+            state.mark_significant(node)
+            reference.mark_significant(node)
+        elif not mark_significant and node not in significant:
+            state.mark_insignificant(node)
+            reference.mark_insignificant(node)
+        # interleave queries to exercise the incremental scan positions
+        probe = data.draw(st.sampled_from(nodes))
+        assert state.status(probe) == reference.status(probe)
+    for node in nodes:
+        assert state.status(node) == reference.status(node), node

@@ -1,0 +1,69 @@
+"""Unit tests for the subsumption reasoner."""
+
+import pytest
+
+from repro.datasets import running_example
+from repro.ontology import Fact, Reasoner, fact_set
+from repro.vocabulary import Element
+
+
+@pytest.fixture()
+def reasoner() -> Reasoner:
+    return Reasoner(running_example.build_ontology())
+
+
+class TestTaxonomyQueries:
+    def test_subclasses_reflexive(self, reasoner):
+        subs = reasoner.subclasses("Sport")
+        assert Element("Sport") in subs
+        assert Element("Basketball") in subs
+
+    def test_subclasses_strict(self, reasoner):
+        subs = reasoner.subclasses("Sport", strict=True)
+        assert Element("Sport") not in subs
+        assert Element("Biking") in subs
+
+    def test_superclasses(self, reasoner):
+        supers = reasoner.superclasses("Basketball")
+        assert Element("Ball Game") in supers
+        assert Element("Activity") in supers
+
+    def test_instances_direct(self, reasoner):
+        assert Element("Central Park") in reasoner.instances("Park")
+
+    def test_instances_through_subclasses(self, reasoner):
+        # Central Park instanceOf Park, Park subClassOf Outdoor
+        assert Element("Central Park") in reasoner.instances("Outdoor")
+        assert Element("Central Park") in reasoner.instances("Attraction")
+
+    def test_instances_unknown_relation(self):
+        from repro.ontology import Ontology
+
+        empty = Reasoner(Ontology())
+        assert empty.instances("Anything") == frozenset()
+
+    def test_is_instance(self, reasoner):
+        assert reasoner.is_instance("Bronx Zoo", "Attraction")
+        assert not reasoner.is_instance("NYC", "Attraction")
+
+
+class TestImplication:
+    def test_implied_facts_generalize_components(self, reasoner):
+        implied = reasoner.implied_facts(
+            fact_set(("Basketball", "doAt", "Central Park"))
+        )
+        assert Fact("Sport", "doAt", "Central Park") in implied
+        assert Fact("Basketball", "doAt", "Park") in implied
+        assert Fact("Activity", "doAt", "Attraction") in implied
+
+    def test_least_upper_bounds(self, reasoner):
+        lubs = reasoner.least_upper_bounds(Element("Basketball"), Element("Biking"))
+        assert lubs == {Element("Sport")}
+
+    def test_least_upper_bounds_self(self, reasoner):
+        assert reasoner.least_upper_bounds(
+            Element("Biking"), Element("Biking")
+        ) == {Element("Biking")}
+
+    def test_taxonomy_acyclic(self, reasoner):
+        assert reasoner.check_taxonomy_acyclic()

@@ -1,0 +1,68 @@
+"""Tests for threshold replay from the CrowdCache (Section 6.3)."""
+
+import pytest
+
+from repro.assignments import ExplicitDAG
+from repro.crowd import CrowdCache
+from repro.mining import replay_from_cache
+
+
+@pytest.fixture()
+def dag() -> ExplicitDAG:
+    dag = ExplicitDAG()
+    for a, b in [(0, 1), (0, 2), (1, 3), (2, 4)]:
+        dag.add_edge(a, b)
+    return dag
+
+
+def seeded_cache(supports, members=("u1", "u2", "u3"), nodes=range(5)):
+    cache = CrowdCache()
+    for node in nodes:
+        for member in members:
+            cache.record(node, member, supports.get(node, 0.0))
+    return cache
+
+
+class TestReplayFromCache:
+    def test_reproduces_msps(self, dag):
+        cache = seeded_cache({0: 0.9, 1: 0.8, 2: 0.7, 3: 0.6})
+        result = replay_from_cache(dag, cache, 0.5, sample_size=3)
+        # 3 is maximal on the left branch; 2 on the right (its child 4 has
+        # support 0)
+        assert set(result.msps) == {2, 3}
+        assert result.cache_misses == 0
+
+    def test_higher_threshold_fewer_answers(self, dag):
+        cache = seeded_cache({0: 0.9, 1: 0.8, 2: 0.7, 3: 0.6})
+        low = replay_from_cache(dag, cache, 0.5, sample_size=3)
+        high = replay_from_cache(dag, cache, 0.75, sample_size=3)
+        assert high.questions <= low.questions
+        assert set(high.msps) == {1}  # 2 (0.7) and 3 (0.6) drop out
+
+    def test_counts_only_used_answers(self, dag):
+        cache = seeded_cache({0: 0.1})  # root insignificant: one ask settles all
+        result = replay_from_cache(dag, cache, 0.5, sample_size=3)
+        assert result.questions == 3  # three cached answers for the root
+        assert result.msps == []
+
+    def test_sample_size_caps_consumption(self, dag):
+        cache = seeded_cache({0: 0.9, 1: 0.0, 2: 0.0},
+                             members=("a", "b", "c", "d", "e"))
+        result = replay_from_cache(dag, cache, 0.5, sample_size=2)
+        # root + its two children, two answers each
+        assert result.questions == 6
+
+    def test_missing_answers_treated_insignificant(self, dag):
+        cache = CrowdCache()
+        cache.record(0, "u1", 0.9)
+        result = replay_from_cache(dag, cache, 0.5, sample_size=1)
+        # children have no cached answers -> insignificant, root is MSP
+        assert result.msps == [0]
+        assert result.cache_misses == 2
+
+    def test_trace_progress(self, dag):
+        cache = seeded_cache({0: 0.9, 1: 0.8, 2: 0.7, 3: 0.6})
+        result = replay_from_cache(
+            dag, cache, 0.5, sample_size=3, target_msps=[3]
+        )
+        assert result.trace.points[-1].targets_found == 1

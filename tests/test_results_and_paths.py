@@ -1,0 +1,173 @@
+"""Coverage for result assembly, bindings and the path evaluator internals."""
+
+import pytest
+
+from repro.assignments import Assignment, QueryAssignmentSpace
+from repro.datasets import running_example
+from repro.engine.results import QueryResult, ResultRow, build_result
+from repro.oassisql import parse_query
+from repro.sparql.ast import PathMod
+from repro.sparql.bindings import Binding
+from repro.sparql.paths import (
+    backward_closure,
+    forward_closure,
+    matching_relations,
+    path_pairs,
+)
+from repro.vocabulary import Element, Relation
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return running_example.build_ontology()
+
+
+class TestBinding:
+    def test_mapping_protocol(self):
+        binding = Binding({"x": Element("NYC")})
+        assert binding["x"] == Element("NYC")
+        assert list(binding) == ["x"]
+        assert len(binding) == 1
+        with pytest.raises(KeyError):
+            binding["y"]
+
+    def test_equality_with_dict(self):
+        binding = Binding({"x": Element("NYC")})
+        assert binding == {"x": Element("NYC")}
+        assert binding == Binding({"x": Element("NYC")})
+
+    def test_hashable_and_project(self):
+        binding = Binding({"x": Element("NYC"), "y": Element("Park")})
+        assert len({binding, Binding(binding.as_dict())}) == 1
+        projected = binding.project(["x"])
+        assert projected == {"x": Element("NYC")}
+
+
+class TestPaths:
+    def test_matching_relations_includes_specializations(self, ontology):
+        relations = matching_relations(ontology, Relation("nearBy"))
+        assert Relation("inside") in relations
+        assert Relation("nearBy") in relations
+
+    def test_matching_relations_unknown(self, ontology):
+        assert matching_relations(ontology, Relation("flysTo")) == {Relation("flysTo")}
+
+    def test_forward_closure_star(self, ontology):
+        closure = forward_closure(
+            ontology, Element("Basketball"), Relation("subClassOf"), PathMod.STAR
+        )
+        assert Element("Basketball") in closure
+        assert Element("Activity") in closure
+
+    def test_forward_closure_plus_excludes_start(self, ontology):
+        closure = forward_closure(
+            ontology, Element("Basketball"), Relation("subClassOf"), PathMod.PLUS
+        )
+        assert Element("Basketball") not in closure
+        assert Element("Ball Game") in closure
+
+    def test_forward_closure_opt(self, ontology):
+        closure = forward_closure(
+            ontology, Element("Basketball"), Relation("subClassOf"), PathMod.OPT
+        )
+        assert closure == {Element("Basketball"), Element("Ball Game")}
+
+    def test_backward_closure_star(self, ontology):
+        closure = backward_closure(
+            ontology, Element("Activity"), Relation("subClassOf"), PathMod.STAR
+        )
+        assert Element("Basketball") in closure
+        assert Element("Activity") in closure
+
+    def test_backward_closure_plus(self, ontology):
+        closure = backward_closure(
+            ontology, Element("Activity"), Relation("subClassOf"), PathMod.PLUS
+        )
+        assert Element("Activity") not in closure
+        assert Element("Sport") in closure
+
+    def test_backward_closure_none(self, ontology):
+        closure = backward_closure(
+            ontology, Element("NYC"), Relation("inside"), PathMod.NONE
+        )
+        assert Element("Central Park") in closure
+
+    def test_path_pairs_star_contains_identity(self, ontology):
+        pairs = set(path_pairs(ontology, Relation("subClassOf"), PathMod.STAR))
+        assert (Element("Sport"), Element("Sport")) in pairs
+        # subClassOf edges point specific -> general in RDF direction
+        assert (Element("Basketball"), Element("Sport")) in pairs
+
+    def test_path_pairs_none_lists_edges(self, ontology):
+        pairs = set(path_pairs(ontology, Relation("inside"), PathMod.NONE))
+        assert (Element("Central Park"), Element("NYC")) in pairs
+
+
+class TestResults:
+    @pytest.fixture(scope="class")
+    def space(self, ontology):
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        return QueryAssignmentSpace(ontology, query, max_values_per_var=1)
+
+    def test_build_result_filters_invalid(self, space, ontology):
+        vocab = ontology.vocabulary
+        valid = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Biking")}}
+        )
+        invalid = Assignment.make(
+            vocab, {"x": {Element("Park")}, "y": {Element("Biking")}}
+        )
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        result = build_result(query, space, [valid, invalid], 10)
+        assert len(result) == 1
+        assert result.rows[0].valid
+
+    def test_include_invalid(self, space, ontology):
+        vocab = ontology.vocabulary
+        invalid = Assignment.make(
+            vocab, {"x": {Element("Park")}, "y": {Element("Biking")}}
+        )
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        result = build_result(query, space, [invalid], 5, include_invalid=True)
+        assert len(result) == 1
+        assert not result.rows[0].valid
+
+    def test_rows_sorted_by_support(self, space, ontology):
+        vocab = ontology.vocabulary
+        a = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Biking")}}
+        )
+        b = Assignment.make(
+            vocab, {"x": {Element("Bronx Zoo")}, "y": {Element("Feed a monkey")}}
+        )
+        supports = {a: 0.4, b: 0.9}
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        result = build_result(query, space, [a, b], 5, support_of=supports.get)
+        assert result.rows[0].support == 0.9
+
+    def test_variables_hide_internal_names(self, space, ontology):
+        vocab = ontology.vocabulary
+        row = ResultRow(
+            Assignment.make(
+                vocab,
+                {"x": {Element("Central Park")}, "__any_0": {Element("NYC")}},
+            ),
+            space.instantiate(
+                Assignment.make(
+                    vocab,
+                    {"x": {Element("Central Park")}, "y": {Element("Biking")}},
+                )
+            ),
+            0.5,
+            True,
+        )
+        assert "__any_0" not in row.variables()
+
+    def test_fact_sets_accessor(self, space, ontology):
+        vocab = ontology.vocabulary
+        a = Assignment.make(
+            vocab, {"x": {Element("Central Park")}, "y": {Element("Biking")}}
+        )
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        result = build_result(query, space, [a], 1)
+        assert len(result.fact_sets()) == 1

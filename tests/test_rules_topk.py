@@ -1,0 +1,179 @@
+"""Tests for association rules and the top-k / diversify extensions."""
+
+import pytest
+
+from repro.assignments import Assignment
+from repro.datasets import running_example
+from repro.mining import (
+    AssociationRule,
+    assignment_distance,
+    diversify,
+    mine_association_rules,
+    mine_frequent_fact_sets,
+    vertical_mine_top_k,
+)
+from repro.ontology import fact_set
+from repro.synth import generate_dag, place_msps
+from repro.vocabulary import Element
+
+
+class TestAssociationRules:
+    @pytest.fixture(scope="class")
+    def frequent(self):
+        ontology = running_example.build_ontology()
+        dbs = running_example.build_personal_databases()
+        databases = [
+            [t.facts for t in dbs["u1"]],
+            [t.facts for t in dbs["u2"]],
+        ]
+        return (
+            mine_frequent_fact_sets(databases, ontology.vocabulary, 0.3, max_size=2),
+            ontology.vocabulary,
+        )
+
+    def test_biking_implies_falafel(self, frequent):
+        table, vocab = frequent
+        rules = mine_association_rules(table, min_confidence=0.9, vocabulary=vocab)
+        wanted = [
+            r
+            for r in rules
+            if r.antecedent == fact_set(("Biking", "doAt", "Central Park"))
+            and r.consequent == fact_set(("Falafel", "eatAt", "Maoz Veg"))
+        ]
+        # every biking transaction in Table 3 includes falafel at Maoz Veg
+        assert wanted and wanted[0].confidence == pytest.approx(1.0)
+
+    def test_confidence_threshold_filters(self, frequent):
+        table, vocab = frequent
+        strict = mine_association_rules(table, min_confidence=0.99, vocabulary=vocab)
+        loose = mine_association_rules(table, min_confidence=0.5, vocabulary=vocab)
+        assert len(strict) <= len(loose)
+        assert all(r.confidence >= 0.99 for r in strict)
+
+    def test_generalization_consequents_dropped(self, frequent):
+        table, vocab = frequent
+        rules = mine_association_rules(table, min_confidence=0.1, vocabulary=vocab)
+        for rule in rules:
+            assert not rule.consequent.leq(rule.antecedent, vocab)
+
+    def test_rules_sorted_by_confidence(self, frequent):
+        table, vocab = frequent
+        rules = mine_association_rules(table, min_confidence=0.3, vocabulary=vocab)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_invalid_confidence(self, frequent):
+        table, _ = frequent
+        with pytest.raises(ValueError):
+            mine_association_rules(table, min_confidence=0.0)
+
+    def test_str_rendering(self, frequent):
+        table, vocab = frequent
+        rules = mine_association_rules(table, min_confidence=0.9, vocabulary=vocab)
+        assert rules and "=>" in str(rules[0])
+
+
+class TestTopK:
+    def test_stops_after_k(self):
+        dag = generate_dag(width=200, depth=6, seed=1)
+        planted = place_msps(dag, 8, valid_only=True, seed=1)
+        full_questions = None
+        from repro.mining import vertical_mine
+
+        full = vertical_mine(dag, planted.support, 0.5)
+        top2 = vertical_mine_top_k(dag, planted.support, 0.5, k=2)
+        assert len(top2.msps) == 2
+        assert top2.questions < full.questions
+        assert set(top2.msps) <= set(full.msps)
+
+    def test_k_larger_than_available(self):
+        dag = generate_dag(width=80, depth=4, seed=2)
+        planted = place_msps(dag, 3, valid_only=True, seed=2)
+        result = vertical_mine_top_k(dag, planted.support, 0.5, k=50)
+        assert len(result.msps) == 3
+
+    def test_invalid_k(self):
+        dag = generate_dag(width=40, depth=3, seed=0)
+        planted = place_msps(dag, 2, seed=0)
+        with pytest.raises(ValueError):
+            vertical_mine_top_k(dag, planted.support, 0.5, k=0)
+
+    def test_results_are_real_msps(self):
+        dag = generate_dag(width=150, depth=5, seed=3)
+        planted = place_msps(dag, 6, valid_only=True, seed=3)
+        result = vertical_mine_top_k(dag, planted.support, 0.5, k=3)
+        for msp in result.msps:
+            assert planted.is_significant(msp)
+            assert all(
+                not planted.is_significant(s) for s in dag.successors(msp)
+            )
+
+
+class TestDiversify:
+    @pytest.fixture(scope="class")
+    def vocab(self):
+        return running_example.build_ontology().vocabulary
+
+    def test_distance_zero_for_identical(self, vocab):
+        a = Assignment.single(vocab, x=Element("Central Park"))
+        assert assignment_distance(a, a, vocab) == 0.0
+
+    def test_distance_orders_similarity(self, vocab):
+        base = Assignment.single(vocab, x=Element("Central Park"), y=Element("Biking"))
+        refine = Assignment.single(vocab, x=Element("Central Park"), y=Element("Sport"))
+        unrelated = Assignment.single(
+            vocab, x=Element("Bronx Zoo"), y=Element("Feed a monkey")
+        )
+        assert assignment_distance(base, refine, vocab) < assignment_distance(
+            base, unrelated, vocab
+        )
+
+    def test_diversify_prefers_spread(self, vocab):
+        park_biking = Assignment.single(
+            vocab, x=Element("Central Park"), y=Element("Biking")
+        )
+        park_basketball = Assignment.single(
+            vocab, x=Element("Central Park"), y=Element("Basketball")
+        )
+        zoo_monkey = Assignment.single(
+            vocab, x=Element("Bronx Zoo"), y=Element("Feed a monkey")
+        )
+        chosen = diversify(
+            [park_biking, park_basketball, zoo_monkey],
+            2,
+            lambda a, b: assignment_distance(a, b, vocab),
+            seed=0,
+        )
+        # any diverse pair must span both attractions
+        xs = {next(iter(c.get("x"))) for c in chosen}
+        assert len(xs) == 2
+
+    def test_diversify_small_pool_returned_whole(self, vocab):
+        a = Assignment.single(vocab, x=Element("Central Park"))
+        assert diversify([a], 5, lambda x, y: 0.0) == [a]
+
+    def test_diversify_invalid_k(self):
+        with pytest.raises(ValueError):
+            diversify([], 0, lambda a, b: 0.0)
+
+
+class TestMinLift:
+    def test_min_lift_filters_tautologies(self):
+        from repro.datasets import culinary
+        from repro.crowd import PersonalDatabase
+
+        dataset = culinary.build_dataset()
+        members = dataset.build_crowd(size=8, seed=4, transactions=30)
+        databases = [[t.facts for t in m.database] for m in members]
+        frequent = mine_frequent_fact_sets(
+            databases, dataset.ontology.vocabulary, 0.3, max_size=2
+        )
+        all_rules = mine_association_rules(
+            frequent, min_confidence=0.8, vocabulary=dataset.ontology.vocabulary
+        )
+        lifted = mine_association_rules(
+            frequent, min_confidence=0.8,
+            vocabulary=dataset.ontology.vocabulary, min_lift=1.1,
+        )
+        assert len(lifted) <= len(all_rules)
+        assert all(r.lift >= 1.1 for r in lifted)

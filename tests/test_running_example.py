@@ -1,0 +1,160 @@
+"""End-to-end checks against the paper's own numbers (Examples 2.7–4.6)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.assignments import Assignment, QueryAssignmentSpace
+from repro.datasets import running_example
+from repro.mining import vertical_mine
+from repro.oassisql import parse_query
+from repro.ontology import Fact, fact_set
+from repro.vocabulary import Element
+from repro.vocabulary.terms import ANY_ELEMENT
+
+
+def E(name):
+    return Element(name)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    ontology = running_example.build_ontology()
+    databases = running_example.build_personal_databases()
+    return ontology, databases
+
+
+class TestExample27:
+    def test_support_u1(self, setting):
+        ontology, dbs = setting
+        fs = fact_set(("Pasta", "eatAt", "Pine"), ("Activity", "doAt", "Bronx Zoo"))
+        assert dbs["u1"].support_fraction(fs, ontology.vocabulary) == Fraction(1, 3)
+
+
+class TestExample31:
+    def test_phi16_significant_at_04(self, setting):
+        ontology, dbs = setting
+        vocab = ontology.vocabulary
+        phi16 = fact_set(
+            ("Biking", "doAt", "Central Park"),
+            (ANY_ELEMENT, "eatAt", "Maoz Veg"),
+        )
+        s1 = dbs["u1"].support_fraction(phi16, vocab)
+        s2 = dbs["u2"].support_fraction(phi16, vocab)
+        assert (s1 + s2) / 2 == Fraction(5, 12)
+        assert (s1 + s2) / 2 >= Fraction(2, 5)  # threshold 0.4
+
+    def test_phi20_insignificant_at_04(self, setting):
+        ontology, dbs = setting
+        vocab = ontology.vocabulary
+        phi20 = fact_set(
+            ("Baseball", "doAt", "Central Park"),
+            (ANY_ELEMENT, "eatAt", "Maoz Veg"),
+        )
+        s1 = dbs["u1"].support_fraction(phi20, vocab)
+        s2 = dbs["u2"].support_fraction(phi20, vocab)
+        assert (s1 + s2) / 2 == Fraction(1, 3)
+        assert (s1 + s2) / 2 < Fraction(2, 5)
+
+
+class TestExample32:
+    def test_more_extension_significant(self, setting):
+        ontology, dbs = setting
+        vocab = ontology.vocabulary
+        extended = fact_set(
+            ("Biking", "doAt", "Central Park"),
+            (ANY_ELEMENT, "eatAt", "Maoz Veg"),
+            ("Rent Bikes", "doAt", "Boathouse"),
+        )
+        s1 = dbs["u1"].support_fraction(extended, vocab)
+        s2 = dbs["u2"].support_fraction(extended, vocab)
+        assert (s1 + s2) / 2 == Fraction(5, 12)
+
+    def test_biking_plus_ballgame_not_significant(self, setting):
+        ontology, dbs = setting
+        vocab = ontology.vocabulary
+        combo = fact_set(
+            ("Biking", "doAt", "Central Park"),
+            ("Ball Game", "doAt", "Central Park"),
+            (ANY_ELEMENT, "eatAt", "Maoz Veg"),
+        )
+        s1 = dbs["u1"].support_fraction(combo, vocab)
+        s2 = dbs["u2"].support_fraction(combo, vocab)
+        assert (s1 + s2) / 2 < Fraction(2, 5)
+
+
+class TestExample46VerticalOnUavg:
+    """Run Algorithm 1 for u_avg (the average of u1 and u2) on the fragment."""
+
+    @pytest.fixture(scope="class")
+    def result(self, setting):
+        ontology, dbs = setting
+        vocab = ontology.vocabulary
+        query = parse_query(running_example.FRAGMENT_QUERY)
+        space = QueryAssignmentSpace(ontology, query, max_values_per_var=2)
+
+        def u_avg(node):
+            facts = space.instantiate(node)
+            s1 = dbs["u1"].support(facts, vocab)
+            s2 = dbs["u2"].support(facts, vocab)
+            return (s1 + s2) / 2
+
+        return space, vertical_mine(space, u_avg, 0.4)
+
+    def test_ball_game_at_central_park_is_msp(self, result):
+        space, mined = result
+        vocab = space.vocabulary
+        # Node 17 of Figure 3: (Central Park, Ball Game).  Its successors
+        # Basketball (avg 1/4) and Baseball (avg 1/3) are below 0.4, while
+        # Ball Game itself has avg (2/6+1/2)/2 = 5/12 >= 0.4.
+        node17 = Assignment.make(
+            vocab, {"x": {E("Central Park")}, "y": {E("Ball Game")}}
+        )
+        assert node17 in mined.msps
+
+    def test_biking_at_central_park_is_msp(self, result):
+        space, mined = result
+        vocab = space.vocabulary
+        node16 = Assignment.make(vocab, {"x": {E("Central Park")}, "y": {E("Biking")}})
+        assert node16 in mined.msps
+
+    def test_feed_a_monkey_at_bronx_zoo_is_msp(self, result):
+        space, mined = result
+        vocab = space.vocabulary
+        monkey = Assignment.make(
+            vocab, {"x": {E("Bronx Zoo")}, "y": {E("Feed a monkey")}}
+        )
+        assert monkey in mined.msps
+
+    def test_all_msps_pairwise_incomparable(self, result):
+        space, mined = result
+        for a in mined.msps:
+            for b in mined.msps:
+                if a != b:
+                    assert not space.leq(a, b)
+
+    def test_msps_match_brute_force(self, result, setting):
+        from repro.mining import brute_force_msps
+
+        ontology, dbs = setting
+        vocab = ontology.vocabulary
+        space, mined = result
+
+        def significant(node):
+            facts = space.instantiate(node)
+            s1 = dbs["u1"].support(facts, vocab)
+            s2 = dbs["u2"].support(facts, vocab)
+            return (s1 + s2) / 2 >= 0.4
+
+        expected = set(brute_force_msps(space, significant, valid_only=False))
+        assert set(mined.msps) == expected
+
+    def test_valid_msps_subset(self, result):
+        space, mined = result
+        assert set(mined.valid_msps) <= set(mined.msps)
+        for msp in mined.valid_msps:
+            assert space.is_valid(msp)
+
+    def test_questions_fewer_than_space(self, result):
+        space, mined = result
+        assert mined.questions < len(space.all_nodes())

@@ -1,0 +1,123 @@
+"""Unit tests for crowd member selection and population simulation."""
+
+import random
+
+import pytest
+
+from repro.crowd import (
+    CrowdSimulator,
+    PlantedPattern,
+    consistency_violation_ratio,
+    filter_members,
+    trust_scores,
+)
+from repro.datasets import running_example
+from repro.ontology import Fact, fact_set
+
+
+def integer_leq(a, b):
+    """A toy order: a ≤ b iff b is a multiple of a (1 ≤ everything)."""
+    return b % a == 0
+
+
+class TestConsistency:
+    def test_consistent_answers_score_zero(self):
+        # supp(1) >= supp(2) >= supp(4): monotone, no violations
+        answers = [(1, 0.9), (2, 0.5), (4, 0.2)]
+        assert consistency_violation_ratio(answers, integer_leq) == 0.0
+
+    def test_violation_detected(self):
+        answers = [(1, 0.1), (2, 0.9)]  # specialization more frequent: bad
+        assert consistency_violation_ratio(answers, integer_leq) == 1.0
+
+    def test_tolerance_absorbs_noise(self):
+        answers = [(1, 0.50), (2, 0.52)]
+        assert consistency_violation_ratio(answers, integer_leq, tolerance=0.05) == 0.0
+
+    def test_incomparable_pairs_ignored(self):
+        answers = [(2, 0.1), (3, 0.9)]  # incomparable
+        assert consistency_violation_ratio(answers, integer_leq) == 0.0
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            consistency_violation_ratio([], integer_leq, tolerance=-1)
+
+    def test_filter_members_flags_spammer(self):
+        rng = random.Random(0)
+        good = [(n, 1.0 / n) for n in (1, 2, 4, 8)]
+        spam = [(n, rng.random()) for n in (1, 2, 4, 8)] * 3
+        flagged = filter_members(
+            {"good": good, "spam": spam}, integer_leq, max_violation_ratio=0.2
+        )
+        assert "good" not in flagged
+
+    def test_trust_scores(self):
+        scores = trust_scores(
+            {"good": [(1, 0.9), (2, 0.5)], "bad": [(1, 0.1), (2, 0.9)]},
+            integer_leq,
+        )
+        assert scores["good"] == 1.0
+        assert scores["bad"] == 0.0
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        vocab = running_example.build_ontology().vocabulary
+        patterns = [
+            PlantedPattern(
+                fact_set(("Biking", "doAt", "Central Park")), 0.6, spread=0.05
+            ),
+            PlantedPattern(
+                fact_set(("Swimming", "doAt", "Central Park")), 0.05, spread=0.02
+            ),
+        ]
+        noise = [Fact("Basketball", "doAt", "Madison Square")]
+        return CrowdSimulator(vocab, patterns, noise_facts=noise, seed=42)
+
+    def test_population_size_and_ids(self, simulator):
+        members = simulator.build_population(5)
+        assert len(members) == 5
+        assert [m.member_id for m in members] == ["u1", "u2", "u3", "u4", "u5"]
+
+    def test_deterministic_by_seed(self, simulator):
+        a = simulator.build_population(3, transactions=10)
+        b = simulator.build_population(3, transactions=10)
+        for ma, mb in zip(a, b):
+            for ta, tb in zip(ma.database, mb.database):
+                assert ta.facts == tb.facts
+
+    def test_planted_support_approximated(self, simulator):
+        vocab = simulator.vocabulary
+        members = simulator.build_population(30, transactions=60)
+        target = fact_set(("Biking", "doAt", "Central Park"))
+        average = sum(m.true_support(target) for m in members) / len(members)
+        assert average == pytest.approx(0.6, abs=0.1)
+
+    def test_rare_pattern_stays_rare(self, simulator):
+        members = simulator.build_population(30, transactions=60)
+        rare = fact_set(("Swimming", "doAt", "Central Park"))
+        average = sum(m.true_support(rare) for m in members) / len(members)
+        assert average < 0.2
+
+    def test_generalizations_at_least_as_frequent(self, simulator):
+        vocab = simulator.vocabulary
+        members = simulator.build_population(10, transactions=40)
+        specific = fact_set(("Biking", "doAt", "Central Park"))
+        general = fact_set(("Sport", "doAt", "Central Park"))
+        for member in members:
+            assert member.true_support(general) >= member.true_support(specific)
+
+    def test_expected_support(self, simulator):
+        assert simulator.expected_support(
+            fact_set(("Sport", "doAt", "Central Park"))
+        ) == pytest.approx(0.6)
+        assert simulator.expected_support(
+            fact_set(("Pasta", "eatAt", "Pine"))
+        ) == 0.0
+
+    def test_invalid_pattern_parameters(self):
+        with pytest.raises(ValueError):
+            PlantedPattern(fact_set(("A", "doAt", "B")), 1.5)
+        with pytest.raises(ValueError):
+            PlantedPattern(fact_set(("A", "doAt", "B")), 0.5, spread=-0.1)

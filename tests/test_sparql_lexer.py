@@ -1,0 +1,86 @@
+"""Unit tests for the shared tokenizer."""
+
+import pytest
+
+from repro.sparql.lexer import LexError, ParseError, TokenStream, tokenize
+
+
+class TestTokenize:
+    def test_variables_both_sigils(self):
+        tokens = tokenize("$x ?y")
+        assert [(t.kind, t.text) for t in tokens[:-1]] == [("VAR", "x"), ("VAR", "y")]
+
+    def test_bracketed_names(self):
+        tokens = tokenize("<Central Park>")
+        assert tokens[0] == tokens[0]._replace(kind="NAME", text="Central Park")
+
+    def test_strings(self):
+        tokens = tokenize('"child-friendly"')
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].text == "child-friendly"
+
+    def test_numbers(self):
+        assert tokenize("0.4")[0].kind == "NUMBER"
+        assert tokenize("12")[0].kind == "NUMBER"
+        assert tokenize(".5")[0].kind == "NUMBER"
+
+    def test_blank_node(self):
+        assert tokenize("[]")[0].kind == "LBRACKET_PAIR"
+        assert tokenize("[ ]")[0].kind == "LBRACKET_PAIR"
+
+    def test_names_allow_hyphen(self):
+        tokens = tokenize("FACT-SETS")
+        assert tokens[0].kind == "NAME"
+        assert tokens[0].text == "FACT-SETS"
+
+    def test_punctuation(self):
+        kinds = [t.kind for t in tokenize(". * + ? { } = >= >")][:-1]
+        assert kinds == ["DOT", "STAR", "PLUS", "QMARK", "LBRACE", "RBRACE", "EQ", "GE", "GT"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("A # comment\nB")
+        assert [t.text for t in tokens[:-1]] == ["A", "B"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("A\n  B")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_lex_error_on_garbage(self):
+        with pytest.raises(LexError):
+            tokenize("@@@")
+
+
+class TestTokenStream:
+    def test_peek_does_not_consume(self):
+        stream = TokenStream(tokenize("A B"))
+        assert stream.peek().text == "A"
+        assert stream.peek().text == "A"
+
+    def test_next_consumes(self):
+        stream = TokenStream(tokenize("A B"))
+        assert stream.next().text == "A"
+        assert stream.next().text == "B"
+        assert stream.next().kind == "EOF"
+        assert stream.next().kind == "EOF"  # EOF is sticky
+
+    def test_expect_success_and_failure(self):
+        stream = TokenStream(tokenize("A"))
+        assert stream.expect("NAME").text == "A"
+        with pytest.raises(ParseError):
+            stream.expect("NAME")
+
+    def test_keyword_matching_case_insensitive(self):
+        stream = TokenStream(tokenize("select"))
+        assert stream.at_keyword("SELECT")
+        stream.expect_keyword("SELECT")
+
+    def test_eat(self):
+        stream = TokenStream(tokenize(". A"))
+        assert stream.eat("DOT")
+        assert not stream.eat("DOT")
+        assert stream.peek().text == "A"

@@ -1,0 +1,85 @@
+"""Unit tests for the BGP parser."""
+
+import pytest
+
+from repro.sparql import (
+    Blank,
+    Concrete,
+    ParseError,
+    PathMod,
+    StringLiteral,
+    Var,
+    parse_bgp,
+)
+
+
+class TestTriplePatterns:
+    def test_simple_triple(self):
+        bgp = parse_bgp("$x inside NYC")
+        pattern = bgp.patterns[0]
+        assert pattern.subject == Var("x")
+        assert pattern.relation.term == Concrete("inside")
+        assert pattern.obj == Concrete("NYC")
+
+    def test_multiple_triples_dot_separated(self):
+        bgp = parse_bgp("$x inside NYC . $x instanceOf Park .")
+        assert len(bgp) == 2
+
+    def test_trailing_dot_optional(self):
+        assert len(parse_bgp("$x inside NYC . $y inside NYC")) == 2
+
+    def test_path_star(self):
+        bgp = parse_bgp("$w subClassOf* Attraction")
+        assert bgp.patterns[0].relation.mod is PathMod.STAR
+
+    def test_path_plus_and_opt(self):
+        assert parse_bgp("$w subClassOf+ A").patterns[0].relation.mod is PathMod.PLUS
+        assert parse_bgp("$w subClassOf? A").patterns[0].relation.mod is PathMod.OPT
+
+    def test_relation_variable(self):
+        bgp = parse_bgp("$x $p $y")
+        assert bgp.patterns[0].relation.term == Var("p")
+
+    def test_blank_nodes(self):
+        bgp = parse_bgp("[] eatAt $z")
+        assert isinstance(bgp.patterns[0].subject, Blank)
+
+    def test_blanks_are_unique(self):
+        bgp = parse_bgp("[] eatAt $z . [] doAt $x")
+        first = bgp.patterns[0].subject
+        second = bgp.patterns[1].subject
+        assert first.as_var() != second.as_var()
+
+    def test_string_literal_object(self):
+        bgp = parse_bgp('$x hasLabel "child-friendly"')
+        assert bgp.patterns[0].obj == StringLiteral("child-friendly")
+
+    def test_multiword_names(self):
+        bgp = parse_bgp("<Central Park> inside NYC")
+        assert bgp.patterns[0].subject == Concrete("Central Park")
+
+    def test_variables_first_occurrence_order(self):
+        bgp = parse_bgp("$b r $a . $a r $c")
+        assert [v.name for v in bgp.variables()] == ["b", "a", "c"]
+
+
+class TestParseErrors:
+    def test_string_in_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bgp('"label" r B')
+
+    def test_missing_dot_between_triples(self):
+        with pytest.raises(ParseError):
+            parse_bgp("$x r $y $z r $w extra tokens here")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bgp("")
+
+    def test_path_mod_on_variable_rejected(self):
+        with pytest.raises(Exception):
+            parse_bgp("$x $p* $y")
+
+    def test_incomplete_triple(self):
+        with pytest.raises(ParseError):
+            parse_bgp("$x inside")

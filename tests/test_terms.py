@@ -1,0 +1,84 @@
+"""Unit tests for repro.vocabulary.terms."""
+
+import pytest
+
+from repro.vocabulary.terms import (
+    ANY_ELEMENT,
+    ANY_RELATION_WILDCARD,
+    THING,
+    Element,
+    Relation,
+    as_element,
+    as_elements,
+    as_relation,
+)
+
+
+class TestTermBasics:
+    def test_equality_same_kind(self):
+        assert Element("Biking") == Element("Biking")
+        assert Relation("doAt") == Relation("doAt")
+
+    def test_inequality_across_kinds(self):
+        assert Element("doAt") != Relation("doAt")
+
+    def test_inequality_different_names(self):
+        assert Element("Biking") != Element("Sport")
+
+    def test_hash_consistency(self):
+        assert hash(Element("Biking")) == hash(Element("Biking"))
+        assert {Element("A"), Element("A")} == {Element("A")}
+
+    def test_element_and_relation_hash_differ(self):
+        # same name, different kinds: must not collide as dict keys
+        d = {Element("x"): 1, Relation("x"): 2}
+        assert d[Element("x")] == 1
+        assert d[Relation("x")] == 2
+
+    def test_str_and_repr(self):
+        assert str(Element("Central Park")) == "Central Park"
+        assert "Central Park" in repr(Element("Central Park"))
+
+    def test_sorting_is_deterministic(self):
+        terms = sorted([Element("B"), Element("A"), Relation("A")])
+        assert terms == [Element("A"), Element("B"), Relation("A")]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Element("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError):
+            Element(42)
+
+
+class TestCoercions:
+    def test_as_element_passthrough(self):
+        e = Element("NYC")
+        assert as_element(e) is e
+
+    def test_as_element_from_string(self):
+        assert as_element("NYC") == Element("NYC")
+
+    def test_as_element_rejects_relation(self):
+        with pytest.raises(TypeError):
+            as_element(Relation("doAt"))
+
+    def test_as_relation_from_string(self):
+        assert as_relation("doAt") == Relation("doAt")
+
+    def test_as_relation_rejects_element(self):
+        with pytest.raises(TypeError):
+            as_relation(Element("NYC"))
+
+    def test_as_elements(self):
+        assert as_elements(["A", Element("B")]) == (Element("A"), Element("B"))
+
+
+class TestWellKnownTerms:
+    def test_thing_is_element(self):
+        assert isinstance(THING, Element)
+
+    def test_wildcards_are_distinct(self):
+        assert ANY_ELEMENT != THING
+        assert isinstance(ANY_RELATION_WILDCARD, Relation)

@@ -1,0 +1,90 @@
+"""Unit tests for the Turtle-like ontology serialization."""
+
+import pytest
+
+from repro.ontology import Fact, TurtleSyntaxError, dumps, loads
+from repro.vocabulary import Element, Relation
+
+SAMPLE = """
+# a comment line
+<Central Park> instanceOf Park .
+<Central Park> inside NYC .
+Park subClassOf Outdoor .
+@relorder nearBy <= inside .
+<Central Park> hasLabel "child-friendly" .
+"""
+
+
+class TestLoads:
+    def test_parses_facts(self):
+        onto = loads(SAMPLE)
+        assert ("Central Park", "inside", "NYC") in onto
+        assert ("Park", "subClassOf", "Outdoor") in onto
+
+    def test_multiword_names(self):
+        onto = loads(SAMPLE)
+        assert onto.vocabulary.has_element("Central Park")
+
+    def test_relorder(self):
+        onto = loads(SAMPLE)
+        assert onto.vocabulary.leq(Relation("nearBy"), Relation("inside"))
+
+    def test_labels(self):
+        onto = loads(SAMPLE)
+        assert onto.has_label("Central Park", "child-friendly")
+
+    def test_comments_and_blanks_ignored(self):
+        onto = loads("# only a comment\n\n")
+        assert len(onto) == 0
+
+    def test_taxonomy_syncs_order(self):
+        onto = loads(SAMPLE)
+        assert onto.vocabulary.leq(Element("Outdoor"), Element("Park"))
+
+    def test_trailing_dot_optional(self):
+        onto = loads("A r B")
+        assert ("A", "r", "B") in onto
+
+
+class TestErrors:
+    def test_wrong_arity(self):
+        with pytest.raises(TurtleSyntaxError):
+            loads("A r")
+
+    def test_string_in_subject(self):
+        with pytest.raises(TurtleSyntaxError):
+            loads('"label" r B .')
+
+    def test_string_object_without_haslabel(self):
+        with pytest.raises(TurtleSyntaxError):
+            loads('A r "oops" .')
+
+    def test_haslabel_needs_string(self):
+        with pytest.raises(TurtleSyntaxError):
+            loads("A hasLabel B .")
+
+    def test_bad_relorder(self):
+        with pytest.raises(TurtleSyntaxError):
+            loads("@relorder nearBy inside .")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(TurtleSyntaxError) as excinfo:
+            loads("A r B .\nbroken line here extra tokens .")
+        assert excinfo.value.line_no == 2
+
+
+class TestRoundTrip:
+    def test_dumps_loads_round_trip(self):
+        original = loads(SAMPLE)
+        restored = loads(dumps(original))
+        assert set(restored) == set(original)
+        assert restored.labels("Central Park") == original.labels("Central Park")
+        assert restored.vocabulary.leq(Relation("nearBy"), Relation("inside"))
+
+    def test_dump_load_file(self, tmp_path):
+        from repro.ontology import dump, load
+
+        original = loads(SAMPLE)
+        path = tmp_path / "onto.ttl"
+        dump(original, path)
+        assert set(load(path)) == set(original)

@@ -1,0 +1,133 @@
+"""Unit tests for the Vocabulary and VocabularyBuilder."""
+
+import pytest
+
+from repro.vocabulary import (
+    Element,
+    Relation,
+    UnknownTermError,
+    Vocabulary,
+    VocabularyBuilder,
+)
+
+
+def small_vocab() -> Vocabulary:
+    vocab = Vocabulary()
+    vocab.specialize_element("Activity", "Sport")
+    vocab.specialize_element("Sport", "Biking")
+    vocab.specialize_relation("nearBy", "inside")
+    vocab.add_relation("doAt")
+    return vocab
+
+
+class TestVocabulary:
+    def test_add_element_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add_element("NYC")
+        second = vocab.add_element("NYC")
+        assert first is second
+
+    def test_lookup_known(self):
+        vocab = small_vocab()
+        assert vocab.element("Sport") == Element("Sport")
+        assert vocab.relation("doAt") == Relation("doAt")
+
+    def test_lookup_unknown_raises(self):
+        vocab = small_vocab()
+        with pytest.raises(UnknownTermError):
+            vocab.element("Paris")
+        with pytest.raises(UnknownTermError):
+            vocab.relation("flysTo")
+
+    def test_has_checks(self):
+        vocab = small_vocab()
+        assert vocab.has_element("Biking")
+        assert not vocab.has_element("doAt")
+        assert vocab.has_relation("inside")
+
+    def test_len_counts_both_universes(self):
+        vocab = small_vocab()
+        # elements: Activity, Sport, Biking; relations: nearBy, inside, doAt
+        assert len(vocab) == 6
+
+    def test_leq_element_order(self):
+        vocab = small_vocab()
+        assert vocab.leq(Element("Activity"), Element("Biking"))
+        assert not vocab.leq(Element("Biking"), Element("Activity"))
+
+    def test_leq_relation_order(self):
+        vocab = small_vocab()
+        assert vocab.leq(Relation("nearBy"), Relation("inside"))
+        assert not vocab.leq(Relation("inside"), Relation("nearBy"))
+
+    def test_leq_cross_kind_incomparable(self):
+        vocab = small_vocab()
+        assert not vocab.leq(Element("Sport"), Relation("doAt"))
+        assert not vocab.leq(Relation("doAt"), Element("Sport"))
+
+    def test_leq_cache_invalidated_by_mutation(self):
+        vocab = small_vocab()
+        assert not vocab.leq(Element("Sport"), Element("Skiing"))
+        vocab.specialize_element("Sport", "Skiing")
+        assert vocab.leq(Element("Sport"), Element("Skiing"))
+
+    def test_comparable(self):
+        vocab = small_vocab()
+        assert vocab.comparable(Element("Biking"), Element("Activity"))
+        assert not vocab.comparable(Element("Biking"), Element("Biking2")) or True
+        vocab.specialize_element("Sport", "Swimming")
+        assert not vocab.comparable(Element("Biking"), Element("Swimming"))
+
+    def test_children_parents_dispatch(self):
+        vocab = small_vocab()
+        assert vocab.children(Element("Sport")) == {Element("Biking")}
+        assert vocab.parents(Relation("inside")) == {Relation("nearBy")}
+
+    def test_descendants_ancestors_dispatch(self):
+        vocab = small_vocab()
+        assert Element("Biking") in vocab.descendants(Element("Activity"))
+        assert Relation("nearBy") in vocab.ancestors(Relation("inside"))
+
+    def test_copy_is_independent(self):
+        vocab = small_vocab()
+        dup = vocab.copy()
+        dup.specialize_element("Sport", "Climbing")
+        assert not vocab.has_element("Climbing")
+        assert dup.leq(Element("Sport"), Element("Climbing"))
+
+
+class TestVocabularyBuilder:
+    def test_element_tree(self):
+        vocab = (
+            VocabularyBuilder()
+            .element_tree(
+                "Thing",
+                {"Activity": {"Sport": {"Biking": {}, "Ball Game": {}}}},
+            )
+            .build()
+        )
+        assert vocab.leq(Element("Thing"), Element("Biking"))
+        assert vocab.leq(Element("Activity"), Element("Ball Game"))
+
+    def test_element_with_parent(self):
+        vocab = VocabularyBuilder().element("Sport", parent="Activity").build()
+        assert vocab.leq(Element("Activity"), Element("Sport"))
+
+    def test_chains(self):
+        vocab = (
+            VocabularyBuilder()
+            .element_chain("A", "B", "C")
+            .relation_chain("r", "s")
+            .build()
+        )
+        assert vocab.leq(Element("A"), Element("C"))
+        assert vocab.leq(Relation("r"), Relation("s"))
+
+    def test_single_name_chain_registers_term(self):
+        vocab = VocabularyBuilder().element_chain("Lonely").build()
+        assert vocab.has_element("Lonely")
+
+    def test_builder_extends_existing_vocabulary(self):
+        vocab = small_vocab()
+        VocabularyBuilder(vocab).element("Swimming", parent="Sport")
+        assert vocab.leq(Element("Activity"), Element("Swimming"))
