@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,13 @@ figures:
 	$(PYTHON) -m repro figures fig5
 	$(PYTHON) -m repro figures fig4f
 	$(PYTHON) -m repro figures multiplicities
+
+stats:
+	PYTHONPATH=src $(PYTHON) examples/quickstart.py --stats --stats-json stats_report.json
+	$(PYTHON) -c "import json; r = json.load(open('stats_report.json')); \
+	assert r['version'] == 1, r; \
+	assert set(r) >= {'counters', 'derived', 'spans'}, sorted(r); \
+	print('stats_report.json OK:', r['derived']['total_questions'], 'questions')"
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

@@ -86,6 +86,30 @@ def test_vertical_on_synthetic_dag(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_vertical_traced_counter_consistency(benchmark):
+    """Tracing the same run: the ``crowd.questions`` counter must agree
+    with both ``MiningResult.questions`` and the mining trace's final
+    ``TracePoint.questions`` — three independent accountings of one
+    number (see docs/OBSERVABILITY.md)."""
+    from repro.observability import tracing
+
+    dag = generate_dag(width=500, depth=7, seed=0)
+    planted = place_msps(dag, 10, valid_only=True, seed=0)
+
+    def mine():
+        with tracing() as tracer:
+            result = vertical_mine(
+                dag, planted.support, 0.5, rng=random.Random(0)
+            )
+        return tracer, result
+
+    tracer, result = benchmark(mine)
+    assert tracer.value("crowd.questions") == result.questions
+    assert result.trace.points[-1].questions == result.questions
+    assert tracer.find_span("mine.vertical") is not None
+
+
+@pytest.mark.benchmark(group="micro")
 def test_ontology_pattern_matching(benchmark):
     dataset = travel.build_dataset()
     ontology = dataset.ontology

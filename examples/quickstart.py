@@ -8,11 +8,20 @@ Park and eat at Maoz Vegetarian...").
 Run with::
 
     python examples/quickstart.py
+
+Pass ``--stats`` to also print the observability summary (questions asked,
+cache hit rate, nodes pruned by inference, per-phase wall time) and
+``--stats-json PATH`` to write the machine-readable report — see
+``docs/OBSERVABILITY.md``.
 """
+
+import argparse
+import json
 
 from repro import CrowdCache, CrowdMember, OassisEngine
 from repro.crowd import PersonalDatabase
 from repro.datasets import running_example
+from repro.observability import tracing
 
 
 class AverageMember(CrowdMember):
@@ -42,7 +51,7 @@ def build_crowd(ontology, databases, copies=10):
     ]
 
 
-def main():
+def run_quickstart():
     ontology = running_example.build_ontology()
     databases = running_example.build_personal_databases()
     engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=1)
@@ -71,6 +80,36 @@ def main():
     print()
     print("Answers (maximal significant patterns):")
     print(result.render())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the observability summary table after the run",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="PATH",
+        help="write the machine-readable observability report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if not (args.stats or args.stats_json):
+        run_quickstart()
+        return
+
+    with tracing() as tracer:
+        run_quickstart()
+    report = tracer.report()
+    if args.stats:
+        print()
+        print(tracer.render())
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ Subpackages:
 * :mod:`repro.crowd` — personal DBs, members, aggregation, caching;
 * :mod:`repro.mining` — vertical / multi-user / baseline algorithms;
 * :mod:`repro.engine` — the end-to-end evaluation pipeline;
+* :mod:`repro.observability` — tracing, counters, timers (``--stats``);
 * :mod:`repro.synth` — synthetic DAG / crowd generators (Section 6.4);
 * :mod:`repro.datasets` — travel, culinary, self-treatment demo domains;
 * :mod:`repro.experiments` — harnesses regenerating every paper figure.
@@ -42,6 +43,7 @@ from .mining import (
     vertical_mine,
 )
 from .oassisql import Query, parse_query
+from .observability import Tracer, tracing
 from .ontology import Fact, FactSet, Ontology
 from .vocabulary import Element, Relation, Vocabulary, VocabularyBuilder
 
@@ -67,6 +69,7 @@ __all__ = [
     "QueryResult",
     "QueueManager",
     "Relation",
+    "Tracer",
     "Transaction",
     "Vocabulary",
     "VocabularyBuilder",
@@ -74,5 +77,6 @@ __all__ = [
     "horizontal_mine",
     "naive_mine",
     "parse_query",
+    "tracing",
     "vertical_mine",
 ]

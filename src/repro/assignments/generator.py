@@ -28,6 +28,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..observability import count as _obs_count, get_tracer, span as _obs_span
 from ..ontology.facts import Fact, FactSet
 from ..ontology.graph import INSTANCE_OF, SUBCLASS_OF, Ontology
 from ..oassisql.ast import (
@@ -76,9 +77,12 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
         )
 
         self._engine = SparqlEngine(ontology)
-        self._solutions: List[Binding] = (
-            list(self._engine.solutions(query.where)) if query.where is not None else []
-        )
+        with _obs_span("sparql.match"):
+            self._solutions: List[Binding] = (
+                list(self._engine.solutions(query.where))
+                if query.where is not None
+                else []
+            )
         where_vars = {v.name for v in query.where_variables()}
         self._shared_vars = tuple(v for v in self._sat_vars if v in where_vars)
         self._free_vars = tuple(v for v in self._sat_vars if v not in where_vars)
@@ -311,44 +315,54 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
         return list(roots)
 
     def successors(self, node: Assignment) -> List[Assignment]:
+        tracer = get_tracer()
         cached = self._succ_cache.get(node)
         if cached is not None:
+            if tracer is not None:
+                tracer.count("lattice.succ_cache.hits")
             return list(cached)
-        out: List[Assignment] = []
-        seen: Set[Assignment] = set()
+        if tracer is not None:
+            tracer.count("lattice.succ_cache.misses")
+        with _obs_span("lattice.expand"):
+            out: List[Assignment] = []
+            seen: Set[Assignment] = set()
 
-        def emit(candidate: Assignment) -> None:
-            if (
-                candidate not in seen
-                and node.strictly_leq(candidate, self.vocabulary)
-                and self.in_expansion(candidate)
-            ):
-                seen.add(candidate)
-                out.append(candidate)
+            def emit(candidate: Assignment) -> None:
+                if (
+                    candidate not in seen
+                    and node.strictly_leq(candidate, self.vocabulary)
+                    and self.in_expansion(candidate)
+                ):
+                    seen.add(candidate)
+                    out.append(candidate)
 
-        for name in self._sat_vars:
-            universe = self.universe(name)
-            current = node.get(name)
-            # (i) specialize one value by one taxonomy edge
-            for value in current:
-                for child in self.vocabulary.children(value):
-                    if child in universe:
-                        emit(
-                            node.with_replaced_value(self.vocabulary, name, value, child)
-                        )
-            # (ii) add an incomparable value (lazy combination, Prop. 5.1)
-            if len(current) < self._max_values(name):
-                for candidate in self._addable_values(name, current):
-                    emit(node.with_value(self.vocabulary, name, candidate))
-        # (iii) append a MORE fact from the configured pool
-        if self.satisfying.more and len(node.more) < self.max_more_facts:
-            for fact in self.more_pool:
-                emit(node.with_more_fact(self.vocabulary, fact))
-        # (iv) crowd-proposed MORE extensions (the UI's "more" button)
-        for proposed in self._proposed_more.get(node, ()):
-            emit(proposed)
-        self._succ_cache[node] = out
-        return list(out)
+            for name in self._sat_vars:
+                universe = self.universe(name)
+                current = node.get(name)
+                # (i) specialize one value by one taxonomy edge
+                for value in current:
+                    for child in self.vocabulary.children(value):
+                        if child in universe:
+                            emit(
+                                node.with_replaced_value(
+                                    self.vocabulary, name, value, child
+                                )
+                            )
+                # (ii) add an incomparable value (lazy combination, Prop. 5.1)
+                if len(current) < self._max_values(name):
+                    for candidate in self._addable_values(name, current):
+                        emit(node.with_value(self.vocabulary, name, candidate))
+            # (iii) append a MORE fact from the configured pool
+            if self.satisfying.more and len(node.more) < self.max_more_facts:
+                for fact in self.more_pool:
+                    emit(node.with_more_fact(self.vocabulary, fact))
+            # (iv) crowd-proposed MORE extensions (the UI's "more" button)
+            for proposed in self._proposed_more.get(node, ()):
+                emit(proposed)
+            self._succ_cache[node] = out
+            if tracer is not None and out:
+                tracer.count("lattice.successors.generated", len(out))
+            return list(out)
 
     def propose_more_fact(self, node: Assignment, fact: Fact) -> Optional[Assignment]:
         """Register a crowd-proposed MORE extension of ``node``.
@@ -461,6 +475,7 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
             return cached
         result = self._compute_in_expansion(node)
         self._expansion_cache[node] = result
+        _obs_count("lattice.expansion.checks")
         return result
 
     def _compute_in_expansion(self, node: Assignment) -> bool:

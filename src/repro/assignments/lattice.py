@@ -32,6 +32,8 @@ from typing import (
     TypeVar,
 )
 
+from ..observability import get_tracer
+
 Node = TypeVar("Node", bound=Hashable)
 
 
@@ -65,6 +67,7 @@ class AssignmentSpace(abc.ABC, Generic[Node]):
 
     def descend_iter(self, max_nodes: Optional[int] = None) -> Iterator[Node]:
         """Breadth-first enumeration from the roots (each node once)."""
+        tracer = get_tracer()
         seen: Set[Node] = set()
         frontier: List[Node] = list(self.roots())
         for node in frontier:
@@ -73,6 +76,8 @@ class AssignmentSpace(abc.ABC, Generic[Node]):
         while index < len(frontier):
             node = frontier[index]
             index += 1
+            if tracer is not None:
+                tracer.count("lattice.bfs.nodes")
             yield node
             if max_nodes is not None and len(seen) >= max_nodes:
                 continue
@@ -168,6 +173,9 @@ class ExplicitDAG(AssignmentSpace[Node]):
         cached = self._desc_cache.get(node)
         if cached is not None:
             return cached
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.count("lattice.desc_cache.misses")
         seen: Set[Node] = {node}
         stack = [node]
         while stack:

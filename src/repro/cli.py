@@ -55,6 +55,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_run.add_argument("--json", action="store_true",
                        help="emit the result as JSON instead of text")
+    p_run.add_argument("--stats", action="store_true",
+                       help="trace the run and print the observability "
+                       "summary table (questions, cache hit rate, inference "
+                       "pruning, per-phase wall time)")
+    p_run.add_argument("--trace", action="store_true",
+                       help="trace the run and print the span tree "
+                       "(per-phase wall time only)")
+    p_run.add_argument("--stats-json", metavar="PATH",
+                       help="trace the run and write the machine-readable "
+                       "observability report to PATH ('-' for stdout)")
 
     sub.add_parser("domains", help="list built-in demo domains")
 
@@ -112,11 +122,44 @@ def _cmd_domains() -> int:
 
 def _cmd_run(args) -> int:
     if args.domain:
-        return _run_domain(args)
-    if args.ontology and args.query:
-        return _run_custom(args)
-    print("run needs either --domain or both --ontology and --query", file=sys.stderr)
-    return 2
+        runner = _run_domain
+    elif args.ontology and args.query:
+        runner = _run_custom
+    else:
+        print("run needs either --domain or both --ontology and --query",
+              file=sys.stderr)
+        return 2
+    if not (args.stats or args.trace or args.stats_json):
+        return runner(args)
+
+    from .observability import render_report, render_spans, tracing
+
+    with tracing() as tracer:
+        status = runner(args)
+    report = tracer.report()
+    if args.stats:
+        print()
+        print(render_report(report))
+    elif args.trace:
+        print()
+        print(render_spans(report))
+    if args.stats_json:
+        import json
+
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            try:
+                with open(args.stats_json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+            except OSError as error:
+                # don't lose the run's report over a bad path
+                print(f"cannot write {args.stats_json}: {error}; "
+                      "report follows on stdout", file=sys.stderr)
+                print(payload)
+                return 1
+    return status
 
 
 def _run_domain(args) -> int:

@@ -14,6 +14,8 @@ import enum
 from collections import defaultdict
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
+from ..observability import count as _obs_count
+
 
 class Verdict(enum.Enum):
     """The aggregator's decision about an assignment."""
@@ -36,6 +38,7 @@ class Aggregator:
     def add_answer(self, assignment: Hashable, member_id: str, support: float) -> None:
         """Record one member's answer for ``assignment``."""
         self._answers[assignment].append((member_id, support))
+        _obs_count("aggregator.answers")
 
     def answers(self, assignment: Hashable) -> List[Tuple[str, float]]:
         return list(self._answers.get(assignment, ()))

@@ -18,6 +18,8 @@ import json
 from collections import defaultdict
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
+from ..observability import count as _obs_count
+
 
 class CrowdCache:
     """In-memory store of crowd answers keyed by assignment."""
@@ -31,14 +33,17 @@ class CrowdCache:
     def record(self, assignment: Hashable, member_id: str, support: float) -> None:
         """Store one collected answer."""
         self._answers[assignment].append((member_id, support))
+        _obs_count("cache.answers.recorded")
 
     def lookup(self, assignment: Hashable, member_id: str) -> Optional[float]:
         """The cached answer of ``member_id`` for ``assignment``, if any."""
         for member, support in self._answers.get(assignment, ()):
             if member == member_id:
                 self.hits += 1
+                _obs_count("cache.hits")
                 return support
         self.misses += 1
+        _obs_count("cache.misses")
         return None
 
     def answers_for(self, assignment: Hashable) -> List[Tuple[str, float]]:

@@ -29,6 +29,7 @@ from ..mining.vertical import vertical_mine
 from ..oassisql.ast import Query
 from ..oassisql.parser import parse_query
 from ..oassisql.validator import ensure_valid
+from ..observability import get_tracer, span as _obs_span
 from ..ontology.facts import Fact
 from ..ontology.graph import Ontology
 from ..nlg.templates import DEFAULT_TEMPLATES, QuestionTemplates
@@ -56,8 +57,9 @@ class OassisEngine:
 
     def parse(self, text: str) -> Query:
         """Parse and validate a query against this engine's ontology."""
-        query = parse_query(text)
-        ensure_valid(query, self.ontology)
+        with _obs_span("engine.parse"):
+            query = parse_query(text)
+            ensure_valid(query, self.ontology)
         return query
 
     def _as_query(self, query: Union[str, Query]) -> Query:
@@ -67,13 +69,15 @@ class OassisEngine:
         self, query: Union[str, Query], more_pool: Iterable[Fact] = ()
     ) -> QueryAssignmentSpace:
         """The lazy assignment space for ``query``."""
-        return QueryAssignmentSpace(
-            self.ontology,
-            self._as_query(query),
-            more_pool=more_pool,
-            max_values_per_var=self.max_values_per_var,
-            max_more_facts=self.max_more_facts,
-        )
+        parsed = self._as_query(query)
+        with _obs_span("lattice.build"):
+            return QueryAssignmentSpace(
+                self.ontology,
+                parsed,
+                more_pool=more_pool,
+                max_values_per_var=self.max_values_per_var,
+                max_more_facts=self.max_more_facts,
+            )
 
     # ------------------------------------------------------------ execution
 
@@ -88,26 +92,36 @@ class OassisEngine:
         max_total_questions: Optional[int] = None,
     ) -> QueryResult:
         """Evaluate with the multi-user algorithm over ``members``."""
-        parsed = self._as_query(query)
-        space = self.build_space(parsed, more_pool=more_pool)
-        aggregator = FixedSampleAggregator(parsed.threshold, sample_size=sample_size)
-        users = [MemberUser(member, space) for member in members]
-        miner = MultiUserMiner(
-            space,
-            users,
-            aggregator,
-            cache=cache,
-            max_total_questions=max_total_questions,
-        )
-        mined = miner.run()
-        return build_result(
-            parsed,
-            space,
-            mined.msps,
-            mined.questions,
-            support_of=aggregator.average_support,
-            include_invalid=include_invalid,
-        )
+        tracer = get_tracer()
+        with _obs_span("engine.execute"):
+            parsed = self._as_query(query)
+            space = self.build_space(parsed, more_pool=more_pool)
+            aggregator = FixedSampleAggregator(
+                parsed.threshold, sample_size=sample_size
+            )
+            users = [MemberUser(member, space) for member in members]
+            miner = MultiUserMiner(
+                space,
+                users,
+                aggregator,
+                cache=cache,
+                max_total_questions=max_total_questions,
+            )
+            mined = miner.run()
+            with _obs_span("result.build"):
+                result = build_result(
+                    parsed,
+                    space,
+                    mined.msps,
+                    mined.questions,
+                    support_of=aggregator.average_support,
+                    include_invalid=include_invalid,
+                )
+        if tracer is not None:
+            # refresh after the engine.execute span closed so the report
+            # includes its wall time
+            result.stats = tracer.report()
+        return result
 
     def execute_single_user(
         self,
@@ -118,27 +132,33 @@ class OassisEngine:
         max_questions: Optional[int] = None,
     ) -> QueryResult:
         """Evaluate with Algorithm 1 against a single member."""
-        parsed = self._as_query(query)
-        space = self.build_space(parsed, more_pool=more_pool)
-        answers: Dict[Assignment, float] = {}
+        tracer = get_tracer()
+        with _obs_span("engine.execute"):
+            parsed = self._as_query(query)
+            space = self.build_space(parsed, more_pool=more_pool)
+            answers: Dict[Assignment, float] = {}
 
-        def oracle(node: Assignment) -> float:
-            question = ConcreteQuestion(node, space.instantiate(node))
-            support = member.answer_concrete(question).support
-            answers[node] = support
-            return support
+            def oracle(node: Assignment) -> float:
+                question = ConcreteQuestion(node, space.instantiate(node))
+                support = member.answer_concrete(question).support
+                answers[node] = support
+                return support
 
-        mined = vertical_mine(
-            space, oracle, parsed.threshold, max_questions=max_questions
-        )
-        return build_result(
-            parsed,
-            space,
-            mined.msps,
-            mined.questions,
-            support_of=answers.get,
-            include_invalid=include_invalid,
-        )
+            mined = vertical_mine(
+                space, oracle, parsed.threshold, max_questions=max_questions
+            )
+            with _obs_span("result.build"):
+                result = build_result(
+                    parsed,
+                    space,
+                    mined.msps,
+                    mined.questions,
+                    support_of=answers.get,
+                    include_invalid=include_invalid,
+                )
+        if tracer is not None:
+            result.stats = tracer.report()
+        return result
 
     def replay(
         self,
@@ -151,47 +171,70 @@ class OassisEngine:
         more_pool: Iterable[Fact] = (),
         space: Optional[QueryAssignmentSpace] = None,
     ) -> Tuple[QueryResult, ReplayResult]:
-        """Re-evaluate from cached answers, optionally at a new threshold.
+        """Re-evaluate from cached answers — the Section 6.3 threshold sweep.
 
-        The crowd is never contacted: the traversal consumes the cached
-        per-assignment answer lists, and the returned mining result's
-        ``questions`` field counts only the cached answers actually used
-        (the Section 6.3 accounting).  ``member_ids`` is accepted for
-        interface symmetry with :meth:`execute` but not needed — replay
-        aggregates whatever answers the cache holds per assignment.
+        Crowd answers are independent of the support threshold, so a query
+        executed once (typically at the lowest threshold of interest) can
+        be re-evaluated at any higher threshold from its
+        :class:`~repro.crowd.cache.CrowdCache` alone.  The crowd is never
+        contacted: the traversal consumes the cached per-assignment answer
+        lists, and the returned mining result's ``questions`` field counts
+        only the cached answers actually *used* at the new threshold (the
+        Section 6.3 accounting).  The typical sweep::
+
+            cache = CrowdCache()
+            engine.execute(query, members, cache=cache)       # asks the crowd
+            for threshold in (0.3, 0.4, 0.5):
+                result, replayed = engine.replay(
+                    query, member_ids, cache, threshold=threshold
+                )
+
+        ``threshold=None`` replays at the query's own threshold.
+        ``member_ids`` is accepted for interface symmetry with
+        :meth:`execute` but not needed — replay aggregates whatever answers
+        the cache holds per assignment.  The second element of the returned
+        pair is the :class:`~repro.mining.replay.ReplayResult`, whose
+        ``cache_misses`` / ``nodes_visited`` expose the replay accounting.
 
         Pass the original run's ``space`` to retain crowd-proposed MORE
-        extensions (a fresh space would not regenerate them).
+        extensions (a fresh space would not regenerate them).  See
+        ``docs/LANGUAGE.md`` ("Threshold sweeps") and
+        ``docs/OBSERVABILITY.md`` for the cost model behind this API.
         """
-        parsed = self._as_query(query)
-        if threshold is not None:
-            satisfying = parsed.satisfying
-            satisfying = type(satisfying)(
-                satisfying.meta_facts, satisfying.more, threshold
+        tracer = get_tracer()
+        with _obs_span("engine.replay"):
+            parsed = self._as_query(query)
+            if threshold is not None:
+                satisfying = parsed.satisfying
+                satisfying = type(satisfying)(
+                    satisfying.meta_facts, satisfying.more, threshold
+                )
+                parsed = Query(
+                    parsed.select_format, parsed.select_all, parsed.where, satisfying
+                )
+            if space is None:
+                space = self.build_space(parsed, more_pool=more_pool)
+            mined = replay_from_cache(
+                space, cache, parsed.threshold, sample_size=sample_size
             )
-            parsed = Query(
-                parsed.select_format, parsed.select_all, parsed.where, satisfying
-            )
-        if space is None:
-            space = self.build_space(parsed, more_pool=more_pool)
-        mined = replay_from_cache(
-            space, cache, parsed.threshold, sample_size=sample_size
-        )
 
-        def support_of(node):
-            answers = cache.answers_for(node)[:sample_size]
-            if not answers:
-                return None
-            return sum(s for _, s in answers) / len(answers)
+            def support_of(node):
+                answers = cache.answers_for(node)[:sample_size]
+                if not answers:
+                    return None
+                return sum(s for _, s in answers) / len(answers)
 
-        result = build_result(
-            parsed,
-            space,
-            mined.msps,
-            mined.questions,
-            support_of=support_of,
-            include_invalid=include_invalid,
-        )
+            with _obs_span("result.build"):
+                result = build_result(
+                    parsed,
+                    space,
+                    mined.msps,
+                    mined.questions,
+                    support_of=support_of,
+                    include_invalid=include_invalid,
+                )
+        if tracer is not None:
+            result.stats = tracer.report()
         return result, mined
 
     def screen_members(

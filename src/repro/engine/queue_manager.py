@@ -19,6 +19,7 @@ from ..crowd.cache import CrowdCache
 from ..mining.state import ClassificationState, Status
 from ..mining.trace import MspTracker
 from ..nlg.templates import DEFAULT_TEMPLATES, QuestionTemplates
+from ..observability import count as _obs_count
 from ..vocabulary.terms import Term
 
 
@@ -108,6 +109,8 @@ class QueueManager:
         if not 0.0 <= support <= 1.0:
             raise ValueError(f"support must be in [0, 1], got {support}")
         self.questions_asked += 1
+        _obs_count("crowd.questions")
+        _obs_count("crowd.questions.concrete")
         node = pending.assignment
         self._answers[member_id][node] = support
         self._record(node, member_id, support)
@@ -128,6 +131,8 @@ class QueueManager:
         if pending is None:
             raise RuntimeError(f"no pending question for {member_id!r}")
         self.questions_asked += 1
+        _obs_count("crowd.questions")
+        _obs_count("crowd.pruning_clicks")
         self._pruned[member_id].append(value)
         self._answers[member_id][pending.assignment] = 0.0
         self._record(pending.assignment, member_id, 0.0)
@@ -173,10 +178,12 @@ class QueueManager:
         if verdict is Verdict.SIGNIFICANT:
             if self.state.status(node) is Status.UNKNOWN:
                 self.state.mark_significant(node)
+                _obs_count("mining.classified.by_crowd")
             self.tracker.note_significant(node)
         elif verdict is Verdict.INSIGNIFICANT:
             if self.state.status(node) is Status.UNKNOWN:
                 self.state.mark_insignificant(node)
+                _obs_count("mining.classified.by_crowd")
 
     def _push_successors(self, member_id: str, node: Assignment) -> None:
         visited = self._visited[member_id]

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence
 from ..assignments.assignment import Assignment
 from ..assignments.generator import QueryAssignmentSpace
 from ..oassisql.ast import Query
+from ..observability import get_tracer
 from ..ontology.facts import FactSet
 
 
@@ -39,7 +40,14 @@ class ResultRow:
 
 
 class QueryResult:
-    """The full result of evaluating an OASSIS-QL query."""
+    """The full result of evaluating an OASSIS-QL query.
+
+    When the evaluation ran under an active observability tracer (see
+    :mod:`repro.observability`), ``stats`` holds the machine-readable
+    report — counters, derived headline metrics and the span tree — so
+    benchmarks can assert on counter values instead of re-deriving them.
+    It is None when tracing was disabled.
+    """
 
     def __init__(
         self,
@@ -47,11 +55,13 @@ class QueryResult:
         rows: Sequence[ResultRow],
         questions: int,
         all_msps: Sequence[Assignment],
+        stats: Optional[Dict] = None,
     ):
         self.query = query
         self.rows = list(rows)
         self.questions = questions
         self.all_msps = list(all_msps)
+        self.stats = stats
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -74,7 +84,7 @@ class QueryResult:
 
     def to_dict(self) -> Dict:
         """A JSON-serializable summary of the result."""
-        return {
+        payload = {
             "questions": self.questions,
             "answers": [
                 {
@@ -86,6 +96,9 @@ class QueryResult:
                 for row in self.rows
             ],
         }
+        if self.stats is not None:
+            payload["stats"] = self.stats
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
         """The :meth:`to_dict` summary as a JSON string."""
@@ -116,4 +129,8 @@ def build_result(
         support = support_of(assignment) if support_of is not None else None
         rows.append(ResultRow(assignment, space.instantiate(assignment), support, valid))
     rows.sort(key=lambda r: (-(r.support if r.support is not None else 0.0), repr(r.assignment)))
-    return QueryResult(query, rows, questions, list(msps))
+    # snapshot the active tracer so callers (CLI --stats, benchmarks) can
+    # read counters straight off the result
+    tracer = get_tracer()
+    stats = tracer.report() if tracer is not None else None
+    return QueryResult(query, rows, questions, list(msps), stats=stats)

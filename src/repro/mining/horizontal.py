@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Hashable, List, Optional, Sequence, Set, TypeVar
 
 from ..assignments.lattice import AssignmentSpace
+from ..observability import get_tracer, span as _obs_span
 from .state import ClassificationState, Status
 from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
 from .vertical import SupportOracle
@@ -42,9 +43,15 @@ def horizontal_mine(
         confirmed, confirmed_valid = tracker.counts()
         trace.sample(questions, confirmed, confirmed_valid, classified_valid, targets_found)
 
+    obs = get_tracer()
+
     def ask(node: Node) -> bool:
         nonlocal questions
         questions += 1
+        if obs is not None:
+            obs.count("crowd.questions")
+            obs.count("crowd.questions.concrete")
+            obs.count("mining.classified.by_crowd")
         significant = support_oracle(node) >= threshold
         if significant:
             state.mark_significant(node)
@@ -55,30 +62,31 @@ def horizontal_mine(
         return significant
 
     # frontier of candidates whose predecessors are all known significant
-    pending: List[Node] = list(space.roots())
-    enqueued: Set[Node] = set(pending)
-    index = 0
-    while index < len(pending):
-        if max_questions is not None and questions >= max_questions:
-            break
-        node = pending[index]
-        index += 1
-        status = state.status(node)
-        if status is Status.UNKNOWN:
-            significant = ask(node)
-        else:
-            significant = status is Status.SIGNIFICANT
-            if significant:
-                tracker.note_significant(node)
-        if not significant:
-            continue
-        for successor in space.successors(node):
-            if successor in enqueued:
+    with _obs_span("mine.horizontal"):
+        pending: List[Node] = list(space.roots())
+        enqueued: Set[Node] = set(pending)
+        index = 0
+        while index < len(pending):
+            if max_questions is not None and questions >= max_questions:
+                break
+            node = pending[index]
+            index += 1
+            status = state.status(node)
+            if status is Status.UNKNOWN:
+                significant = ask(node)
+            else:
+                significant = status is Status.SIGNIFICANT
+                if significant:
+                    tracker.note_significant(node)
+            if not significant:
                 continue
-            predecessors = space.predecessors(successor)
-            if all(state.status(p) is Status.SIGNIFICANT for p in predecessors):
-                enqueued.add(successor)
-                pending.append(successor)
+            for successor in space.successors(node):
+                if successor in enqueued:
+                    continue
+                predecessors = space.predecessors(successor)
+                if all(state.status(p) is Status.SIGNIFICANT for p in predecessors):
+                    enqueued.add(successor)
+                    pending.append(successor)
 
     tracker.refresh(force=True)
     msps = sorted(tracker.confirmed(), key=repr)

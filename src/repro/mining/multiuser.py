@@ -45,6 +45,7 @@ from typing import (
 from ..assignments.lattice import AssignmentSpace
 from ..crowd.aggregator import Aggregator, Verdict
 from ..crowd.cache import CrowdCache
+from ..observability import get_tracer, span as _obs_span
 from .state import ClassificationState, Status
 from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
 
@@ -223,10 +224,16 @@ class MultiUserMiner(Generic[Node]):
         self.questions = 0
         self.questions_per_user: Dict[str, int] = {}
         self.threshold = aggregator.threshold
+        self._obs = None  # bound to the active tracer by run()
 
     # ------------------------------------------------------------------ run
 
     def run(self) -> MultiUserResult[Node]:
+        self._obs = get_tracer()
+        with _obs_span("mine.multiuser"):
+            return self._run()
+
+    def _run(self) -> MultiUserResult[Node]:
         sessions = [_Session(user, self.space.roots()) for user in self.users]
         # termination: each turn either poses a question or drains the
         # user's stack; when nothing was posed in a full round every stack
@@ -254,6 +261,9 @@ class MultiUserMiner(Generic[Node]):
         )
         msps = sorted(self.tracker.confirmed(), key=repr)
         valid_msps = [n for n in msps if self.space.is_valid(n)]
+        if self._obs is not None:
+            self._obs.count("mining.msps.found", len(msps))
+            self._obs.count("mining.msps.valid", len(valid_msps))
         return MultiUserResult(
             msps,
             valid_msps,
@@ -300,11 +310,15 @@ class MultiUserMiner(Generic[Node]):
                 continue
             session.visited.add(node)
             if self.state.status(node) is Status.INSIGNIFICANT:
+                if self._obs is not None:
+                    self._obs.count("mining.skipped.insignificant")
                 continue  # pruned globally (QueueManager)
             if any(
                 session.user.matches_prune(node, token)
                 for token in session.prune_tokens
             ):
+                if self._obs is not None:
+                    self._obs.count("mining.skipped.user_pruned")
                 continue  # pruned for this user
             if node in session.answers:
                 if session.answers[node] >= self.threshold:
@@ -313,6 +327,8 @@ class MultiUserMiner(Generic[Node]):
             decided = self.aggregator.verdict(node) is not Verdict.UNDECIDED
             if decided and not self.ask_decided_generals:
                 # descend optimistically without spending a question
+                if self._obs is not None:
+                    self._obs.count("mining.skipped.decided")
                 if self.state.status(node) is Status.SIGNIFICANT:
                     self._push_successors(session, node)
                 continue
@@ -331,17 +347,23 @@ class MultiUserMiner(Generic[Node]):
         self.questions_per_user[session.user.member_id] = (
             self.questions_per_user.get(session.user.member_id, 0) + 1
         )
+        if self._obs is not None:
+            self._obs.count("crowd.questions")
         session.answers[node] = support
         token = session.user.prune_value(node)
         if token is not None:
             # the interaction was a pruning click: support 0, subtree pruned
             self.stats.pruning_clicks += 1
+            if self._obs is not None:
+                self._obs.count("crowd.pruning_clicks")
             session.prune_tokens.append(token)
             session.answers[node] = 0.0
             self._record_answer(node, session.user.member_id, 0.0)
             self._sample()
             return True
         self.stats.concrete += 1
+        if self._obs is not None:
+            self._obs.count("crowd.questions.concrete")
         self._record_answer(node, session.user.member_id, support)
         personally_significant = support >= self.threshold
         overall_insignificant = self.state.status(node) is Status.INSIGNIFICANT
@@ -374,10 +396,15 @@ class MultiUserMiner(Generic[Node]):
             self.questions_per_user.get(session.user.member_id, 0) + 1
         )
         self.stats.specialization += 1
+        if self._obs is not None:
+            self._obs.count("crowd.questions")
+            self._obs.count("crowd.questions.specialization")
         choice = session.user.choose_specialization(node, candidates)
         if choice is None:
             # "none of these": zero answers for every offered candidate
             self.stats.none_of_these += 1
+            if self._obs is not None:
+                self._obs.count("crowd.none_of_these")
             for candidate in candidates:
                 session.answers[candidate] = 0.0
                 self._record_answer(candidate, session.user.member_id, 0.0)
@@ -408,6 +435,8 @@ class MultiUserMiner(Generic[Node]):
         extended = self.space.propose_more_fact(node, tip)
         if extended is not None:
             self.stats.more_tips += 1
+            if self._obs is not None:
+                self._obs.count("crowd.more_tips")
 
     def _push_successors(self, session: _Session[Node], node: Node) -> None:
         for successor in self.space.successors(node):
@@ -424,10 +453,14 @@ class MultiUserMiner(Generic[Node]):
         if verdict is Verdict.SIGNIFICANT:
             if self.state.status(node) is Status.UNKNOWN:
                 self.state.mark_significant(node)
+                if self._obs is not None:
+                    self._obs.count("mining.classified.by_crowd")
             self.tracker.note_significant(node)
         elif verdict is Verdict.INSIGNIFICANT:
             if self.state.status(node) is Status.UNKNOWN:
                 self.state.mark_insignificant(node)
+                if self._obs is not None:
+                    self._obs.count("mining.classified.by_crowd")
 
     def _sample(self) -> None:
         classified_valid = self.progress.refresh() if self.progress is not None else 0

@@ -22,6 +22,7 @@ from typing import Hashable, List, Optional, Sequence, Set, TypeVar
 
 from ..assignments.lattice import AssignmentSpace
 from ..crowd.cache import CrowdCache
+from ..observability import get_tracer, span as _obs_span
 from .state import ClassificationState
 from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
 from .vertical import find_minimal_unclassified
@@ -70,16 +71,24 @@ def replay_from_cache(
             answers_used, confirmed, confirmed_valid, classified_valid, targets_found
         )
 
+    obs = get_tracer()
+
     def ask(node: Node) -> bool:
         nonlocal answers_used, cache_misses, nodes_visited
         nodes_visited += 1
+        if obs is not None:
+            obs.count("replay.nodes_visited")
         answers = cache.answers_for(node)[:sample_size]
         if not answers:
             cache_misses += 1
+            if obs is not None:
+                obs.count("replay.cache_misses")
             state.mark_insignificant(node)
             sample()
             return False
         answers_used += len(answers)
+        if obs is not None:
+            obs.count("replay.answers_used", len(answers))
         average = sum(s for _, s in answers) / len(answers)
         significant = average >= threshold
         if significant:
@@ -90,28 +99,29 @@ def replay_from_cache(
         sample()
         return significant
 
-    while True:
-        current = find_minimal_unclassified(space, state)
-        if current is None:
-            break
-        if not ask(current):
-            continue
-        descending = True
-        while descending:
-            unclassified = [
-                s for s in space.successors(current) if not state.is_classified(s)
-            ]
-            if not unclassified:
+    with _obs_span("mine.replay"):
+        while True:
+            current = find_minimal_unclassified(space, state)
+            if current is None:
                 break
-            descending = False
-            for successor in unclassified:
-                if state.is_classified(successor):
-                    continue
-                if ask(successor):
-                    current = successor
-                    descending = True
+            if not ask(current):
+                continue
+            descending = True
+            while descending:
+                unclassified = [
+                    s for s in space.successors(current) if not state.is_classified(s)
+                ]
+                if not unclassified:
                     break
-        msps.append(current)
+                descending = False
+                for successor in unclassified:
+                    if state.is_classified(successor):
+                        continue
+                    if ask(successor):
+                        current = successor
+                        descending = True
+                        break
+            msps.append(current)
 
     tracker.refresh(force=True)
     unique: List[Node] = []

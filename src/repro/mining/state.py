@@ -24,6 +24,7 @@ import enum
 from typing import Dict, Generic, Hashable, List, Set, Tuple, TypeVar
 
 from ..assignments.lattice import AssignmentSpace
+from ..observability import count as _obs_count, enabled as _obs_enabled
 
 Node = TypeVar("Node", bound=Hashable)
 
@@ -55,7 +56,15 @@ class ClassificationState(Generic[Node]):
     def mark_significant(self, node: Node) -> None:
         """Record that ``node`` is significant; classifies its down-set."""
         if self._fast:
-            self._significant.update(self.space.ancestors(node))  # type: ignore[attr-defined]
+            if not _obs_enabled():
+                self._significant.update(self.space.ancestors(node))  # type: ignore[attr-defined]
+                return
+            added = self.space.ancestors(node) - self._significant  # type: ignore[attr-defined]
+            if added:
+                self._significant |= added
+                inferred = len(added) - (1 if node in added else 0)
+                if inferred:
+                    _obs_count("mining.inferred.significant", inferred)
             return
         if self.status(node) is Status.SIGNIFICANT:
             return  # already implied by an earlier witness
@@ -65,7 +74,15 @@ class ClassificationState(Generic[Node]):
     def mark_insignificant(self, node: Node) -> None:
         """Record that ``node`` is insignificant; classifies its up-set."""
         if self._fast:
-            self._insignificant.update(self.space.descendants(node))  # type: ignore[attr-defined]
+            if not _obs_enabled():
+                self._insignificant.update(self.space.descendants(node))  # type: ignore[attr-defined]
+                return
+            added = self.space.descendants(node) - self._insignificant  # type: ignore[attr-defined]
+            if added:
+                self._insignificant |= added
+                inferred = len(added) - (1 if node in added else 0)
+                if inferred:
+                    _obs_count("mining.inferred.insignificant", inferred)
             return
         if self.status(node) is Status.INSIGNIFICANT:
             return
@@ -88,11 +105,14 @@ class ClassificationState(Generic[Node]):
         leq = self.space.leq
         for index in range(sig_from, len(self._sig_log)):
             if leq(node, self._sig_log[index]):
+                # resolved through a witness: classified without a question
                 self._status_cache[node] = Status.SIGNIFICANT
+                _obs_count("mining.inferred.significant")
                 return Status.SIGNIFICANT
         for index in range(insig_from, len(self._insig_log)):
             if leq(self._insig_log[index], node):
                 self._status_cache[node] = Status.INSIGNIFICANT
+                _obs_count("mining.inferred.insignificant")
                 return Status.INSIGNIFICANT
         self._checked[node] = (len(self._sig_log), len(self._insig_log))
         return Status.UNKNOWN

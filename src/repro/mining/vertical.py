@@ -24,6 +24,7 @@ import random
 from typing import Callable, Hashable, List, Optional, Sequence, Set, TypeVar
 
 from ..assignments.lattice import AssignmentSpace
+from ..observability import get_tracer, span as _obs_span
 from .state import ClassificationState, Status
 from .trace import MiningResult, MiningTrace, MspTracker, TargetTracker, ValidProgress
 
@@ -90,6 +91,7 @@ def vertical_mine(
     series in the trace (used by the pace-of-collection figures).
     """
     rng = rng if rng is not None else random.Random(0)
+    obs = get_tracer()
     state: ClassificationState[Node] = ClassificationState(space)
     tracker: MspTracker[Node] = MspTracker(space, state)
     trace = MiningTrace()
@@ -108,6 +110,10 @@ def vertical_mine(
     def ask(node: Node) -> bool:
         nonlocal questions
         questions += 1
+        if obs is not None:
+            obs.count("crowd.questions")
+            obs.count("crowd.questions.concrete")
+            obs.count("mining.classified.by_crowd")
         support = support_oracle(node)
         significant = support >= threshold
         if significant:
@@ -116,6 +122,8 @@ def vertical_mine(
         else:
             state.mark_insignificant(node)
         if prune_oracle is not None and rng.random() < pruning_ratio:
+            if obs is not None:
+                obs.count("crowd.pruning_clicks")
             for pruned in prune_oracle(node):
                 state.mark_insignificant(pruned)
         sample()
@@ -124,45 +132,54 @@ def vertical_mine(
     def budget_left() -> bool:
         return max_questions is None or questions < max_questions
 
-    while budget_left():
-        current = find_minimal_unclassified(space, state)
-        if current is None:
-            break
-        if not ask(current):
-            continue
-        # inner loop: chase significant successors
-        descending = True
-        while descending and budget_left():
-            unclassified = [
-                s for s in space.successors(current) if not state.is_classified(s)
-            ]
-            if not unclassified:
+    with _obs_span("mine.vertical"):
+        while budget_left():
+            current = find_minimal_unclassified(space, state)
+            if current is None:
                 break
-            if specialization_oracle is not None and rng.random() < specialization_ratio:
-                questions += 1
-                chosen = specialization_oracle(current, unclassified)
-                if chosen is None:
-                    # "none of these": every offered candidate is support 0
-                    for candidate in unclassified:
-                        state.mark_insignificant(candidate)
-                    sample()
-                    break
-                state.mark_significant(chosen)
-                tracker.note_significant(chosen)
-                sample()
-                current = chosen
+            if not ask(current):
                 continue
-            descending = False
-            for successor in unclassified:
-                if not budget_left():
+            # inner loop: chase significant successors
+            descending = True
+            while descending and budget_left():
+                unclassified = [
+                    s for s in space.successors(current) if not state.is_classified(s)
+                ]
+                if not unclassified:
                     break
-                if state.is_classified(successor):
-                    continue  # classified by an earlier ask in this scan
-                if ask(successor):
-                    current = successor
-                    descending = True
-                    break
-        msps.append(current)
+                if (
+                    specialization_oracle is not None
+                    and rng.random() < specialization_ratio
+                ):
+                    questions += 1
+                    if obs is not None:
+                        obs.count("crowd.questions")
+                        obs.count("crowd.questions.specialization")
+                    chosen = specialization_oracle(current, unclassified)
+                    if chosen is None:
+                        # "none of these": every offered candidate is support 0
+                        if obs is not None:
+                            obs.count("crowd.none_of_these")
+                        for candidate in unclassified:
+                            state.mark_insignificant(candidate)
+                        sample()
+                        break
+                    state.mark_significant(chosen)
+                    tracker.note_significant(chosen)
+                    sample()
+                    current = chosen
+                    continue
+                descending = False
+                for successor in unclassified:
+                    if not budget_left():
+                        break
+                    if state.is_classified(successor):
+                        continue  # classified by an earlier ask in this scan
+                    if ask(successor):
+                        current = successor
+                        descending = True
+                        break
+            msps.append(current)
 
     unique_msps: List[Node] = []
     seen: Set[Node] = set()
@@ -171,4 +188,7 @@ def vertical_mine(
             seen.add(node)
             unique_msps.append(node)
     valid_msps = [n for n in unique_msps if space.is_valid(n)]
+    if obs is not None:
+        obs.count("mining.msps.found", len(unique_msps))
+        obs.count("mining.msps.valid", len(valid_msps))
     return MiningResult(unique_msps, valid_msps, questions, trace, state)

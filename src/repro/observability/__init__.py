@@ -1,0 +1,53 @@
+"""Structured tracing, counters and timers for the OASSIS pipeline.
+
+A dependency-free instrumentation subsystem in the spirit of the
+question-count / budget accounting that crowd-query systems treat as a
+first-class concern (CrowdDB-style budget tracking, RDF-Hunter's
+per-triple cost accounting): every layer of the engine records what it
+did — questions asked, cache hits, nodes pruned by inference, spans of
+wall time — into a context-local :class:`Tracer`.
+
+Usage::
+
+    from repro.observability import tracing
+
+    with tracing() as tracer:
+        result = engine.execute(query, crowd)
+    print(tracer.render())                 # human-readable summary
+    report = tracer.report()               # JSON-serializable dict
+
+When no tracer is active (the default) the instrumentation is a guarded
+no-op: library code stays import-cheap and the hot paths pay one pointer
+check per operation.  See ``docs/OBSERVABILITY.md`` for the span/counter
+naming scheme and the crowd-vs-computation cost model.
+"""
+
+from .core import (
+    SpanNode,
+    Tracer,
+    count,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+    span,
+    tracing,
+)
+from .report import REPORT_VERSION, build_report, derive, render_report, render_spans
+
+__all__ = [
+    "REPORT_VERSION",
+    "SpanNode",
+    "Tracer",
+    "build_report",
+    "count",
+    "derive",
+    "disable",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "render_report",
+    "render_spans",
+    "span",
+    "tracing",
+]

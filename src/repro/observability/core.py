@@ -1,0 +1,222 @@
+"""Tracer, spans and counters — the instrumentation core.
+
+A :class:`Tracer` owns two kinds of state:
+
+* **counters** — a flat ``name -> int`` map.  Names follow the dotted
+  scheme documented in ``docs/OBSERVABILITY.md`` (``crowd.questions``,
+  ``cache.hits``, ``mining.inferred.insignificant``, ...).
+* **spans** — a tree of named timed sections.  Spans with the same name
+  under the same parent are aggregated (invocation count + total
+  monotonic wall time), so instrumenting a hot loop does not grow the
+  tree per iteration.
+
+Activation is *context-local*: a tracer becomes visible to library code
+by being installed in a :mod:`contextvars` context variable, so two
+threads (or two asyncio tasks) can trace independently and library
+modules never need a tracer handle threaded through their signatures.
+When no tracer is installed every module-level helper is a guarded
+no-op: ``count()`` is a single dictionary-free function call and
+``span()`` returns a shared null context manager, which keeps the
+instrumented hot paths within measurement noise of uninstrumented code.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class SpanNode:
+    """One named node of the span tree (aggregated over invocations)."""
+
+    __slots__ = ("name", "count", "total_seconds", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        # child name -> SpanNode, in first-seen order (dicts preserve it)
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable form (seconds rounded to the microsecond)."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": round(self.total_seconds, 6),
+            "children": [c.as_dict() for c in self.children.values()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanNode({self.name!r}, count={self.count}, "
+            f"total_s={self.total_seconds:.6f})"
+        )
+
+
+class Tracer:
+    """Collects counters and nested timed spans for one traced run.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic zero-argument callable returning seconds (the default is
+    :func:`time.perf_counter`).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self.counters: Dict[str, int] = {}
+        self.root = SpanNode("<root>")
+        self._stack: List[SpanNode] = [self.root]
+
+    # ------------------------------------------------------------- counters
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    # ---------------------------------------------------------------- spans
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanNode]:
+        """A timed section nested under the currently open span."""
+        node = self._stack[-1].child(name)
+        node.count += 1
+        self._stack.append(node)
+        start = self._clock()
+        try:
+            yield node
+        finally:
+            node.total_seconds += self._clock() - start
+            self._stack.pop()
+
+    def span_names(self) -> List[str]:
+        """Dotted paths of every recorded span, depth-first."""
+        names: List[str] = []
+
+        def walk(node: SpanNode, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}{child.name}" if not prefix else f"{prefix}/{child.name}"
+                names.append(path)
+                walk(child, path)
+
+        walk(self.root, "")
+        return names
+
+    def find_span(self, name: str) -> Optional[SpanNode]:
+        """The first span named ``name``, depth-first; None if absent."""
+        stack = list(self.root.children.values())
+        while stack:
+            node = stack.pop(0)
+            if node.name == name:
+                return node
+            stack.extend(node.children.values())
+        return None
+
+    # --------------------------------------------------------------- report
+
+    def report(self) -> Dict:
+        """The machine-readable report (see ``docs/OBSERVABILITY.md``)."""
+        from .report import build_report
+
+        return build_report(self)
+
+    def render(self) -> str:
+        """The human-readable summary table."""
+        from .report import render_report
+
+        return render_report(self.report())
+
+
+# ----------------------------------------------------------------- registry
+
+_ACTIVE: ContextVar[Optional[Tracer]] = ContextVar("repro_tracer", default=None)
+
+
+class _NullSpan:
+    """The shared no-op context manager returned by disabled ``span()``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The tracer active in this context, or None when tracing is off.
+
+    Hot paths fetch this once per operation and guard every recording
+    call with ``if tracer is not None`` so the disabled mode costs one
+    context-variable read per operation, not per event.
+    """
+    return _ACTIVE.get()
+
+
+def enabled() -> bool:
+    """Is a tracer active in this context?"""
+    return _ACTIVE.get() is not None
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) in the current context."""
+    if tracer is None:
+        tracer = Tracer()
+    _ACTIVE.set(tracer)
+    return tracer
+
+
+def disable() -> Optional[Tracer]:
+    """Deactivate tracing in this context; returns the removed tracer."""
+    tracer = _ACTIVE.get()
+    _ACTIVE.set(None)
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Scope-local activation::
+
+        with tracing() as tracer:
+            result = engine.execute(query, crowd)
+        print(tracer.render())
+    """
+    if tracer is None:
+        tracer = Tracer()
+    token = _ACTIVE.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def span(name: str):
+    """A span on the active tracer, or a shared no-op when disabled."""
+    tracer = _ACTIVE.get()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name)
+
+
+def count(name: str, amount: int = 1) -> None:
+    """Increment a counter on the active tracer; no-op when disabled."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.counters[name] = tracer.counters.get(name, 0) + amount

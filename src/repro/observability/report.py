@@ -1,0 +1,117 @@
+"""Report assembly and rendering.
+
+``build_report`` turns a :class:`~repro.observability.core.Tracer` into a
+plain JSON-serializable dict (the machine-readable report); ``render_report``
+turns that dict into the human-readable summary table printed by the CLI's
+``--stats`` flag.  The schema is documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: Schema version of the JSON report.  Bump on breaking changes.
+REPORT_VERSION = 1
+
+
+def _ratio(numerator: int, denominator: int) -> Optional[float]:
+    if denominator <= 0:
+        return None
+    return round(numerator / denominator, 4)
+
+
+def derive(counters: Dict[str, int]) -> Dict:
+    """The headline metrics computed from raw counters.
+
+    These are the numbers the paper's cost model cares about (see
+    Section 6 / ``docs/OBSERVABILITY.md``): crowd complexity first,
+    computational complexity second.
+    """
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    inferred = counters.get("mining.inferred.significant", 0) + counters.get(
+        "mining.inferred.insignificant", 0
+    )
+    return {
+        "total_questions": counters.get("crowd.questions", 0),
+        "cache_hit_rate": _ratio(hits, hits + misses),
+        "nodes_pruned_by_inference": counters.get(
+            "mining.inferred.insignificant", 0
+        ),
+        "nodes_classified_by_inference": inferred,
+        "nodes_classified_by_crowd": counters.get(
+            "mining.classified.by_crowd", 0
+        ),
+        "assignments_generated": counters.get("lattice.successors.generated", 0),
+    }
+
+
+def build_report(tracer) -> Dict:
+    """The machine-readable report of one traced run."""
+    counters = dict(sorted(tracer.counters.items()))
+    return {
+        "version": REPORT_VERSION,
+        "counters": counters,
+        "derived": derive(counters),
+        "spans": [child.as_dict() for child in tracer.root.children.values()],
+    }
+
+
+# ------------------------------------------------------------------ rendering
+
+
+def _render_span(node: Dict, depth: int, lines: List[str]) -> None:
+    label = "  " * depth + node["name"]
+    lines.append(f"  {label:<38} {node['total_s']:>10.4f}s  x{node['count']}")
+    for child in node["children"]:
+        _render_span(child, depth + 1, lines)
+
+
+def render_spans(report: Dict) -> str:
+    """Just the span tree of a :func:`build_report` dict (the CLI's
+    ``--trace`` view)."""
+    lines: List[str] = ["== span tree =="]
+    if not report["spans"]:
+        lines.append("  (no spans recorded)")
+    for span in report["spans"]:
+        _render_span(span, 0, lines)
+    return "\n".join(lines)
+
+
+def render_report(report: Dict) -> str:
+    """The ``--stats`` summary table for a :func:`build_report` dict."""
+    derived = report["derived"]
+    lines: List[str] = ["== observability summary =="]
+
+    lines.append("-- headline --")
+    hit_rate = derived["cache_hit_rate"]
+    rows = [
+        ("total questions", str(derived["total_questions"])),
+        (
+            "cache hit rate",
+            "n/a" if hit_rate is None else f"{100.0 * hit_rate:.1f}%",
+        ),
+        (
+            "nodes pruned by inference",
+            str(derived["nodes_pruned_by_inference"]),
+        ),
+        (
+            "nodes classified by crowd",
+            str(derived["nodes_classified_by_crowd"]),
+        ),
+        ("assignments generated", str(derived["assignments_generated"])),
+    ]
+    for key, value in rows:
+        lines.append(f"  {key:<38} {value:>12}")
+
+    if report["spans"]:
+        lines.append("-- per-phase wall time --")
+        for span in report["spans"]:
+            _render_span(span, 0, lines)
+
+    if report["counters"]:
+        lines.append("-- counters --")
+        for name, value in report["counters"].items():
+            lines.append(f"  {name:<38} {value:>12}")
+
+    return "\n".join(lines)

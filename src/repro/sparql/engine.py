@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Set, Union
 
+from ..observability import get_tracer
 from ..ontology.graph import HAS_LABEL, Ontology
 from ..vocabulary.terms import Element, Relation
 from .ast import (
@@ -36,6 +37,9 @@ from .paths import backward_closure, forward_closure, matching_relations, path_p
 class SparqlEngine:
     """Evaluates BGPs against a fixed ontology."""
 
+    #: the tracer active during the current top-level evaluation, if any
+    _obs = None
+
     def __init__(self, ontology: Ontology):
         self.ontology = ontology
 
@@ -48,16 +52,20 @@ class SparqlEngine:
         search but dropped from the output, and duplicate projections are
         suppressed.
         """
+        self._obs = get_tracer()
         named = {v.name for v in bgp.variables()}
         seen: Set[Binding] = set()
         for env in self._search(list(bgp.patterns), {}):
             projected = Binding({k: v for k, v in env.items() if k in named})
             if projected not in seen:
                 seen.add(projected)
+                if self._obs is not None:
+                    self._obs.count("sparql.solutions")
                 yield projected
 
     def ask(self, bgp: BGP) -> bool:
         """Does ``bgp`` have at least one solution?"""
+        self._obs = get_tracer()
         for _ in self._search(list(bgp.patterns), {}):
             return True
         return False
@@ -107,6 +115,8 @@ class SparqlEngine:
     def _match_pattern(
         self, pattern: TriplePattern, env: Dict[str, BindingValue]
     ) -> Iterator[Dict[str, BindingValue]]:
+        if self._obs is not None:
+            self._obs.count("sparql.patterns.matched")
         rel_term = pattern.relation.term
         if isinstance(rel_term, Concrete) and rel_term.name == HAS_LABEL:
             yield from self._match_label(pattern, env)

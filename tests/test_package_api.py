@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.mining",
     "repro.engine",
     "repro.nlg",
+    "repro.observability",
     "repro.synth",
     "repro.datasets",
     "repro.experiments",
