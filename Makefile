@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples figures stats clean
+.PHONY: install test bench bench-suite examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,7 +10,13 @@ install:
 test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
 
+# quick perf report: micro-benches + backend A/B equivalence (fails on any
+# mining divergence), then schema/threshold validation of the JSON output
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_report.py --quick --output BENCH_quick.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_report.py --validate BENCH_quick.json
+
+bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 examples:

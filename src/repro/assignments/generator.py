@@ -339,9 +339,11 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
             for name in self._sat_vars:
                 universe = self.universe(name)
                 current = node.get(name)
-                # (i) specialize one value by one taxonomy edge
+                # (i) specialize one value by one taxonomy edge (the sorted
+                # child tuples are memoized in the orders, so expansion is
+                # deterministic and allocation-free per step)
                 for value in current:
-                    for child in self.vocabulary.children(value):
+                    for child in self.vocabulary.children_sorted(value):
                         if child in universe:
                             emit(
                                 node.with_replaced_value(
@@ -403,7 +405,7 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
             current = node.get(name)
             for value in current:
                 # (i) generalize one value by one taxonomy edge
-                for parent in self.vocabulary.parents(value):
+                for parent in self.vocabulary.parents_sorted(value):
                     if parent in universe:
                         emit(
                             node.with_replaced_value(
@@ -498,10 +500,19 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
                 (value,) = node.get(name)
                 witnesses: Set[int] = set()
                 per_value = index[name]
-                for specialization in self.vocabulary.descendants(value):
-                    bucket = per_value.get(specialization)
-                    if bucket:
-                        witnesses |= bucket
+                # intersect the closure with the index keys, iterating the
+                # smaller side (the closure can span thousands of terms at
+                # paper scale while the tuple index stays query-sized)
+                descendants = self.vocabulary.descendants(value)
+                if len(per_value) < len(descendants):
+                    for specialization, bucket in per_value.items():
+                        if specialization in descendants:
+                            witnesses |= bucket
+                else:
+                    for specialization in descendants:
+                        bucket = per_value.get(specialization)
+                        if bucket:
+                            witnesses |= bucket
                 if not witnesses:
                     return False
                 surviving = witnesses if surviving is None else surviving & witnesses

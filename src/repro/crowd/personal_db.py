@@ -5,15 +5,47 @@ describing one occasion.  The database is "virtual" — the real system never
 sees it and can only probe it through questions — but the simulation needs a
 concrete object to answer from, and the tests need Table 3's ``D_u1`` and
 ``D_u2`` to reproduce Example 2.7's support values exactly.
+
+Support counting is the hottest loop of every simulated experiment (one
+call per question per member), so it runs on a vertical TID-bitset index
+(:mod:`repro.crowd.tid_index`) instead of scanning transactions.  The
+pre-index scan is retained as :meth:`PersonalDatabase.support_reference`
+(ground truth for the equivalence suite and the ``make bench`` reference
+path), and :func:`set_support_backend` can flip the whole process back to
+it for A/B comparisons.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Iterator, List, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..ontology.facts import FactLike, FactSet, parse_fact_set
 from ..vocabulary.vocabulary import Vocabulary
+from .tid_index import TidIndex
+
+#: Cap on memoized hit counts per database.  Long multi-query sessions ask
+#: about unboundedly many distinct fact-sets; beyond the cap the oldest
+#: entries are evicted FIFO (the TID index keeps even cold queries cheap).
+HITS_CACHE_MAX = 8192
+
+#: Active support backend: "tid" (bitset index) or "reference" (scan).
+_BACKEND = "tid"
+
+
+def set_support_backend(name: str) -> str:
+    """Select the process-wide support backend; returns the previous one.
+
+    ``"tid"`` is the optimized TID-bitset path; ``"reference"`` forces the
+    retained per-transaction scan.  Used by ``benchmarks/bench_report.py``
+    to verify both paths produce byte-identical mining results.
+    """
+    global _BACKEND
+    if name not in ("tid", "reference"):
+        raise ValueError(f"unknown support backend {name!r}")
+    previous = _BACKEND
+    _BACKEND = name
+    return previous
 
 
 class Transaction:
@@ -38,9 +70,13 @@ class PersonalDatabase:
 
     def __init__(self, transactions: Iterable[Transaction] = ()):
         self._transactions: List[Transaction] = list(transactions)
+        #: bumped on every mutation; the TID index and hit memo key on it
+        self.data_version = 0
         # members are asked about many structurally-identical fact-sets
-        # (cache replay, multiple traversal paths); memoize hit counts
+        # (cache replay, multiple traversal paths); memoize hit counts,
+        # bounded by HITS_CACHE_MAX (FIFO eviction)
         self._hits_cache: dict = {}
+        self._index: Optional[TidIndex] = None
 
     @classmethod
     def from_fact_sets(
@@ -58,6 +94,7 @@ class PersonalDatabase:
 
     def add(self, transaction: Transaction) -> None:
         self._transactions.append(transaction)
+        self.data_version += 1
         self._hits_cache.clear()
 
     def __len__(self) -> int:
@@ -65,6 +102,17 @@ class PersonalDatabase:
 
     def __iter__(self) -> Iterator[Transaction]:
         return iter(self._transactions)
+
+    # -------------------------------------------------------------- support
+
+    def tid_index(self, vocabulary: Vocabulary) -> TidIndex:
+        """The (lazily rebuilt) TID-bitset index against ``vocabulary``."""
+        index = self._index
+        if index is None or index.vocabulary is not vocabulary:
+            index = TidIndex(self, vocabulary)
+            self._index = index
+            self._hits_cache.clear()
+        return index
 
     def support(self, fact_set: FactSet, vocabulary: Vocabulary) -> float:
         """``supp_u(A) = |{T : A ≤ T}| / |D_u|`` (Section 2).
@@ -76,15 +124,37 @@ class PersonalDatabase:
             return 0.0
         return self._hits(fact_set, vocabulary) / len(self._transactions)
 
+    def support_reference(self, fact_set: FactSet, vocabulary: Vocabulary) -> float:
+        """Unoptimized support via the per-transaction ``leq`` scan.
+
+        Ground truth for ``tests/test_bitset_equivalence.py`` and the
+        ``make bench`` reference path; no memoization, no index.
+        """
+        if not self._transactions:
+            return 0.0
+        return self._hits_reference(fact_set, vocabulary) / len(self._transactions)
+
     def _hits(self, fact_set: FactSet, vocabulary: Vocabulary) -> int:
-        cached = self._hits_cache.get(fact_set)
+        if _BACKEND == "reference":
+            return self._hits_reference(fact_set, vocabulary)
+        cache = self._hits_cache
+        key = (
+            fact_set,
+            self.data_version,
+            vocabulary.element_order.version,
+            vocabulary.relation_order.version,
+        )
+        cached = cache.get(key)
         if cached is not None:
             return cached
-        hits = sum(
-            1 for t in self._transactions if t.implies(fact_set, vocabulary)
-        )
-        self._hits_cache[fact_set] = hits
+        hits = self.tid_index(vocabulary).hits(fact_set)
+        if len(cache) >= HITS_CACHE_MAX:
+            cache.pop(next(iter(cache)))
+        cache[key] = hits
         return hits
+
+    def _hits_reference(self, fact_set: FactSet, vocabulary: Vocabulary) -> int:
+        return sum(1 for t in self._transactions if t.implies(fact_set, vocabulary))
 
     def support_fraction(self, fact_set: FactSet, vocabulary: Vocabulary) -> Fraction:
         """Exact rational support, for tests that assert paper values."""
@@ -96,7 +166,16 @@ class PersonalDatabase:
         self, fact_set: FactSet, vocabulary: Vocabulary
     ) -> List[Transaction]:
         """The transactions that imply ``fact_set``."""
-        return [t for t in self._transactions if t.implies(fact_set, vocabulary)]
+        if _BACKEND == "reference":
+            return [t for t in self._transactions if t.implies(fact_set, vocabulary)]
+        mask = self.tid_index(vocabulary).supporting_mask(fact_set)
+        out: List[Transaction] = []
+        transactions = self._transactions
+        while mask:
+            low = mask & -mask
+            out.append(transactions[low.bit_length() - 1])
+            mask ^= low
+        return out
 
     def __repr__(self) -> str:
         return f"PersonalDatabase({len(self._transactions)} transactions)"

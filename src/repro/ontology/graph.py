@@ -46,8 +46,13 @@ class Ontology:
         self._osp: Dict[Element, Dict[Element, Set[Relation]]] = defaultdict(
             lambda: defaultdict(set)
         )
-        # element -> set of string labels
+        # element -> set of string labels, plus the reverse index the
+        # engine's hasLabel patterns probe (label -> elements)
         self._labels: Dict[Element, Set[str]] = defaultdict(set)
+        self._label_index: Dict[str, Set[Element]] = defaultdict(set)
+        #: bumped on every fact/label insertion; caches key on it together
+        #: with the vocabulary order versions (see docs/PERFORMANCE.md)
+        self.version = 0
 
     # ------------------------------------------------------------- mutation
 
@@ -60,6 +65,7 @@ class Ontology:
         self.vocabulary.add_relation(f.relation.name)
         self.vocabulary.add_element(f.obj.name)
         self._facts.add(f)
+        self.version += 1
         self._spo[f.subject][f.relation].add(f.obj)
         self._pos[f.relation][f.subject].add(f.obj)
         self._osp[f.obj][f.subject].add(f.relation)
@@ -76,7 +82,10 @@ class Ontology:
         """Attach the string ``label`` to ``element`` (``hasLabel``)."""
         elem = as_element(element)
         self.vocabulary.add_element(elem.name)
-        self._labels[elem].add(label)
+        if label not in self._labels[elem]:
+            self._labels[elem].add(label)
+            self._label_index[label].add(elem)
+            self.version += 1
 
     # --------------------------------------------------------------- access
 
@@ -100,7 +109,8 @@ class Ontology:
         return label in self._labels.get(as_element(element), ())
 
     def elements_with_label(self, label: str) -> FrozenSet[Element]:
-        return frozenset(e for e, ls in self._labels.items() if label in ls)
+        """Elements carrying ``label``, from the maintained reverse index."""
+        return frozenset(self._label_index.get(label, ()))
 
     # -------------------------------------------------------------- matching
 

@@ -22,6 +22,13 @@ class Reasoner:
     def __init__(self, ontology: Ontology):
         self.ontology = ontology
         self.vocabulary = ontology.vocabulary
+        # instances()/least_upper_bounds() are re-asked for the same terms
+        # throughout lattice expansion; memoized with the ontology/order
+        # version stamps as the invalidation key
+        self._instances_cache: dict = {}
+        self._instances_stamp = None
+        self._lub_cache: dict = {}
+        self._lub_stamp = None
 
     # ------------------------------------------------------------- taxonomy
 
@@ -52,6 +59,13 @@ class Reasoner:
         ``instanceOf`` edge is asserted against a subclass of Restaurant.
         """
         k = as_element(klass)
+        stamp = (self.ontology.version, self.vocabulary.element_order.version)
+        if stamp != self._instances_stamp:
+            self._instances_cache.clear()
+            self._instances_stamp = stamp
+        cached = self._instances_cache.get(k)
+        if cached is not None:
+            return cached
         rel = INSTANCE_OF
         if not self.vocabulary.has_relation(rel):
             return frozenset()
@@ -59,7 +73,9 @@ class Reasoner:
         found: Set[Element] = set()
         for sub in self.subclasses(k):
             found.update(self.ontology.subjects(instance_of, sub))
-        return frozenset(found)
+        result = frozenset(found)
+        self._instances_cache[k] = result
+        return result
 
     def is_instance(self, candidate, klass) -> bool:
         return as_element(candidate) in self.instances(klass)
@@ -91,13 +107,27 @@ class Reasoner:
         In a tree taxonomy this is the singleton least common ancestor; in a
         DAG there may be several incomparable ones.
         """
+        stamp = (
+            self.vocabulary.element_order.version,
+            self.vocabulary.relation_order.version,
+        )
+        if stamp != self._lub_stamp:
+            self._lub_cache.clear()
+            self._lub_stamp = stamp
+        key = (a, b)
+        cached = self._lub_cache.get(key)
+        if cached is not None:
+            return cached
         common = self.vocabulary.ancestors(a) & self.vocabulary.ancestors(b)
         maximal = {
             t
             for t in common
             if not any(t != u and self.vocabulary.leq(t, u) for u in common)
         }
-        return frozenset(maximal)
+        result = frozenset(maximal)
+        self._lub_cache[key] = result
+        self._lub_cache[(b, a)] = result
+        return result
 
     # ----------------------------------------------------------- consistency
 

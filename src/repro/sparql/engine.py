@@ -35,13 +35,29 @@ from .paths import backward_closure, forward_closure, matching_relations, path_p
 
 
 class SparqlEngine:
-    """Evaluates BGPs against a fixed ontology."""
+    """Evaluates BGPs against a fixed ontology.
 
-    #: the tracer active during the current top-level evaluation, if any
-    _obs = None
+    The engine memoizes the deterministic orderings and closure results its
+    inner loops otherwise rebuild per pattern match (sorted relation lists,
+    label candidates, forward/backward path closures).  All caches key on a
+    joint version stamp of the ontology and both vocabulary orders and are
+    dropped at the next public entry point after any mutation.
+    """
 
     def __init__(self, ontology: Ontology):
         self.ontology = ontology
+        #: the tracer active during the current top-level evaluation, if
+        #: any; re-fetched per public entry point and cleared on exit so a
+        #: finished trace is never retained across evaluations
+        self._obs = None
+        self._cache_stamp = None
+        self._sorted_relations: Optional[List[Relation]] = None
+        self._labeled_elements: Optional[List[Element]] = None
+        self._label_candidates: Dict[str, List[Element]] = {}
+        self._sorted_labels: Dict[Element, List[str]] = {}
+        self._fwd_cache: Dict = {}
+        self._bwd_cache: Dict = {}
+        self._pair_cache: Dict = {}
 
     # ------------------------------------------------------------ public API
 
@@ -53,22 +69,61 @@ class SparqlEngine:
         suppressed.
         """
         self._obs = get_tracer()
-        named = {v.name for v in bgp.variables()}
-        seen: Set[Binding] = set()
-        for env in self._search(list(bgp.patterns), {}):
-            projected = Binding({k: v for k, v in env.items() if k in named})
-            if projected not in seen:
-                seen.add(projected)
-                if self._obs is not None:
-                    self._obs.count("sparql.solutions")
-                yield projected
+        self._check_caches()
+        try:
+            named = {v.name for v in bgp.variables()}
+            seen: Set[Binding] = set()
+            for env in self._search(list(bgp.patterns), {}):
+                projected = Binding({k: v for k, v in env.items() if k in named})
+                if projected not in seen:
+                    seen.add(projected)
+                    if self._obs is not None:
+                        self._obs.count("sparql.solutions")
+                    yield projected
+        finally:
+            self._obs = None
 
     def ask(self, bgp: BGP) -> bool:
         """Does ``bgp`` have at least one solution?"""
         self._obs = get_tracer()
-        for _ in self._search(list(bgp.patterns), {}):
-            return True
-        return False
+        self._check_caches()
+        try:
+            for _ in self._search(list(bgp.patterns), {}):
+                return True
+            return False
+        finally:
+            self._obs = None
+
+    # -------------------------------------------------------------- caching
+
+    def _check_caches(self) -> None:
+        """Drop memoized orderings/closures when the ontology moved."""
+        vocabulary = self.ontology.vocabulary
+        stamp = (
+            self.ontology.version,
+            vocabulary.element_order.version,
+            vocabulary.relation_order.version,
+        )
+        if stamp != self._cache_stamp:
+            self._cache_stamp = stamp
+            self._sorted_relations = None
+            self._labeled_elements = None
+            self._label_candidates.clear()
+            self._sorted_labels.clear()
+            self._fwd_cache.clear()
+            self._bwd_cache.clear()
+            self._pair_cache.clear()
+
+    def _cached(self, cache: Dict, key, compute):
+        entry = cache.get(key)
+        if entry is None:
+            entry = compute()
+            cache[key] = entry
+            if self._obs is not None:
+                self._obs.count("sparql.closure_cache.misses")
+        elif self._obs is not None:
+            self._obs.count("sparql.closure_cache.hits")
+        return entry
 
     # --------------------------------------------------------------- search
 
@@ -129,27 +184,46 @@ class SparqlEngine:
         subject = self._resolve_node(pattern.subject, env)
         obj = self._resolve_node(pattern.obj, env)
         if isinstance(obj, str):
-            candidates = self.ontology.elements_with_label(obj)
             if isinstance(subject, Element):
-                if subject in candidates:
+                if self.ontology.has_label(subject, obj):
                     yield {}
                 return
-            for element in sorted(candidates, key=lambda e: e.name):
+            candidates = self._cached(
+                self._label_candidates,
+                obj,
+                lambda: sorted(
+                    self.ontology.elements_with_label(obj), key=lambda e: e.name
+                ),
+            )
+            for element in candidates:
                 yield self._bind_node(pattern.subject, element)
             return
         # object is an unbound var/blank: enumerate labels of the subject(s)
         if isinstance(subject, Element):
-            for label in sorted(self.ontology.labels(subject)):
+            for label in self._labels_of(subject):
                 yield self._bind_node(pattern.obj, label)
             return
-        for element in sorted(
-            {e for e in self.ontology.vocabulary.elements if self.ontology.labels(e)},
-            key=lambda e: e.name,
-        ):
-            for label in sorted(self.ontology.labels(element)):
+        if self._labeled_elements is None:
+            self._labeled_elements = sorted(
+                {
+                    e
+                    for e in self.ontology.vocabulary.elements
+                    if self.ontology.labels(e)
+                },
+                key=lambda e: e.name,
+            )
+        for element in self._labeled_elements:
+            for label in self._labels_of(element):
                 extension = self._bind_node(pattern.subject, element)
                 extension.update(self._bind_node(pattern.obj, label))
                 yield extension
+
+    def _labels_of(self, element: Element) -> List[str]:
+        return self._cached(
+            self._sorted_labels,
+            element,
+            lambda: sorted(self.ontology.labels(element)),
+        )
 
     def _match_edge(
         self, pattern: TriplePattern, env: Dict[str, BindingValue]
@@ -171,7 +245,11 @@ class SparqlEngine:
                 return
             yield from self._match_known_relation(pattern, bound, PathMod.NONE, subject, obj)
             return
-        for relation in sorted(self.ontology.vocabulary.relations, key=lambda r: r.name):
+        if self._sorted_relations is None:
+            self._sorted_relations = sorted(
+                self.ontology.vocabulary.relations, key=lambda r: r.name
+            )
+        for relation in self._sorted_relations:
             for extension in self._match_known_relation(
                 pattern, relation, PathMod.NONE, subject, obj, exact_relation=True
             ):
@@ -200,32 +278,15 @@ class SparqlEngine:
                 yield {}
             return
         if isinstance(subject, Element):
-            targets = (
-                forward_closure(self.ontology, subject, relation, mod)
-                if mod is not PathMod.NONE
-                else frozenset(
-                    o for r in relations for o in self.ontology.objects(subject, r)
-                )
-            )
-            for target in sorted(targets, key=lambda e: e.name):
+            for target in self._forward_targets(subject, relation, mod, exact_relation):
                 yield self._bind_node(pattern.obj, target)
             return
         if isinstance(obj, Element):
-            sources = (
-                backward_closure(self.ontology, obj, relation, mod)
-                if mod is not PathMod.NONE
-                else frozenset(
-                    s for r in relations for s in self.ontology.subjects(r, obj)
-                )
-            )
-            for source in sorted(sources, key=lambda e: e.name):
+            for source in self._backward_sources(obj, relation, mod, exact_relation):
                 yield self._bind_node(pattern.subject, source)
             return
         # both ends free
-        for start, end in sorted(
-            set(path_pairs(self.ontology, relation, mod)),
-            key=lambda pair: (pair[0].name, pair[1].name),
-        ):
+        for start, end in self._all_pairs(relation, mod):
             extension = self._bind_node(pattern.subject, start)
             obj_ext = self._bind_node(pattern.obj, end)
             # consistency when subject and object share a variable
@@ -237,6 +298,59 @@ class SparqlEngine:
                 continue
             extension.update(obj_ext)
             yield extension
+
+    def _forward_targets(
+        self, subject: Element, relation: Relation, mod: PathMod, exact: bool
+    ) -> List[Element]:
+        """Sorted ``obj`` candidates for a bound subject (cached)."""
+
+        def compute() -> List[Element]:
+            if mod is not PathMod.NONE:
+                targets = forward_closure(self.ontology, subject, relation, mod)
+            else:
+                relations = (
+                    frozenset({relation})
+                    if exact
+                    else matching_relations(self.ontology, relation)
+                )
+                targets = frozenset(
+                    o for r in relations for o in self.ontology.objects(subject, r)
+                )
+            return sorted(targets, key=lambda e: e.name)
+
+        return self._cached(self._fwd_cache, (subject, relation, mod, exact), compute)
+
+    def _backward_sources(
+        self, obj: Element, relation: Relation, mod: PathMod, exact: bool
+    ) -> List[Element]:
+        """Sorted ``subject`` candidates for a bound object (cached)."""
+
+        def compute() -> List[Element]:
+            if mod is not PathMod.NONE:
+                sources = backward_closure(self.ontology, obj, relation, mod)
+            else:
+                relations = (
+                    frozenset({relation})
+                    if exact
+                    else matching_relations(self.ontology, relation)
+                )
+                sources = frozenset(
+                    s for r in relations for s in self.ontology.subjects(r, obj)
+                )
+            return sorted(sources, key=lambda e: e.name)
+
+        return self._cached(self._bwd_cache, (obj, relation, mod, exact), compute)
+
+    def _all_pairs(self, relation: Relation, mod: PathMod) -> List:
+        """Sorted (subject, obj) pairs for a both-ends-free pattern (cached)."""
+
+        def compute() -> List:
+            return sorted(
+                set(path_pairs(self.ontology, relation, mod)),
+                key=lambda pair: (pair[0].name, pair[1].name),
+            )
+
+        return self._cached(self._pair_cache, (relation, mod), compute)
 
     def _pair_matches(
         self,

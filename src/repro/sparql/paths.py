@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterator, Set, Tuple
 
+from ..observability import count as _obs_count
 from ..ontology.graph import Ontology
 from ..vocabulary.terms import Element, Relation
 from .ast import PathMod
@@ -21,15 +22,28 @@ def matching_relations(ontology: Ontology, relation: Relation) -> FrozenSet[Rela
 
     These are the ``≤R``-specializations of ``relation`` that exist in the
     vocabulary; e.g. a ``nearBy`` pattern also scans ``inside`` edges when
-    ``nearBy ≤R inside``.
+    ``nearBy ≤R inside``.  Memoized per ontology, keyed on the relation
+    order's version stamp (BGP search asks for the same relation's closure
+    once per pattern match otherwise).
     """
-    if relation not in ontology.vocabulary.relation_order:
-        return frozenset({relation})
-    return frozenset(
-        r
-        for r in ontology.vocabulary.relation_order.descendants(relation)
-        if isinstance(r, Relation)
-    )
+    order = ontology.vocabulary.relation_order
+    cache = getattr(ontology, "_matching_relations_cache", None)
+    if cache is None or cache[0] != order.version:
+        cache = (order.version, {})
+        ontology._matching_relations_cache = cache
+    cached = cache[1].get(relation)
+    if cached is not None:
+        _obs_count("sparql.rel_match_cache.hits")
+        return cached
+    _obs_count("sparql.rel_match_cache.misses")
+    if relation not in order:
+        result = frozenset({relation})
+    else:
+        result = frozenset(
+            r for r in order.descendants(relation) if isinstance(r, Relation)
+        )
+    cache[1][relation] = result
+    return result
 
 
 def _step(ontology: Ontology, node: Element, relations: FrozenSet[Relation]) -> Set[Element]:

@@ -2,6 +2,7 @@
 
 from .dag_gen import dag_statistics, generate_dag, layer_sizes
 from .msp_placement import PlantedSignificance, place_msps
+from .taxonomy import random_order, random_taxonomy, random_vocabulary
 
 __all__ = [
     "PlantedSignificance",
@@ -9,4 +10,7 @@ __all__ = [
     "generate_dag",
     "layer_sizes",
     "place_msps",
+    "random_order",
+    "random_taxonomy",
+    "random_vocabulary",
 ]

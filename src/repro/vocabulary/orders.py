@@ -7,7 +7,7 @@ represent such an order as a DAG whose edges point from a term to its
 
 The structure supports the operations the mining algorithms need:
 
-* ``leq(a, b)`` — is ``a ≤ b``?  (memoized reachability)
+* ``leq(a, b)`` — is ``a ≤ b``?  (a single bit test on compiled closures)
 * ``children(a)`` / ``parents(a)`` — immediate specializations /
   generalizations, the ``⋖`` steps of the assignment lattice;
 * ``descendants`` / ``ancestors`` — reflexive-transitive closures, used by
@@ -15,13 +15,31 @@ The structure supports the operations the mining algorithms need:
 * ``roots()`` / ``leaves()`` — extremes of the order;
 * ``depth(a)`` — longest chain from a root, used by synthetic-DAG shaping.
 
+Closures are *bitset-compiled*: every term is interned to a dense integer
+id on registration, and on first query after a mutation the full
+reflexive-transitive closure is computed in one topological sweep as a
+list of Python-int bitsets (``descendants_bits(t)`` has bit ``i`` set iff
+``t ≤ term_of_id(i)``).  ``leq`` is then one shift-and-mask, and set
+algebra over closures (the ``∩`` of witness search, the ``∪`` of up-set
+accumulation) becomes bitwise AND/OR on machine words.  The historical
+frozenset API (``descendants``/``ancestors``) is preserved as thin views
+materialized lazily from the bitsets and memoized until the next edit.
+
+Compilation is version-stamped: every structural change bumps
+:attr:`PartialOrder.version`, and compiled state is rebuilt on the next
+query when its stamp no longer matches (see ``docs/PERFORMANCE.md`` for
+the invalidation contract).  The pre-compilation DFS implementations are
+retained as ``*_reference`` methods; the randomized equivalence suite
+(``tests/test_bitset_equivalence.py``) asserts both paths agree.
+
 Cycles are rejected on insertion (a partial order must be acyclic).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from ..observability import count as _obs_count
 from .terms import Term
 
 
@@ -41,10 +59,23 @@ class PartialOrder:
     def __init__(self) -> None:
         self._children: Dict[Term, Set[Term]] = {}
         self._parents: Dict[Term, Set[Term]] = {}
-        # memoized reflexive-transitive descendant sets, invalidated on edit
-        self._desc_cache: Dict[Term, FrozenSet[Term]] = {}
-        self._anc_cache: Dict[Term, FrozenSet[Term]] = {}
+        # interning: term <-> dense id.  Ids are assigned on registration
+        # and never reused or invalidated (terms cannot be removed), so
+        # bitset layouts stay aligned across recompilations.
+        self._ids: Dict[Term, int] = {}
+        self._terms_by_id: List[Term] = []
+        # compiled closures: id -> reflexive-transitive bitset, rebuilt
+        # lazily when the version stamp moves
+        self._desc_bits: List[int] = []
+        self._anc_bits: List[int] = []
+        self._desc_compiled_at = -1
+        self._anc_compiled_at = -1
+        # lazily-materialized frozenset views over the compiled bitsets
+        self._desc_view: Dict[Term, FrozenSet[Term]] = {}
+        self._anc_view: Dict[Term, FrozenSet[Term]] = {}
         self._depth_cache: Dict[Term, int] = {}
+        self._sorted_children: Dict[Term, Tuple[Term, ...]] = {}
+        self._sorted_parents: Dict[Term, Tuple[Term, ...]] = {}
         self._edge_count = 0
         #: bumped on every structural change; cheap cache-invalidation stamp
         self.version = 0
@@ -61,6 +92,8 @@ class PartialOrder:
         if term not in self._children:
             self._children[term] = set()
             self._parents[term] = set()
+            self._ids[term] = len(self._terms_by_id)
+            self._terms_by_id.append(term)
             self._invalidate()
 
     def add_edge(self, general: Term, specific: Term) -> None:
@@ -82,9 +115,99 @@ class PartialOrder:
 
     def _invalidate(self) -> None:
         self.version += 1
-        self._desc_cache.clear()
-        self._anc_cache.clear()
+        self._desc_view.clear()
+        self._anc_view.clear()
         self._depth_cache.clear()
+        self._sorted_children.clear()
+        self._sorted_parents.clear()
+
+    # ----------------------------------------------------------- compilation
+
+    def _topological_ids(self) -> List[int]:
+        """All term ids in a parents-before-children order (Kahn)."""
+        indegree = {
+            term: len(parents) for term, parents in self._parents.items()
+        }
+        queue: List[Term] = [t for t, d in indegree.items() if d == 0]
+        order: List[int] = []
+        head = 0
+        while head < len(queue):
+            term = queue[head]
+            head += 1
+            order.append(self._ids[term])
+            for child in self._children[term]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        return order
+
+    def _ensure_desc_compiled(self) -> None:
+        if self._desc_compiled_at == self.version:
+            return
+        ids = self._ids
+        bits = [0] * len(self._terms_by_id)
+        for tid in reversed(self._topological_ids()):
+            acc = 1 << tid
+            for child in self._children[self._terms_by_id[tid]]:
+                acc |= bits[ids[child]]
+            bits[tid] = acc
+        self._desc_bits = bits
+        self._desc_compiled_at = self.version
+        _obs_count("orders.closure.desc_compiles")
+
+    def _ensure_anc_compiled(self) -> None:
+        if self._anc_compiled_at == self.version:
+            return
+        ids = self._ids
+        bits = [0] * len(self._terms_by_id)
+        for tid in self._topological_ids():
+            acc = 1 << tid
+            for parent in self._parents[self._terms_by_id[tid]]:
+                acc |= bits[ids[parent]]
+            bits[tid] = acc
+        self._anc_bits = bits
+        self._anc_compiled_at = self.version
+        _obs_count("orders.closure.anc_compiles")
+
+    # ----------------------------------------------------------- bitset API
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The dense interned id of ``term`` (None if unregistered)."""
+        return self._ids.get(term)
+
+    def term_of_id(self, term_id: int) -> Term:
+        """The term interned at ``term_id``."""
+        return self._terms_by_id[term_id]
+
+    def descendants_bits(self, term: Term) -> int:
+        """Reflexive-transitive specializations of ``term`` as a bitset.
+
+        Bit ``i`` is set iff ``term ≤ term_of_id(i)``.  Unregistered terms
+        yield 0 (they have no interned id to set).
+        """
+        tid = self._ids.get(term)
+        if tid is None:
+            return 0
+        self._ensure_desc_compiled()
+        return self._desc_bits[tid]
+
+    def ancestors_bits(self, term: Term) -> int:
+        """Reflexive-transitive generalizations of ``term`` as a bitset."""
+        tid = self._ids.get(term)
+        if tid is None:
+            return 0
+        self._ensure_anc_compiled()
+        return self._anc_bits[tid]
+
+    def terms_of_bits(self, bits: int) -> FrozenSet[Term]:
+        """Materialize a bitset over interned ids back into terms."""
+        terms_by_id = self._terms_by_id
+        out = []
+        while bits:
+            low = bits & -bits
+            out.append(terms_by_id[low.bit_length() - 1])
+            bits ^= low
+        return frozenset(out)
 
     # ----------------------------------------------------------------- query
 
@@ -108,6 +231,27 @@ class PartialOrder:
     def parents(self, term: Term) -> FrozenSet[Term]:
         """Immediate generalizations of ``term`` (empty if unknown)."""
         return frozenset(self._parents.get(term, ()))
+
+    def children_sorted(self, term: Term) -> Tuple[Term, ...]:
+        """Immediate specializations in deterministic (sorted) order.
+
+        Memoized until the next edit — traversal inner loops call this once
+        per expansion step instead of materializing and re-sorting a
+        frozenset every time.
+        """
+        cached = self._sorted_children.get(term)
+        if cached is None:
+            cached = tuple(sorted(self._children.get(term, ())))
+            self._sorted_children[term] = cached
+        return cached
+
+    def parents_sorted(self, term: Term) -> Tuple[Term, ...]:
+        """Immediate generalizations in deterministic (sorted) order."""
+        cached = self._sorted_parents.get(term)
+        if cached is None:
+            cached = tuple(sorted(self._parents.get(term, ())))
+            self._sorted_parents[term] = cached
+        return cached
 
     def _reaches(self, src: Term, dst: Term) -> bool:
         """Uncached reachability used during edits (cache may be stale)."""
@@ -134,46 +278,52 @@ class PartialOrder:
         """
         if general == specific:
             return True
-        if general not in self._children or specific not in self._children:
+        gid = self._ids.get(general)
+        if gid is None:
             return False
-        return specific in self.descendants(general)
+        sid = self._ids.get(specific)
+        if sid is None:
+            return False
+        if self._desc_compiled_at != self.version:
+            self._ensure_desc_compiled()
+        return (self._desc_bits[gid] >> sid) & 1 == 1
 
     def comparable(self, a: Term, b: Term) -> bool:
         """Are ``a`` and ``b`` related in either direction?"""
         return self.leq(a, b) or self.leq(b, a)
 
     def descendants(self, term: Term) -> FrozenSet[Term]:
-        """Reflexive-transitive specializations of ``term``."""
-        cached = self._desc_cache.get(term)
+        """Reflexive-transitive specializations of ``term``.
+
+        A thin frozenset view over :meth:`descendants_bits`, materialized
+        lazily and memoized until the next edit.
+        """
+        cached = self._desc_view.get(term)
         if cached is not None:
             return cached
-        seen: Set[Term] = {term}
-        stack = [term]
-        while stack:
-            node = stack.pop()
-            for child in self._children.get(node, ()):
-                if child not in seen:
-                    seen.add(child)
-                    stack.append(child)
-        result = frozenset(seen)
-        self._desc_cache[term] = result
+        tid = self._ids.get(term)
+        if tid is None:
+            result: FrozenSet[Term] = frozenset({term})
+        else:
+            self._ensure_desc_compiled()
+            result = self.terms_of_bits(self._desc_bits[tid])
+        self._desc_view[term] = result
+        _obs_count("orders.closure.desc_views")
         return result
 
     def ancestors(self, term: Term) -> FrozenSet[Term]:
-        """Reflexive-transitive generalizations of ``term``."""
-        cached = self._anc_cache.get(term)
+        """Reflexive-transitive generalizations of ``term`` (thin view)."""
+        cached = self._anc_view.get(term)
         if cached is not None:
             return cached
-        seen: Set[Term] = {term}
-        stack = [term]
-        while stack:
-            node = stack.pop()
-            for parent in self._parents.get(node, ()):
-                if parent not in seen:
-                    seen.add(parent)
-                    stack.append(parent)
-        result = frozenset(seen)
-        self._anc_cache[term] = result
+        tid = self._ids.get(term)
+        if tid is None:
+            result: FrozenSet[Term] = frozenset({term})
+        else:
+            self._ensure_anc_compiled()
+            result = self.terms_of_bits(self._anc_bits[tid])
+        self._anc_view[term] = result
+        _obs_count("orders.closure.anc_views")
         return result
 
     def strict_descendants(self, term: Term) -> FrozenSet[Term]:
@@ -183,6 +333,46 @@ class PartialOrder:
     def strict_ancestors(self, term: Term) -> FrozenSet[Term]:
         """Transitive (non-reflexive) generalizations."""
         return self.ancestors(term) - {term}
+
+    # ------------------------------------------------- reference (uncompiled)
+
+    def leq_reference(self, general: Term, specific: Term) -> bool:
+        """Pre-compilation ``leq`` via DFS reachability.
+
+        Retained as the ground truth for the randomized equivalence suite
+        and the ``make bench`` reference path; never used on hot paths.
+        """
+        if general == specific:
+            return True
+        if general not in self._children or specific not in self._children:
+            return False
+        return self._reaches(general, specific)
+
+    def descendants_reference(self, term: Term) -> FrozenSet[Term]:
+        """Pre-compilation descendant closure via DFS (ground truth)."""
+        seen: Set[Term] = {term}
+        stack = [term]
+        while stack:
+            node = stack.pop()
+            for child in self._children.get(node, ()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return frozenset(seen)
+
+    def ancestors_reference(self, term: Term) -> FrozenSet[Term]:
+        """Pre-compilation ancestor closure via DFS (ground truth)."""
+        seen: Set[Term] = {term}
+        stack = [term]
+        while stack:
+            node = stack.pop()
+            for parent in self._parents.get(node, ()):
+                if parent not in seen:
+                    seen.add(parent)
+                    stack.append(parent)
+        return frozenset(seen)
+
+    # -------------------------------------------------------------- extremes
 
     def roots(self) -> FrozenSet[Term]:
         """Terms with no parent (the most general terms)."""
@@ -259,13 +449,14 @@ class PartialOrder:
     def copy(self) -> "PartialOrder":
         """An independent deep copy of the order."""
         dup = PartialOrder()
-        for term, children in self._children.items():
+        for term in self._terms_by_id:
             dup.add_term(term)
+        for term, children in self._children.items():
             for child in children:
-                dup._children.setdefault(term, set()).add(child)
-                dup._parents.setdefault(child, set()).add(term)
-                dup.add_term(child)
+                dup._children[term].add(child)
+                dup._parents[child].add(term)
         dup._edge_count = self._edge_count
+        dup.version += 1  # edges were added behind add_edge's back
         return dup
 
     def edges(self) -> Iterator[Tuple[Term, Term]]:

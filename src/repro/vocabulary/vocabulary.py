@@ -26,10 +26,6 @@ class Vocabulary:
         self.relation_order = PartialOrder()
         self._elements: Dict[str, Element] = {}
         self._relations: Dict[str, Relation] = {}
-        # leq is the innermost loop of support computation; pair-memoized.
-        # Invalidated when either order gains an edge (see leq()).
-        self._leq_cache: Dict[tuple, bool] = {}
-        self._leq_cache_stamp: int = -1
 
     # ------------------------------------------------------------- mutation
 
@@ -105,23 +101,16 @@ class Vocabulary:
     def leq(self, general: Term, specific: Term) -> bool:
         """Dispatching ``≤``: elements via ``≤E``, relations via ``≤R``.
 
-        Terms of different kinds are incomparable.
+        Terms of different kinds are incomparable.  This is the innermost
+        loop of support computation; the orders compile their closures to
+        bitsets, so a comparison is a dispatch plus one bit test (no
+        per-pair memo needed).
         """
         if general is specific:
             return True
-        stamp = self.element_order.version + self.relation_order.version
-        if stamp != self._leq_cache_stamp:
-            self._leq_cache.clear()
-            self._leq_cache_stamp = stamp
-        key = (general, specific)
-        cached = self._leq_cache.get(key)
-        if cached is None:
-            if type(general) is not type(specific):
-                cached = False
-            else:
-                cached = self._order_for(general).leq(general, specific)
-            self._leq_cache[key] = cached
-        return cached
+        if type(general) is not type(specific):
+            return False
+        return self._order_for(general).leq(general, specific)
 
     def comparable(self, a: Term, b: Term) -> bool:
         """Are ``a`` and ``b`` related in either direction (or equal)?"""
@@ -134,6 +123,14 @@ class Vocabulary:
     def parents(self, term: Term) -> FrozenSet[Term]:
         """Immediate generalizations of ``term`` in its order."""
         return self._order_for(term).parents(term)
+
+    def children_sorted(self, term: Term):
+        """Immediate specializations, deterministically ordered (memoized)."""
+        return self._order_for(term).children_sorted(term)
+
+    def parents_sorted(self, term: Term):
+        """Immediate generalizations, deterministically ordered (memoized)."""
+        return self._order_for(term).parents_sorted(term)
 
     def descendants(self, term: Term) -> FrozenSet[Term]:
         """Reflexive-transitive specializations of ``term``."""
