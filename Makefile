@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-suite examples figures stats clean
+.PHONY: install test bench bench-suite serve-bench examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ bench:
 
 bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# concurrent serving throughput at 1/4/8 workers + serial MSP-identity
+# check, then schema validation of the JSON output
+serve-bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --output BENCH_service.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --validate BENCH_service.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

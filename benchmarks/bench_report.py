@@ -41,6 +41,7 @@ if __package__ in (None, ""):
 
 from repro.crowd.personal_db import PersonalDatabase, set_support_backend
 from repro.datasets import culinary, health, travel
+from repro.engine.config import EngineConfig
 from repro.engine.engine import OassisEngine
 from repro.observability import tracing
 from repro.ontology.facts import Fact, FactSet
@@ -186,8 +187,10 @@ def _run_domain_once(name, crowd_size, transactions, sample_size, seed):
     )
     engine = OassisEngine(
         dataset.ontology,
-        max_values_per_var=config["max_values_per_var"],
-        max_more_facts=config["max_more_facts"],
+        config=EngineConfig(
+            max_values_per_var=config["max_values_per_var"],
+            max_more_facts=config["max_more_facts"],
+        ),
     )
     start = time.perf_counter()
     result = engine.execute(

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Throughput report for the concurrent crowd-serving layer.
+
+Runs the :func:`repro.service.run_simulation` harness — many sessions of
+one domain, a shared crowd with injected drops and departures — at worker
+counts 1, 4 and 8, and emits one JSON document (``BENCH_service.json``):
+
+* per worker count: wall time, sessions settled per second, questions
+  answered per second, timeout/requeue/reassignment counters;
+* ``identity`` — for every configuration, whether each session's MSP set
+  equals the serial ``engine.execute`` run of the same query (the service
+  layer must be observationally invisible to the mining semantics).  Any
+  divergence, timeout or unfinished session makes the process exit
+  non-zero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py                 # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick         # CI-size
+    PYTHONPATH=src python benchmarks/bench_service.py --validate BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/bench_service.py` without PYTHONPATH fiddling
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability import derive_service, tracing
+from repro.service import run_simulation
+
+SCHEMA_VERSION = 1
+
+WORKER_COUNTS = (1, 4, 8)
+
+
+def run_config(workers: int, *, sessions: int, domain: str, seed: int) -> dict:
+    """One simulation at the given concurrency; returns a report row."""
+    with tracing() as tracer:
+        started = time.perf_counter()
+        report = run_simulation(
+            domain=domain,
+            sessions=sessions,
+            workers=workers,
+            crowd_size=6,
+            sample_size=3,
+            drop_every=5,
+            departures=1,
+            question_timeout=0.2,
+            max_runtime=240.0,
+            verify=True,
+            seed=seed,
+        )
+        elapsed = time.perf_counter() - started
+    states = [info["state"] for info in report["sessions"].values()]
+    service = derive_service(tracer.report()["counters"]) or {}
+    return {
+        "workers": workers,
+        "elapsed_seconds": round(elapsed, 4),
+        "sessions": sessions,
+        "sessions_completed": states.count("completed"),
+        "sessions_per_second": round(report["sessions_per_second"], 4),
+        "questions_answered": report["questions_answered"],
+        "questions_per_second": round(report["questions_per_second"], 2),
+        "timed_out": report["timed_out"],
+        "msps_identical_to_serial": report["verified"],
+        "mismatches": report["mismatches"],
+        "service_counters": service,
+    }
+
+
+def build_report(quick: bool, seed: int) -> dict:
+    sessions = 4 if quick else 8
+    rows = [
+        run_config(workers, sessions=sessions, domain="demo", seed=seed)
+        for workers in WORKER_COUNTS
+    ]
+    serial_row = rows[0]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "service",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "domain": "demo",
+        "runs": rows,
+        "identity": {
+            "all_msps_identical": all(r["msps_identical_to_serial"] for r in rows),
+            "all_settled": all(
+                not r["timed_out"] and r["sessions_completed"] == r["sessions"]
+                for r in rows
+            ),
+        },
+        "speedup_1_to_4_workers": round(
+            serial_row["elapsed_seconds"] / rows[1]["elapsed_seconds"], 3
+        )
+        if rows[1]["elapsed_seconds"] > 0
+        else None,
+    }
+
+
+def validate(report: dict) -> list:
+    """Schema and acceptance checks; returns a list of problems."""
+    problems = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"schema_version != {SCHEMA_VERSION}")
+    runs = report.get("runs", [])
+    if sorted(r.get("workers") for r in runs) != sorted(WORKER_COUNTS):
+        problems.append(f"expected runs at workers {WORKER_COUNTS}")
+    for row in runs:
+        tag = f"workers={row.get('workers')}"
+        for field in (
+            "elapsed_seconds",
+            "sessions_per_second",
+            "questions_per_second",
+            "questions_answered",
+        ):
+            if not isinstance(row.get(field), (int, float)):
+                problems.append(f"{tag}: missing numeric {field}")
+        if row.get("timed_out"):
+            problems.append(f"{tag}: simulation timed out")
+        if not row.get("msps_identical_to_serial"):
+            problems.append(f"{tag}: MSPs diverged from serial execution")
+        if row.get("sessions_completed") != row.get("sessions"):
+            problems.append(f"{tag}: not every session completed")
+    if not report.get("identity", {}).get("all_msps_identical"):
+        problems.append("identity.all_msps_identical is false")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="4 sessions instead of 8 (CI-size)")
+    parser.add_argument("--output", default="BENCH_service.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--validate", metavar="PATH",
+                        help="re-check an existing report; no simulation runs")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        report = json.loads(Path(args.validate).read_text(encoding="utf-8"))
+        problems = validate(report)
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        print(f"{args.validate}: {'FAIL' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    report = build_report(args.quick, args.seed)
+    Path(args.output).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    for row in report["runs"]:
+        print(
+            f"workers={row['workers']}: {row['elapsed_seconds']:.2f}s, "
+            f"{row['questions_per_second']:.0f} questions/s, "
+            f"identical={row['msps_identical_to_serial']}"
+        )
+    print(f"wrote {args.output}")
+    problems = validate(report)
+    for problem in problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,7 @@ Run with::
     python examples/culinary_menu.py
 """
 
-from repro import OassisEngine
+from repro import EngineConfig, OassisEngine
 from repro.datasets import culinary
 from repro.mining import (
     maximal_fact_sets,
@@ -23,7 +23,9 @@ from repro.mining import (
 
 def main():
     dataset = culinary.build_dataset()
-    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=0)
+    engine = OassisEngine(
+        dataset.ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=0)
+    )
     query = engine.parse(dataset.query(0.3))
 
     print("=== Culinary preferences ===")

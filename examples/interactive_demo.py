@@ -17,7 +17,7 @@ or let a simulated member answer automatically::
 
 import argparse
 
-from repro import OassisEngine
+from repro import EngineConfig, OassisEngine
 from repro.crowd.questions import FREQUENCY_SCALE, frequency_to_support
 from repro.datasets import running_example
 from repro.nlg import render_assignment
@@ -47,7 +47,9 @@ def main():
     args = parser.parse_args()
 
     ontology = running_example.build_ontology()
-    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     qm = engine.queue_manager(
         running_example.FRAGMENT_QUERY,
         sample_size=1,

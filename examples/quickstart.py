@@ -18,7 +18,7 @@ cache hit rate, nodes pruned by inference, per-phase wall time) and
 import argparse
 import json
 
-from repro import CrowdCache, CrowdMember, OassisEngine
+from repro import CrowdCache, CrowdMember, EngineConfig, OassisEngine
 from repro.crowd import PersonalDatabase
 from repro.datasets import running_example
 from repro.observability import tracing
@@ -54,7 +54,9 @@ def build_crowd(ontology, databases, copies=10):
 def run_quickstart():
     ontology = running_example.build_ontology()
     databases = running_example.build_personal_databases()
-    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
 
     print("=== OASSIS quickstart ===")
     print()

@@ -10,7 +10,7 @@ Run with::
     python examples/self_treatment_survey.py
 """
 
-from repro import OassisEngine
+from repro import EngineConfig, OassisEngine
 from repro.crowd import FixedSampleAggregator
 from repro.datasets import health
 from repro.engine.adapters import MemberUser
@@ -19,7 +19,9 @@ from repro.mining import MultiUserMiner
 
 def main():
     dataset = health.build_dataset()
-    engine = OassisEngine(dataset.ontology, max_values_per_var=1, max_more_facts=0)
+    engine = OassisEngine(
+        dataset.ontology, config=EngineConfig(max_values_per_var=1, max_more_facts=0)
+    )
     query = engine.parse(dataset.query(0.2))
 
     print("=== Self-treatment survey ===")

@@ -15,7 +15,7 @@ few minutes for the base run at the default crowd size.
 
 import argparse
 
-from repro import CrowdCache, OassisEngine
+from repro import CrowdCache, EngineConfig, OassisEngine
 from repro.datasets import travel
 
 
@@ -26,7 +26,9 @@ def main():
     args = parser.parse_args()
 
     dataset = travel.build_dataset()
-    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        dataset.ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     query = engine.parse(dataset.query(0.2))
 
     print("=== Travel planner (Tel Aviv) ===")

@@ -19,6 +19,8 @@ Subpackages:
 * :mod:`repro.crowd` — personal DBs, members, aggregation, caching;
 * :mod:`repro.mining` — vertical / multi-user / baseline algorithms;
 * :mod:`repro.engine` — the end-to-end evaluation pipeline;
+* :mod:`repro.service` — concurrent crowd-serving sessions (batching,
+  deadlines, retries, member departures);
 * :mod:`repro.observability` — tracing, counters, timers (``--stats``);
 * :mod:`repro.synth` — synthetic DAG / crowd generators (Section 6.4);
 * :mod:`repro.datasets` — travel, culinary, self-treatment demo domains;
@@ -35,7 +37,13 @@ from .crowd import (
     PlantedPattern,
     Transaction,
 )
-from .engine import OassisEngine, QueryResult, QueueManager
+from .engine import (
+    AnswerOutcome,
+    EngineConfig,
+    OassisEngine,
+    QueryResult,
+    QueueManager,
+)
 from .mining import (
     MultiUserMiner,
     horizontal_mine,
@@ -50,11 +58,13 @@ from .vocabulary import Element, Relation, Vocabulary, VocabularyBuilder
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnswerOutcome",
     "Assignment",
     "CrowdCache",
     "CrowdMember",
     "CrowdSimulator",
     "Element",
+    "EngineConfig",
     "ExplicitDAG",
     "Fact",
     "FactSet",

@@ -8,6 +8,9 @@ Commands:
   a simulated crowd, or a custom ontology + query + personal-history file
   (single-user mining with Algorithm 1);
 * ``domains`` — list the built-in demo domains;
+* ``serve-sim`` — run the concurrent crowd-serving simulation: many query
+  sessions, a shared crowd with injected timeouts and departures, N worker
+  threads (see :mod:`repro.service`);
 * ``figures`` — regenerate one of the paper's figures and print its table.
 """
 
@@ -20,6 +23,7 @@ from typing import List, Optional
 from .crowd.member import CrowdMember
 from .crowd.personal_db import PersonalDatabase
 from .datasets import culinary, health, travel
+from .engine.config import EngineConfig
 from .engine.engine import OassisEngine
 from .oassisql.parser import parse_query
 from .oassisql.pretty import format_query
@@ -68,6 +72,33 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     sub.add_parser("domains", help="list built-in demo domains")
 
+    p_serve = sub.add_parser(
+        "serve-sim",
+        help="simulate the concurrent crowd-serving layer (repro.service)",
+    )
+    p_serve.add_argument("--domain", default="demo",
+                         help="simulation domain: demo, travel, culinary, health")
+    p_serve.add_argument("--sessions", type=int, default=8)
+    p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument("--crowd-size", type=int, default=6)
+    p_serve.add_argument("--sample-size", type=int, default=3)
+    p_serve.add_argument("--drop-every", type=int, default=5,
+                         help="members ignore every n-th question (0 = never); "
+                         "ignored questions time out and are retried")
+    p_serve.add_argument("--departures", type=int, default=1,
+                         help="how many members depart mid-run")
+    p_serve.add_argument("--question-timeout", type=float, default=0.2,
+                         help="seconds before a dispatched question is reaped")
+    p_serve.add_argument("--max-runtime", type=float, default=120.0)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--no-verify", action="store_true",
+                         help="skip the serial MSP-identity check")
+    p_serve.add_argument("--json", action="store_true",
+                         help="emit the simulation report as JSON")
+    p_serve.add_argument("--stats", action="store_true",
+                         help="trace the run and print the observability "
+                         "summary (including the service section)")
+
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument(
         "which",
@@ -82,6 +113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "domains":
         return _cmd_domains()
+    if args.command == "serve-sim":
+        return _cmd_serve_sim(args)
     if args.command == "figures":
         return _cmd_figures(args)
     parser.error("unknown command")
@@ -165,7 +198,9 @@ def _cmd_run(args) -> int:
 def _run_domain(args) -> int:
     module = _DOMAINS[args.domain]
     dataset = module.build_dataset()
-    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        dataset.ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     query = engine.parse(dataset.query(args.threshold))
     crowd = dataset.build_crowd(size=args.crowd_size, seed=args.seed)
     result = engine.execute(
@@ -177,7 +212,9 @@ def _run_domain(args) -> int:
 
 def _run_custom(args) -> int:
     ontology = turtle.load(args.ontology)
-    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=0)
+    engine = OassisEngine(
+        ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=0)
+    )
     query = engine.parse(_read(args.query))
     if not args.history:
         print("custom runs need --history (a personal transaction file)",
@@ -189,6 +226,67 @@ def _run_custom(args) -> int:
     member = CrowdMember("you", database, ontology.vocabulary)
     result = engine.execute_single_user(query, member)
     print(result.to_json() if args.json else result.render())
+    return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    from .observability import render_report, tracing
+    from .service import run_simulation
+
+    def simulate():
+        return run_simulation(
+            domain=args.domain,
+            sessions=args.sessions,
+            workers=args.workers,
+            crowd_size=args.crowd_size,
+            sample_size=args.sample_size,
+            drop_every=args.drop_every,
+            departures=args.departures,
+            question_timeout=args.question_timeout,
+            max_runtime=args.max_runtime,
+            verify=not args.no_verify,
+            seed=args.seed,
+        )
+
+    if args.stats:
+        with tracing() as tracer:
+            report = simulate()
+    else:
+        tracer = None
+        report = simulate()
+
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{args.sessions} session(s), {args.workers} worker(s), "
+            f"crowd of {report['crowd_size']}"
+        )
+        for session_id, info in sorted(report["sessions"].items()):
+            print(
+                f"  {session_id:16} {info['state']:10} "
+                f"{info['questions']:5} question(s)  "
+                f"{info['valid_msps']} answer(s)"
+            )
+        print(
+            f"{report['questions_answered']} answers in "
+            f"{report['elapsed_seconds']:.2f}s "
+            f"({report['questions_per_second']:.0f} questions/s)"
+        )
+        if "verified" in report:
+            verdict = "identical" if report["verified"] else "DIVERGED"
+            print(f"serial MSP check: {verdict}")
+    if tracer is not None:
+        print()
+        print(render_report(tracer.report()))
+    if report["timed_out"]:
+        print("simulation hit --max-runtime before settling", file=sys.stderr)
+        return 1
+    if not report.get("verified", True):
+        print("concurrent MSPs diverged from serial execution", file=sys.stderr)
+        return 1
     return 0
 
 

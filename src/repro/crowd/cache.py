@@ -10,11 +10,18 @@ threshold, only the answers the algorithm actually used.
 
 The paper backs this store with MySQL; we keep it in memory with optional
 JSON persistence (the durability engine is irrelevant to the algorithms).
+
+Thread-safety: mutations and snapshots take an internal lock, so one cache
+may be written from several service worker threads (see
+:mod:`repro.service`) or shared between a live session and a snapshot
+reader.  The arrival-order answer lists double as provenance — they record
+which member said what, in which order it was collected.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from collections import defaultdict
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
@@ -27,13 +34,28 @@ class CrowdCache:
     def __init__(self) -> None:
         # assignment -> list of (member_id, support), in arrival order
         self._answers: Dict[Hashable, List[Tuple[str, float]]] = defaultdict(list)
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def record(self, assignment: Hashable, member_id: str, support: float) -> None:
         """Store one collected answer."""
-        self._answers[assignment].append((member_id, support))
+        with self._lock:
+            self._answers[assignment].append((member_id, support))
         _obs_count("cache.answers.recorded")
+
+    def snapshot(self) -> "CrowdCache":
+        """A point-in-time copy (session snapshot/resume).
+
+        The copy is independent: answers recorded into either cache after
+        the snapshot do not leak into the other.  Hit/miss statistics
+        start from zero.
+        """
+        copy = CrowdCache()
+        with self._lock:
+            for assignment, answers in self._answers.items():
+                copy._answers[assignment] = list(answers)
+        return copy
 
     def lookup(self, assignment: Hashable, member_id: str) -> Optional[float]:
         """The cached answer of ``member_id`` for ``assignment``, if any."""

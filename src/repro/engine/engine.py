@@ -3,14 +3,21 @@
 Ties together the OASSIS-QL parser, the SPARQL engine, the lazy assignment
 generator, the crowd adapters and the mining algorithms::
 
-    engine = OassisEngine(ontology)
-    result = engine.execute(query_text, members, sample_size=5)
+    engine = OassisEngine(ontology, config=EngineConfig(max_values_per_var=2))
+    result = engine.execute(query_text, members)
     print(result.render())
 
 ``execute`` runs the multi-user algorithm against real/simulated crowd
 members; ``execute_single_user`` runs Algorithm 1 against one member;
 ``replay`` re-evaluates a query at a different threshold from cached
-answers (the Section 6.3 threshold sweep).
+answers (the Section 6.3 threshold sweep); ``session_manager`` opens the
+concurrent crowd-serving facade of :mod:`repro.service`.
+
+Evaluation policy lives in one :class:`~repro.engine.config.EngineConfig`;
+every public method takes keyword-only per-call overrides defaulting to
+the configured values.  The pre-redesign signatures (loose constructor
+kwargs, positional ``sample_size``/``cache``/... tails) still work through
+shims that emit one :class:`DeprecationWarning` per usage pattern.
 """
 
 from __future__ import annotations
@@ -26,16 +33,44 @@ from ..crowd.questions import ConcreteQuestion
 from ..mining.multiuser import MultiUserMiner
 from ..mining.replay import ReplayResult, replay_from_cache
 from ..mining.vertical import vertical_mine
+from ..nlg.templates import QuestionTemplates
 from ..oassisql.ast import Query
 from ..oassisql.parser import parse_query
 from ..oassisql.validator import ensure_valid
 from ..observability import get_tracer, span as _obs_span
 from ..ontology.facts import Fact
 from ..ontology.graph import Ontology
-from ..nlg.templates import DEFAULT_TEMPLATES, QuestionTemplates
 from .adapters import MemberUser
+from .config import EngineConfig, warn_deprecated
 from .queue_manager import QueueManager
 from .results import QueryResult, build_result
+
+_LEGACY_INIT_KWARGS = ("templates", "max_values_per_var", "max_more_facts")
+
+
+def _bind_legacy(method: str, names: Tuple[str, ...], values: Tuple, explicit: Dict):
+    """Map deprecated positional tail args onto their keyword names.
+
+    ``explicit`` holds the keyword-only values the caller *did* pass; a
+    positional value for an already-given keyword is a genuine TypeError,
+    not something to paper over.
+    """
+    if len(values) > len(names):
+        raise TypeError(
+            f"{method}() takes at most {len(names)} legacy positional "
+            f"arguments ({len(values)} given)"
+        )
+    warn_deprecated(
+        method,
+        f"positional arguments after the required ones are deprecated for "
+        f"{method}(); pass {', '.join(names[:len(values)])} as keywords "
+        f"(see repro.engine.EngineConfig)",
+    )
+    for name, value in zip(names, values):
+        if explicit.get(name) is not None:
+            raise TypeError(f"{method}() got multiple values for {name!r}")
+        explicit[name] = value
+    return explicit
 
 
 class OassisEngine:
@@ -44,14 +79,49 @@ class OassisEngine:
     def __init__(
         self,
         ontology: Ontology,
-        templates: QuestionTemplates = DEFAULT_TEMPLATES,
-        max_values_per_var: int = 3,
-        max_more_facts: int = 1,
+        config: Optional[EngineConfig] = None,
+        **legacy,
     ):
+        if isinstance(config, QuestionTemplates):
+            # pre-redesign second positional argument was the templates
+            warn_deprecated(
+                "OassisEngine.__init__/templates",
+                "passing templates positionally to OassisEngine is "
+                "deprecated; use OassisEngine(ontology, "
+                "config=EngineConfig(templates=...))",
+            )
+            legacy.setdefault("templates", config)
+            config = None
+        if legacy:
+            unknown = set(legacy) - set(_LEGACY_INIT_KWARGS)
+            if unknown:
+                raise TypeError(
+                    f"OassisEngine() got unexpected keyword arguments "
+                    f"{sorted(unknown)}"
+                )
+            warn_deprecated(
+                "OassisEngine.__init__",
+                "OassisEngine(ontology, templates=..., max_values_per_var=..., "
+                "max_more_facts=...) is deprecated; pass "
+                "config=EngineConfig(...) instead",
+            )
+            config = (config or EngineConfig()).override(**legacy)
         self.ontology = ontology
-        self.templates = templates
-        self.max_values_per_var = max_values_per_var
-        self.max_more_facts = max_more_facts
+        self.config = config if config is not None else EngineConfig()
+
+    # ----------------------------------------------------- config accessors
+
+    @property
+    def templates(self) -> QuestionTemplates:
+        return self.config.templates
+
+    @property
+    def max_values_per_var(self) -> int:
+        return self.config.max_values_per_var
+
+    @property
+    def max_more_facts(self) -> int:
+        return self.config.max_more_facts
 
     # -------------------------------------------------------------- parsing
 
@@ -75,8 +145,8 @@ class OassisEngine:
                 self.ontology,
                 parsed,
                 more_pool=more_pool,
-                max_values_per_var=self.max_values_per_var,
-                max_more_facts=self.max_more_facts,
+                max_values_per_var=self.config.max_values_per_var,
+                max_more_facts=self.config.max_more_facts,
             )
 
     # ------------------------------------------------------------ execution
@@ -85,19 +155,51 @@ class OassisEngine:
         self,
         query: Union[str, Query],
         members: Sequence[CrowdMember],
-        sample_size: int = 5,
+        *legacy,
+        sample_size: Optional[int] = None,
         cache: Optional[CrowdCache] = None,
-        more_pool: Iterable[Fact] = (),
-        include_invalid: bool = False,
+        more_pool: Optional[Iterable[Fact]] = None,
+        include_invalid: Optional[bool] = None,
         max_total_questions: Optional[int] = None,
     ) -> QueryResult:
         """Evaluate with the multi-user algorithm over ``members``."""
+        if legacy:
+            bound = _bind_legacy(
+                "OassisEngine.execute",
+                (
+                    "sample_size",
+                    "cache",
+                    "more_pool",
+                    "include_invalid",
+                    "max_total_questions",
+                ),
+                legacy,
+                dict(
+                    sample_size=sample_size,
+                    cache=cache,
+                    more_pool=more_pool,
+                    include_invalid=include_invalid,
+                    max_total_questions=max_total_questions,
+                ),
+            )
+            sample_size = bound["sample_size"]
+            cache = bound["cache"]
+            more_pool = bound["more_pool"]
+            include_invalid = bound["include_invalid"]
+            max_total_questions = bound["max_total_questions"]
+        run = self.config.override(
+            sample_size=sample_size,
+            include_invalid=include_invalid,
+            max_total_questions=max_total_questions,
+        )
         tracer = get_tracer()
         with _obs_span("engine.execute"):
             parsed = self._as_query(query)
-            space = self.build_space(parsed, more_pool=more_pool)
+            space = self.build_space(
+                parsed, more_pool=more_pool if more_pool is not None else ()
+            )
             aggregator = FixedSampleAggregator(
-                parsed.threshold, sample_size=sample_size
+                parsed.threshold, sample_size=run.sample_size
             )
             users = [MemberUser(member, space) for member in members]
             miner = MultiUserMiner(
@@ -105,7 +207,7 @@ class OassisEngine:
                 users,
                 aggregator,
                 cache=cache,
-                max_total_questions=max_total_questions,
+                max_total_questions=run.max_total_questions,
             )
             mined = miner.run()
             with _obs_span("result.build"):
@@ -115,7 +217,7 @@ class OassisEngine:
                     mined.msps,
                     mined.questions,
                     support_of=aggregator.average_support,
-                    include_invalid=include_invalid,
+                    include_invalid=run.include_invalid,
                 )
         if tracer is not None:
             # refresh after the engine.execute span closed so the report
@@ -127,15 +229,33 @@ class OassisEngine:
         self,
         query: Union[str, Query],
         member: CrowdMember,
-        more_pool: Iterable[Fact] = (),
-        include_invalid: bool = False,
+        *legacy,
+        more_pool: Optional[Iterable[Fact]] = None,
+        include_invalid: Optional[bool] = None,
         max_questions: Optional[int] = None,
     ) -> QueryResult:
         """Evaluate with Algorithm 1 against a single member."""
+        if legacy:
+            bound = _bind_legacy(
+                "OassisEngine.execute_single_user",
+                ("more_pool", "include_invalid", "max_questions"),
+                legacy,
+                dict(
+                    more_pool=more_pool,
+                    include_invalid=include_invalid,
+                    max_questions=max_questions,
+                ),
+            )
+            more_pool = bound["more_pool"]
+            include_invalid = bound["include_invalid"]
+            max_questions = bound["max_questions"]
+        run = self.config.override(include_invalid=include_invalid)
         tracer = get_tracer()
         with _obs_span("engine.execute"):
             parsed = self._as_query(query)
-            space = self.build_space(parsed, more_pool=more_pool)
+            space = self.build_space(
+                parsed, more_pool=more_pool if more_pool is not None else ()
+            )
             answers: Dict[Assignment, float] = {}
 
             def oracle(node: Assignment) -> float:
@@ -154,7 +274,7 @@ class OassisEngine:
                     mined.msps,
                     mined.questions,
                     support_of=answers.get,
-                    include_invalid=include_invalid,
+                    include_invalid=run.include_invalid,
                 )
         if tracer is not None:
             result.stats = tracer.report()
@@ -165,10 +285,11 @@ class OassisEngine:
         query: Union[str, Query],
         member_ids: Sequence[str],
         cache: CrowdCache,
+        *legacy,
         threshold: Optional[float] = None,
-        sample_size: int = 5,
-        include_invalid: bool = False,
-        more_pool: Iterable[Fact] = (),
+        sample_size: Optional[int] = None,
+        include_invalid: Optional[bool] = None,
+        more_pool: Optional[Iterable[Fact]] = None,
         space: Optional[QueryAssignmentSpace] = None,
     ) -> Tuple[QueryResult, ReplayResult]:
         """Re-evaluate from cached answers — the Section 6.3 threshold sweep.
@@ -201,6 +322,27 @@ class OassisEngine:
         ``docs/LANGUAGE.md`` ("Threshold sweeps") and
         ``docs/OBSERVABILITY.md`` for the cost model behind this API.
         """
+        if legacy:
+            bound = _bind_legacy(
+                "OassisEngine.replay",
+                ("threshold", "sample_size", "include_invalid", "more_pool", "space"),
+                legacy,
+                dict(
+                    threshold=threshold,
+                    sample_size=sample_size,
+                    include_invalid=include_invalid,
+                    more_pool=more_pool,
+                    space=space,
+                ),
+            )
+            threshold = bound["threshold"]
+            sample_size = bound["sample_size"]
+            include_invalid = bound["include_invalid"]
+            more_pool = bound["more_pool"]
+            space = bound["space"]
+        run = self.config.override(
+            sample_size=sample_size, include_invalid=include_invalid
+        )
         tracer = get_tracer()
         with _obs_span("engine.replay"):
             parsed = self._as_query(query)
@@ -213,13 +355,15 @@ class OassisEngine:
                     parsed.select_format, parsed.select_all, parsed.where, satisfying
                 )
             if space is None:
-                space = self.build_space(parsed, more_pool=more_pool)
+                space = self.build_space(
+                    parsed, more_pool=more_pool if more_pool is not None else ()
+                )
             mined = replay_from_cache(
-                space, cache, parsed.threshold, sample_size=sample_size
+                space, cache, parsed.threshold, sample_size=run.sample_size
             )
 
             def support_of(node):
-                answers = cache.answers_for(node)[:sample_size]
+                answers = cache.answers_for(node)[: run.sample_size]
                 if not answers:
                     return None
                 return sum(s for _, s in answers) / len(answers)
@@ -231,7 +375,7 @@ class OassisEngine:
                     mined.msps,
                     mined.questions,
                     support_of=support_of,
-                    include_invalid=include_invalid,
+                    include_invalid=run.include_invalid,
                 )
         if tracer is not None:
             result.stats = tracer.report()
@@ -241,6 +385,7 @@ class OassisEngine:
         self,
         query: Union[str, Query],
         members: Sequence[CrowdMember],
+        *legacy,
         probes_per_member: int = 8,
         tolerance: float = 0.05,
         max_violation_ratio: float = 0.2,
@@ -254,6 +399,19 @@ class OassisEngine:
         """
         from ..crowd.selection import filter_members
 
+        if legacy:
+            bound = _bind_legacy(
+                "OassisEngine.screen_members",
+                ("probes_per_member", "tolerance", "max_violation_ratio"),
+                legacy,
+                dict(probes_per_member=None, tolerance=None, max_violation_ratio=None),
+            )
+            if bound["probes_per_member"] is not None:
+                probes_per_member = bound["probes_per_member"]
+            if bound["tolerance"] is not None:
+                tolerance = bound["tolerance"]
+            if bound["max_violation_ratio"] is not None:
+                max_violation_ratio = bound["max_violation_ratio"]
         parsed = self._as_query(query)
         space = self.build_space(parsed)
         probes = []
@@ -281,15 +439,48 @@ class OassisEngine:
         flagged = [m for m in members if m.member_id in flagged_ids]
         return kept, flagged
 
+    # --------------------------------------------------------- serving hooks
+
     def queue_manager(
         self,
         query: Union[str, Query],
-        sample_size: int = 5,
+        *legacy,
+        sample_size: Optional[int] = None,
         cache: Optional[CrowdCache] = None,
-        more_pool: Iterable[Fact] = (),
+        more_pool: Optional[Iterable[Fact]] = None,
     ) -> QueueManager:
         """An interactive QueueManager for UI-style integration."""
+        if legacy:
+            bound = _bind_legacy(
+                "OassisEngine.queue_manager",
+                ("sample_size", "cache", "more_pool"),
+                legacy,
+                dict(sample_size=sample_size, cache=cache, more_pool=more_pool),
+            )
+            sample_size = bound["sample_size"]
+            cache = bound["cache"]
+            more_pool = bound["more_pool"]
+        run = self.config.override(sample_size=sample_size)
         parsed = self._as_query(query)
-        space = self.build_space(parsed, more_pool=more_pool)
-        aggregator = FixedSampleAggregator(parsed.threshold, sample_size=sample_size)
-        return QueueManager(space, aggregator, cache=cache, templates=self.templates)
+        space = self.build_space(
+            parsed, more_pool=more_pool if more_pool is not None else ()
+        )
+        aggregator = FixedSampleAggregator(
+            parsed.threshold, sample_size=run.sample_size
+        )
+        return QueueManager(
+            space, aggregator, cache=cache, templates=self.config.templates
+        )
+
+    def session_manager(self, **options):
+        """A :class:`~repro.service.SessionManager` serving this engine.
+
+        The facade into :mod:`repro.service`: host many concurrent query
+        sessions over this engine's ontology and multiplex crowd members
+        across them with batched dispatch, deadlines and retries.  Keyword
+        options are forwarded to the :class:`~repro.service.ServiceConfig`
+        (``question_timeout``, ``max_attempts``, ``in_flight_limit``, ...).
+        """
+        from ..service import SessionManager
+
+        return SessionManager(self, **options)

@@ -20,6 +20,7 @@ from ..crowd.aggregator import FixedSampleAggregator
 from ..crowd.cache import CrowdCache
 from ..datasets.base import DomainDataset
 from ..engine.adapters import MemberUser
+from ..engine.config import EngineConfig
 from ..engine.engine import OassisEngine
 from ..mining.multiuser import MultiUserMiner
 from ..mining.vertical import vertical_mine
@@ -116,7 +117,9 @@ def run_cache_ablation(
 ) -> List[Dict[str, object]]:
     """Crowd questions per threshold: cached replay vs. fresh execution."""
     base_threshold = min(thresholds)
-    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        dataset.ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     query = engine.parse(dataset.query(base_threshold))
     cache = CrowdCache()
 
@@ -175,7 +178,9 @@ def run_decided_generals_ablation(
     threshold: float = 0.2,
 ) -> Dict[str, int]:
     """Total questions with and without re-asking decided generals."""
-    engine = OassisEngine(dataset.ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        dataset.ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     query = engine.parse(dataset.query(threshold))
     counts: Dict[str, int] = {}
     for label, flag in (("skip decided", False), ("re-ask decided", True)):

@@ -22,6 +22,7 @@ from ..crowd.aggregator import FixedSampleAggregator
 from ..crowd.cache import CrowdCache
 from ..datasets.base import DomainDataset
 from ..engine.adapters import MemberUser
+from ..engine.config import EngineConfig
 from ..engine.engine import OassisEngine
 from ..mining.multiuser import MultiUserMiner
 from ..mining.trace import MiningTrace
@@ -147,8 +148,10 @@ def run_domain(
     base_threshold = min(thresholds)
     engine = OassisEngine(
         dataset.ontology,
-        max_values_per_var=max_values_per_var,
-        max_more_facts=max_more_facts,
+        config=EngineConfig(
+            max_values_per_var=max_values_per_var,
+            max_more_facts=max_more_facts,
+        ),
     )
     query = engine.parse(dataset.query(base_threshold))
     # MORE extensions enter via crowd proposals (the "more" button), not a

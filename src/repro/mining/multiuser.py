@@ -59,7 +59,11 @@ class UserOracle(Generic[Node]):
         self.member_id = member_id
 
     def willing(self) -> bool:
-        """May this user still be asked questions?"""
+        """May this user still be asked questions?
+
+        Answering False is treated as a *departure*: the miner releases
+        the user's traversal state and never consults them again.
+        """
         return True
 
     def support(self, node: Node) -> Optional[float]:
@@ -140,6 +144,22 @@ class _Session(Generic[Node]):
         self.answers: Dict[Node, float] = {}
         self.prune_tokens: List[object] = []
         self.done = False
+
+    def finish(self) -> None:
+        """Mark done and release the traversal state.
+
+        Users who drained their stack or quit never advance again, but
+        their visited sets and stacks — proportional to the explored
+        lattice — used to be kept until the end of the run.  On crowds
+        where most members answer only a few questions (or none) that
+        retained memory dominates; dropping it here is the same fix as
+        :meth:`QueueManager.detach_member` for interactive sessions.
+        """
+        self.done = True
+        self.stack = []
+        self.visited = set()
+        self.answers = {}
+        self.prune_tokens = []
 
 
 class QuestionStats:
@@ -243,7 +263,11 @@ class MultiUserMiner(Generic[Node]):
             for session in sessions:
                 if self._budget_exhausted():
                     break
-                if session.done or not session.user.willing():
+                if session.done:
+                    continue
+                if not session.user.willing():
+                    # the user departed: release their traversal state
+                    session.finish()
                     continue
                 if self._user_turn(session):
                     progressed = True
@@ -336,7 +360,7 @@ class MultiUserMiner(Generic[Node]):
             if posed:
                 return True
             # user could not answer (replay cache miss): move on
-        session.done = True
+        session.finish()
         return False
 
     def _pose_question(self, session: _Session[Node], node: Node) -> bool:

@@ -16,6 +16,13 @@ Two strategies:
   every queried node remembers how far into the logs it has been compared —
   each (node, witness) pair is examined at most once over the whole run, so
   repeated progress scans over mostly-unclassified spaces stay cheap.
+
+Thread-safety (the service-layer locking contract): a
+:class:`ClassificationState` is *not* internally synchronized — even
+``status()`` mutates memo structures.  Each concurrent query session owns
+its own state, and :mod:`repro.service` performs every read and write
+under that session's lock; see ``docs/SERVICE.md``.  Do not share one
+instance across sessions or touch it off-lock.
 """
 
 from __future__ import annotations

@@ -33,7 +33,14 @@ from .core import (
     span,
     tracing,
 )
-from .report import REPORT_VERSION, build_report, derive, render_report, render_spans
+from .report import (
+    REPORT_VERSION,
+    build_report,
+    derive,
+    derive_service,
+    render_report,
+    render_spans,
+)
 
 __all__ = [
     "REPORT_VERSION",
@@ -42,6 +49,7 @@ __all__ = [
     "build_report",
     "count",
     "derive",
+    "derive_service",
     "disable",
     "enable",
     "enabled",

@@ -22,6 +22,7 @@ instrumented hot paths within measurement noise of uninstrumented code.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -69,19 +70,35 @@ class Tracer:
     ``clock`` is injectable for deterministic tests; it must be a
     monotonic zero-argument callable returning seconds (the default is
     :func:`time.perf_counter`).
+
+    One tracer may be shared by several threads (the service layer's
+    worker pool installs the session tracer in every worker): counter
+    increments and span-tree mutations are guarded by an internal lock,
+    and the open-span stack is *per thread*, so spans recorded from a
+    worker thread nest under that thread's own open spans (rooted at the
+    shared tree root) rather than corrupting another thread's stack.
     """
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self.counters: Dict[str, int] = {}
         self.root = SpanNode("<root>")
-        self._stack: List[SpanNode] = [self.root]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [self.root]
+        return stack
 
     # ------------------------------------------------------------- counters
 
     def count(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to the counter ``name`` (created at 0)."""
-        self.counters[name] = self.counters.get(name, 0) + amount
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
 
     def value(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -92,15 +109,19 @@ class Tracer:
     @contextmanager
     def span(self, name: str) -> Iterator[SpanNode]:
         """A timed section nested under the currently open span."""
-        node = self._stack[-1].child(name)
-        node.count += 1
-        self._stack.append(node)
+        stack = self._stack
+        with self._lock:
+            node = stack[-1].child(name)
+            node.count += 1
+        stack.append(node)
         start = self._clock()
         try:
             yield node
         finally:
-            node.total_seconds += self._clock() - start
-            self._stack.pop()
+            elapsed = self._clock() - start
+            with self._lock:
+                node.total_seconds += elapsed
+            stack.pop()
 
     def span_names(self) -> List[str]:
         """Dotted paths of every recorded span, depth-first."""
@@ -219,4 +240,4 @@ def count(name: str, amount: int = 1) -> None:
     """Increment a counter on the active tracer; no-op when disabled."""
     tracer = _ACTIVE.get()
     if tracer is not None:
-        tracer.counters[name] = tracer.counters.get(name, 0) + amount
+        tracer.count(name, amount)

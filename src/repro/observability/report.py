@@ -46,15 +46,58 @@ def derive(counters: Dict[str, int]) -> Dict:
     }
 
 
+def derive_service(counters: Dict[str, int]) -> Optional[Dict]:
+    """The ``service`` section: crowd-serving session-layer accounting.
+
+    Present only when the run went through :mod:`repro.service` (i.e. any
+    ``service.*`` counter fired); reports session lifecycle, dispatch
+    volume and the failure-handling paths (timeouts, requeues, retries
+    exhausted, reassignments, departures).  See ``docs/SERVICE.md``.
+    """
+    if not any(name.startswith("service.") for name in counters):
+        return None
+    dispatched = counters.get("service.questions.dispatched", 0)
+    answered = counters.get("service.answers.recorded", 0) + counters.get(
+        "service.answers.pruned", 0
+    )
+    return {
+        "sessions": {
+            "created": counters.get("service.sessions.created", 0),
+            "resumed": counters.get("service.sessions.resumed", 0),
+            "completed": counters.get("service.sessions.completed", 0),
+            "cancelled": counters.get("service.sessions.cancelled", 0),
+        },
+        "questions": {
+            "dispatched": dispatched,
+            "answered": answered,
+            "stale": counters.get("service.answers.stale", 0),
+            "passed": counters.get("service.answers.passed", 0),
+            "timeouts": counters.get("service.timeouts", 0),
+            "requeues": counters.get("service.requeues", 0),
+            "retries_exhausted": counters.get("service.retries.exhausted", 0),
+            "reassigned": counters.get("service.reassigned", 0),
+        },
+        "members": {
+            "attached": counters.get("service.members.attached", 0),
+            "departed": counters.get("service.members.departed", 0),
+        },
+        "answer_rate": _ratio(answered, dispatched),
+    }
+
+
 def build_report(tracer) -> Dict:
     """The machine-readable report of one traced run."""
     counters = dict(sorted(tracer.counters.items()))
-    return {
+    report = {
         "version": REPORT_VERSION,
         "counters": counters,
         "derived": derive(counters),
         "spans": [child.as_dict() for child in tracer.root.children.values()],
     }
+    service = derive_service(counters)
+    if service is not None:
+        report["service"] = service
+    return report
 
 
 # ------------------------------------------------------------------ rendering
@@ -103,6 +146,30 @@ def render_report(report: Dict) -> str:
     ]
     for key, value in rows:
         lines.append(f"  {key:<38} {value:>12}")
+
+    service = report.get("service")
+    if service is not None:
+        lines.append("-- service --")
+        sessions = service["sessions"]
+        questions = service["questions"]
+        members = service["members"]
+        rate = service["answer_rate"]
+        service_rows = [
+            (
+                "sessions done/created",
+                f"{sessions['completed']}/{sessions['created'] + sessions['resumed']}",
+            ),
+            ("questions dispatched", str(questions["dispatched"])),
+            (
+                "answer rate",
+                "n/a" if rate is None else f"{100.0 * rate:.1f}%",
+            ),
+            ("timeouts / requeues", f"{questions['timeouts']} / {questions['requeues']}"),
+            ("questions reassigned", str(questions["reassigned"])),
+            ("members departed", str(members["departed"])),
+        ]
+        for key, value in service_rows:
+            lines.append(f"  {key:<38} {value:>12}")
 
     if report["spans"]:
         lines.append("-- per-phase wall time --")

@@ -1,0 +1,44 @@
+"""Concurrent crowd-serving sessions over the OASSIS engine.
+
+The paper evaluates one query against one crowd; a deployed crowd miner
+serves *many* queries against a *shared, flaky* crowd.  This package is
+that serving layer:
+
+* :class:`SessionManager` — hosts concurrent :class:`QuerySession`\\ s
+  (each a locked :class:`~repro.engine.queue_manager.QueueManager` plus
+  crowd cache) and multiplexes members across them: batched dispatch
+  with per-member in-flight limits, question deadlines with
+  retry/backoff/reassignment, member departures, and session
+  create / snapshot-resume / cancel;
+* :class:`ServiceRunner` — N worker threads driving the manager to
+  quiescence (the locking story's proof), with :class:`MemberScript`
+  behaviours injecting drops and departures;
+* :func:`run_simulation` — the multi-session harness shared by
+  ``repro serve-sim``, ``benchmarks/bench_service.py`` and the tests,
+  whose oracle is MSP-identity with serial execution.
+
+Entry point: ``engine.session_manager(question_timeout=..., ...)``.
+Locking contract and failure semantics: ``docs/SERVICE.md``; the emitted
+``service.*`` counters: ``docs/OBSERVABILITY.md``.
+"""
+
+from .config import ServiceConfig
+from .manager import DispatchedQuestion, SessionManager
+from .runner import DEPART, DROP, MemberScript, ServiceRunner
+from .session import QuerySession, SessionState
+from .simulation import DOMAINS, build_identical_crowd, run_simulation
+
+__all__ = [
+    "DEPART",
+    "DOMAINS",
+    "DROP",
+    "DispatchedQuestion",
+    "MemberScript",
+    "QuerySession",
+    "ServiceConfig",
+    "ServiceRunner",
+    "SessionManager",
+    "SessionState",
+    "build_identical_crowd",
+    "run_simulation",
+]

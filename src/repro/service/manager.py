@@ -1,0 +1,482 @@
+"""SessionManager: many concurrent query sessions, one shared crowd.
+
+The serving counterpart of the batch engine: where
+:meth:`~repro.engine.engine.OassisEngine.execute` drives a fixed crowd
+through one query to completion, a :class:`SessionManager` hosts many
+:class:`~repro.service.session.QuerySession` instances at once and
+multiplexes a changing pool of crowd members across them —
+
+* **batched dispatch** — :meth:`next_batch` hands a member up to ``k``
+  questions, drawn round-robin across their open sessions, bounded by the
+  member's cross-session in-flight limit;
+* **deadlines and retries** — every dispatched question carries a
+  deadline; :meth:`reap_expired` requeues overdue questions with
+  exponential backoff and, once ``max_attempts`` is exhausted, abandons
+  the node for that member and reassigns it to another;
+* **departures** — :meth:`detach_member` reassigns the member's pending
+  questions and releases their per-session traversal structures; sessions
+  degrade gracefully (a session with nobody left to ask completes with
+  whatever was classified);
+* **lifecycle** — :meth:`create_session` (optionally resuming from a
+  cache snapshot), :meth:`cancel_session`, :meth:`snapshot`.
+
+Locking contract (see ``docs/SERVICE.md``): the manager lock guards only
+registry and dispatch bookkeeping (sessions, members, in-flight map,
+backoff windows, attempt counts); each session's lock guards its queue
+manager and classification state.  **The two are never held together**,
+which rules out lock-order deadlocks by construction.  The cost is a
+benign race: concurrent ``next_batch`` calls for the *same* member may
+transiently overshoot ``in_flight_limit`` by the number of concurrent
+callers — the :class:`~repro.service.runner.ServiceRunner` rotation gives
+each member to one worker at a time, making the limit exact in practice.
+
+Everything here emits ``service.*`` counters and spans; see
+``docs/OBSERVABILITY.md`` and :func:`repro.observability.derive_service`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from ..assignments.assignment import Assignment
+from ..crowd.cache import CrowdCache
+from ..engine.queue_manager import AnswerOutcome
+from ..oassisql.ast import Query
+from ..observability import count as _obs_count, span as _obs_span
+from ..ontology.facts import Fact, FactSet
+from .config import ServiceConfig
+from .session import QuerySession, SessionState
+
+#: identifies one dispatched question: (session_id, member_id, assignment)
+DispatchKey = Tuple[str, str, Assignment]
+
+
+class DispatchedQuestion:
+    """A question handed to a member by the service, with its deadline."""
+
+    __slots__ = (
+        "session_id",
+        "member_id",
+        "assignment",
+        "text",
+        "fact_set",
+        "attempt",
+        "issued_at",
+        "deadline",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        member_id: str,
+        assignment: Assignment,
+        text: str,
+        fact_set: Optional[FactSet],
+        attempt: int,
+        issued_at: float,
+        deadline: float,
+    ):
+        self.session_id = session_id
+        self.member_id = member_id
+        self.assignment = assignment
+        self.text = text
+        self.fact_set = fact_set
+        self.attempt = attempt
+        self.issued_at = issued_at
+        self.deadline = deadline
+
+    @property
+    def key(self) -> DispatchKey:
+        return (self.session_id, self.member_id, self.assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"DispatchedQuestion({self.session_id!r}, {self.member_id!r}, "
+            f"{self.assignment!r}, attempt={self.attempt})"
+        )
+
+
+class SessionManager:
+    """Hosts concurrent query sessions over one engine's ontology."""
+
+    def __init__(
+        self,
+        engine,
+        *,
+        config: Optional[ServiceConfig] = None,
+        clock=None,
+        **overrides,
+    ):
+        self.engine = engine
+        base = config if config is not None else ServiceConfig()
+        self.config = base.override(**overrides) if overrides else base
+        self.clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, QuerySession] = {}
+        self._members: List[str] = []
+        self._in_flight: Dict[DispatchKey, DispatchedQuestion] = {}
+        self._backoff: Dict[DispatchKey, float] = {}  # key -> not-before
+        self._attempts: Dict[DispatchKey, int] = {}
+        self._cursor: Dict[str, int] = {}  # member -> round-robin position
+        self._next_id = 0
+
+    # ------------------------------------------------------------- sessions
+
+    def create_session(
+        self,
+        query: Union[str, Query],
+        *,
+        session_id: Optional[str] = None,
+        cache: Optional[CrowdCache] = None,
+        resume: bool = False,
+        sample_size: Optional[int] = None,
+        more_pool: Iterable[Fact] = (),
+        include_invalid: bool = False,
+    ) -> QuerySession:
+        """Open a session for ``query`` and register the attached members.
+
+        With ``resume=True`` the given ``cache`` (a prior session's
+        :meth:`~QuerySession.snapshot` or live cache) is preloaded: the
+        aggregator verdicts of the previous run are reconstructed and
+        attached members continue from the cached frontier instead of
+        re-answering.
+        """
+        store = cache if cache is not None else CrowdCache()
+        parsed = self.engine._as_query(query)
+        queue = self.engine.queue_manager(
+            parsed, sample_size=sample_size, cache=store, more_pool=more_pool
+        )
+        with self._lock:
+            if session_id is None:
+                self._next_id += 1
+                session_id = f"s{self._next_id}"
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already exists")
+            members = list(self._members)
+        session = QuerySession(
+            session_id, parsed, queue, store, include_invalid=include_invalid
+        )
+        if resume:
+            session.resume_from_cache()
+            _obs_count("service.sessions.resumed")
+        else:
+            _obs_count("service.sessions.created")
+        for member_id in members:
+            session.ensure_member(member_id)
+        with self._lock:
+            self._sessions[session_id] = session
+        return session
+
+    def session(self, session_id: str) -> QuerySession:
+        with self._lock:
+            return self._sessions[session_id]
+
+    def sessions(self) -> List[QuerySession]:
+        with self._lock:
+            return list(self._sessions.values())
+
+    def cancel_session(self, session_id: str) -> bool:
+        """Stop a session; its in-flight and backoff entries are dropped."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+            self._drop_keys(lambda key: key[0] == session_id)
+        if session is None or not session.cancel():
+            return False
+        _obs_count("service.sessions.cancelled")
+        return True
+
+    def snapshot(self, session_id: str) -> CrowdCache:
+        """A resumable copy of the session's collected answers."""
+        return self.session(session_id).snapshot()
+
+    # -------------------------------------------------------------- members
+
+    def attach_member(self, member_id: str) -> bool:
+        """Make ``member_id`` available to every open session (idempotent)."""
+        with self._lock:
+            if member_id in self._members:
+                return False
+            self._members.append(member_id)
+            sessions = [s for s in self._sessions.values() if s.open]
+        for session in sessions:
+            session.ensure_member(member_id)
+        _obs_count("service.members.attached")
+        return True
+
+    def detach_member(self, member_id: str) -> int:
+        """Handle a departure; returns how many nodes were reassigned.
+
+        The member's pending and in-flight questions are abandoned and
+        reassigned to other attached members; their traversal structures
+        are released in every session (the leak fix — see
+        :meth:`repro.engine.queue_manager.QueueManager.detach_member`).
+        """
+        with self._lock:
+            if member_id not in self._members:
+                return 0
+            self._members.remove(member_id)
+            self._cursor.pop(member_id, None)
+            dropped = self._drop_keys(lambda key: key[1] == member_id)
+            sessions = [s for s in self._sessions.values() if s.open]
+        _obs_count("service.members.departed")
+        in_flight_nodes: Dict[str, List[Assignment]] = {}
+        for key in dropped:
+            in_flight_nodes.setdefault(key[0], []).append(key[2])
+        reassigned = 0
+        for session in sessions:
+            abandoned = session.detach(member_id)
+            abandoned.extend(in_flight_nodes.get(session.session_id, ()))
+            for node in abandoned:
+                if self._reassign(session, node, exclude_member=member_id):
+                    reassigned += 1
+            self._maybe_complete(session)
+        return reassigned
+
+    def members(self) -> List[str]:
+        with self._lock:
+            return list(self._members)
+
+    # ------------------------------------------------------------- dispatch
+
+    def next_batch(self, member_id: str, k: Optional[int] = None) -> List[DispatchedQuestion]:
+        """Up to ``k`` questions for ``member_id``, round-robin over sessions.
+
+        Honors the member's cross-session in-flight limit and skips nodes
+        whose retry backoff window has not elapsed.  Returns ``[]`` when
+        the member has nothing to do right now (everything dry, in
+        backoff, or at the in-flight cap).
+        """
+        self.reap_expired()
+        now = self.clock()
+        with self._lock:
+            if member_id not in self._members:
+                raise KeyError(f"member {member_id!r} is not attached")
+            held = sum(1 for key in self._in_flight if key[1] == member_id)
+            want = min(
+                k if k is not None else self.config.batch_size,
+                self.config.in_flight_limit - held,
+            )
+            sessions = [s for s in self._sessions.values() if s.open]
+            if want <= 0 or not sessions:
+                return []
+            start = self._cursor.get(member_id, 0) % len(sessions)
+            self._cursor[member_id] = start + 1
+            order = sessions[start:] + sessions[:start]
+            # nodes of this member still inside a backoff window, per session
+            deferred: Dict[str, List[Assignment]] = {}
+            for key, not_before in self._backoff.items():
+                if key[1] == member_id and not_before > now:
+                    deferred.setdefault(key[0], []).append(key[2])
+        batch: List[DispatchedQuestion] = []
+        with _obs_span("service.dispatch"):
+            progress = True
+            while len(batch) < want and progress:
+                progress = False
+                for session in order:
+                    if len(batch) >= want:
+                        break
+                    fresh = session.next_fresh(
+                        member_id, 1, exclude=deferred.get(session.session_id, ())
+                    )
+                    for question in fresh:
+                        progress = True
+                        batch.append(
+                            self._issue(session.session_id, question, now)
+                        )
+        if batch:
+            _obs_count("service.questions.dispatched", len(batch))
+        return batch
+
+    def _issue(self, session_id, question, now) -> DispatchedQuestion:
+        key = (session_id, question.member_id, question.assignment)
+        with self._lock:
+            attempt = self._attempts.get(key, 0) + 1
+            self._attempts[key] = attempt
+            self._backoff.pop(key, None)
+            dispatched = DispatchedQuestion(
+                session_id,
+                question.member_id,
+                question.assignment,
+                question.text,
+                question.fact_set,
+                attempt=attempt,
+                issued_at=now,
+                deadline=now + self.config.question_timeout,
+            )
+            self._in_flight[key] = dispatched
+        return dispatched
+
+    # --------------------------------------------------------------- answers
+
+    def submit(
+        self, question: DispatchedQuestion, support: Optional[float]
+    ) -> AnswerOutcome:
+        """Record a member's answer to a dispatched question.
+
+        ``support=None`` means the member explicitly passed: the node is
+        abandoned for them (:class:`AnswerOutcome.PASSED`).  Answers for
+        questions no longer in flight — reaped and reassigned while the
+        member dawdled — are dropped as ``STALE``.
+        """
+        key = question.key
+        with self._lock:
+            live = self._in_flight.pop(key, None) is not None
+            if live:
+                self._attempts.pop(key, None)
+                self._backoff.pop(key, None)
+            session = self._sessions.get(question.session_id)
+        if not live or session is None:
+            _obs_count("service.answers.stale")
+            return AnswerOutcome.STALE
+        with _obs_span("service.submit"):
+            if support is None:
+                session.skip(question.member_id, question.assignment)
+                _obs_count("service.answers.passed")
+                outcome = AnswerOutcome.PASSED
+            else:
+                outcome = session.submit(
+                    question.member_id, question.assignment, support
+                )
+                if outcome is AnswerOutcome.RECORDED:
+                    _obs_count("service.answers.recorded")
+                else:
+                    _obs_count("service.answers.stale")
+            self._maybe_complete(session)
+        return outcome
+
+    def submit_prune(
+        self, question: DispatchedQuestion, value
+    ) -> AnswerOutcome:
+        """Record a user-guided pruning click on a dispatched question."""
+        key = question.key
+        with self._lock:
+            live = self._in_flight.pop(key, None) is not None
+            if live:
+                self._attempts.pop(key, None)
+                self._backoff.pop(key, None)
+            session = self._sessions.get(question.session_id)
+        if not live or session is None:
+            _obs_count("service.answers.stale")
+            return AnswerOutcome.STALE
+        with _obs_span("service.submit"):
+            outcome = session.prune(question.member_id, value, question.assignment)
+            if outcome is AnswerOutcome.PRUNED:
+                _obs_count("service.answers.pruned")
+            else:
+                _obs_count("service.answers.stale")
+            self._maybe_complete(session)
+        return outcome
+
+    # ----------------------------------------------------- deadlines / retry
+
+    def reap_expired(self, now: Optional[float] = None) -> List[DispatchedQuestion]:
+        """Time out overdue questions; requeue, back off, or reassign.
+
+        A question past its deadline goes back onto its member's queue
+        with an exponential backoff window (``backoff_base * 2**(attempt-1)``)
+        — until the member has burned ``max_attempts`` attempts, at which
+        point the node is abandoned for them and reassigned to another
+        attached member.  Returns the reaped questions.
+        """
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            overdue = [q for q in self._in_flight.values() if q.deadline <= now]
+            for question in overdue:
+                del self._in_flight[question.key]
+            # elapsed backoff windows no longer defer anything — drop them
+            for key in [k for k, t in self._backoff.items() if t <= now]:
+                del self._backoff[key]
+        if not overdue:
+            return []
+        with _obs_span("service.reap"):
+            touched = {}
+            for question in overdue:
+                _obs_count("service.timeouts")
+                with self._lock:
+                    session = self._sessions.get(question.session_id)
+                if session is None or not session.open:
+                    continue
+                touched[question.session_id] = session
+                if question.attempt >= self.config.max_attempts:
+                    session.skip(question.member_id, question.assignment)
+                    with self._lock:
+                        self._attempts.pop(question.key, None)
+                    _obs_count("service.retries.exhausted")
+                    self._reassign(
+                        session,
+                        question.assignment,
+                        exclude_member=question.member_id,
+                    )
+                else:
+                    session.expire(question.member_id, question.assignment)
+                    delay = self.config.backoff_base * (2 ** (question.attempt - 1))
+                    with self._lock:
+                        self._backoff[question.key] = now + delay
+                    _obs_count("service.requeues")
+            for session in touched.values():
+                self._maybe_complete(session)
+        return overdue
+
+    def _reassign(
+        self, session: QuerySession, node: Assignment, exclude_member: str
+    ) -> bool:
+        """Queue an abandoned node for the least-loaded other member."""
+        with self._lock:
+            candidates = [m for m in self._members if m != exclude_member]
+            if not candidates:
+                return False
+            load = {m: 0 for m in candidates}
+            for key in self._in_flight:
+                if key[1] in load:
+                    load[key[1]] += 1
+            target = min(candidates, key=lambda m: (load[m], m))
+        if session.reassign(target, node):
+            _obs_count("service.reassigned")
+            return True
+        return False
+
+    # ------------------------------------------------------------ completion
+
+    def _maybe_complete(self, session: QuerySession) -> bool:
+        """Close the session if nothing is left to dispatch or wait for."""
+        if not session.open:
+            return False
+        with self._lock:
+            sid = session.session_id
+            if any(key[0] == sid for key in self._in_flight):
+                return False
+            members = list(self._members)
+        # no backoff check: a backed-off node sits on its member's stack, so
+        # has_work() sees it; checking the backoff map instead would wedge
+        # the session when the node dies (classified by others) meanwhile
+        if session.has_work(members):
+            return False
+        if session.complete():
+            _obs_count("service.sessions.completed")
+            return True
+        return False
+
+    def all_done(self) -> bool:
+        """Are all sessions settled?  Probes open sessions for completion."""
+        for session in self.sessions():
+            self._maybe_complete(session)
+        return all(not s.open for s in self.sessions())
+
+    def in_flight(self) -> List[DispatchedQuestion]:
+        with self._lock:
+            return list(self._in_flight.values())
+
+    # --------------------------------------------------------------- helpers
+
+    def _drop_keys(self, predicate) -> List[DispatchKey]:
+        """Remove matching dispatch bookkeeping; caller holds the lock."""
+        dropped = [key for key in self._in_flight if predicate(key)]
+        for key in dropped:
+            del self._in_flight[key]
+        for mapping in (self._backoff, self._attempts):
+            for key in [key for key in mapping if predicate(key)]:
+                del mapping[key]
+        return dropped

@@ -1,0 +1,209 @@
+"""ServiceRunner: worker threads driving a SessionManager to quiescence.
+
+The proof of the locking story: N daemon workers pull member ids off a
+shared rotation queue, fetch a batch for that member, play the member's
+scripted behaviour (answer / drop / depart), submit the results and put
+the member back into rotation.  Because a member id is held by exactly
+one worker at a time, each stateful :class:`~repro.crowd.member.
+CrowdMember` is only ever touched by one thread — concurrency comes from
+*different* members being served in parallel, which is also how a real
+crowd behaves.
+
+The observability tracer is context-local and does not propagate into
+threads, so each worker re-enables the tracer that was active when
+:meth:`ServiceRunner.run` was called; the thread-safe
+:class:`~repro.observability.Tracer` (locked counters, per-thread span
+stacks) then aggregates across workers.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..crowd.member import CrowdMember
+from ..crowd.questions import ConcreteQuestion
+from ..observability import disable as _obs_disable, enable as _obs_enable, get_tracer
+from .manager import DispatchedQuestion, SessionManager
+
+#: sentinel actions a :class:`MemberScript` can take instead of answering
+DROP = "drop"
+DEPART = "depart"
+
+
+class MemberScript:
+    """Deterministic behaviour of one simulated member under service load.
+
+    Wraps a :class:`~repro.crowd.member.CrowdMember` and injects the
+    failure modes the service must absorb:
+
+    * ``drop_every=n`` — every n-th delivered question is silently
+      ignored (it will hit its deadline, be reaped and retried);
+    * ``depart_after=n`` — after answering n questions the member departs
+      (the runner detaches them from the manager).
+
+    Counters, not randomness: behaviour depends only on how many
+    questions the member has seen, keeping simulations reproducible.
+    """
+
+    def __init__(
+        self,
+        member: CrowdMember,
+        *,
+        drop_every: int = 0,
+        depart_after: Optional[int] = None,
+    ):
+        self.member = member
+        self.member_id = member.member_id
+        self.drop_every = drop_every
+        self.depart_after = depart_after
+        self.seen = 0
+        self.answered = 0
+        self.dropped = 0
+        self.departed = False
+
+    def respond(self, question: DispatchedQuestion) -> Union[str, float]:
+        """The member's reaction: a support value, ``DROP`` or ``DEPART``."""
+        if self.depart_after is not None and self.answered >= self.depart_after:
+            self.departed = True
+            return DEPART
+        self.seen += 1
+        if self.drop_every and self.seen % self.drop_every == 0:
+            self.dropped += 1
+            return DROP
+        self.answered += 1
+        answer = self.member.answer_concrete(
+            ConcreteQuestion(question.assignment, question.fact_set)
+        )
+        return answer.support
+
+
+class ServiceRunner:
+    """Drives a :class:`SessionManager` with N worker threads."""
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        scripts: Iterable[MemberScript],
+        *,
+        workers: int = 4,
+        batch_size: Optional[int] = None,
+        poll_interval: float = 0.002,
+        max_runtime: float = 60.0,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.manager = manager
+        self.scripts: Dict[str, MemberScript] = {
+            script.member_id: script for script in scripts
+        }
+        self.workers = workers
+        self.batch_size = batch_size
+        self.poll_interval = poll_interval
+        self.max_runtime = max_runtime
+        self.timed_out = False
+
+    def run(self) -> Dict:
+        """Serve until every session settles; returns a summary report.
+
+        Attaches the scripted members (idempotent), spins up the worker
+        pool and blocks until :meth:`SessionManager.all_done` or
+        ``max_runtime`` elapses (the deadlock guard — ``timed_out`` is set
+        in the report instead of hanging forever).
+        """
+        for member_id in self.scripts:
+            self.manager.attach_member(member_id)
+        tracer = get_tracer()
+        rotation: "queue_module.Queue[str]" = queue_module.Queue()
+        for member_id in self.scripts:
+            rotation.put(member_id)
+        stop = threading.Event()
+        started = time.perf_counter()
+        deadline = started + self.max_runtime
+
+        def serve() -> None:
+            if tracer is not None:
+                _obs_enable(tracer)
+            try:
+                while not stop.is_set():
+                    if time.perf_counter() >= deadline:
+                        self.timed_out = True
+                        stop.set()
+                        return
+                    try:
+                        member_id = rotation.get(timeout=self.poll_interval)
+                    except queue_module.Empty:
+                        self.manager.reap_expired()
+                        if self.manager.all_done():
+                            stop.set()
+                        continue
+                    script = self.scripts[member_id]
+                    requeue = True
+                    batch = self.manager.next_batch(member_id, k=self.batch_size)
+                    for question in batch:
+                        action = script.respond(question)
+                        if action is DEPART:
+                            self.manager.detach_member(member_id)
+                            requeue = False
+                            break
+                        if action is DROP:
+                            continue  # never answered: reaped at its deadline
+                        self.manager.submit(question, action)
+                    self.manager.reap_expired()
+                    if self.manager.all_done():
+                        stop.set()
+                    if requeue and not stop.is_set():
+                        rotation.put(member_id)
+                    if not batch:
+                        # dry or backed off right now; yield before retrying
+                        time.sleep(self.poll_interval)
+            finally:
+                if tracer is not None:
+                    _obs_disable()
+
+        threads = [
+            threading.Thread(target=serve, name=f"service-worker-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.max_runtime + 5 * self.poll_interval + 1.0)
+        stop.set()
+        elapsed = time.perf_counter() - started
+        return self._report(elapsed)
+
+    def _report(self, elapsed: float) -> Dict:
+        sessions = {}
+        total_questions = 0
+        for session in self.manager.sessions():
+            asked = session.questions_asked()
+            total_questions += asked
+            sessions[session.session_id] = {
+                "state": session.state.value,
+                "questions": asked,
+                "msps": len(session.msps()),
+                "valid_msps": len(session.valid_msps()),
+            }
+        settled = sum(1 for s in sessions.values() if s["state"] != "open")
+        return {
+            "workers": self.workers,
+            "elapsed_seconds": elapsed,
+            "timed_out": self.timed_out,
+            "sessions": sessions,
+            "questions_answered": total_questions,
+            "sessions_per_second": settled / elapsed if elapsed > 0 else 0.0,
+            "questions_per_second": (
+                total_questions / elapsed if elapsed > 0 else 0.0
+            ),
+            "members": {
+                member_id: {
+                    "answered": script.answered,
+                    "dropped": script.dropped,
+                    "departed": script.departed,
+                }
+                for member_id, script in self.scripts.items()
+            },
+        }

@@ -1,0 +1,220 @@
+"""One live query session: a locked QueueManager plus its crowd cache.
+
+A :class:`QuerySession` is the unit the :class:`~repro.service.manager.
+SessionManager` multiplexes members across.  It owns
+
+* the per-query :class:`~repro.engine.queue_manager.QueueManager` (the
+  traversal stacks, classification state and aggregator),
+* the session's :class:`~repro.crowd.cache.CrowdCache` (every answer paid
+  for, the source of snapshot/resume), and
+* **the session lock** — the documented locking contract: neither the
+  queue manager nor its :class:`~repro.mining.state.ClassificationState`
+  is internally synchronized (even ``status()`` mutates memos), so every
+  read and write goes through this one re-entrant lock.  All public
+  methods of this class take it; callers may also take it explicitly to
+  group several calls into one atomic step.
+
+Lock ordering (see ``docs/SERVICE.md``): the manager lock and a session
+lock are never held at the same time — manager-level bookkeeping and
+session-level traversal are separate critical sections, so sessions never
+deadlock against the manager or against each other.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from ..assignments.assignment import Assignment
+from ..crowd.cache import CrowdCache
+from ..engine.queue_manager import AnswerOutcome, PendingQuestion, QueueManager
+from ..engine.results import QueryResult, build_result
+from ..oassisql.ast import Query
+from ..vocabulary.terms import Term
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a query session."""
+
+    OPEN = "open"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+
+
+class QuerySession:
+    """A single query being mined by the crowd, safe to drive concurrently."""
+
+    def __init__(
+        self,
+        session_id: str,
+        query: Query,
+        queue: QueueManager,
+        cache: CrowdCache,
+        include_invalid: bool = False,
+    ):
+        self.session_id = session_id
+        self.query = query
+        self.queue = queue
+        self.cache = cache
+        self.include_invalid = include_invalid
+        self.lock = threading.RLock()
+        self.state = SessionState.OPEN
+        self.resumed_answers = 0
+        # member -> cached (assignment, support) pairs, filled on resume so
+        # late-attaching members start from the cached frontier
+        self._cached_by_member: Dict[str, List[Tuple[Assignment, float]]] = {}
+
+    def __repr__(self) -> str:
+        return f"QuerySession({self.session_id!r}, {self.state.value})"
+
+    # ------------------------------------------------------------- lifecycle
+
+    def resume_from_cache(self) -> int:
+        """Preload every cached answer (snapshot resume); returns the count.
+
+        Feeds the aggregator and classification state once per cached
+        answer — the verdicts of the previous run are reconstructed before
+        any member is attached.  Per-member answer maps are seeded later,
+        at attach time (:meth:`ensure_member`), so nothing double-counts.
+        """
+        with self.lock:
+            by_member: Dict[str, List[Tuple[Assignment, float]]] = defaultdict(list)
+            count = 0
+            for assignment in list(self.cache.assignments()):
+                for member_id, support in self.cache.answers_for(assignment):
+                    self.queue.preload(assignment, member_id, support)
+                    by_member[member_id].append((assignment, support))
+                    count += 1
+            self._cached_by_member = dict(by_member)
+            self.resumed_answers = count
+            return count
+
+    def ensure_member(self, member_id: str) -> None:
+        """Register a member; on resumed sessions, seed their cached answers."""
+        with self.lock:
+            fresh = not self.queue.is_registered(member_id)
+            self.queue.register_member(member_id)
+            if fresh:
+                for assignment, support in self._cached_by_member.get(member_id, ()):
+                    self.queue.mark_answered(member_id, assignment, support)
+
+    def complete(self) -> bool:
+        with self.lock:
+            if self.state is not SessionState.OPEN:
+                return False
+            self.state = SessionState.COMPLETED
+            return True
+
+    def cancel(self) -> bool:
+        with self.lock:
+            if self.state is not SessionState.OPEN:
+                return False
+            self.state = SessionState.CANCELLED
+            return True
+
+    @property
+    def open(self) -> bool:
+        return self.state is SessionState.OPEN
+
+    # -------------------------------------------------------------- dispatch
+
+    def next_fresh(
+        self, member_id: str, k: int, exclude=()
+    ) -> List[PendingQuestion]:
+        """Up to ``k`` not-yet-dispatched questions for ``member_id``."""
+        with self.lock:
+            if self.state is not SessionState.OPEN:
+                return []
+            return self.queue.next_batch(
+                member_id, k, fresh_only=True, exclude=exclude
+            )
+
+    def submit(
+        self, member_id: str, assignment: Assignment, support: float
+    ) -> AnswerOutcome:
+        with self.lock:
+            if self.state is not SessionState.OPEN:
+                return AnswerOutcome.STALE
+            return self.queue.submit_support(member_id, support, assignment)
+
+    def prune(
+        self, member_id: str, value: Term, assignment: Assignment
+    ) -> AnswerOutcome:
+        with self.lock:
+            if self.state is not SessionState.OPEN:
+                return AnswerOutcome.STALE
+            return self.queue.submit_prune(member_id, value, assignment)
+
+    def expire(self, member_id: str, assignment: Assignment) -> bool:
+        """Return a timed-out question to the member's queue."""
+        with self.lock:
+            return bool(self.queue.expire_pending(member_id, assignment))
+
+    def skip(self, member_id: str, assignment: Assignment) -> None:
+        """Abandon the node for this member (retries exhausted / passed)."""
+        with self.lock:
+            self.queue.skip_node(member_id, assignment)
+
+    def reassign(self, member_id: str, assignment: Assignment) -> bool:
+        """Queue an abandoned node for another member."""
+        with self.lock:
+            if self.state is not SessionState.OPEN:
+                return False
+            return self.queue.requeue_for(member_id, assignment)
+
+    def detach(self, member_id: str) -> List[Assignment]:
+        """Release the member's structures; returns their abandoned nodes."""
+        with self.lock:
+            return self.queue.detach_member(member_id)
+
+    # ------------------------------------------------------------ completion
+
+    def has_work(self, member_ids) -> bool:
+        """Is there anything left to dispatch or wait for?
+
+        True when a question is still handed out, or any of the given
+        members could still be asked something fresh.
+        """
+        with self.lock:
+            if self.queue.has_pending():
+                return True
+            return any(self.queue.has_fresh_work(m) for m in member_ids)
+
+    # --------------------------------------------------------------- results
+
+    def msps(self) -> List[Assignment]:
+        """All confirmed MSPs so far (valid and near-miss)."""
+        with self.lock:
+            return self.queue.current_msps()
+
+    def valid_msps(self) -> List[Assignment]:
+        with self.lock:
+            return self.queue.current_valid_msps()
+
+    def questions_asked(self) -> int:
+        with self.lock:
+            return self.queue.questions_asked
+
+    def result(self) -> QueryResult:
+        """The session's answer set as a standard :class:`QueryResult`."""
+        with self.lock:
+            return build_result(
+                self.query,
+                self.queue.space,
+                self.queue.current_msps(),
+                self.queue.questions_asked,
+                support_of=self.queue.aggregator.average_support,
+                include_invalid=self.include_invalid,
+            )
+
+    def snapshot(self) -> CrowdCache:
+        """A point-in-time copy of the session's answer cache.
+
+        Feeding the copy to ``create_session(..., cache=snapshot,
+        resume=True)`` later reconstructs the aggregator state without
+        re-asking the crowd.
+        """
+        with self.lock:
+            return self.cache.snapshot()

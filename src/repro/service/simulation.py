@@ -1,0 +1,201 @@
+"""Multi-session crowd-serving simulations (CLI, benchmarks, tests).
+
+Builds a crowd of *identical* deterministic members — same personal
+database, no noise — and serves many sessions of one experiment domain
+concurrently.  Identical members make the concurrent run's answer set
+order-independent: any ``sample_size`` answers for a node average to the
+same value, so the MSP set of every session must equal the MSP set of a
+serial :meth:`~repro.engine.engine.OassisEngine.execute` run of the same
+query — even with injected timeouts, drops and departures.  That identity
+is the service layer's correctness oracle (``verify=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..crowd.member import CrowdMember
+from ..datasets import culinary, health, running_example, travel
+from ..datasets.base import DomainDataset
+from ..engine.engine import OassisEngine
+from .runner import MemberScript, ServiceRunner
+
+
+class _DemoDataset:
+    """The Figure 3 fragment lattice as a fast simulation domain.
+
+    The three paper domains mine thousands of questions per session —
+    right for benchmarks, too slow for unit tests and smoke runs.  This
+    shim serves the running example's fragment query (a few dozen
+    assignments) through the same ``DomainDataset`` surface.
+    """
+
+    name = "demo"
+    _template = running_example.FRAGMENT_QUERY.replace(
+        "SUPPORT = 0.4", "SUPPORT = {threshold}"
+    )
+
+    def __init__(self):
+        self.ontology = running_example.build_ontology()
+        self._database = running_example.build_personal_databases()["u1"]
+
+    def query(self, threshold: float = 0.4) -> str:
+        return self._template.format(threshold=threshold)
+
+    def build_crowd(self, size: int = 1, seed: int = 0, **_) -> List[CrowdMember]:
+        return [
+            CrowdMember(f"u{index}", self._database, self.ontology.vocabulary)
+            for index in range(size)
+        ]
+
+
+DOMAINS = {
+    "demo": _DemoDataset,
+    "travel": travel.build_dataset,
+    "culinary": culinary.build_dataset,
+    "health": health.build_dataset,
+}
+
+#: session thresholds cycle through these (distinct workloads per session)
+DEFAULT_THRESHOLDS = (0.2, 0.3, 0.4, 0.5)
+
+
+def build_identical_crowd(
+    dataset: DomainDataset, size: int, seed: int = 0, prefix: str = "m"
+) -> List[CrowdMember]:
+    """``size`` members sharing one sampled personal database.
+
+    All behaviour knobs are zeroed (no noise, no specialization opt-in,
+    no pruning clicks), so every member answers every question with the
+    same deterministic support value.
+    """
+    prototype = dataset.build_crowd(
+        size=1,
+        seed=seed,
+        noise=0.0,
+        specialization_ratio=0.0,
+        pruning_ratio=0.0,
+        more_tip_ratio=0.0,
+    )[0]
+    vocabulary = dataset.ontology.vocabulary
+    return [
+        CrowdMember(f"{prefix}{index}", prototype.database, vocabulary)
+        for index in range(size)
+    ]
+
+
+def run_simulation(
+    *,
+    domain: str = "demo",
+    sessions: int = 8,
+    workers: int = 4,
+    crowd_size: int = 6,
+    sample_size: int = 3,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    question_timeout: float = 0.25,
+    max_attempts: int = 3,
+    backoff_base: float = 0.01,
+    in_flight_limit: int = 4,
+    batch_size: int = 2,
+    drop_every: int = 0,
+    departures: int = 0,
+    depart_after: int = 6,
+    max_runtime: float = 60.0,
+    verify: bool = True,
+    seed: int = 0,
+) -> Dict:
+    """Serve ``sessions`` concurrent sessions of ``domain``; report stats.
+
+    ``drop_every`` makes every member ignore every n-th question (injected
+    timeouts); ``departures`` makes that many members (the highest ids)
+    leave after ``depart_after`` answers.  Keep
+    ``crowd_size - departures >= sample_size`` or late nodes can starve
+    below the aggregator's sample and stay unclassified (the documented
+    graceful degradation — sessions still settle, with fewer MSPs).
+
+    With ``verify=True`` each session's MSP set is compared against a
+    serial ``engine.execute`` of the same query over a fresh identical
+    crowd; mismatches are listed in the report and flip ``verified``.
+    """
+    if domain not in DOMAINS:
+        raise ValueError(f"unknown domain {domain!r}; pick from {sorted(DOMAINS)}")
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    if departures >= crowd_size:
+        raise ValueError("at least one member must stay")
+    dataset = DOMAINS[domain]()
+    engine = OassisEngine(dataset.ontology)
+    manager = engine.session_manager(
+        question_timeout=question_timeout,
+        max_attempts=max_attempts,
+        backoff_base=backoff_base,
+        in_flight_limit=in_flight_limit,
+        batch_size=batch_size,
+    )
+    queries = {}
+    for index in range(sessions):
+        threshold = thresholds[index % len(thresholds)]
+        session_id = f"{domain}-{index}"
+        queries[session_id] = dataset.query(threshold)
+        manager.create_session(
+            queries[session_id], session_id=session_id, sample_size=sample_size
+        )
+    members = build_identical_crowd(dataset, crowd_size, seed=seed)
+    scripts = []
+    for index, member in enumerate(members):
+        departing = index >= crowd_size - departures
+        scripts.append(
+            MemberScript(
+                member,
+                drop_every=drop_every,
+                depart_after=depart_after if departing else None,
+            )
+        )
+    runner = ServiceRunner(
+        manager, scripts, workers=workers, max_runtime=max_runtime
+    )
+    report = runner.run()
+    report["domain"] = domain
+    report["crowd_size"] = crowd_size
+    report["sample_size"] = sample_size
+    if verify:
+        report["verified"], report["mismatches"] = _verify_against_serial(
+            engine, manager, queries, dataset, crowd_size, sample_size, seed
+        )
+    return report
+
+
+def _verify_against_serial(
+    engine: OassisEngine,
+    manager,
+    queries: Dict[str, str],
+    dataset: DomainDataset,
+    crowd_size: int,
+    sample_size: int,
+    seed: int,
+) -> "tuple[bool, List[Dict]]":
+    """Compare each session's MSPs with a serial run of the same query."""
+    mismatches: List[Dict] = []
+    serial_cache: Dict[str, List[str]] = {}
+    for session in manager.sessions():
+        query = queries[session.session_id]
+        if query not in serial_cache:
+            baseline = build_identical_crowd(
+                dataset, crowd_size, seed=seed, prefix="serial-m"
+            )
+            result = engine.execute(
+                query, baseline, sample_size=sample_size
+            )
+            serial_cache[query] = sorted(repr(a) for a in result.all_msps)
+        expected = serial_cache[query]
+        got = sorted(repr(a) for a in session.msps())
+        if got != expected:
+            mismatches.append(
+                {
+                    "session": session.session_id,
+                    "state": session.state.value,
+                    "expected": expected,
+                    "got": got,
+                }
+            )
+    return (not mismatches), mismatches

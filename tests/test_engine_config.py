@@ -1,0 +1,94 @@
+"""EngineConfig facade: keyword-only signatures + deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro import EngineConfig, OassisEngine
+from repro.datasets import running_example
+from repro.engine import reset_deprecation_warnings
+
+
+@pytest.fixture(scope="module")
+def ontology():
+    return running_example.build_ontology()
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.max_values_per_var == 3
+        assert config.sample_size == 5
+
+    def test_override_keeps_unset_fields(self):
+        config = EngineConfig(max_values_per_var=2)
+        bumped = config.override(sample_size=7)
+        assert bumped.max_values_per_var == 2
+        assert bumped.sample_size == 7
+        # None means "keep" — the replay/execute call-sites rely on it
+        assert config.override(sample_size=None).sample_size == config.sample_size
+
+    def test_engine_reads_config(self, ontology):
+        engine = OassisEngine(ontology, config=EngineConfig(max_values_per_var=2))
+        assert engine.max_values_per_var == 2
+        assert engine.config.max_values_per_var == 2
+
+
+class TestDeprecationShims:
+    def test_legacy_init_kwargs_warn_exactly_once(self, ontology):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            OassisEngine(ontology, max_values_per_var=2)
+            OassisEngine(ontology, max_values_per_var=2, max_more_facts=0)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "EngineConfig" in str(deprecations[0].message)
+
+    def test_legacy_kwargs_still_apply(self, ontology):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            engine = OassisEngine(ontology, max_values_per_var=1)
+        assert engine.max_values_per_var == 1
+
+    def test_unknown_init_kwarg_raises(self, ontology):
+        with pytest.raises(TypeError):
+            OassisEngine(ontology, bogus=1)
+
+    def test_legacy_positional_tail_binds(self, ontology):
+        engine = OassisEngine(ontology)
+        query = engine.parse(running_example.FRAGMENT_QUERY)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            manager = engine.queue_manager(query, 2)  # legacy: sample_size
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert manager.aggregator.sample_size == 2
+
+    def test_positional_and_keyword_conflict_raises(self, ontology):
+        engine = OassisEngine(ontology)
+        query = engine.parse(running_example.FRAGMENT_QUERY)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError):
+                engine.queue_manager(query, 2, sample_size=3)
+
+    def test_new_style_call_does_not_warn(self, ontology):
+        engine = OassisEngine(ontology, config=EngineConfig(sample_size=3))
+        query = engine.parse(running_example.FRAGMENT_QUERY)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            engine.queue_manager(query, sample_size=2)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

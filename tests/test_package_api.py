@@ -15,6 +15,7 @@ SUBPACKAGES = [
     "repro.crowd",
     "repro.mining",
     "repro.engine",
+    "repro.service",
     "repro.nlg",
     "repro.observability",
     "repro.synth",
