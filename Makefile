@@ -2,13 +2,23 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-suite serve-bench examples figures stats clean
+.PHONY: install test lint typecheck bench bench-suite serve-bench examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# project-invariant linter (rule catalogue: docs/ANALYSIS.md); exits
+# non-zero on any error-severity finding, so CI can gate on it
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
+
+# mypy is configured in pyproject.toml (strict on repro.analysis and
+# repro.service, lenient elsewhere); requires mypy on PATH
+typecheck:
+	$(PYTHON) -m mypy src/repro/analysis src/repro/service
 
 # quick perf report: micro-benches + backend A/B equivalence (fails on any
 # mining divergence), then schema/threshold validation of the JSON output

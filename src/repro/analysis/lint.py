@@ -1,0 +1,259 @@
+"""The lint driver: walk files, run rules, honor suppressions, report.
+
+Runnable as ``python -m repro.analysis [paths...]`` and as ``repro lint``
+(see :mod:`repro.cli`).  Exit status is 0 when no error-severity finding
+survives suppression filtering, 1 otherwise, and 2 on usage errors —
+``make lint`` and CI gate on it.
+
+Suppressions are line-scoped comments on the offending line::
+
+    eval(user_input)  # repro-lint: disable=RULE-ID
+    something()       # repro-lint: disable=rule-a,rule-b
+    anything()        # repro-lint: disable=all
+
+or file-scoped, anywhere in the file::
+
+    # repro-lint: disable-file=RULE-ID
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
+
+from .findings import Finding, Severity
+from .rules import ALL_RULES, RULES_BY_ID, ModuleInfo, Rule
+
+_SUPPRESS_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\- ]+)")
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", ".benchmarks"})
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    found: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(found)
+
+
+def _parse_rule_list(raw: str) -> Set[str]:
+    return {token.strip() for token in raw.split(",") if token.strip()}
+
+
+def collect_suppressions(
+    source: str,
+) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and per-file suppression sets parsed from comments."""
+    by_line: Dict[int, Set[str]] = {}
+    whole_file: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in line:
+            continue
+        match = _SUPPRESS_FILE.search(line)
+        if match:
+            whole_file.update(_parse_rule_list(match.group(1)))
+            continue
+        match = _SUPPRESS_LINE.search(line)
+        if match:
+            by_line.setdefault(lineno, set()).update(
+                _parse_rule_list(match.group(1))
+            )
+    return by_line, whole_file
+
+
+def _suppressed(
+    finding: Finding,
+    by_line: Dict[int, Set[str]],
+    whole_file: Set[str],
+) -> bool:
+    if "all" in whole_file or finding.rule in whole_file:
+        return True
+    rules = by_line.get(finding.line)
+    if rules is None:
+        return False
+    return "all" in rules or finding.rule in rules
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived suppression."""
+        return not self.errors
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": self.suppressed,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    display: Optional[str] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one file; returns (surviving findings, suppressed count)."""
+    shown = display if display is not None else str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return (
+            [
+                Finding(
+                    path=shown,
+                    line=1,
+                    col=0,
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {error}",
+                )
+            ],
+            0,
+        )
+    try:
+        tree = ast.parse(source, filename=shown)
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    path=shown,
+                    line=error.lineno or 1,
+                    col=error.offset or 0,
+                    rule="parse-error",
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {error.msg}",
+                )
+            ],
+            0,
+        )
+    module = ModuleInfo(path=path, display=shown, tree=tree, source=source)
+    by_line, whole_file = collect_suppressions(source)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(module):
+            if _suppressed(finding, by_line, whole_file):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: Sequence[str],
+    rule_ids: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` with the selected rules."""
+    if rule_ids is None:
+        rules: Sequence[Rule] = ALL_RULES
+    else:
+        unknown = set(rule_ids) - set(RULES_BY_ID)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        rules = [RULES_BY_ID[rule_id] for rule_id in rule_ids]
+    result = LintResult()
+    for path in iter_python_files(paths):
+        findings, suppressed = lint_file(path, rules)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        result.files_checked += 1
+    result.findings.sort()
+    return result
+
+
+def _print_rule_table(stream: TextIO) -> None:
+    width = max(len(rule.id) for rule in ALL_RULES)
+    for rule in ALL_RULES:
+        stream.write(
+            f"{rule.id:<{width}}  {rule.severity}  {rule.summary}\n"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-invariant linter for the OASSIS reproduction "
+        "(see docs/ANALYSIS.md for the rule catalogue)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _print_rule_table(sys.stdout)
+        return 0
+    rule_ids = sorted(_parse_rule_list(args.rules)) if args.rules else None
+    try:
+        result = run_lint(args.paths, rule_ids)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (
+            f"{result.files_checked} file(s) checked: "
+            f"{len(result.errors)} error(s), "
+            f"{len(result.warnings)} warning(s)"
+        )
+        if result.suppressed:
+            summary += f", {result.suppressed} suppressed"
+        print(summary)
+    return 0 if result.ok else 1

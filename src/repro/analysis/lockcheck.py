@@ -1,0 +1,299 @@
+"""Runtime lock-order checking: instrumented locks + acquisition graph.
+
+The static ``lock-nesting`` rule catches *syntactic* violations of the
+service locking contract; this module verifies the claim dynamically.
+Lock-owning classes (:class:`~repro.service.manager.SessionManager`,
+:class:`~repro.service.session.QuerySession`,
+:class:`~repro.crowd.cache.CrowdCache`) create their locks through
+:func:`named_lock` / :func:`named_rlock` with a *role* name.  With no
+checker installed those factories return plain :mod:`threading` locks —
+zero overhead in production.  Under tests, :func:`install` (or the
+:func:`checking` context manager) swaps in tracked wrappers that record
+the per-thread acquisition graph:
+
+* whenever a thread acquires lock *B* while holding lock *A*, the edge
+  ``A.role -> B.role`` is recorded;
+* an edge that closes a cycle in the role graph (including the length-1
+  cycle of two *different* instances of the same role) raises
+  :class:`LockOrderError` **before blocking**, so a potential deadlock
+  is reported instead of hung;
+* reentrant re-acquisition of the *same* instance (RLocks) is not an
+  edge;
+* roles listed in ``forbid_together`` may never be co-held in either
+  order — the stronger "never held together" contract of
+  ``docs/SERVICE.md`` — and raise immediately on any nesting.
+
+The service test suite runs with a checker installed (see
+``tests/test_service.py``), so "deadlock-free by construction" is
+machine-checked on every run, not just asserted in a docstring.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+
+class LockOrderError(RuntimeError):
+    """A lock acquisition violated the recorded ordering contract."""
+
+
+class _TrackedLockBase:
+    """Wraps a real lock; reports acquisitions/releases to the checker."""
+
+    _reentrant = False
+
+    def __init__(self, role: str, checker: "LockOrderChecker") -> None:
+        self.role = role
+        self._checker = checker
+        self._real = (
+            threading.RLock() if self._reentrant else threading.Lock()
+        )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._checker.before_acquire(self)
+        acquired = self._real.acquire(blocking, timeout)
+        if acquired:
+            self._checker.on_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._real.release()
+        self._checker.on_released(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.role!r}, id=0x{id(self):x})"
+
+
+class TrackedLock(_TrackedLockBase):
+    """An instrumented non-reentrant lock."""
+
+    _reentrant = False
+
+
+class TrackedRLock(_TrackedLockBase):
+    """An instrumented reentrant lock."""
+
+    _reentrant = True
+
+
+def _normalize_pair(pair: Tuple[str, str]) -> FrozenSet[str]:
+    return frozenset(pair)
+
+
+class LockOrderChecker:
+    """Records the cross-thread lock acquisition graph; fails on cycles.
+
+    ``forbid_together`` lists role pairs that may never be co-held at
+    all, regardless of order.  The graph, observed edges and violation
+    count stay readable after :func:`uninstall` for test assertions.
+    """
+
+    def __init__(
+        self,
+        forbid_together: Iterable[Tuple[str, str]] = (),
+    ) -> None:
+        self._mutex = threading.Lock()
+        self._held = threading.local()
+        #: role -> set of roles acquired while this role was held
+        self.edges: Dict[str, Set[str]] = {}
+        #: (held_role, acquired_role) pairs actually observed, for tests
+        self.observed: Set[Tuple[str, str]] = set()
+        self.violations: List[str] = []
+        self._forbidden = {_normalize_pair(p) for p in forbid_together}
+
+    # ----------------------------------------------------------- held stack
+
+    def _stack(self) -> List[_TrackedLockBase]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def held_roles(self) -> List[str]:
+        """Roles currently held by the calling thread, outermost first."""
+        return [lock.role for lock in self._stack()]
+
+    # -------------------------------------------------------------- events
+
+    def before_acquire(self, lock: _TrackedLockBase) -> None:
+        stack = self._stack()
+        if any(held is lock for held in stack):
+            if lock._reentrant:
+                return  # reentrant re-acquisition: not an ordering event
+            self._fail(
+                f"non-reentrant lock {lock!r} re-acquired by the same "
+                f"thread {threading.current_thread().name!r} (self-deadlock)"
+            )
+        for held in stack:
+            pair = frozenset({held.role, lock.role})
+            if pair in self._forbidden:
+                self._fail(
+                    f"{lock.role!r} acquired while holding {held.role!r} in "
+                    f"thread {threading.current_thread().name!r}; these "
+                    "locks must never be held together "
+                    "(docs/SERVICE.md locking contract)"
+                )
+            self._record_edge(held, lock)
+
+    def on_acquired(self, lock: _TrackedLockBase) -> None:
+        self._stack().append(lock)
+
+    def on_released(self, lock: _TrackedLockBase) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # --------------------------------------------------------------- graph
+
+    def _record_edge(self, held: _TrackedLockBase, nxt: _TrackedLockBase) -> None:
+        if held.role == nxt.role:
+            # two different instances of the same role have no defined
+            # order between them: a length-1 cycle
+            self._fail(
+                f"{nxt!r} acquired while holding {held!r} — two instances "
+                f"of role {nxt.role!r} nested with no defined order "
+                f"(thread {threading.current_thread().name!r})"
+            )
+        with self._mutex:
+            self.observed.add((held.role, nxt.role))
+            targets = self.edges.setdefault(held.role, set())
+            if nxt.role in targets:
+                return
+            cycle = self._path(nxt.role, held.role)
+            targets.add(nxt.role)
+        if cycle is not None:
+            self._fail(
+                f"acquiring {nxt.role!r} while holding {held.role!r} closes "
+                f"the lock-order cycle {' -> '.join(cycle + [nxt.role])} "
+                f"(thread {threading.current_thread().name!r}); this "
+                "ordering can deadlock"
+            )
+
+    def _path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A path ``src -> ... -> dst`` in the edge graph, if one exists.
+
+        Caller holds ``_mutex``.
+        """
+        parents: Dict[str, Optional[str]] = {src: None}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                path = [node]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])  # type: ignore[arg-type]
+                path.reverse()
+                return path
+            for nxt in self.edges.get(node, ()):
+                if nxt not in parents:
+                    parents[nxt] = node
+                    frontier.append(nxt)
+        return None
+
+    def _fail(self, message: str) -> None:
+        with self._mutex:
+            self.violations.append(message)
+        raise LockOrderError(message)
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        """The observed (held, acquired) role pairs, sorted."""
+        with self._mutex:
+            return sorted(self.observed)
+
+
+# ------------------------------------------------------- the global factory
+
+_installed: Optional[LockOrderChecker] = None
+_install_mutex = threading.Lock()
+
+
+def install(checker: Optional[LockOrderChecker] = None) -> LockOrderChecker:
+    """Route :func:`named_lock`/:func:`named_rlock` through ``checker``.
+
+    Installation is global (not per-thread): locks are created in
+    constructors and shared across worker threads, so one checker must
+    see them all.  Returns the installed checker.
+    """
+    global _installed
+    if checker is None:
+        checker = LockOrderChecker()
+    with _install_mutex:
+        if _installed is not None:
+            raise RuntimeError("a LockOrderChecker is already installed")
+        _installed = checker
+    return checker
+
+
+def uninstall() -> Optional[LockOrderChecker]:
+    """Remove the installed checker; returns it (graph stays readable).
+
+    Already-created tracked locks keep reporting to the checker they
+    were born with — only *new* locks revert to plain threading locks.
+    """
+    global _installed
+    with _install_mutex:
+        checker = _installed
+        _installed = None
+    return checker
+
+
+def current_checker() -> Optional[LockOrderChecker]:
+    """The installed checker, or None."""
+    return _installed
+
+
+@contextmanager
+def checking(
+    forbid_together: Iterable[Tuple[str, str]] = (),
+) -> Iterator[LockOrderChecker]:
+    """Scope-local installation::
+
+        with lockcheck.checking() as checker:
+            run_scenario()
+        assert ("service.manager", "service.session") not in checker.observed
+    """
+    checker = install(LockOrderChecker(forbid_together=forbid_together))
+    try:
+        yield checker
+    finally:
+        uninstall()
+
+
+def named_lock(role: str) -> Any:
+    """A mutex for ``role``: plain, or tracked when a checker is installed.
+
+    Typed ``Any`` because :class:`threading.Lock`/:class:`TrackedLock`
+    share no nominal base; both satisfy the with-statement protocol.
+    """
+    checker = _installed
+    if checker is None:
+        return threading.Lock()
+    return TrackedLock(role, checker)
+
+
+def named_rlock(role: str) -> Any:
+    """A reentrant lock for ``role``; tracked when a checker is installed."""
+    checker = _installed
+    if checker is None:
+        return threading.RLock()
+    return TrackedRLock(role, checker)

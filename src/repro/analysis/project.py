@@ -1,0 +1,264 @@
+"""Project-invariant configuration consumed by the lint rules.
+
+The linter in :mod:`repro.analysis.lint` is generic machinery (walk
+files, parse, dispatch rules, honor suppressions); everything that makes
+it *this repo's* linter lives here: which modules own which locks, which
+classes carry version stamps, what the deprecation shims are called, and
+which modules must stay deterministic.  Each constant is documented in
+``docs/ANALYSIS.md`` next to the rule that reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+# --------------------------------------------------------------- lock roles
+
+#: module suffix that identifies the SessionManager implementation
+MANAGER_MODULE = "repro/service/manager.py"
+#: module suffix that identifies the QuerySession implementation
+SESSION_MODULE = "repro/service/session.py"
+
+#: attribute name of the manager lock (``self._lock`` in the manager)
+MANAGER_LOCK_ATTR = "_lock"
+#: attribute name of the session lock (``session.lock``)
+SESSION_LOCK_ATTR = "lock"
+
+#: public QuerySession methods that take the session lock; calling one of
+#: these while holding the manager lock violates the locking contract of
+#: ``docs/SERVICE.md``
+SESSION_LOCKED_METHODS: FrozenSet[str] = frozenset(
+    {
+        "resume_from_cache",
+        "ensure_member",
+        "complete",
+        "cancel",
+        "next_fresh",
+        "submit",
+        "prune",
+        "expire",
+        "skip",
+        "reassign",
+        "detach",
+        "has_work",
+        "msps",
+        "valid_msps",
+        "questions_asked",
+        "result",
+        "snapshot",
+    }
+)
+
+#: receiver names the lock-nesting rule treats as "a session object"
+SESSION_RECEIVER_NAMES: FrozenSet[str] = frozenset({"session", "sess", "s"})
+
+#: receiver names the lock-nesting rule treats as "the manager" when seen
+#: inside a session-lock critical section
+MANAGER_RECEIVER_NAMES: FrozenSet[str] = frozenset({"manager", "mgr"})
+
+#: SessionManager methods that take the manager lock
+MANAGER_LOCKED_METHODS: FrozenSet[str] = frozenset(
+    {
+        "create_session",
+        "cancel_session",
+        "attach_member",
+        "detach_member",
+        "next_batch",
+        "submit",
+        "submit_prune",
+        "reap_expired",
+        "in_flight",
+        "members",
+        "sessions",
+    }
+)
+
+
+# ---------------------------------------------------------- version stamps
+
+@dataclass(frozen=True)
+class VersionStampedClass:
+    """One class whose mutators must touch its version stamp.
+
+    ``guarded_attrs`` are the ``self.<attr>`` structures that back the
+    compiled/memoized state; any method mutating one of them must also
+    assign ``self.<touch>`` or call one of the ``touch_calls`` in the
+    same method body.
+    """
+
+    module_suffix: str
+    class_name: str
+    guarded_attrs: FrozenSet[str]
+    touch_attrs: FrozenSet[str] = field(default_factory=frozenset)
+    touch_calls: FrozenSet[str] = field(default_factory=frozenset)
+
+
+VERSION_STAMPED_CLASSES: Tuple[VersionStampedClass, ...] = (
+    VersionStampedClass(
+        module_suffix="repro/vocabulary/orders.py",
+        class_name="PartialOrder",
+        guarded_attrs=frozenset(
+            {"_children", "_parents", "_edge_count", "_ids", "_terms_by_id"}
+        ),
+        touch_attrs=frozenset({"version"}),
+        touch_calls=frozenset({"_invalidate"}),
+    ),
+    VersionStampedClass(
+        module_suffix="repro/ontology/graph.py",
+        class_name="Ontology",
+        guarded_attrs=frozenset(
+            {"_facts", "_spo", "_pos", "_osp", "_labels", "_label_index"}
+        ),
+        touch_attrs=frozenset({"version"}),
+        touch_calls=frozenset(),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class StampGuardedClass:
+    """A class whose public entry points must revalidate their caches.
+
+    The SPARQL engine pattern: memo dictionaries are keyed on a joint
+    version stamp, and every public method must call the guard
+    (``_check_caches``) before touching them.
+    """
+
+    module_suffix: str
+    class_name: str
+    guard_call: str
+    #: public methods exempt from the guard (pure accessors)
+    exempt: FrozenSet[str] = field(default_factory=frozenset)
+
+
+STAMP_GUARDED_CLASSES: Tuple[StampGuardedClass, ...] = (
+    StampGuardedClass(
+        module_suffix="repro/sparql/engine.py",
+        class_name="SparqlEngine",
+        guard_call="_check_caches",
+    ),
+)
+
+
+# ------------------------------------------------------- deprecation shims
+
+#: modules allowed to reference the deprecation machinery (they define it)
+SHIM_HOME_MODULES: FrozenSet[str] = frozenset(
+    {"repro/engine/config.py", "repro/engine/engine.py"}
+)
+
+#: names of the shim helpers nobody else may import or call
+SHIM_HELPER_NAMES: FrozenSet[str] = frozenset({"warn_deprecated", "_bind_legacy"})
+
+#: deprecated constructor keywords of ``OassisEngine`` — internal callers
+#: must pass ``config=EngineConfig(...)`` instead
+LEGACY_ENGINE_KWARGS: FrozenSet[str] = frozenset(
+    {"templates", "max_values_per_var", "max_more_facts"}
+)
+
+#: engine methods with a deprecated positional tail: method name -> how
+#: many positional arguments the modern keyword-only signature accepts
+LEGACY_POSITIONAL_LIMITS = {
+    "execute": 2,
+    "execute_single_user": 2,
+    "replay": 3,
+    "screen_members": 2,
+    "queue_manager": 1,
+}
+
+
+# ------------------------------------------------------------ determinism
+
+#: module suffixes that must stay deterministic for replay: no global
+#: (unseeded) random calls, no wall-clock reads
+DETERMINISTIC_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro/mining/",
+    "repro/crowd/simulation.py",
+)
+
+#: functions of the ``random`` module that use the shared global RNG
+GLOBAL_RNG_FUNCTIONS: FrozenSet[str] = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+    }
+)
+
+#: wall-clock reads banned in deterministic modules (module name -> attrs)
+WALL_CLOCK_CALLS = {
+    "time": frozenset({"time", "time_ns", "localtime", "ctime", "gmtime"}),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "date": frozenset({"today"}),
+}
+
+
+# ---------------------------------------------------------------- hygiene
+
+#: builtins worth protecting from shadowing (the usual pylint W0622 set,
+#: trimmed to names that actually cause grief in this codebase)
+PROTECTED_BUILTINS: FrozenSet[str] = frozenset(
+    {
+        "all",
+        "any",
+        "bool",
+        "bytes",
+        "callable",
+        "dict",
+        "dir",
+        "enumerate",
+        "eval",
+        "filter",
+        "float",
+        "format",
+        "frozenset",
+        "getattr",
+        "hasattr",
+        "hash",
+        "id",
+        "input",
+        "int",
+        "isinstance",
+        "iter",
+        "len",
+        "list",
+        "map",
+        "max",
+        "min",
+        "next",
+        "object",
+        "open",
+        "print",
+        "property",
+        "range",
+        "repr",
+        "set",
+        "setattr",
+        "slice",
+        "sorted",
+        "str",
+        "sum",
+        "super",
+        "tuple",
+        "type",
+        "vars",
+        "zip",
+    }
+)
+
+#: factory callables whose call as a default argument is a shared-state bug
+MUTABLE_DEFAULT_FACTORIES: FrozenSet[str] = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)

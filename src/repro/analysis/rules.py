@@ -1,0 +1,795 @@
+"""The lint rules: generic hygiene plus this repo's own invariants.
+
+Every rule is a small AST pass over one module.  The generic rules
+(``bare-except``, ``mutable-default``, ``shadowed-builtin``,
+``unused-import``, ``unreachable-code``) are ordinary Python hygiene;
+the project rules read their configuration from
+:mod:`repro.analysis.project` and encode invariants that are otherwise
+only documented prose:
+
+* ``lock-nesting`` — the manager lock and a session lock are never held
+  together (``docs/SERVICE.md``);
+* ``version-stamp`` — mutators of version-stamped structures bump the
+  stamp (``docs/PERFORMANCE.md``);
+* ``cache-guard`` — stamp-keyed memo caches are revalidated at every
+  public entry point;
+* ``tracer-name`` — counter/span names are registered in
+  :mod:`repro.observability.names`;
+* ``shim-caller`` — internal code never calls the PR-3 deprecation
+  shims;
+* ``unseeded-random`` / ``wall-clock`` — core algorithm modules stay
+  deterministic for replay.
+
+Rule ids double as suppression keys: ``# repro-lint: disable=RULE``.
+See ``docs/ANALYSIS.md`` for the full catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from . import project
+from .findings import Finding, Severity
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    display: str
+    tree: ast.Module
+    source: str
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def matches(self, suffix: str) -> bool:
+        """Does this file's path end with (or contain) ``suffix``?"""
+        if suffix.endswith("/"):
+            return suffix in self.posix
+        return self.posix.endswith(suffix)
+
+    def in_any(self, suffixes: Sequence[str]) -> bool:
+        return any(self.matches(suffix) for suffix in suffixes)
+
+
+# ------------------------------------------------------------- AST helpers
+
+
+def _receiver_root_attr(node: ast.expr) -> Optional[str]:
+    """The ``X`` of a ``self.X[...].method`` chain, if rooted at self."""
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    if isinstance(current, ast.Attribute) and isinstance(current.value, ast.Name):
+        if current.value.id == "self":
+            return current.attr
+    return None
+
+
+def _last_component(node: ast.expr) -> Optional[str]:
+    """The final name of a dotted expression (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _mentions_attr(node: ast.expr, attr: str) -> bool:
+    """Does any sub-expression read ``.<attr>`` or the name ``attr``?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Attribute) and child.attr == attr:
+            return True
+        if isinstance(child, ast.Name) and child.id == attr:
+            return True
+    return False
+
+
+def _store_names(target: ast.expr) -> Iterator[ast.Name]:
+    """All Name nodes bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        yield target
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _store_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _store_names(target.value)
+
+
+_DOTTED_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+#: container methods that mutate their receiver in place
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+class Rule:
+    """Base class: one lint pass over one module."""
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+# ============================================================ hygiene rules
+
+
+class BareExceptRule(Rule):
+    id = "bare-except"
+    severity = Severity.ERROR
+    summary = "bare `except:` swallows SystemExit/KeyboardInterrupt"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:`; catch a specific exception "
+                    "(or `Exception` at the very least)",
+                )
+
+
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = Severity.ERROR
+    summary = "mutable default argument shared across calls"
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(default, ast.Call):
+            name = _last_component(default.func)
+            return name in project.MUTABLE_DEFAULT_FACTORIES
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "use None and create it inside the function",
+                    )
+
+
+class ShadowedBuiltinRule(Rule):
+    id = "shadowed-builtin"
+    severity = Severity.ERROR
+    summary = "binding shadows a builtin name"
+
+    def _flag(
+        self, module: ModuleInfo, node: ast.AST, name: str, what: str
+    ) -> Finding:
+        return self.finding(
+            module, node, f"{what} {name!r} shadows the builtin; rename it"
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        builtins = project.PROTECTED_BUILTINS
+        # manual walk so method names (harmless class-namespace shadowing)
+        # can be skipped while module-level defs are still flagged
+        stack: List[Tuple[ast.AST, bool]] = [(module.tree, False)]
+        while stack:
+            node, in_class = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                child_in_class = isinstance(node, ast.ClassDef)
+                stack.append((child, child_in_class))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not in_class and node.name in builtins:
+                    yield self._flag(module, node, node.name, "function")
+                args = node.args
+                every = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])
+                )
+                for argument in every:
+                    if argument.arg in builtins:
+                        yield self._flag(
+                            module, argument, argument.arg, "parameter"
+                        )
+            elif isinstance(node, ast.ClassDef):
+                if node.name in builtins:
+                    yield self._flag(module, node, node.name, "class")
+            elif isinstance(node, ast.Assign):
+                if in_class:
+                    # class attributes live in the class namespace; an
+                    # ``id = "..."`` attribute does not shadow builtins
+                    # for any other code
+                    continue
+                for target in node.targets:
+                    for bound in _store_names(target):
+                        if bound.id in builtins:
+                            yield self._flag(module, bound, bound.id, "variable")
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for bound in _store_names(node.target):
+                    if bound.id in builtins:
+                        yield self._flag(module, bound, bound.id, "loop variable")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    for bound in _store_names(comp.target):
+                        if bound.id in builtins:
+                            yield self._flag(
+                                module, bound, bound.id, "comprehension variable"
+                            )
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for bound in _store_names(item.optional_vars):
+                            if bound.id in builtins:
+                                yield self._flag(
+                                    module, bound, bound.id, "context variable"
+                                )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.name and node.name in builtins:
+                    yield self._flag(module, node, node.name, "exception variable")
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    bound_name = alias.asname or alias.name.split(".")[0]
+                    if bound_name in builtins:
+                        yield self._flag(module, node, bound_name, "import")
+
+
+class UnusedImportRule(Rule):
+    id = "unused-import"
+    severity = Severity.ERROR
+    summary = "imported name is never used"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        is_package_init = module.path.name == "__init__.py"
+        exported: Set[str] = set()
+        has_all = False
+        for node in module.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == "__all__":
+                        has_all = True
+                        if isinstance(node.value, (ast.List, ast.Tuple)):
+                            for element in node.value.elts:
+                                if isinstance(element, ast.Constant) and isinstance(
+                                    element.value, str
+                                ):
+                                    exported.add(element.value)
+        if is_package_init and not has_all:
+            # no __all__: every import is a potential re-export
+            return
+        used: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+        # names referenced only inside string annotations
+        # (``engine: "OassisEngine"``) are uses too
+        for node in ast.walk(module.tree):
+            annotation = None
+            if isinstance(node, ast.arg):
+                annotation = node.annotation
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                annotation = node.returns
+            elif isinstance(node, ast.AnnAssign):
+                annotation = node.annotation
+            if annotation is None:
+                continue
+            for sub in ast.walk(annotation):
+                if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                    used.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", sub.value))
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                aliases = node.names
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                aliases = node.names
+            else:
+                continue
+            for alias in aliases:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name.split(".")[0]
+                if bound in used or bound in exported:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    f"{bound!r} is imported but never used",
+                )
+
+
+class UnreachableCodeRule(Rule):
+    id = "unreachable-code"
+    severity = Severity.ERROR
+    summary = "statement after return/raise/break/continue"
+
+    _TERMINAL = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            for field in ("body", "orelse", "finalbody"):
+                statements = getattr(node, field, None)
+                if not isinstance(statements, list):
+                    continue
+                terminated = False
+                for statement in statements:
+                    if terminated:
+                        yield self.finding(
+                            module,
+                            statement,
+                            "unreachable code (dead statement after "
+                            "return/raise/break/continue)",
+                        )
+                        break
+                    if isinstance(statement, self._TERMINAL):
+                        terminated = True
+
+
+# ============================================================ project rules
+
+
+class LockNestingRule(Rule):
+    id = "lock-nesting"
+    severity = Severity.ERROR
+    summary = "manager and session locks held together"
+
+    def _lock_role(self, expr: ast.expr) -> Optional[str]:
+        """Classify a with-item as acquiring a manager or session lock."""
+        if isinstance(expr, ast.Call):
+            # e.g. `self._lock.acquire()` style is not a with-item we
+            # classify; only direct lock context managers
+            return None
+        name = _last_component(expr)
+        if name == project.MANAGER_LOCK_ATTR:
+            return "manager"
+        if name == project.SESSION_LOCK_ATTR:
+            return "session"
+        return None
+
+    def _session_call(self, call: ast.Call) -> bool:
+        """Is ``call`` a session-locked method on a session object?"""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in project.SESSION_LOCKED_METHODS:
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in project.SESSION_RECEIVER_NAMES
+        return _mentions_attr(receiver, "_sessions")
+
+    def _manager_call(self, call: ast.Call) -> bool:
+        """Is ``call`` a manager-locked method on the manager?"""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        if func.attr not in project.MANAGER_LOCKED_METHODS:
+            return False
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            return receiver.id in project.MANAGER_RECEIVER_NAMES
+        return _mentions_attr(receiver, "manager")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if "repro/service/" not in module.posix and not module.in_any(
+            (project.MANAGER_MODULE, project.SESSION_MODULE)
+        ):
+            return
+        yield from self._visit(module, module.tree, held=None)
+
+    def _visit(
+        self, module: ModuleInfo, node: ast.AST, held: Optional[str]
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            inner_held = held
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    role = self._lock_role(item.context_expr)
+                    if role is None:
+                        continue
+                    if held is not None and role != held:
+                        yield self.finding(
+                            module,
+                            item.context_expr,
+                            f"{role} lock acquired while holding the "
+                            f"{held} lock; the locking contract "
+                            "(docs/SERVICE.md) forbids holding both",
+                        )
+                    inner_held = role
+            elif isinstance(child, ast.Call) and held == "manager":
+                if self._session_call(child):
+                    yield self.finding(
+                        module,
+                        child,
+                        f"session method `{child.func.attr}` called while "  # type: ignore[union-attr]
+                        "holding the manager lock; it takes the session "
+                        "lock, so both would be held together",
+                    )
+            elif isinstance(child, ast.Call) and held == "session":
+                if self._manager_call(child):
+                    yield self.finding(
+                        module,
+                        child,
+                        f"manager method `{child.func.attr}` called while "  # type: ignore[union-attr]
+                        "holding a session lock; it takes the manager "
+                        "lock, so both would be held together",
+                    )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # a nested function body runs later, outside the lock
+                inner_held = None
+            yield from self._visit(module, child, inner_held)
+
+
+class VersionStampRule(Rule):
+    id = "version-stamp"
+    severity = Severity.ERROR
+    summary = "mutator skips the version stamp"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for spec in project.VERSION_STAMPED_CLASSES:
+            if not module.matches(spec.module_suffix):
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == spec.class_name:
+                    yield from self._check_class(module, node, spec)
+
+    def _check_class(
+        self,
+        module: ModuleInfo,
+        class_node: ast.ClassDef,
+        spec: "project.VersionStampedClass",
+    ) -> Iterator[Finding]:
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__" or method.name in spec.touch_calls:
+                continue
+            mutation = self._first_mutation(method, spec.guarded_attrs)
+            if mutation is None:
+                continue
+            if self._touches_stamp(method, spec):
+                continue
+            node, attr = mutation
+            yield self.finding(
+                module,
+                node,
+                f"{spec.class_name}.{method.name}() mutates version-stamped "
+                f"`self.{attr}` without bumping the version stamp "
+                f"(assign `self.version` or call one of "
+                f"{sorted(spec.touch_calls) or ['self.version += 1']})",
+            )
+
+    def _first_mutation(
+        self, method: ast.AST, guarded: FrozenSet[str]
+    ) -> Optional[Tuple[ast.AST, str]]:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    root = _receiver_root_attr(target)
+                    if root in guarded:
+                        # plain `self.attr = ...` rebinds are mutations too
+                        return (node, root)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    root = _receiver_root_attr(target)
+                    if root in guarded:
+                        return (node, root)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATOR_METHODS:
+                    root = _receiver_root_attr(node.func.value)
+                    if root in guarded:
+                        return (node, root)
+        return None
+
+    def _touches_stamp(
+        self, method: ast.AST, spec: "project.VersionStampedClass"
+    ) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr in spec.touch_attrs
+                    ):
+                        return True
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in spec.touch_calls
+                ):
+                    return True
+        return False
+
+
+class CacheGuardRule(Rule):
+    id = "cache-guard"
+    severity = Severity.ERROR
+    summary = "public entry point skips the stamp-guard call"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for spec in project.STAMP_GUARDED_CLASSES:
+            if not module.matches(spec.module_suffix):
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef) and node.name == spec.class_name:
+                    yield from self._check_class(module, node, spec)
+
+    def _check_class(
+        self,
+        module: ModuleInfo,
+        class_node: ast.ClassDef,
+        spec: "project.StampGuardedClass",
+    ) -> Iterator[Finding]:
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name.startswith("_") or method.name in spec.exempt:
+                continue
+            if self._calls_guard(method, spec.guard_call):
+                continue
+            yield self.finding(
+                module,
+                method,
+                f"{spec.class_name}.{method.name}() is a public entry point "
+                f"but never calls self.{spec.guard_call}(); its stamp-keyed "
+                "caches may serve stale results after a mutation",
+            )
+
+    def _calls_guard(self, method: ast.AST, guard: str) -> bool:
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == guard
+            ):
+                return True
+        return False
+
+
+class TracerNameRule(Rule):
+    id = "tracer-name"
+    severity = Severity.ERROR
+    summary = "counter/span name missing from the registry"
+
+    _COUNTER_FUNCS = frozenset({"count", "_obs_count"})
+    _SPAN_FUNCS = frozenset({"span", "_obs_span"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        from ..observability.names import COUNTER_NAMES, SPAN_NAMES
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                func_name = func.id
+            elif isinstance(func, ast.Attribute):
+                func_name = func.attr
+            else:
+                continue
+            if func_name in self._COUNTER_FUNCS:
+                kind, registry = "counter", COUNTER_NAMES
+            elif func_name in self._SPAN_FUNCS:
+                kind, registry = "span", SPAN_NAMES
+            else:
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue  # dynamic names are out of static reach
+            name = first.value
+            if not _DOTTED_NAME.match(name):
+                continue  # not a dotted instrumentation name (e.g. str.count)
+            if name not in registry:
+                yield self.finding(
+                    module,
+                    first,
+                    f"{kind} name {name!r} is not registered in "
+                    "repro.observability.names; register it (or fix the "
+                    "drifted name)",
+                )
+
+
+class ShimCallerRule(Rule):
+    id = "shim-caller"
+    severity = Severity.ERROR
+    summary = "internal caller uses a deprecation shim"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.in_any(sorted(project.SHIM_HOME_MODULES)):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in project.SHIM_HELPER_NAMES:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"importing shim helper {alias.name!r}; only "
+                            "the engine facade may use the deprecation "
+                            "machinery",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        name = _last_component(func)
+        if name in project.SHIM_HELPER_NAMES:
+            yield self.finding(
+                module,
+                node,
+                f"call to shim helper {name!r}; only the engine facade "
+                "may use the deprecation machinery",
+            )
+            return
+        if name == "OassisEngine":
+            legacy = [
+                kw.arg
+                for kw in node.keywords
+                if kw.arg in project.LEGACY_ENGINE_KWARGS
+            ]
+            if legacy:
+                yield self.finding(
+                    module,
+                    node,
+                    f"OassisEngine({', '.join(sorted(legacy))}=...) uses the "
+                    "deprecated constructor shim; pass "
+                    "config=EngineConfig(...) instead",
+                )
+            return
+        if isinstance(func, ast.Attribute):
+            limit = project.LEGACY_POSITIONAL_LIMITS.get(func.attr)
+            if limit is not None and len(node.args) > limit:
+                if any(isinstance(arg, ast.Starred) for arg in node.args):
+                    return
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{func.attr}` called with {len(node.args)} positional "
+                    f"arguments (the modern signature takes {limit}); the "
+                    "positional tail goes through a deprecation shim — "
+                    "pass keywords instead",
+                )
+
+
+class UnseededRandomRule(Rule):
+    id = "unseeded-random"
+    severity = Severity.ERROR
+    summary = "global random calls break deterministic replay"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_any(project.DETERMINISTIC_MODULE_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name in project.GLOBAL_RNG_FUNCTIONS:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"`from random import {alias.name}` pulls in the "
+                            "global RNG; use a seeded random.Random instance",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                func = node.func
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "random"
+                    and func.attr in project.GLOBAL_RNG_FUNCTIONS
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"random.{func.attr}() uses the global unseeded RNG; "
+                        "deterministic modules must thread a seeded "
+                        "random.Random instance",
+                    )
+
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    severity = Severity.ERROR
+    summary = "wall-clock read breaks deterministic replay"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_any(project.DETERMINISTIC_MODULE_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            func = node.func
+            base = _last_component(func.value)
+            banned = project.WALL_CLOCK_CALLS.get(base or "")
+            if banned and func.attr in banned:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{base}.{func.attr}() reads the wall clock; "
+                    "deterministic modules must take time as a parameter "
+                    "(injectable clock)",
+                )
+
+
+# -------------------------------------------------------------- the registry
+
+ALL_RULES: Tuple[Rule, ...] = (
+    BareExceptRule(),
+    MutableDefaultRule(),
+    ShadowedBuiltinRule(),
+    UnusedImportRule(),
+    UnreachableCodeRule(),
+    LockNestingRule(),
+    VersionStampRule(),
+    CacheGuardRule(),
+    TracerNameRule(),
+    ShimCallerRule(),
+    UnseededRandomRule(),
+    WallClockRule(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

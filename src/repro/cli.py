@@ -11,7 +11,8 @@ Commands:
 * ``serve-sim`` — run the concurrent crowd-serving simulation: many query
   sessions, a shared crowd with injected timeouts and departures, N worker
   threads (see :mod:`repro.service`);
-* ``figures`` — regenerate one of the paper's figures and print its table.
+* ``figures`` — regenerate one of the paper's figures and print its table;
+* ``lint`` — run the project-invariant linter (:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -106,6 +107,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_fig.add_argument("--trials", type=int, default=3)
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the project-invariant linter (see docs/ANALYSIS.md)",
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the machine-readable report")
+    p_lint.add_argument("--rules",
+                        help="comma-separated rule ids to run (default: all)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
     args = parser.parse_args(argv)
     if args.command == "parse":
         return _cmd_parse(args)
@@ -117,6 +131,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_sim(args)
     if args.command == "figures":
         return _cmd_figures(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     parser.error("unknown command")
     return 2
 
@@ -288,6 +304,19 @@ def _cmd_serve_sim(args) -> int:
         print("concurrent MSPs diverged from serial execution", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis.lint import main as lint_main
+
+    forwarded: List[str] = list(args.paths)
+    if args.json:
+        forwarded.append("--json")
+    if args.rules:
+        forwarded.extend(["--rules", args.rules])
+    if args.list_rules:
+        forwarded.append("--list-rules")
+    return lint_main(forwarded)
 
 
 def _cmd_figures(args) -> int:

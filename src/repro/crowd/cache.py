@@ -21,10 +21,10 @@ which member said what, in which order it was collected.
 from __future__ import annotations
 
 import json
-import threading
 from collections import defaultdict
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
+from ..analysis.lockcheck import named_lock
 from ..observability import count as _obs_count
 
 
@@ -34,7 +34,7 @@ class CrowdCache:
     def __init__(self) -> None:
         # assignment -> list of (member_id, support), in arrival order
         self._answers: Dict[Hashable, List[Tuple[str, float]]] = defaultdict(list)
-        self._lock = threading.Lock()
+        self._lock = named_lock("crowd.cache")
         self.hits = 0
         self.misses = 0
 

@@ -14,7 +14,6 @@ there, not in the abstract integer DAGs of Figure 5.
 
 from __future__ import annotations
 
-import itertools
 import random
 from typing import Dict, List, Sequence
 

@@ -33,6 +33,15 @@ from .core import (
     span,
     tracing,
 )
+from .names import (
+    ALL_NAMES,
+    COUNTER_NAMES,
+    SPAN_NAMES,
+    is_registered_counter,
+    is_registered_span,
+    registered_names,
+    unregistered_names,
+)
 from .report import (
     REPORT_VERSION,
     build_report,
@@ -43,7 +52,10 @@ from .report import (
 )
 
 __all__ = [
+    "ALL_NAMES",
+    "COUNTER_NAMES",
     "REPORT_VERSION",
+    "SPAN_NAMES",
     "SpanNode",
     "Tracer",
     "build_report",
@@ -54,8 +66,12 @@ __all__ = [
     "enable",
     "enabled",
     "get_tracer",
+    "is_registered_counter",
+    "is_registered_span",
+    "registered_names",
     "render_report",
     "render_spans",
     "span",
     "tracing",
+    "unregistered_names",
 ]

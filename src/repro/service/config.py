@@ -42,6 +42,6 @@ class ServiceConfig:
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
 
-    def override(self, **changes) -> "ServiceConfig":
+    def override(self, **changes: object) -> "ServiceConfig":
         """A copy with the given fields replaced."""
         return dataclasses.replace(self, **changes)

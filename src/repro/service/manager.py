@@ -36,18 +36,31 @@ Everything here emits ``service.*`` counters and spans; see
 
 from __future__ import annotations
 
-import threading
 import time
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
+from ..analysis.lockcheck import named_lock
 from ..assignments.assignment import Assignment
 from ..crowd.cache import CrowdCache
-from ..engine.queue_manager import AnswerOutcome
+from ..engine.queue_manager import AnswerOutcome, PendingQuestion
 from ..oassisql.ast import Query
 from ..observability import count as _obs_count, span as _obs_span
 from ..ontology.facts import Fact, FactSet
+from ..vocabulary.terms import Term
 from .config import ServiceConfig
-from .session import QuerySession, SessionState
+from .session import QuerySession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import OassisEngine
 
 #: identifies one dispatched question: (session_id, member_id, assignment)
 DispatchKey = Tuple[str, str, Assignment]
@@ -77,7 +90,7 @@ class DispatchedQuestion:
         attempt: int,
         issued_at: float,
         deadline: float,
-    ):
+    ) -> None:
         self.session_id = session_id
         self.member_id = member_id
         self.assignment = assignment
@@ -103,17 +116,17 @@ class SessionManager:
 
     def __init__(
         self,
-        engine,
+        engine: "OassisEngine",
         *,
         config: Optional[ServiceConfig] = None,
-        clock=None,
-        **overrides,
-    ):
+        clock: Optional[Callable[[], float]] = None,
+        **overrides: object,
+    ) -> None:
         self.engine = engine
         base = config if config is not None else ServiceConfig()
         self.config = base.override(**overrides) if overrides else base
         self.clock = clock if clock is not None else time.monotonic
-        self._lock = threading.Lock()
+        self._lock = named_lock("service.manager")
         self._sessions: Dict[str, QuerySession] = {}
         self._members: List[str] = []
         self._in_flight: Dict[DispatchKey, DispatchedQuestion] = {}
@@ -289,7 +302,9 @@ class SessionManager:
             _obs_count("service.questions.dispatched", len(batch))
         return batch
 
-    def _issue(self, session_id, question, now) -> DispatchedQuestion:
+    def _issue(
+        self, session_id: str, question: PendingQuestion, now: float
+    ) -> DispatchedQuestion:
         key = (session_id, question.member_id, question.assignment)
         with self._lock:
             attempt = self._attempts.get(key, 0) + 1
@@ -347,7 +362,7 @@ class SessionManager:
         return outcome
 
     def submit_prune(
-        self, question: DispatchedQuestion, value
+        self, question: DispatchedQuestion, value: Term
     ) -> AnswerOutcome:
         """Record a user-guided pruning click on a dispatched question."""
         key = question.key
@@ -471,7 +486,9 @@ class SessionManager:
 
     # --------------------------------------------------------------- helpers
 
-    def _drop_keys(self, predicate) -> List[DispatchKey]:
+    def _drop_keys(
+        self, predicate: Callable[[DispatchKey], bool]
+    ) -> List[DispatchKey]:
         """Remove matching dispatch bookkeeping; caller holds the lock."""
         dropped = [key for key in self._in_flight if predicate(key)]
         for key in dropped:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import queue as queue_module
 import threading
 import time
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
 from ..crowd.member import CrowdMember
 from ..crowd.questions import ConcreteQuestion
@@ -54,7 +54,7 @@ class MemberScript:
         *,
         drop_every: int = 0,
         depart_after: Optional[int] = None,
-    ):
+    ) -> None:
         self.member = member
         self.member_id = member.member_id
         self.drop_every = drop_every
@@ -92,7 +92,7 @@ class ServiceRunner:
         batch_size: Optional[int] = None,
         poll_interval: float = 0.002,
         max_runtime: float = 60.0,
-    ):
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.manager = manager

@@ -23,10 +23,10 @@ deadlock against the manager or against each other.
 from __future__ import annotations
 
 import enum
-import threading
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Collection, Dict, Iterable, List, Tuple
 
+from ..analysis.lockcheck import named_rlock
 from ..assignments.assignment import Assignment
 from ..crowd.cache import CrowdCache
 from ..engine.queue_manager import AnswerOutcome, PendingQuestion, QueueManager
@@ -53,13 +53,13 @@ class QuerySession:
         queue: QueueManager,
         cache: CrowdCache,
         include_invalid: bool = False,
-    ):
+    ) -> None:
         self.session_id = session_id
         self.query = query
         self.queue = queue
         self.cache = cache
         self.include_invalid = include_invalid
-        self.lock = threading.RLock()
+        self.lock = named_rlock("service.session")
         self.state = SessionState.OPEN
         self.resumed_answers = 0
         # member -> cached (assignment, support) pairs, filled on resume so
@@ -121,7 +121,7 @@ class QuerySession:
     # -------------------------------------------------------------- dispatch
 
     def next_fresh(
-        self, member_id: str, k: int, exclude=()
+        self, member_id: str, k: int, exclude: Collection[Assignment] = ()
     ) -> List[PendingQuestion]:
         """Up to ``k`` not-yet-dispatched questions for ``member_id``."""
         with self.lock:
@@ -171,7 +171,7 @@ class QuerySession:
 
     # ------------------------------------------------------------ completion
 
-    def has_work(self, member_ids) -> bool:
+    def has_work(self, member_ids: Iterable[str]) -> bool:
         """Is there anything left to dispatch or wait for?
 
         True when a question is still handed out, or any of the given

@@ -12,12 +12,13 @@ is the service layer's correctness oracle (``verify=True``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..crowd.member import CrowdMember
 from ..datasets import culinary, health, running_example, travel
 from ..datasets.base import DomainDataset
 from ..engine.engine import OassisEngine
+from .manager import SessionManager
 from .runner import MemberScript, ServiceRunner
 
 
@@ -35,14 +36,14 @@ class _DemoDataset:
         "SUPPORT = 0.4", "SUPPORT = {threshold}"
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.ontology = running_example.build_ontology()
         self._database = running_example.build_personal_databases()["u1"]
 
     def query(self, threshold: float = 0.4) -> str:
         return self._template.format(threshold=threshold)
 
-    def build_crowd(self, size: int = 1, seed: int = 0, **_) -> List[CrowdMember]:
+    def build_crowd(self, size: int = 1, seed: int = 0, **_: object) -> List[CrowdMember]:
         return [
             CrowdMember(f"u{index}", self._database, self.ontology.vocabulary)
             for index in range(size)
@@ -167,7 +168,7 @@ def run_simulation(
 
 def _verify_against_serial(
     engine: OassisEngine,
-    manager,
+    manager: SessionManager,
     queries: Dict[str, str],
     dataset: DomainDataset,
     crowd_size: int,

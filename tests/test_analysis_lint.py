@@ -1,0 +1,532 @@
+"""Fixture-based tests for the project-invariant linter.
+
+Each rule gets a seeded violation (written under ``tmp_path`` with a
+path that mimics the real ``repro/...`` layout, since the project rules
+key on module suffixes) and a clean counterpart that must stay silent.
+The merged source tree itself is also linted and must be clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_file, main, run_lint
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def lint(tmp_path, *rules):
+    return run_lint([str(tmp_path)], rule_ids=sorted(rules) or None)
+
+
+def rule_ids(result):
+    return [finding.rule for finding in result.findings]
+
+
+class TestHygieneRules:
+    def test_bare_except_fires(self, tmp_path):
+        write(tmp_path, "mod.py", "try:\n    pass\nexcept:\n    pass\n")
+        result = lint(tmp_path, "bare-except")
+        assert rule_ids(result) == ["bare-except"]
+        assert result.findings[0].line == 3
+
+    def test_typed_except_is_silent(self, tmp_path):
+        write(tmp_path, "mod.py", "try:\n    pass\nexcept ValueError:\n    pass\n")
+        assert lint(tmp_path, "bare-except").findings == []
+
+    def test_mutable_default_literal_and_factory(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "from collections import defaultdict\n"
+            "def f(a=[]):\n    return a\n"
+            "def g(b=defaultdict(list)):\n    return b\n"
+            "def h(c=None, *, d=()):\n    return c, d\n",
+        )
+        result = lint(tmp_path, "mutable-default")
+        assert rule_ids(result) == ["mutable-default"] * 2
+
+    def test_shadowed_builtin_variants(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "def f(id):\n    return id\n"
+            "list = [1]\n"
+            "for type in (1, 2):\n    pass\n",
+        )
+        result = lint(tmp_path, "shadowed-builtin")
+        assert rule_ids(result) == ["shadowed-builtin"] * 3
+
+    def test_class_attribute_does_not_shadow(self, tmp_path):
+        # class-namespace bindings (like the rule classes' own `id`
+        # attribute) are not shadowing
+        write(tmp_path, "mod.py", "class Rule:\n    id = 'x'\n    def len(self):\n        return 0\n")
+        assert lint(tmp_path, "shadowed-builtin").findings == []
+
+    def test_unused_import_fires(self, tmp_path):
+        write(tmp_path, "mod.py", "import json\nimport sys\nprint(sys.argv)\n")
+        result = lint(tmp_path, "unused-import")
+        assert rule_ids(result) == ["unused-import"]
+        assert "json" in result.findings[0].message
+
+    def test_string_annotation_counts_as_use(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from decimal import Decimal\n"
+            "def f(x: \"Decimal\") -> None:\n    return None\n",
+        )
+        assert lint(tmp_path, "unused-import").findings == []
+
+    def test_package_init_without_all_is_exempt(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "import json\n")
+        assert lint(tmp_path, "unused-import").findings == []
+
+    def test_package_init_with_all_is_checked(self, tmp_path):
+        write(
+            tmp_path,
+            "pkg/__init__.py",
+            "import json\nimport sys\n__all__ = [\"json\"]\n",
+        )
+        result = lint(tmp_path, "unused-import")
+        assert rule_ids(result) == ["unused-import"]
+        assert "sys" in result.findings[0].message
+
+    def test_unreachable_code_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "def f():\n    return 1\n    print('dead')\n",
+        )
+        result = lint(tmp_path, "unreachable-code")
+        assert rule_ids(result) == ["unreachable-code"]
+        assert result.findings[0].line == 3
+
+
+class TestLockNestingRule:
+    def test_nested_with_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/manager.py",
+            "class SessionManager:\n"
+            "    def bad(self, session):\n"
+            "        with self._lock:\n"
+            "            with session.lock:\n"
+            "                pass\n",
+        )
+        result = lint(tmp_path, "lock-nesting")
+        assert rule_ids(result) == ["lock-nesting"]
+        assert "session lock acquired" in result.findings[0].message
+
+    def test_session_call_under_manager_lock_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/manager.py",
+            "class SessionManager:\n"
+            "    def bad(self, session, member_id):\n"
+            "        with self._lock:\n"
+            "            return session.next_fresh(member_id, 1)\n",
+        )
+        result = lint(tmp_path, "lock-nesting")
+        assert rule_ids(result) == ["lock-nesting"]
+        assert "next_fresh" in result.findings[0].message
+
+    def test_manager_call_under_session_lock_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/session.py",
+            "class QuerySession:\n"
+            "    def bad(self, manager, session):\n"
+            "        with session.lock:\n"
+            "            manager.reap_expired()\n",
+        )
+        result = lint(tmp_path, "lock-nesting")
+        assert rule_ids(result) == ["lock-nesting"]
+        assert "reap_expired" in result.findings[0].message
+
+    def test_sequential_sections_are_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/manager.py",
+            "class SessionManager:\n"
+            "    def good(self, session, member_id):\n"
+            "        with self._lock:\n"
+            "            state = dict(self._dispatched)\n"
+            "        return session.next_fresh(member_id, 1)\n",
+        )
+        assert lint(tmp_path, "lock-nesting").findings == []
+
+    def test_nested_function_resets_held_lock(self, tmp_path):
+        # a closure defined under the lock runs later, outside it
+        write(
+            tmp_path,
+            "repro/service/manager.py",
+            "class SessionManager:\n"
+            "    def good(self, session):\n"
+            "        with self._lock:\n"
+            "            def later():\n"
+            "                return session.msps()\n"
+            "            self._callbacks.append(later)\n",
+        )
+        assert lint(tmp_path, "lock-nesting").findings == []
+
+    def test_other_packages_are_out_of_scope(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/other.py",
+            "def f(self, session):\n"
+            "    with self._lock:\n"
+            "        with session.lock:\n"
+            "            pass\n",
+        )
+        assert lint(tmp_path, "lock-nesting").findings == []
+
+
+class TestVersionStampRule:
+    HEADER = "class PartialOrder:\n"
+
+    def test_mutation_without_stamp_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/vocabulary/orders.py",
+            self.HEADER
+            + "    def add_edge(self, a, b):\n"
+            "        self._children[a].add(b)\n",
+        )
+        result = lint(tmp_path, "version-stamp")
+        assert rule_ids(result) == ["version-stamp"]
+        assert "add_edge" in result.findings[0].message
+
+    def test_touch_call_silences(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/vocabulary/orders.py",
+            self.HEADER
+            + "    def add_edge(self, a, b):\n"
+            "        self._children[a].add(b)\n"
+            "        self._invalidate()\n",
+        )
+        assert lint(tmp_path, "version-stamp").findings == []
+
+    def test_version_assignment_silences(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/ontology/graph.py",
+            "class Ontology:\n"
+            "    def add(self, fact):\n"
+            "        self._facts.add(fact)\n"
+            "        self.version += 1\n",
+        )
+        assert lint(tmp_path, "version-stamp").findings == []
+
+    def test_ontology_mutation_without_stamp_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/ontology/graph.py",
+            "class Ontology:\n"
+            "    def add(self, fact):\n"
+            "        self._facts.add(fact)\n",
+        )
+        assert rule_ids(lint(tmp_path, "version-stamp")) == ["version-stamp"]
+
+    def test_copy_into_fresh_object_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/vocabulary/orders.py",
+            self.HEADER
+            + "    def copy(self):\n"
+            "        dup = PartialOrder()\n"
+            "        dup._children.update(self._children)\n"
+            "        return dup\n",
+        )
+        assert lint(tmp_path, "version-stamp").findings == []
+
+
+class TestCacheGuardRule:
+    def test_public_method_without_guard_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/sparql/engine.py",
+            "class SparqlEngine:\n"
+            "    def solutions(self, query):\n"
+            "        return self._memo[query]\n",
+        )
+        result = lint(tmp_path, "cache-guard")
+        assert rule_ids(result) == ["cache-guard"]
+        assert "solutions" in result.findings[0].message
+
+    def test_guard_call_silences(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/sparql/engine.py",
+            "class SparqlEngine:\n"
+            "    def solutions(self, query):\n"
+            "        self._check_caches()\n"
+            "        return self._memo[query]\n",
+        )
+        assert lint(tmp_path, "cache-guard").findings == []
+
+    def test_private_methods_are_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/sparql/engine.py",
+            "class SparqlEngine:\n"
+            "    def _lookup(self, query):\n"
+            "        return self._memo[query]\n",
+        )
+        assert lint(tmp_path, "cache-guard").findings == []
+
+
+class TestTracerNameRule:
+    def test_unregistered_counter_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/mod.py",
+            "from repro.observability import count\n"
+            "count('mining.not.a.registered.name')\n",
+        )
+        result = lint(tmp_path, "tracer-name")
+        assert rule_ids(result) == ["tracer-name"]
+
+    def test_registered_names_are_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/mod.py",
+            "from repro.observability import count, span\n"
+            "count('cache.hits')\n"
+            "with span('mine.vertical'):\n"
+            "    pass\n",
+        )
+        assert lint(tmp_path, "tracer-name").findings == []
+
+    def test_str_count_is_not_an_instrumentation_call(self, tmp_path):
+        write(tmp_path, "mod.py", "n = 'a.b.c'.count('.')\n")
+        assert lint(tmp_path, "tracer-name").findings == []
+
+    def test_unregistered_span_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/engine/mod.py",
+            "from repro.observability import span\n"
+            "with span('engine.bogus.phase'):\n"
+            "    pass\n",
+        )
+        assert rule_ids(lint(tmp_path, "tracer-name")) == ["tracer-name"]
+
+
+class TestShimCallerRule:
+    def test_importing_shim_helper_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/mod.py",
+            "from repro.engine.config import warn_deprecated\n"
+            "warn_deprecated('k', 'm')\n",
+        )
+        result = lint(tmp_path, "shim-caller")
+        assert rule_ids(result) == ["shim-caller"] * 2
+
+    def test_legacy_engine_kwargs_fire(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "engine = OassisEngine(ontology, max_values_per_var=2)\n",
+        )
+        result = lint(tmp_path, "shim-caller")
+        assert rule_ids(result) == ["shim-caller"]
+        assert "EngineConfig" in result.findings[0].message
+
+    def test_legacy_positional_tail_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "manager = engine.queue_manager(query, 2)\n",
+        )
+        result = lint(tmp_path, "shim-caller")
+        assert rule_ids(result) == ["shim-caller"]
+        assert "queue_manager" in result.findings[0].message
+
+    def test_modern_calls_are_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/experiments/mod.py",
+            "engine = OassisEngine(ontology, config=EngineConfig())\n"
+            "manager = engine.queue_manager(query, sample_size=2)\n"
+            "result = engine.execute(query, crowd)\n",
+        )
+        assert lint(tmp_path, "shim-caller").findings == []
+
+    def test_shim_home_modules_are_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/engine/engine.py",
+            "from .config import warn_deprecated\n"
+            "warn_deprecated('k', 'm')\n",
+        )
+        assert lint(tmp_path, "shim-caller").findings == []
+
+
+class TestDeterminismRules:
+    def test_global_random_fires_in_mining(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/mod.py",
+            "import random\nx = random.random()\n",
+        )
+        result = lint(tmp_path, "unseeded-random")
+        assert rule_ids(result) == ["unseeded-random"]
+
+    def test_from_import_of_global_rng_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/crowd/simulation.py",
+            "from random import shuffle\n",
+        )
+        assert rule_ids(lint(tmp_path, "unseeded-random")) == ["unseeded-random"]
+
+    def test_seeded_instance_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/mod.py",
+            "import random\nrng = random.Random(0)\nx = rng.random()\n",
+        )
+        assert lint(tmp_path, "unseeded-random").findings == []
+
+    def test_global_random_outside_core_is_silent(self, tmp_path):
+        write(tmp_path, "repro/cli.py", "import random\nx = random.random()\n")
+        assert lint(tmp_path, "unseeded-random").findings == []
+
+    def test_wall_clock_fires_in_mining(self, tmp_path):
+        write(tmp_path, "repro/mining/mod.py", "import time\nt = time.time()\n")
+        assert rule_ids(lint(tmp_path, "wall-clock")) == ["wall-clock"]
+
+    def test_wall_clock_outside_core_is_silent(self, tmp_path):
+        write(tmp_path, "repro/service/mod.py", "import time\nt = time.time()\n")
+        assert lint(tmp_path, "wall-clock").findings == []
+
+
+class TestSuppressions:
+    def test_line_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "try:\n    pass\nexcept:  # repro-lint: disable=bare-except\n    pass\n",
+        )
+        result = lint(tmp_path, "bare-except")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_line_suppression_of_other_rule_does_not_apply(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "try:\n    pass\nexcept:  # repro-lint: disable=wall-clock\n    pass\n",
+        )
+        result = lint(tmp_path, "bare-except")
+        assert rule_ids(result) == ["bare-except"]
+
+    def test_disable_all_on_line(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "import json  # repro-lint: disable=all\n",
+        )
+        result = lint(tmp_path, "unused-import")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_file_level_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "# repro-lint: disable-file=unused-import\nimport json\nimport sys\n",
+        )
+        result = lint(tmp_path, "unused-import")
+        assert result.findings == []
+        assert result.suppressed == 2
+
+
+class TestDriver:
+    def test_parse_error_is_reported_not_raised(self, tmp_path):
+        path = write(tmp_path, "mod.py", "def broken(:\n")
+        findings, suppressed = lint_file(path, ALL_RULES)
+        assert [f.rule for f in findings] == ["parse-error"]
+        assert suppressed == 0
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        write(tmp_path, "mod.py", "x = 1\n")
+        with pytest.raises(KeyError):
+            run_lint([str(tmp_path)], rule_ids=["no-such-rule"])
+
+    def test_every_rule_has_id_and_summary(self):
+        for rule in ALL_RULES:
+            assert rule.id and rule.summary
+        assert len(RULES_BY_ID) == len(ALL_RULES)
+
+    def test_real_tree_is_clean(self):
+        result = run_lint([str(REPO_SRC)])
+        assert result.ok, [f.render() for f in result.errors]
+
+
+class TestMainExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_errors_exit_one(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "import json\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "unused-import" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1\n")
+        assert main([str(tmp_path), "--rules", "bogus"]) == 2
+
+    def test_json_report(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "import json\n")
+        assert main([str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["errors"] == 1
+        assert payload["findings"][0]["rule"] == "unused-import"
+
+    def test_suppressions_honored_end_to_end(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "mod.py",
+            "import json  # repro-lint: disable=unused-import\n",
+        )
+        assert main([str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["suppressed"] == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ALL_RULES:
+            assert rule.id in out
+
+    def test_rule_selection(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "import json\ntry:\n    pass\nexcept:\n    pass\n")
+        assert main([str(tmp_path), "--rules", "bare-except"]) == 1
+        out = capsys.readouterr().out
+        assert "bare-except" in out
+        assert "unused-import" not in out

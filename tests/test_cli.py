@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -88,3 +90,75 @@ class TestRunCommand:
         assert main(
             ["run", "--ontology", ontology_file, "--query", str(query)]
         ) == 2
+
+
+class TestServeSimCommand:
+    ARGS = [
+        "serve-sim", "--sessions", "2", "--workers", "2",
+        "--crowd-size", "3", "--drop-every", "0", "--departures", "0",
+    ]
+
+    def test_serve_sim_text_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "2 session(s), 2 worker(s)" in out
+        assert "serial MSP check: identical" in out
+
+    def test_serve_sim_json_report(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verified"] is True
+        assert report["timed_out"] is False
+        assert len(report["sessions"]) == 2
+
+    def test_serve_sim_no_verify_skips_oracle(self, capsys):
+        assert main(self.ARGS + ["--no-verify", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "verified" not in report
+
+    def test_serve_sim_unknown_domain_errors(self, capsys):
+        with pytest.raises(ValueError, match="unknown domain"):
+            main(self.ARGS + ["--domain", "bogus"])
+
+
+class TestLintCommand:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("x = 1\n")
+        assert main(["lint", str(target)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_dirty_file_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import json\n")
+        assert main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "unused-import" in out
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import json\n")
+        assert main(["lint", str(target), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["errors"] == 1
+        assert report["findings"][0]["rule"] == "unused-import"
+
+    def test_lint_suppression_honored(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import json  # repro-lint: disable=unused-import\n")
+        assert main(["lint", str(target)]) == 0
+        assert "1 suppressed" in capsys.readouterr().out
+
+    def test_lint_rule_selection(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import json\n")
+        assert main(["lint", str(target), "--rules", "bare-except"]) == 0
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-nesting" in out
+        assert "version-stamp" in out
+
+    def test_lint_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent")]) == 2

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datasets import all_domains, culinary, health, travel
-from repro.engine import OassisEngine
+from repro.engine import EngineConfig, OassisEngine
 from repro.oassisql import parse_query, validate
 
 
@@ -54,7 +54,9 @@ class TestDomainConstruction:
 class TestDomainSemantics:
     def test_travel_query_space_has_invalid_generals(self):
         ds = travel.build_dataset()
-        engine = OassisEngine(ds.ontology, max_values_per_var=1, max_more_facts=0)
+        engine = OassisEngine(
+            ds.ontology, config=EngineConfig(max_values_per_var=1, max_more_facts=0)
+        )
         query = engine.parse(ds.query(0.2))
         space = engine.build_space(query)
         (root,) = space.roots()
@@ -65,7 +67,9 @@ class TestDomainSemantics:
     def test_class_queries_have_valid_roots(self):
         for module in (culinary, health):
             ds = module.build_dataset()
-            engine = OassisEngine(ds.ontology, max_values_per_var=1)
+            engine = OassisEngine(
+                ds.ontology, config=EngineConfig(max_values_per_var=1)
+            )
             query = engine.parse(ds.query(0.2))
             space = engine.build_space(query)
             for root in space.roots():

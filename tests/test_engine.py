@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import CrowdCache, CrowdMember, OassisEngine
+from repro import CrowdCache, CrowdMember, EngineConfig, OassisEngine
 from repro.datasets import running_example
 from repro.oassisql import ValidationError
 from repro.vocabulary import Element
@@ -33,7 +33,9 @@ class AverageMember(CrowdMember):
 def setting():
     ontology = running_example.build_ontology()
     dbs = running_example.build_personal_databases()
-    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     vocab = ontology.vocabulary
     # five u_avg members so the 5-answer aggregator can decide (Example 4.6)
     members = [AverageMember(f"avg-{i}", dbs, vocab) for i in range(5)]

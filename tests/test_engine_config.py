@@ -83,6 +83,24 @@ class TestDeprecationShims:
             with pytest.raises(TypeError):
                 engine.queue_manager(query, 2, sample_size=3)
 
+    def test_reset_makes_warning_fire_again(self, ontology):
+        """Regression: warn-once state must not leak across tests.
+
+        The autouse ``fresh_warning_state`` fixture resets the module-level
+        ``_warned`` set around every test; this proves the reset actually
+        re-arms the warning (if it leaked, the second engine construction
+        here would stay silent and so would the *next test module's*).
+        """
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            OassisEngine(ontology, max_values_per_var=2)
+            reset_deprecation_warnings()
+            OassisEngine(ontology, max_values_per_var=2)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2
+
     def test_new_style_call_does_not_warn(self, ontology):
         engine = OassisEngine(ontology, config=EngineConfig(sample_size=3))
         query = engine.parse(running_example.FRAGMENT_QUERY)

@@ -1,0 +1,198 @@
+"""The dynamic lock-order checker: wrappers, graph, cycle detection."""
+
+import threading
+
+import pytest
+
+from repro.analysis.lockcheck import (
+    LockOrderChecker,
+    LockOrderError,
+    TrackedLock,
+    TrackedRLock,
+    checking,
+    current_checker,
+    install,
+    named_lock,
+    named_rlock,
+    uninstall,
+)
+
+
+class TestFactories:
+    def test_plain_locks_without_checker(self):
+        assert current_checker() is None
+        lock = named_lock("service.manager")
+        rlock = named_rlock("service.session")
+        assert not isinstance(lock, TrackedLock)
+        assert not isinstance(rlock, TrackedRLock)
+        with lock:
+            pass
+        with rlock:
+            with rlock:  # still reentrant
+                pass
+
+    def test_tracked_locks_with_checker(self):
+        with checking() as checker:
+            lock = named_lock("service.manager")
+            rlock = named_rlock("service.session")
+            assert isinstance(lock, TrackedLock)
+            assert isinstance(rlock, TrackedRLock)
+            assert lock.role == "service.manager"
+            assert current_checker() is checker
+        assert current_checker() is None
+
+    def test_double_install_raises(self):
+        install(LockOrderChecker())
+        try:
+            with pytest.raises(RuntimeError):
+                install(LockOrderChecker())
+        finally:
+            uninstall()
+
+    def test_uninstalled_checker_keeps_graph_readable(self):
+        with checking() as checker:
+            a = named_lock("role.a")
+            b = named_lock("role.b")
+            with a:
+                with b:
+                    pass
+        assert ("role.a", "role.b") in checker.observed
+        assert checker.edge_list() == [("role.a", "role.b")]
+
+
+class TestOrdering:
+    def test_consistent_order_is_fine(self):
+        with checking() as checker:
+            a = named_lock("role.a")
+            b = named_lock("role.b")
+            for _ in range(3):
+                with a:
+                    with b:
+                        pass
+            assert checker.violations == []
+
+    def test_reversed_order_raises_before_blocking(self):
+        with checking() as checker:
+            a = named_lock("role.a")
+            b = named_lock("role.b")
+            with a:
+                with b:
+                    pass
+            with pytest.raises(LockOrderError) as exc:
+                with b:
+                    with a:
+                        pass
+            assert "cycle" in str(exc.value)
+            assert checker.violations
+
+    def test_three_role_cycle_detected(self):
+        with checking():
+            a = named_lock("role.a")
+            b = named_lock("role.b")
+            c = named_lock("role.c")
+            with a:
+                with b:
+                    pass
+            with b:
+                with c:
+                    pass
+            with pytest.raises(LockOrderError):
+                with c:
+                    with a:
+                        pass
+
+    def test_two_instances_of_same_role_raise(self):
+        # two QuerySession locks nested: no defined order between
+        # sessions, so this is a deadlock waiting for the reverse
+        # interleaving
+        with checking():
+            s1 = named_rlock("service.session")
+            s2 = named_rlock("service.session")
+            with pytest.raises(LockOrderError) as exc:
+                with s1:
+                    with s2:
+                        pass
+            assert "no defined order" in str(exc.value)
+
+    def test_rlock_reentrancy_is_not_an_ordering_event(self):
+        with checking() as checker:
+            rlock = named_rlock("service.session")
+            with rlock:
+                with rlock:
+                    pass
+            assert checker.violations == []
+            assert checker.observed == set()
+
+    def test_nonreentrant_self_reacquire_raises(self):
+        with checking():
+            lock = named_lock("role.a")
+            with pytest.raises(LockOrderError) as exc:
+                with lock:
+                    with lock:
+                        pass
+            assert "self-deadlock" in str(exc.value)
+
+    def test_cross_thread_edges_are_merged(self):
+        # thread 1 establishes a->b; the main thread's b->a must fail
+        with checking():
+            a = named_lock("role.a")
+            b = named_lock("role.b")
+
+            def establish():
+                with a:
+                    with b:
+                        pass
+
+            worker = threading.Thread(target=establish)
+            worker.start()
+            worker.join()
+            with pytest.raises(LockOrderError):
+                with b:
+                    with a:
+                        pass
+
+
+class TestForbiddenPairs:
+    CONTRACT = [("service.manager", "service.session")]
+
+    def test_manager_then_session_raises(self):
+        # the deliberate violation of the docs/SERVICE.md contract: the
+        # manager lock and a session lock held together
+        with checking(forbid_together=self.CONTRACT) as checker:
+            manager = named_lock("service.manager")
+            session = named_rlock("service.session")
+            with pytest.raises(LockOrderError) as exc:
+                with manager:
+                    with session:
+                        pass
+            assert "never be held together" in str(exc.value)
+            assert checker.violations
+
+    def test_session_then_manager_raises(self):
+        with checking(forbid_together=self.CONTRACT):
+            manager = named_lock("service.manager")
+            session = named_rlock("service.session")
+            with pytest.raises(LockOrderError):
+                with session:
+                    with manager:
+                        pass
+
+    def test_unrelated_roles_are_unaffected(self):
+        with checking(forbid_together=self.CONTRACT) as checker:
+            session = named_rlock("service.session")
+            cache = named_lock("crowd.cache")
+            with session:
+                with cache:
+                    pass
+            assert checker.violations == []
+            assert ("service.session", "crowd.cache") in checker.observed
+
+    def test_release_reopens_the_pair(self):
+        with checking(forbid_together=self.CONTRACT) as checker:
+            manager = named_lock("service.manager")
+            session = named_rlock("service.session")
+            with manager:
+                pass
+            with session:
+                pass
+            assert checker.violations == []

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro import CrowdMember, OassisEngine
+from repro import CrowdMember, EngineConfig, OassisEngine
 from repro.datasets import running_example
 from repro.observability import (
     REPORT_VERSION,
@@ -16,10 +16,14 @@ from repro.observability import (
     enable,
     enabled,
     get_tracer,
+    is_registered_counter,
+    is_registered_span,
+    registered_names,
     render_report,
     render_spans,
     span,
     tracing,
+    unregistered_names,
 )
 from repro.observability.core import _NULL_SPAN
 
@@ -58,7 +62,9 @@ class AverageMember(CrowdMember):
 def setting():
     ontology = running_example.build_ontology()
     dbs = running_example.build_personal_databases()
-    engine = OassisEngine(ontology, max_values_per_var=2, max_more_facts=1)
+    engine = OassisEngine(
+        ontology, config=EngineConfig(max_values_per_var=2, max_more_facts=1)
+    )
     members = [
         AverageMember(f"avg-{i}", dbs, ontology.vocabulary) for i in range(5)
     ]
@@ -297,3 +303,20 @@ class TestEngineIntegration:
         tracer, _ = traced
         text = render_report(tracer.report())
         assert text.startswith("== observability summary ==")
+
+    def test_every_recorded_name_is_registered(self, traced):
+        # the runtime converse of the static tracer-name lint rule: a
+        # representative traced run records no counter or span the
+        # central registry (repro.observability.names) does not know
+        tracer, _ = traced
+        assert unregistered_names(tracer) == frozenset()
+
+    def test_registry_helpers(self):
+        assert is_registered_counter("crowd.questions")
+        assert not is_registered_counter("engine.execute")
+        assert is_registered_span("engine.execute")
+        assert registered_names("counter") | registered_names("span") == (
+            registered_names()
+        )
+        with pytest.raises(ValueError):
+            registered_names("bogus")

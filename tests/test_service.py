@@ -10,6 +10,7 @@ serial ``engine.execute`` of the same query.
 import pytest
 
 from repro import OassisEngine
+from repro.analysis import lockcheck
 from repro.crowd.questions import ConcreteQuestion
 from repro.engine import AnswerOutcome
 from repro.observability import derive_service, tracing
@@ -21,6 +22,31 @@ from repro.service import (
     run_simulation,
 )
 from repro.service.simulation import DOMAINS, build_identical_crowd
+
+
+#: the docs/SERVICE.md contract: these locks are never held together
+_FORBIDDEN = [
+    ("service.manager", "service.session"),
+]
+
+
+@pytest.fixture(autouse=True)
+def lock_order_checker():
+    """Run every service test under the dynamic lock-order checker.
+
+    Locks created by SessionManager / QuerySession / CrowdCache while a
+    checker is installed are tracked wrappers: any manager/session
+    co-holding or acquisition-order cycle raises LockOrderError instead
+    of deadlocking, so the suite machine-checks the locking contract.
+    """
+    checker = lockcheck.install(
+        lockcheck.LockOrderChecker(forbid_together=_FORBIDDEN)
+    )
+    try:
+        yield checker
+    finally:
+        lockcheck.uninstall()
+    assert checker.violations == []
 
 
 class FakeClock:
