@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint typecheck bench bench-suite serve-bench examples figures stats clean
+.PHONY: install test lint typecheck bench bench-suite serve-bench bench-faults chaos examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,10 +15,10 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
-# mypy is configured in pyproject.toml (strict on repro.analysis and
-# repro.service, lenient elsewhere); requires mypy on PATH
+# mypy is configured in pyproject.toml (strict on repro.analysis,
+# repro.service and repro.faults, lenient elsewhere); requires mypy on PATH
 typecheck:
-	$(PYTHON) -m mypy src/repro/analysis src/repro/service
+	$(PYTHON) -m mypy src/repro/analysis src/repro/service src/repro/faults
 
 # quick perf report: micro-benches + backend A/B equivalence (fails on any
 # mining divergence), then schema/threshold validation of the JSON output
@@ -34,6 +34,17 @@ bench-suite:
 serve-bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --output BENCH_service.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service.py --validate BENCH_service.json
+
+# fault-injection overhead ladder (disabled plan must cost <= 5%) and the
+# kill-vs-uninterrupted MSP recovery identity, then schema validation
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --output BENCH_faults.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --validate BENCH_faults.json
+
+# seeded chaos campaigns (docs/RELIABILITY.md): every durability
+# invariant checked across three fixed seeds; a failing seed reproduces
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --seeds 0,1,2
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,350 @@
+#!/usr/bin/env python
+"""Overhead + recovery report for the fault/durability layer (PR 5).
+
+Two sections, emitted as one JSON document (``BENCH_faults.json``):
+
+* ``overhead`` — a single-threaded dispatch/submit pump over many demo
+  sessions, timed with the fault machinery **absent** (``baseline``: no
+  ``FaultPlan``, plain in-memory :class:`~repro.crowd.cache.CrowdCache`)
+  vs. **constructed but disabled** (``disabled``: an empty ``FaultPlan``
+  threaded through every injection site, breaker off, no WAL).  The
+  disabled path must cost ≤5% over baseline — the robustness layer has
+  to be free when it is off.  Info rows time the WAL journal
+  (``wal``) and the WAL + checkpoints path (``durable``) for context;
+  they are reported, not gated.
+* ``recovery`` — the crash-kill-resume identity check: a WAL-backed,
+  checkpointed session is abandoned mid-run (no close, no flush beyond
+  the journal's own per-append flush — a simulated SIGKILL), restored
+  via :func:`repro.service.restore_session` into a *fresh* manager, and
+  driven to completion.  Its MSP set must equal the uninterrupted serial
+  ``engine.execute`` run of the same query, for every seed tried.
+
+Any gate failure makes the process exit non-zero.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py                # full
+    PYTHONPATH=src python benchmarks/bench_faults.py --quick        # CI-size
+    PYTHONPATH=src python benchmarks/bench_faults.py --validate BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/bench_faults.py` without PYTHONPATH fiddling
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.crowd.journal import DurableCrowdCache
+from repro.crowd.questions import ConcreteQuestion
+from repro.faults import FaultPlan
+from repro.observability import atomic_write_json
+from repro.service import restore_session
+from repro.service.simulation import DEFAULT_THRESHOLDS, DOMAINS, build_identical_crowd
+
+SCHEMA_VERSION = 1
+
+#: the disabled fault/durability machinery may cost at most this much
+MAX_DISABLED_OVERHEAD = 0.05
+#: ...unless the absolute delta is below timer noise at this scale
+NOISE_FLOOR_SECONDS = 0.010
+
+
+def pump(manager, members, *, stop_after=None, batch=4):
+    """Single-threaded dispatch/submit loop; returns answers submitted."""
+    by_id = {m.member_id: m for m in members}
+    for member in members:
+        manager.attach_member(member.member_id)
+    answered = 0
+    while not manager.all_done():
+        progress = False
+        for member_id in manager.members():
+            for question in manager.next_batch(member_id, k=batch):
+                progress = True
+                support = (
+                    by_id[member_id]
+                    .answer_concrete(
+                        ConcreteQuestion(question.assignment, question.fact_set)
+                    )
+                    .support
+                )
+                manager.submit(question, support)
+                answered += 1
+                if stop_after is not None and answered >= stop_after:
+                    return answered
+        if not progress:
+            raise RuntimeError("serial pump stalled with open sessions")
+    return answered
+
+
+def timed_run(engine, dataset, *, sessions, sample_size, crowd_size, seed,
+              faults=None, durable_dir=None, checkpoint_every=0):
+    """One pumped multi-session run; returns (elapsed, answers)."""
+    manager = engine.session_manager(
+        question_timeout=60.0, backoff_base=0.05, faults=faults
+    )
+    caches = []
+    for index in range(sessions):
+        threshold = DEFAULT_THRESHOLDS[index % len(DEFAULT_THRESHOLDS)]
+        session_id = f"bench-{index}"
+        cache = None
+        if durable_dir is not None:
+            cache = DurableCrowdCache(Path(durable_dir) / f"{session_id}.wal")
+            caches.append(cache)
+        session = manager.create_session(
+            dataset.query(threshold),
+            session_id=session_id,
+            sample_size=sample_size,
+            cache=cache,
+        )
+        if checkpoint_every > 0 and durable_dir is not None:
+            session.enable_checkpoints(
+                Path(durable_dir) / f"{session_id}.ckpt.json",
+                every=checkpoint_every,
+            )
+    members = build_identical_crowd(dataset, crowd_size, seed=seed)
+    started = time.perf_counter()
+    answered = pump(manager, members)
+    elapsed = time.perf_counter() - started
+    for cache in caches:
+        cache.close()
+    return elapsed, answered
+
+
+def bench_overhead(engine, dataset, *, sessions, trials, seed):
+    """Best-of-``trials`` timings for each machinery configuration."""
+    configs = {
+        "baseline": {},
+        "disabled": {"faults": FaultPlan(seed=seed)},
+    }
+    rows = {}
+    scratch = Path(tempfile.mkdtemp(prefix="bench-faults-"))
+    try:
+        for name, extra in configs.items():
+            rows[name] = _best_of(
+                engine, dataset, trials, sessions, seed, **extra
+            )
+        rows["wal"] = _best_of(
+            engine, dataset, trials, sessions, seed,
+            durable_dir=scratch / "wal",
+        )
+        rows["durable"] = _best_of(
+            engine, dataset, trials, sessions, seed,
+            durable_dir=scratch / "durable", checkpoint_every=10,
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    baseline = rows["baseline"]["best_seconds"]
+    disabled = rows["disabled"]["best_seconds"]
+    overhead = (disabled - baseline) / baseline if baseline > 0 else 0.0
+    return {
+        "sessions": sessions,
+        "trials": trials,
+        "rows": rows,
+        "disabled_overhead_ratio": round(overhead, 4),
+        "disabled_delta_seconds": round(disabled - baseline, 4),
+        "max_overhead_ratio": MAX_DISABLED_OVERHEAD,
+        "noise_floor_seconds": NOISE_FLOOR_SECONDS,
+        "within_budget": (
+            overhead <= MAX_DISABLED_OVERHEAD
+            or (disabled - baseline) <= NOISE_FLOOR_SECONDS
+        ),
+    }
+
+
+def _best_of(engine, dataset, trials, sessions, seed, **extra):
+    times, answers = [], 0
+    for trial in range(trials):
+        scratch = None
+        if "durable_dir" in extra:
+            # fresh journal directory per trial: replay must not pollute
+            base = Path(extra["durable_dir"])
+            scratch = base / f"trial-{trial}"
+            extra = dict(extra, durable_dir=scratch)
+        elapsed, answers = timed_run(
+            engine, dataset, sessions=sessions, sample_size=3,
+            crowd_size=4, seed=seed, **extra
+        )
+        times.append(elapsed)
+    return {
+        "best_seconds": round(min(times), 4),
+        "mean_seconds": round(sum(times) / len(times), 4),
+        "answers": answers,
+    }
+
+
+def bench_recovery(engine, dataset, *, seeds, kill_after, seed):
+    """Kill-and-resume identity: resumed MSPs == uninterrupted MSPs."""
+    query = dataset.query(0.4)
+    baseline_crowd = build_identical_crowd(dataset, 4, seed=seed, prefix="b")
+    expected = sorted(
+        repr(a)
+        for a in engine.execute(query, baseline_crowd, sample_size=3).all_msps
+    )
+    runs = []
+    for run_seed in seeds:
+        scratch = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
+        try:
+            wal = scratch / "session.wal"
+            ckpt = scratch / "session.ckpt.json"
+            manager = engine.session_manager(
+                question_timeout=60.0, backoff_base=0.05
+            )
+            cache = DurableCrowdCache(wal)
+            session = manager.create_session(
+                query, session_id="recover-me", sample_size=3, cache=cache
+            )
+            session.enable_checkpoints(ckpt, every=5)
+            members = build_identical_crowd(dataset, 4, seed=run_seed)
+            killed_at = pump(manager, members, stop_after=kill_after)
+            # simulated SIGKILL: the manager, session and cache handle are
+            # abandoned; only the flushed journal + checkpoint survive
+            fresh = engine.session_manager(
+                question_timeout=60.0, backoff_base=0.05
+            )
+            started = time.perf_counter()
+            restored = restore_session(
+                fresh, checkpoint_path=ckpt, journal_path=wal
+            )
+            restore_seconds = time.perf_counter() - started
+            pump(fresh, build_identical_crowd(dataset, 4, seed=run_seed))
+            got = sorted(repr(a) for a in restored.msps())
+            restored.cache.close()
+            runs.append(
+                {
+                    "seed": run_seed,
+                    "killed_after_answers": killed_at,
+                    "restore_seconds": round(restore_seconds, 4),
+                    "identical": got == expected,
+                    "msp_count": len(got),
+                }
+            )
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return {
+        "query_threshold": 0.4,
+        "expected_msps": len(expected),
+        "kill_after": kill_after,
+        "runs": runs,
+        "all_identical": all(r["identical"] for r in runs),
+    }
+
+
+def build_report(quick: bool, seed: int) -> dict:
+    dataset = DOMAINS["demo"]()
+    from repro.engine.engine import OassisEngine
+
+    engine = OassisEngine(dataset.ontology)
+    overhead = bench_overhead(
+        engine,
+        dataset,
+        sessions=4 if quick else 12,
+        trials=3 if quick else 5,
+        seed=seed,
+    )
+    recovery = bench_recovery(
+        engine,
+        dataset,
+        seeds=(0, 1) if quick else (0, 1, 2),
+        kill_after=10,
+        seed=seed,
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "faults",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "domain": "demo",
+        "seed": seed,
+        "overhead": overhead,
+        "recovery": recovery,
+    }
+
+
+def validate(report: dict) -> list:
+    """Schema and acceptance checks; returns a list of problems."""
+    problems = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"schema_version != {SCHEMA_VERSION}")
+    overhead = report.get("overhead", {})
+    rows = overhead.get("rows", {})
+    for name in ("baseline", "disabled", "wal", "durable"):
+        row = rows.get(name, {})
+        if not isinstance(row.get("best_seconds"), (int, float)):
+            problems.append(f"overhead.rows.{name}: missing best_seconds")
+    if not overhead.get("within_budget"):
+        problems.append(
+            "disabled-path overhead "
+            f"{overhead.get('disabled_overhead_ratio')} exceeds "
+            f"{overhead.get('max_overhead_ratio')} (delta "
+            f"{overhead.get('disabled_delta_seconds')}s above the "
+            f"{overhead.get('noise_floor_seconds')}s noise floor)"
+        )
+    recovery = report.get("recovery", {})
+    runs = recovery.get("runs", [])
+    if len(runs) < 2:
+        problems.append("recovery: fewer than 2 kill-and-resume runs")
+    for run in runs:
+        if not run.get("identical"):
+            problems.append(
+                f"recovery seed {run.get('seed')}: resumed MSPs diverged "
+                "from the uninterrupted run"
+            )
+    if not recovery.get("all_identical"):
+        problems.append("recovery.all_identical is false")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer sessions/trials/seeds (CI-size)")
+    parser.add_argument("--output", default="BENCH_faults.json")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--validate", metavar="PATH",
+                        help="re-check an existing report; no runs")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        report = json.loads(Path(args.validate).read_text(encoding="utf-8"))
+        problems = validate(report)
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        print(f"{args.validate}: {'FAIL' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    report = build_report(args.quick, args.seed)
+    atomic_write_json(args.output, report)
+    overhead = report["overhead"]
+    for name, row in overhead["rows"].items():
+        print(f"{name:10} {row['best_seconds']:.4f}s "
+              f"({row['answers']} answers)")
+    print(
+        f"disabled-path overhead: {overhead['disabled_overhead_ratio']:+.1%} "
+        f"(budget {overhead['max_overhead_ratio']:.0%}, "
+        f"within={overhead['within_budget']})"
+    )
+    for run in report["recovery"]["runs"]:
+        print(
+            f"recovery seed {run['seed']}: killed after "
+            f"{run['killed_after_answers']} answers, "
+            f"identical={run['identical']}"
+        )
+    print(f"wrote {args.output}")
+    problems = validate(report)
+    for problem in problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ from repro.crowd.personal_db import PersonalDatabase, set_support_backend
 from repro.datasets import culinary, health, travel
 from repro.engine.config import EngineConfig
 from repro.engine.engine import OassisEngine
-from repro.observability import tracing
+from repro.observability import atomic_write_json, tracing
 from repro.ontology.facts import Fact, FactSet
 from repro.synth.taxonomy import random_vocabulary
 from repro.vocabulary.terms import ANY_ELEMENT
@@ -382,7 +382,7 @@ def main(argv=None):
     output = args.output or (
         "BENCH_quick.json" if args.quick else "BENCH_perf.json"
     )
-    Path(output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(output, report)
     print(f"wrote {output}")
 
     failures = check_thresholds(report)

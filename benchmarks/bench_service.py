@@ -33,7 +33,7 @@ if __package__ in (None, ""):
     # allow `python benchmarks/bench_service.py` without PYTHONPATH fiddling
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.observability import derive_service, tracing
+from repro.observability import atomic_write_json, derive_service, tracing
 from repro.service import run_simulation
 
 SCHEMA_VERSION = 1
@@ -154,9 +154,7 @@ def main(argv=None) -> int:
         return 1 if problems else 0
 
     report = build_report(args.quick, args.seed)
-    Path(args.output).write_text(
-        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    atomic_write_json(args.output, report)
     for row in report["runs"]:
         print(
             f"workers={row['workers']}: {row['elapsed_seconds']:.2f}s, "

@@ -168,6 +168,20 @@ LEGACY_POSITIONAL_LIMITS = {
 }
 
 
+# -------------------------------------------------------- error swallowing
+
+#: module prefixes where a broad ``except Exception`` must either log a
+#: counter or re-raise — the concurrent serving/fault layer, where a
+#: silently swallowed error turns into a wedged session with no trace
+SILENT_EXCEPT_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro/service/",
+    "repro/faults/",
+)
+
+#: call names the silent-except rule accepts as "the error was logged"
+COUNTER_CALL_NAMES: FrozenSet[str] = frozenset({"count", "_obs_count"})
+
+
 # ------------------------------------------------------------ determinism
 
 #: module suffixes that must stay deterministic for replay: no global

@@ -17,6 +17,8 @@ only documented prose:
   :mod:`repro.observability.names`;
 * ``shim-caller`` — internal code never calls the PR-3 deprecation
   shims;
+* ``silent-except`` — broad excepts in the serving/fault layer must log
+  a counter or re-raise (``docs/RELIABILITY.md``);
 * ``unseeded-random`` / ``wall-clock`` — core algorithm modules stay
   deterministic for replay.
 
@@ -713,6 +715,55 @@ class ShimCallerRule(Rule):
                 )
 
 
+class SilentExceptRule(Rule):
+    id = "silent-except"
+    severity = Severity.ERROR
+    summary = "broad except swallows the error silently"
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, type_expr: Optional[ast.expr]) -> bool:
+        if type_expr is None:
+            return True  # bare except is the broadest catch of all
+        elements = (
+            list(type_expr.elts)
+            if isinstance(type_expr, ast.Tuple)
+            else [type_expr]
+        )
+        return any(_last_component(e) in self._BROAD for e in elements)
+
+    def _accounts_for_error(self, handler: ast.ExceptHandler) -> bool:
+        """Does the handler re-raise or log an observability counter?"""
+        for statement in handler.body:
+            for node in ast.walk(statement):
+                if isinstance(node, ast.Raise):
+                    return True
+                if isinstance(node, ast.Call):
+                    name = _last_component(node.func)
+                    if name in project.COUNTER_CALL_NAMES:
+                        return True
+        return False
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_any(project.SILENT_EXCEPT_MODULE_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._accounts_for_error(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "broad except swallows the error without logging a counter "
+                "or re-raising; in the serving layer a silent failure turns "
+                "into a wedged session with no trace — count it "
+                "(repro.observability.count) or re-raise",
+            )
+
+
 class UnseededRandomRule(Rule):
     id = "unseeded-random"
     severity = Severity.ERROR
@@ -788,6 +839,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     CacheGuardRule(),
     TracerNameRule(),
     ShimCallerRule(),
+    SilentExceptRule(),
     UnseededRandomRule(),
     WallClockRule(),
 )

@@ -11,6 +11,8 @@ Commands:
 * ``serve-sim`` — run the concurrent crowd-serving simulation: many query
   sessions, a shared crowd with injected timeouts and departures, N worker
   threads (see :mod:`repro.service`);
+* ``chaos`` — run seeded fault-injection campaigns against the serving
+  layer and check the durability invariants (see :mod:`repro.faults`);
 * ``figures`` — regenerate one of the paper's figures and print its table;
 * ``lint`` — run the project-invariant linter (:mod:`repro.analysis`).
 """
@@ -100,6 +102,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="trace the run and print the observability "
                          "summary (including the service section)")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection campaigns (repro.faults)",
+    )
+    p_chaos.add_argument("--seeds", default="0,1,2",
+                         help="comma-separated campaign seeds (default: 0,1,2)")
+    p_chaos.add_argument("--domain", default="demo",
+                         help="simulation domain: demo, travel, culinary, health")
+    p_chaos.add_argument("--sessions", type=int, default=4)
+    p_chaos.add_argument("--workers", type=int, default=3)
+    p_chaos.add_argument("--crowd-size", type=int, default=6)
+    p_chaos.add_argument("--sample-size", type=int, default=3)
+    p_chaos.add_argument("--crashes", type=int, default=2,
+                         help="worker-thread crashes to inject per run")
+    p_chaos.add_argument("--state-dir", metavar="DIR",
+                         help="back each session with a WAL journal and "
+                         "checkpoints under DIR (per-seed subdirectories)")
+    p_chaos.add_argument("--max-runtime", type=float, default=30.0)
+    p_chaos.add_argument("--json", action="store_true",
+                         help="emit the campaign report as JSON")
+
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument(
         "which",
@@ -129,6 +152,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_domains()
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "lint":
@@ -199,9 +224,10 @@ def _cmd_run(args) -> int:
         if args.stats_json == "-":
             print(payload)
         else:
+            from .observability import atomic_write_json
+
             try:
-                with open(args.stats_json, "w", encoding="utf-8") as handle:
-                    handle.write(payload + "\n")
+                atomic_write_json(args.stats_json, report)
             except OSError as error:
                 # don't lose the run's report over a bad path
                 print(f"cannot write {args.stats_json}: {error}; "
@@ -304,6 +330,54 @@ def _cmd_serve_sim(args) -> int:
         print("concurrent MSPs diverged from serial execution", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from .faults import run_chaos_campaign
+
+    try:
+        seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    except ValueError:
+        print(f"--seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    if not seeds:
+        print("--seeds named no seeds", file=sys.stderr)
+        return 2
+    campaign = run_chaos_campaign(
+        seeds,
+        domain=args.domain,
+        durable_dir=args.state_dir,
+        sessions=args.sessions,
+        workers=args.workers,
+        crowd_size=args.crowd_size,
+        sample_size=args.sample_size,
+        crashes=args.crashes,
+        max_runtime=args.max_runtime,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(campaign, indent=2, sort_keys=True))
+    else:
+        for report in campaign["reports"]:
+            injected = sum(report["faults_injected"].values())
+            verdict = "ok" if report["ok"] else "VIOLATIONS"
+            print(
+                f"seed {report['seed']}: {verdict}, "
+                f"{report['completed_sessions']}/{report['sessions']} "
+                f"sessions, {report['answers_recorded']} answers, "
+                f"{injected} faults injected, "
+                f"{report['elapsed_seconds']:.2f}s"
+            )
+            for violation in report["violations"]:
+                print(f"  violation: {violation}", file=sys.stderr)
+        verdict = "ok" if campaign["ok"] else "FAILED"
+        print(
+            f"campaign over seeds {campaign['seeds']} "
+            f"({campaign['domain']}): {verdict}"
+        )
+    return 0 if campaign["ok"] else 1
 
 
 def _cmd_lint(args) -> int:

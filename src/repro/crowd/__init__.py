@@ -8,6 +8,7 @@ from .aggregator import (
     Verdict,
 )
 from .cache import CrowdCache
+from .journal import DurableCrowdCache, JournalRecord, replay_journal
 from .member import CrowdMember, OracleMember, SpammerMember
 from .personal_db import PersonalDatabase, Transaction
 from .questions import (
@@ -36,7 +37,9 @@ __all__ = [
     "CrowdCache",
     "CrowdMember",
     "CrowdSimulator",
+    "DurableCrowdCache",
     "FixedSampleAggregator",
+    "JournalRecord",
     "MajorityAggregator",
     "NoneOfTheseAnswer",
     "OracleMember",
@@ -56,6 +59,7 @@ __all__ = [
     "filter_members",
     "frequency_to_support",
     "quantize_support",
+    "replay_journal",
     "support_to_frequency",
     "trust_scores",
 ]

@@ -1,0 +1,255 @@
+"""Write-ahead-logged crowd answers: no acknowledged answer is ever lost.
+
+The in-memory :class:`~repro.crowd.cache.CrowdCache` loses everything on
+a process crash — every answer the crowd was paid for.  This module adds
+the durability layer:
+
+* **append-only JSONL journal** — :class:`DurableCrowdCache` appends one
+  self-describing record per answer *before* applying it in memory, and
+  flushes the line to the OS before :meth:`~DurableCrowdCache.record`
+  returns.  An answer is acknowledged only once it is journaled, so a
+  crash can lose at most an answer that was never acknowledged.
+* **replay on open** — :func:`replay_journal` reads a journal back,
+  skipping a torn final line (the partial write of the crash itself)
+  and counting corrupt lines instead of failing the whole recovery.
+* **idempotent application** — records are keyed by
+  ``(assignment key, member, question kind)``; duplicate deliveries
+  (service retries, replay of a compacted+uncompacted pair, a crashed
+  writer that reopened) apply exactly once.
+* **atomic snapshot compaction** — :meth:`~DurableCrowdCache.compact`
+  rewrites the deduplicated journal via tmp-file + ``os.replace``; a
+  crash mid-compaction leaves the old journal intact.
+
+The record format (one JSON object per line)::
+
+    {"v": 1, "k": "<assignment key>", "m": "<member>", "s": 0.5, "q": "concrete"}
+
+Assignment keys are the stable ``repr`` of
+:class:`~repro.assignments.assignment.Assignment` (sorted variables and
+values — deterministic across processes).  Mapping keys back to live
+``Assignment`` objects on recovery is the session-restore protocol of
+:mod:`repro.service.recovery`; see ``docs/RELIABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import (
+    Callable,
+    Hashable,
+    IO,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..observability import count as _obs_count
+from .cache import CrowdCache
+
+#: journal record schema version (bump on breaking changes)
+RECORD_VERSION = 1
+
+
+class JournalRecord:
+    """One journaled answer: ``(key, member, support, question kind)``."""
+
+    __slots__ = ("key", "member", "support", "kind")
+
+    def __init__(
+        self, key: str, member: str, support: float, kind: str = "concrete"
+    ) -> None:
+        self.key = key
+        self.member = member
+        self.support = support
+        self.kind = kind
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """The idempotence key: ``(assignment key, member, kind)``."""
+        return (self.key, self.member, self.kind)
+
+    def as_line(self) -> str:
+        return json.dumps(
+            {
+                "v": RECORD_VERSION,
+                "k": self.key,
+                "m": self.member,
+                "s": self.support,
+                "q": self.kind,
+            },
+            sort_keys=True,
+        )
+
+    def __repr__(self) -> str:
+        return f"JournalRecord({self.key!r}, {self.member!r}, {self.support})"
+
+
+def replay_journal(path: "os.PathLike[str] | str") -> Tuple[List[JournalRecord], int]:
+    """Read a journal back; returns ``(records, corrupt_lines_skipped)``.
+
+    Records are returned in arrival order with duplicates (same
+    idempotence key) dropped — replay is idempotent by construction.  A
+    torn or garbled line (the typical crash artifact) is skipped and
+    counted, never fatal: losing one unacknowledged answer beats losing
+    the whole journal.
+    """
+    records: List[JournalRecord] = []
+    seen: Set[Tuple[str, str, str]] = set()
+    corrupt = 0
+    journal = Path(path)
+    if not journal.exists():
+        return records, corrupt
+    with journal.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                record = JournalRecord(
+                    key=str(payload["k"]),
+                    member=str(payload["m"]),
+                    support=float(payload["s"]),
+                    kind=str(payload.get("q", "concrete")),
+                )
+            except (ValueError, KeyError, TypeError):
+                corrupt += 1
+                _obs_count("recovery.wal.corrupt_skipped")
+                continue
+            if record.identity in seen:
+                _obs_count("recovery.wal.duplicates_skipped")
+                continue
+            seen.add(record.identity)
+            records.append(record)
+            _obs_count("recovery.wal.replayed")
+    return records, corrupt
+
+
+class DurableCrowdCache(CrowdCache):
+    """A :class:`~repro.crowd.cache.CrowdCache` backed by a WAL journal.
+
+    A drop-in cache whose :meth:`record` journals before applying; the
+    whole read surface (lookup, snapshot, statistics) is inherited
+    unchanged.  Two ways to open one:
+
+    * ``DurableCrowdCache(path)`` on a fresh or existing journal —
+      existing records are replayed into memory keyed by their *string*
+      assignment keys (audit/inspection mode: journal keys, not live
+      ``Assignment`` objects);
+    * ``DurableCrowdCache(path, preload=resolved)`` — the recovery path:
+      ``preload`` maps *live* assignments to their answer lists (produced
+      by :func:`repro.service.recovery.resolve_journal`), existing
+      journal identities are remembered for idempotence, and new answers
+      keep appending to the same journal.
+
+    The override never calls ``super().record()`` while holding the
+    cache lock — the base lock is a plain (non-reentrant) ``Lock``.
+    """
+
+    def __init__(
+        self,
+        journal_path: "os.PathLike[str] | str",
+        *,
+        fsync: bool = False,
+        key_fn: Callable[[Hashable], str] = repr,
+        preload: Optional[Mapping[Hashable, Sequence[Tuple[str, float]]]] = None,
+    ) -> None:
+        super().__init__()
+        self.journal_path = Path(journal_path)
+        self.fsync = fsync
+        self.key_fn = key_fn
+        self._seen: Set[Tuple[str, str, str]] = set()
+        records, self.corrupt_lines = replay_journal(self.journal_path)
+        for record in records:
+            self._seen.add(record.identity)
+        if preload is not None:
+            for assignment, answers in preload.items():
+                for member_id, support in answers:
+                    self._answers[assignment].append((member_id, support))
+        else:
+            for record in records:
+                self._answers[record.key].append((record.member, record.support))
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle: Optional[IO[str]] = self.journal_path.open(
+            "a", encoding="utf-8"
+        )
+
+    def record(self, assignment: Hashable, member_id: str, support: float) -> None:
+        """Journal, flush, then apply — the write-ahead discipline.
+
+        Idempotent on ``(assignment key, member, kind)``: re-recording a
+        journaled answer is a no-op (counted, not an error), so duplicate
+        deliveries and resumed sessions never double-apply.
+        """
+        record = JournalRecord(self.key_fn(assignment), member_id, support)
+        with self._lock:
+            if record.identity in self._seen:
+                _obs_count("recovery.wal.duplicates_skipped")
+                return
+            self._append_locked(record)
+            self._seen.add(record.identity)
+            self._answers[assignment].append((member_id, support))
+        _obs_count("cache.answers.recorded")
+        _obs_count("recovery.wal.appends")
+
+    def _append_locked(self, record: JournalRecord) -> None:
+        if self._handle is None:
+            raise RuntimeError(f"journal {self.journal_path} is closed")
+        self._handle.write(record.as_line() + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------- durability
+
+    def compact(self) -> int:
+        """Atomically rewrite the journal as a deduplicated snapshot.
+
+        The snapshot is written to a sibling tmp file and swapped in with
+        ``os.replace`` — readers either see the old journal or the new
+        one, never a truncated hybrid.  Returns the record count.
+        """
+        with self._lock:
+            records = [
+                JournalRecord(self.key_fn(assignment), member, support)
+                for assignment, answers in self._answers.items()
+                for member, support in answers
+            ]
+            tmp = self.journal_path.with_suffix(self.journal_path.suffix + ".tmp")
+            with tmp.open("w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(record.as_line() + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._handle is not None:
+                self._handle.close()
+            os.replace(tmp, self.journal_path)
+            self._handle = self.journal_path.open("a", encoding="utf-8")
+            self._seen = {record.identity for record in records}
+        _obs_count("recovery.wal.compactions")
+        return len(records)
+
+    def close(self) -> None:
+        """Flush and close the journal handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "DurableCrowdCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableCrowdCache({str(self.journal_path)!r}, "
+            f"answers={self.total_answers()})"
+        )

@@ -57,6 +57,10 @@ class AnswerOutcome(enum.Enum):
     #: the member explicitly declined the question (service layer only:
     #: the node is abandoned for them via :meth:`QueueManager.skip_node`)
     PASSED = "passed"
+    #: the answer failed validation (out-of-range/NaN support) and was
+    #: discarded; the question is requeued as if it had timed out
+    #: (service layer only — see :meth:`SessionManager.submit`)
+    REJECTED = "rejected"
 
 
 class PendingQuestion:

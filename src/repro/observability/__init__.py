@@ -33,6 +33,7 @@ from .core import (
     span,
     tracing,
 )
+from .io import atomic_write_json, atomic_write_text
 from .names import (
     ALL_NAMES,
     COUNTER_NAMES,
@@ -58,6 +59,8 @@ __all__ = [
     "SPAN_NAMES",
     "SpanNode",
     "Tracer",
+    "atomic_write_json",
+    "atomic_write_text",
     "build_report",
     "count",
     "derive",

@@ -37,6 +37,12 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "crowd.questions",
         "crowd.questions.concrete",
         "crowd.questions.specialization",
+        # injected faults, by kind (repro.faults)
+        "faults.injected.crash",
+        "faults.injected.departure",
+        "faults.injected.duplicate",
+        "faults.injected.malformed",
+        "faults.injected.timeout",
         # assignment lattice traversal
         "lattice.bfs.nodes",
         "lattice.desc_cache.misses",
@@ -58,6 +64,20 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "orders.closure.anc_views",
         "orders.closure.desc_compiles",
         "orders.closure.desc_views",
+        # durability and recovery (WAL journal, checkpoints, breakers)
+        "recovery.answers.resolved",
+        "recovery.answers.unresolved",
+        "recovery.breaker.closed",
+        "recovery.breaker.half_open",
+        "recovery.breaker.opened",
+        "recovery.breaker.short_circuited",
+        "recovery.checkpoints.written",
+        "recovery.sessions.restored",
+        "recovery.wal.appends",
+        "recovery.wal.compactions",
+        "recovery.wal.corrupt_skipped",
+        "recovery.wal.duplicates_skipped",
+        "recovery.wal.replayed",
         # threshold-sweep replay
         "replay.answers_used",
         "replay.cache_misses",
@@ -66,6 +86,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "service.answers.passed",
         "service.answers.pruned",
         "service.answers.recorded",
+        "service.answers.rejected",
         "service.answers.stale",
         "service.members.attached",
         "service.members.departed",
@@ -78,6 +99,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "service.sessions.created",
         "service.sessions.resumed",
         "service.timeouts",
+        "service.workers.crashed",
         # SPARQL-ish BGP evaluation
         "sparql.closure_cache.hits",
         "sparql.closure_cache.misses",
@@ -105,6 +127,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "mine.multiuser",
         "mine.replay",
         "mine.vertical",
+        "recovery.restore",
         "result.build",
         "service.dispatch",
         "service.reap",

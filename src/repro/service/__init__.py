@@ -15,7 +15,9 @@ that serving layer:
   behaviours injecting drops and departures;
 * :func:`run_simulation` — the multi-session harness shared by
   ``repro serve-sim``, ``benchmarks/bench_service.py`` and the tests,
-  whose oracle is MSP-identity with serial execution.
+  whose oracle is MSP-identity with serial execution;
+* :func:`restore_session` — crash recovery: rebuild a killed session
+  from its WAL journal + checkpoint (``docs/RELIABILITY.md``).
 
 Entry point: ``engine.session_manager(question_timeout=..., ...)``.
 Locking contract and failure semantics: ``docs/SERVICE.md``; the emitted
@@ -24,11 +26,13 @@ Locking contract and failure semantics: ``docs/SERVICE.md``; the emitted
 
 from .config import ServiceConfig
 from .manager import DispatchedQuestion, SessionManager
+from .recovery import read_checkpoint, resolve_journal, restore_session
 from .runner import DEPART, DROP, MemberScript, ServiceRunner
-from .session import QuerySession, SessionState
+from .session import CHECKPOINT_VERSION, QuerySession, SessionState
 from .simulation import DOMAINS, build_identical_crowd, run_simulation
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "DEPART",
     "DOMAINS",
     "DROP",
@@ -40,5 +44,8 @@ __all__ = [
     "SessionManager",
     "SessionState",
     "build_identical_crowd",
+    "read_checkpoint",
+    "resolve_journal",
+    "restore_session",
     "run_simulation",
 ]

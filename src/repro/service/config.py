@@ -29,6 +29,15 @@ class ServiceConfig:
     in_flight_limit: int = 4
     #: default ``k`` of :meth:`SessionManager.next_batch`
     batch_size: int = 2
+    #: sliding window (events) of the per-member circuit breaker;
+    #: 0 disables the breaker entirely (the default — opt-in feature)
+    breaker_window: int = 0
+    #: failure rate over the window that trips the breaker open
+    breaker_failure_threshold: float = 0.5
+    #: quarantine duration before a half-open probe is admitted
+    breaker_cooldown: float = 5.0
+    #: minimum events in the window before the rate is meaningful
+    breaker_min_events: int = 4
 
     def __post_init__(self) -> None:
         if self.question_timeout <= 0:
@@ -41,6 +50,14 @@ class ServiceConfig:
             raise ValueError("in_flight_limit must be at least 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.breaker_window < 0:
+            raise ValueError("breaker_window must be non-negative (0 disables)")
+        if not 0.0 < self.breaker_failure_threshold <= 1.0:
+            raise ValueError("breaker_failure_threshold must be in (0, 1]")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be non-negative")
+        if self.breaker_min_events < 1:
+            raise ValueError("breaker_min_events must be at least 1")
 
     def override(self, **changes: object) -> "ServiceConfig":
         """A copy with the given fields replaced."""

@@ -36,6 +36,7 @@ Everything here emits ``service.*`` counters and spans; see
 
 from __future__ import annotations
 
+import math
 import time
 from typing import (
     TYPE_CHECKING,
@@ -52,6 +53,8 @@ from ..analysis.lockcheck import named_lock
 from ..assignments.assignment import Assignment
 from ..crowd.cache import CrowdCache
 from ..engine.queue_manager import AnswerOutcome, PendingQuestion
+from ..faults.breaker import BreakerState, CircuitBreaker
+from ..faults.plan import FaultKind, FaultPlan
 from ..oassisql.ast import Query
 from ..observability import count as _obs_count, span as _obs_span
 from ..ontology.facts import Fact, FactSet
@@ -120,12 +123,16 @@ class SessionManager:
         *,
         config: Optional[ServiceConfig] = None,
         clock: Optional[Callable[[], float]] = None,
+        faults: Optional[FaultPlan] = None,
         **overrides: object,
     ) -> None:
         self.engine = engine
         base = config if config is not None else ServiceConfig()
         self.config = base.override(**overrides) if overrides else base
         self.clock = clock if clock is not None else time.monotonic
+        #: the fault-injection plan consulted at ``manager.*`` sites
+        #: (None = production: the sites cost one pointer check)
+        self.faults = faults
         self._lock = named_lock("service.manager")
         self._sessions: Dict[str, QuerySession] = {}
         self._members: List[str] = []
@@ -133,6 +140,7 @@ class SessionManager:
         self._backoff: Dict[DispatchKey, float] = {}  # key -> not-before
         self._attempts: Dict[DispatchKey, int] = {}
         self._cursor: Dict[str, int] = {}  # member -> round-robin position
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._next_id = 0
 
     # ------------------------------------------------------------- sessions
@@ -169,7 +177,13 @@ class SessionManager:
                 raise ValueError(f"session {session_id!r} already exists")
             members = list(self._members)
         session = QuerySession(
-            session_id, parsed, queue, store, include_invalid=include_invalid
+            session_id,
+            parsed,
+            queue,
+            store,
+            include_invalid=include_invalid,
+            query_text=query if isinstance(query, str) else None,
+            sample_size=sample_size,
         )
         if resume:
             session.resume_from_cache()
@@ -212,6 +226,13 @@ class SessionManager:
             if member_id in self._members:
                 return False
             self._members.append(member_id)
+            if self.config.breaker_window > 0 and member_id not in self._breakers:
+                self._breakers[member_id] = CircuitBreaker(
+                    window=self.config.breaker_window,
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                    min_events=self.config.breaker_min_events,
+                )
             sessions = [s for s in self._sessions.values() if s.open]
         for session in sessions:
             session.ensure_member(member_id)
@@ -231,6 +252,7 @@ class SessionManager:
                 return 0
             self._members.remove(member_id)
             self._cursor.pop(member_id, None)
+            self._breakers.pop(member_id, None)
             dropped = self._drop_keys(lambda key: key[1] == member_id)
             sessions = [s for s in self._sessions.values() if s.open]
         _obs_count("service.members.departed")
@@ -263,16 +285,31 @@ class SessionManager:
         """
         self.reap_expired()
         now = self.clock()
+        if (
+            self.faults is not None
+            and self.faults.decide("manager.dispatch", member_id)
+            is FaultKind.TIMEOUT
+        ):
+            # injected dispatch stall: the member gets nothing this round
+            return []
         with self._lock:
             if member_id not in self._members:
                 raise KeyError(f"member {member_id!r} is not attached")
+            breaker = self._breakers.get(member_id)
+            if breaker is not None and not breaker.allow(now):
+                _obs_count("recovery.breaker.short_circuited")
+                return []
             held = sum(1 for key in self._in_flight if key[1] == member_id)
             want = min(
                 k if k is not None else self.config.batch_size,
                 self.config.in_flight_limit - held,
             )
+            if breaker is not None and breaker.state is BreakerState.HALF_OPEN:
+                want = min(want, 1)  # a single probe decides the next state
             sessions = [s for s in self._sessions.values() if s.open]
             if want <= 0 or not sessions:
+                if breaker is not None:
+                    breaker.probe_aborted()
                 return []
             start = self._cursor.get(member_id, 0) % len(sessions)
             self._cursor[member_id] = start + 1
@@ -300,6 +337,9 @@ class SessionManager:
                         )
         if batch:
             _obs_count("service.questions.dispatched", len(batch))
+        elif breaker is not None:
+            with self._lock:
+                breaker.probe_aborted()
         return batch
 
     def _issue(
@@ -333,18 +373,27 @@ class SessionManager:
         ``support=None`` means the member explicitly passed: the node is
         abandoned for them (:class:`AnswerOutcome.PASSED`).  Answers for
         questions no longer in flight — reaped and reassigned while the
-        member dawdled — are dropped as ``STALE``.
+        member dawdled — are dropped as ``STALE``.  An out-of-range or
+        non-finite support fails validation: it is discarded as
+        ``REJECTED`` and the question requeued exactly as if it had timed
+        out (backoff, then reassignment once attempts are exhausted), so
+        a garbage-spewing member cannot poison the aggregator.
         """
         key = question.key
+        rejected = support is not None and not (
+            math.isfinite(support) and 0.0 <= support <= 1.0
+        )
         with self._lock:
             live = self._in_flight.pop(key, None) is not None
-            if live:
+            if live and not rejected:
                 self._attempts.pop(key, None)
                 self._backoff.pop(key, None)
             session = self._sessions.get(question.session_id)
         if not live or session is None:
             _obs_count("service.answers.stale")
             return AnswerOutcome.STALE
+        if rejected:
+            return self._reject(question, session)
         with _obs_span("service.submit"):
             if support is None:
                 session.skip(question.member_id, question.assignment)
@@ -359,7 +408,49 @@ class SessionManager:
                 else:
                     _obs_count("service.answers.stale")
             self._maybe_complete(session)
+        if outcome is not AnswerOutcome.STALE:
+            self._breaker_feed(question.member_id, success=True)
+        if (
+            self.faults is not None
+            and outcome is AnswerOutcome.RECORDED
+            and support is not None
+            and self.faults.decide("manager.submit", question.member_id)
+            is FaultKind.DUPLICATE
+        ):
+            # idempotence probe: re-deliver the same answer; the queue
+            # must drop the second application as STALE
+            duplicate = session.submit(
+                question.member_id, question.assignment, support
+            )
+            if duplicate is AnswerOutcome.STALE:
+                _obs_count("service.answers.stale")
         return outcome
+
+    def _reject(
+        self, question: DispatchedQuestion, session: QuerySession
+    ) -> AnswerOutcome:
+        """Discard a malformed answer; timeout-equivalent retry semantics."""
+        key = question.key
+        with _obs_span("service.submit"):
+            _obs_count("service.answers.rejected")
+            if question.attempt >= self.config.max_attempts:
+                session.skip(question.member_id, question.assignment)
+                with self._lock:
+                    self._attempts.pop(key, None)
+                    self._backoff.pop(key, None)
+                _obs_count("service.retries.exhausted")
+                self._reassign(
+                    session, question.assignment, exclude_member=question.member_id
+                )
+            else:
+                session.expire(question.member_id, question.assignment)
+                delay = self.config.backoff_base * (2 ** (question.attempt - 1))
+                with self._lock:
+                    self._backoff[key] = self.clock() + delay
+                _obs_count("service.requeues")
+            self._maybe_complete(session)
+        self._breaker_feed(question.member_id, success=False)
+        return AnswerOutcome.REJECTED
 
     def submit_prune(
         self, question: DispatchedQuestion, value: Term
@@ -382,6 +473,8 @@ class SessionManager:
             else:
                 _obs_count("service.answers.stale")
             self._maybe_complete(session)
+        if outcome is AnswerOutcome.PRUNED:
+            self._breaker_feed(question.member_id, success=True)
         return outcome
 
     # ----------------------------------------------------- deadlines / retry
@@ -410,6 +503,7 @@ class SessionManager:
             touched = {}
             for question in overdue:
                 _obs_count("service.timeouts")
+                self._breaker_feed(question.member_id, success=False)
                 with self._lock:
                     session = self._sessions.get(question.session_id)
                 if session is None or not session.open:
@@ -483,6 +577,34 @@ class SessionManager:
     def in_flight(self) -> List[DispatchedQuestion]:
         with self._lock:
             return list(self._in_flight.values())
+
+    # -------------------------------------------------------------- breakers
+
+    def _breaker_feed(self, member_id: str, *, success: bool) -> None:
+        """Feed one dispatch outcome to the member's breaker, if any."""
+        now = self.clock()
+        with self._lock:
+            breaker = self._breakers.get(member_id)
+            if breaker is None:
+                return
+            if success:
+                breaker.record_success(now)
+            else:
+                breaker.record_failure(now)
+
+    def breaker_state(self, member_id: str) -> Optional[BreakerState]:
+        """The member's breaker state; None when breakers are disabled."""
+        with self._lock:
+            breaker = self._breakers.get(member_id)
+            return breaker.state if breaker is not None else None
+
+    def breaker_opened_counts(self) -> Dict[str, int]:
+        """How often each member's breaker has tripped (quarantine audit)."""
+        with self._lock:
+            return {
+                member: breaker.opened_count
+                for member, breaker in self._breakers.items()
+            }
 
     # --------------------------------------------------------------- helpers
 

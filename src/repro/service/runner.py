@@ -9,6 +9,17 @@ CrowdMember` is only ever touched by one thread — concurrency comes from
 *different* members being served in parallel, which is also how a real
 crowd behaves.
 
+Fault injection (see :mod:`repro.faults`): when the runner carries a
+:class:`~repro.faults.plan.FaultPlan`, two sites are consulted —
+``member.answer`` once per delivered question (timeouts, departures,
+malformed answers, duplicate deliveries override the script's behaviour)
+and ``runner.worker`` once per member checkout (an injected
+:class:`~repro.faults.plan.InjectedCrash` kills the worker thread while
+it holds a member).  A supervisor loop in :meth:`ServiceRunner.run`
+detects dead workers, returns the members they held to rotation and
+respawns replacements, so the pool heals the way a real serving fleet
+would.
+
 The observability tracer is context-local and does not propagate into
 threads, so each worker re-enables the tracer that was active when
 :meth:`ServiceRunner.run` was called; the thread-safe
@@ -21,11 +32,18 @@ from __future__ import annotations
 import queue as queue_module
 import threading
 import time
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..crowd.member import CrowdMember
 from ..crowd.questions import ConcreteQuestion
-from ..observability import disable as _obs_disable, enable as _obs_enable, get_tracer
+from ..engine.queue_manager import AnswerOutcome
+from ..faults.plan import MALFORMED_SUPPORT, FaultKind, FaultPlan, InjectedCrash
+from ..observability import (
+    count as _obs_count,
+    disable as _obs_disable,
+    enable as _obs_enable,
+    get_tracer,
+)
 from .manager import DispatchedQuestion, SessionManager
 
 #: sentinel actions a :class:`MemberScript` can take instead of answering
@@ -92,6 +110,8 @@ class ServiceRunner:
         batch_size: Optional[int] = None,
         poll_interval: float = 0.002,
         max_runtime: float = 60.0,
+        faults: Optional[FaultPlan] = None,
+        audit: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -103,7 +123,40 @@ class ServiceRunner:
         self.batch_size = batch_size
         self.poll_interval = poll_interval
         self.max_runtime = max_runtime
+        self.faults = faults if faults is not None else manager.faults
         self.timed_out = False
+        self.crashed_workers = 0
+        #: when ``audit`` is on: one entry per submission attempt, for
+        #: durability invariant checks (see repro.faults.chaos).  Guarded
+        #: by _audit_lock — deliberately NOT named ``_lock``/``lock`` so
+        #: the static lock-nesting rule keeps tracking only the two
+        #: contract locks.
+        self.audit: Optional[List[Dict[str, object]]] = [] if audit else None
+        self._audit_lock = threading.Lock()
+        # members held by workers that crashed, awaiting return to rotation
+        self._lost_members: List[str] = []
+
+    # ----------------------------------------------------------------- audit
+
+    def _note_submission(
+        self,
+        question: DispatchedQuestion,
+        support: Optional[float],
+        outcome: AnswerOutcome,
+    ) -> None:
+        if self.audit is None:
+            return
+        entry: Dict[str, object] = {
+            "session_id": question.session_id,
+            "member_id": question.member_id,
+            "assignment": repr(question.assignment),
+            "support": support,
+            "outcome": outcome.value,
+        }
+        with self._audit_lock:
+            self.audit.append(entry)
+
+    # ------------------------------------------------------------------- run
 
     def run(self) -> Dict:
         """Serve until every session settles; returns a summary report.
@@ -111,7 +164,9 @@ class ServiceRunner:
         Attaches the scripted members (idempotent), spins up the worker
         pool and blocks until :meth:`SessionManager.all_done` or
         ``max_runtime`` elapses (the deadlock guard — ``timed_out`` is set
-        in the report instead of hanging forever).
+        in the report instead of hanging forever).  Workers killed by an
+        injected crash are respawned and the member they held is returned
+        to rotation.
         """
         for member_id in self.scripts:
             self.manager.attach_member(member_id)
@@ -139,41 +194,111 @@ class ServiceRunner:
                         if self.manager.all_done():
                             stop.set()
                         continue
-                    script = self.scripts[member_id]
-                    requeue = True
-                    batch = self.manager.next_batch(member_id, k=self.batch_size)
-                    for question in batch:
-                        action = script.respond(question)
-                        if action is DEPART:
-                            self.manager.detach_member(member_id)
-                            requeue = False
-                            break
-                        if action is DROP:
-                            continue  # never answered: reaped at its deadline
-                        self.manager.submit(question, action)
-                    self.manager.reap_expired()
-                    if self.manager.all_done():
-                        stop.set()
-                    if requeue and not stop.is_set():
-                        rotation.put(member_id)
-                    if not batch:
-                        # dry or backed off right now; yield before retrying
-                        time.sleep(self.poll_interval)
+                    try:
+                        self._serve_member(member_id, rotation, stop)
+                    except InjectedCrash:
+                        # the worker dies holding the member; the
+                        # supervisor respawns us and requeues them
+                        self.crashed_workers += 1
+                        _obs_count("service.workers.crashed")
+                        with self._audit_lock:
+                            self._lost_members.append(member_id)
+                        return
             finally:
                 if tracer is not None:
                     _obs_disable()
 
-        threads = [
-            threading.Thread(target=serve, name=f"service-worker-{i}", daemon=True)
-            for i in range(self.workers)
-        ]
-        for thread in threads:
+        def spawn(index: int) -> threading.Thread:
+            thread = threading.Thread(
+                target=serve, name=f"service-worker-{index}", daemon=True
+            )
             thread.start()
+            return thread
+
+        threads = [spawn(index) for index in range(self.workers)]
+        # Supervisor: watch for crashed workers, heal the pool, and stop
+        # the run even if every worker died at once.
+        while not stop.is_set():
+            if time.perf_counter() >= deadline:
+                self.timed_out = True
+                stop.set()
+                break
+            for index, thread in enumerate(threads):
+                if not thread.is_alive() and not stop.is_set():
+                    with self._audit_lock:
+                        lost = self._lost_members
+                        self._lost_members = []
+                    for member_id in lost:
+                        rotation.put(member_id)
+                    threads[index] = spawn(index)
+            self.manager.reap_expired()
+            if self.manager.all_done():
+                stop.set()
+                break
+            time.sleep(self.poll_interval)
         for thread in threads:
             thread.join(timeout=self.max_runtime + 5 * self.poll_interval + 1.0)
-        stop.set()
         elapsed = time.perf_counter() - started
         return self._report(elapsed)
+
+    def _serve_member(
+        self,
+        member_id: str,
+        rotation: "queue_module.Queue[str]",
+        stop: threading.Event,
+    ) -> None:
+        """One rotation turn: fetch a batch, play the member, submit."""
+        if self.faults is not None:
+            self.faults.maybe_crash("runner.worker", member_id)
+        script = self.scripts[member_id]
+        requeue = True
+        batch = self.manager.next_batch(member_id, k=self.batch_size)
+        for question in batch:
+            action = self._respond(script, question)
+            if isinstance(action, str):
+                if action == DEPART:
+                    self.manager.detach_member(member_id)
+                    requeue = False
+                    break
+                continue  # DROP — never answered: reaped at its deadline
+            deliveries = 1
+            if isinstance(action, tuple):
+                support, deliveries = action
+            else:
+                support = action
+            for _ in range(deliveries):
+                outcome = self.manager.submit(question, support)
+                self._note_submission(question, support, outcome)
+        self.manager.reap_expired()
+        if self.manager.all_done():
+            stop.set()
+        if requeue and not stop.is_set():
+            rotation.put(member_id)
+        if not batch:
+            # dry or backed off right now; yield before retrying
+            time.sleep(self.poll_interval)
+
+    def _respond(
+        self, script: MemberScript, question: DispatchedQuestion
+    ) -> Union[str, float, Tuple[float, int]]:
+        """The script's answer, possibly overridden by an injected fault."""
+        fault = (
+            self.faults.decide("member.answer", script.member_id)
+            if self.faults is not None
+            else None
+        )
+        if fault is FaultKind.TIMEOUT:
+            script.dropped += 1
+            return DROP
+        if fault is FaultKind.DEPART:
+            script.departed = True
+            return DEPART
+        if fault is FaultKind.MALFORMED:
+            return MALFORMED_SUPPORT
+        action = script.respond(question)
+        if fault is FaultKind.DUPLICATE and isinstance(action, float):
+            return (action, 2)  # deliver the same answer twice
+        return action
 
     def _report(self, elapsed: float) -> Dict:
         sessions = {}
@@ -192,6 +317,10 @@ class ServiceRunner:
             "workers": self.workers,
             "elapsed_seconds": elapsed,
             "timed_out": self.timed_out,
+            "crashed_workers": self.crashed_workers,
+            "faults_injected": (
+                self.faults.injected() if self.faults is not None else {}
+            ),
             "sessions": sessions,
             "questions_answered": total_questions,
             "sessions_per_second": settled / elapsed if elapsed > 0 else 0.0,

@@ -23,8 +23,9 @@ deadlock against the manager or against each other.
 from __future__ import annotations
 
 import enum
+import os
 from collections import defaultdict
-from typing import Collection, Dict, Iterable, List, Tuple
+from typing import Collection, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..analysis.lockcheck import named_rlock
 from ..assignments.assignment import Assignment
@@ -32,7 +33,11 @@ from ..crowd.cache import CrowdCache
 from ..engine.queue_manager import AnswerOutcome, PendingQuestion, QueueManager
 from ..engine.results import QueryResult, build_result
 from ..oassisql.ast import Query
+from ..observability import atomic_write_json, count as _obs_count
 from ..vocabulary.terms import Term
+
+#: schema version of the session checkpoint file
+CHECKPOINT_VERSION = 1
 
 
 class SessionState(enum.Enum):
@@ -53,18 +58,28 @@ class QuerySession:
         queue: QueueManager,
         cache: CrowdCache,
         include_invalid: bool = False,
+        query_text: Optional[str] = None,
+        sample_size: Optional[int] = None,
     ) -> None:
         self.session_id = session_id
         self.query = query
         self.queue = queue
         self.cache = cache
         self.include_invalid = include_invalid
+        #: the original OASSIS-QL text, when known — required for
+        #: checkpoint/restore (the AST has no serializer)
+        self.query_text = query_text
+        self.sample_size = sample_size
         self.lock = named_rlock("service.session")
         self.state = SessionState.OPEN
         self.resumed_answers = 0
         # member -> cached (assignment, support) pairs, filled on resume so
         # late-attaching members start from the cached frontier
         self._cached_by_member: Dict[str, List[Tuple[Assignment, float]]] = {}
+        # checkpointing (enable_checkpoints); guarded by the session lock
+        self._checkpoint_path: Optional[str] = None
+        self._checkpoint_every = 0
+        self._recorded_since_checkpoint = 0
 
     def __repr__(self) -> str:
         return f"QuerySession({self.session_id!r}, {self.state.value})"
@@ -137,7 +152,10 @@ class QuerySession:
         with self.lock:
             if self.state is not SessionState.OPEN:
                 return AnswerOutcome.STALE
-            return self.queue.submit_support(member_id, support, assignment)
+            outcome = self.queue.submit_support(member_id, support, assignment)
+            if outcome is AnswerOutcome.RECORDED:
+                self._note_recorded()
+            return outcome
 
     def prune(
         self, member_id: str, value: Term, assignment: Assignment
@@ -145,7 +163,10 @@ class QuerySession:
         with self.lock:
             if self.state is not SessionState.OPEN:
                 return AnswerOutcome.STALE
-            return self.queue.submit_prune(member_id, value, assignment)
+            outcome = self.queue.submit_prune(member_id, value, assignment)
+            if outcome is AnswerOutcome.PRUNED:
+                self._note_recorded()
+            return outcome
 
     def expire(self, member_id: str, assignment: Assignment) -> bool:
         """Return a timed-out question to the member's queue."""
@@ -218,3 +239,60 @@ class QuerySession:
         """
         with self.lock:
             return self.cache.snapshot()
+
+    # ----------------------------------------------------------- checkpoints
+
+    def enable_checkpoints(
+        self, path: Union[str, "os.PathLike[str]"], *, every: int = 10
+    ) -> None:
+        """Write a session checkpoint to ``path`` every ``every`` answers.
+
+        The checkpoint is tiny metadata (query text, sample size, session
+        id) written atomically; the *answers* live in the WAL journal.
+        Together they are everything :func:`repro.service.recovery.
+        restore_session` needs to resume a killed process.  Requires the
+        session to know its ``query_text``.
+        """
+        if every < 1:
+            raise ValueError("every must be at least 1")
+        if self.query_text is None:
+            raise ValueError(
+                "checkpointing requires query_text (create the session "
+                "from an OASSIS-QL string, not a parsed Query)"
+            )
+        with self.lock:
+            self._checkpoint_path = os.fspath(path)
+            self._checkpoint_every = every
+        self.write_checkpoint()
+
+    def checkpoint_payload(self) -> Dict[str, object]:
+        """The JSON-serializable restore metadata (see ``docs/RELIABILITY.md``)."""
+        with self.lock:
+            return {
+                "version": CHECKPOINT_VERSION,
+                "session_id": self.session_id,
+                "query": self.query_text,
+                "sample_size": self.sample_size,
+                "include_invalid": self.include_invalid,
+                "questions_asked": self.queue.questions_asked,
+                "state": self.state.value,
+            }
+
+    def write_checkpoint(self) -> bool:
+        """Force a checkpoint write now; False when checkpointing is off."""
+        with self.lock:
+            if self._checkpoint_path is None:
+                return False
+            payload = self.checkpoint_payload()
+            atomic_write_json(self._checkpoint_path, payload)
+            self._recorded_since_checkpoint = 0
+        _obs_count("recovery.checkpoints.written")
+        return True
+
+    def _note_recorded(self) -> None:
+        """Count an applied answer; periodically checkpoint.  Lock held."""
+        if self._checkpoint_path is None:
+            return
+        self._recorded_since_checkpoint += 1
+        if self._recorded_since_checkpoint >= self._checkpoint_every:
+            self.write_checkpoint()

@@ -12,12 +12,17 @@ is the service layer's correctness oracle (``verify=True``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
+from ..crowd.cache import CrowdCache
+from ..crowd.journal import DurableCrowdCache
 from ..crowd.member import CrowdMember
 from ..datasets import culinary, health, running_example, travel
 from ..datasets.base import DomainDataset
 from ..engine.engine import OassisEngine
+from ..faults.plan import FaultPlan
 from .manager import SessionManager
 from .runner import MemberScript, ServiceRunner
 
@@ -104,6 +109,13 @@ def run_simulation(
     max_runtime: float = 60.0,
     verify: bool = True,
     seed: int = 0,
+    faults: Optional[FaultPlan] = None,
+    durable_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+    checkpoint_every: int = 0,
+    breaker_window: int = 0,
+    breaker_cooldown: float = 0.05,
+    audit: bool = False,
+    _keep_handles: bool = False,
 ) -> Dict:
     """Serve ``sessions`` concurrent sessions of ``domain``; report stats.
 
@@ -113,6 +125,15 @@ def run_simulation(
     ``crowd_size - departures >= sample_size`` or late nodes can starve
     below the aggregator's sample and stay unclassified (the documented
     graceful degradation — sessions still settle, with fewer MSPs).
+
+    Robustness knobs (PR 5): ``faults`` injects a deterministic
+    :class:`~repro.faults.plan.FaultPlan` through the manager and runner
+    sites; ``durable_dir`` backs each session with a WAL journal
+    (``<dir>/<session>.wal``); ``checkpoint_every`` additionally writes a
+    session checkpoint (``<dir>/<session>.ckpt.json``) every N answers;
+    ``breaker_window`` enables the per-member circuit breaker; ``audit``
+    keeps a per-submission audit trail on the runner for invariant
+    checks.
 
     With ``verify=True`` each session's MSP set is compared against a
     serial ``engine.execute`` of the same query over a fresh identical
@@ -124,6 +145,8 @@ def run_simulation(
         raise ValueError("sessions must be at least 1")
     if departures >= crowd_size:
         raise ValueError("at least one member must stay")
+    if checkpoint_every > 0 and durable_dir is None:
+        raise ValueError("checkpoint_every requires durable_dir")
     dataset = DOMAINS[domain]()
     engine = OassisEngine(dataset.ontology)
     manager = engine.session_manager(
@@ -132,15 +155,31 @@ def run_simulation(
         backoff_base=backoff_base,
         in_flight_limit=in_flight_limit,
         batch_size=batch_size,
+        breaker_window=breaker_window,
+        breaker_cooldown=breaker_cooldown,
+        faults=faults,
     )
     queries = {}
+    caches: List[CrowdCache] = []
     for index in range(sessions):
         threshold = thresholds[index % len(thresholds)]
         session_id = f"{domain}-{index}"
         queries[session_id] = dataset.query(threshold)
-        manager.create_session(
-            queries[session_id], session_id=session_id, sample_size=sample_size
+        cache: Optional[CrowdCache] = None
+        if durable_dir is not None:
+            cache = DurableCrowdCache(Path(durable_dir) / f"{session_id}.wal")
+            caches.append(cache)
+        session = manager.create_session(
+            queries[session_id],
+            session_id=session_id,
+            sample_size=sample_size,
+            cache=cache,
         )
+        if checkpoint_every > 0 and durable_dir is not None:
+            session.enable_checkpoints(
+                Path(durable_dir) / f"{session_id}.ckpt.json",
+                every=checkpoint_every,
+            )
     members = build_identical_crowd(dataset, crowd_size, seed=seed)
     scripts = []
     for index, member in enumerate(members):
@@ -153,16 +192,35 @@ def run_simulation(
             )
         )
     runner = ServiceRunner(
-        manager, scripts, workers=workers, max_runtime=max_runtime
+        manager,
+        scripts,
+        workers=workers,
+        max_runtime=max_runtime,
+        faults=faults,
+        audit=audit,
     )
-    report = runner.run()
+    try:
+        report = runner.run()
+    finally:
+        for cache in caches:
+            if isinstance(cache, DurableCrowdCache):
+                cache.close()
     report["domain"] = domain
     report["crowd_size"] = crowd_size
     report["sample_size"] = sample_size
+    if breaker_window > 0:
+        report["breaker_opened"] = manager.breaker_opened_counts()
+    if audit:
+        report["audit_entries"] = len(runner.audit or [])
     if verify:
         report["verified"], report["mismatches"] = _verify_against_serial(
             engine, manager, queries, dataset, crowd_size, sample_size, seed
         )
+    if _keep_handles:
+        # for invariant auditors (repro.faults.chaos): live objects, so
+        # callers must pop these before serializing the report
+        report["_manager"] = manager
+        report["_runner"] = runner
     return report
 
 

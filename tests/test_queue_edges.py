@@ -1,0 +1,214 @@
+"""Backoff and expiry edge cases: deadlines, attempt bounds, late answers.
+
+Satellite coverage for the retry machinery that the fault-injection
+harness (PR 5) leans on: the exact-deadline boundary, the attempt
+counter hitting ``max_attempts`` exactly, and the timeout/answer race —
+a question that expires while its answer is in flight must yield
+``STALE`` exactly once, then be collectable again.
+"""
+
+import pytest
+
+from repro import OassisEngine
+from repro.datasets import running_example
+from repro.engine import AnswerOutcome
+from repro.service import ServiceConfig
+from repro.service.simulation import DOMAINS
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return DOMAINS["demo"]()
+
+
+@pytest.fixture(scope="module")
+def engine(demo):
+    return OassisEngine(demo.ontology)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_manager(engine, clock, **options):
+    options.setdefault("question_timeout", 10.0)
+    options.setdefault("backoff_base", 1.0)
+    return engine.session_manager(clock=clock, **options)
+
+
+class TestQueueExpiryRaces:
+    """QueueManager-level: expire_pending vs. a late answer."""
+
+    def _queue(self, engine):
+        return engine.queue_manager(
+            running_example.FRAGMENT_QUERY, sample_size=1
+        )
+
+    def test_expire_unknown_member_is_empty(self, engine):
+        qm = self._queue(engine)
+        assert qm.expire_pending("ghost") == []
+
+    def test_expire_unpending_assignment_is_empty(self, engine):
+        qm = self._queue(engine)
+        question = qm.next_question("u")
+        qm.submit_support("u", 1.0, assignment=question.assignment)
+        assert qm.expire_pending("u", question.assignment) == []
+
+    def test_late_answer_is_stale_exactly_once(self, engine):
+        qm = self._queue(engine)
+        question = qm.next_question("u")
+        node = question.assignment
+        assert qm.expire_pending("u", node) == [node]
+        # the member's answer arrives after the expiry won the race
+        assert (
+            qm.submit_support("u", 0.8, assignment=node)
+            is AnswerOutcome.STALE
+        )
+        # the question is still collectable: re-delivered, then recorded
+        again = qm.next_question("u")
+        assert again.assignment == node
+        assert (
+            qm.submit_support("u", 0.8, assignment=node)
+            is AnswerOutcome.RECORDED
+        )
+        # and only once: the node is answered, not re-asked
+        follow_up = qm.next_question("u")
+        assert follow_up is None or follow_up.assignment != node
+
+    def test_answer_first_makes_expiry_a_noop(self, engine):
+        qm = self._queue(engine)
+        question = qm.next_question("u")
+        node = question.assignment
+        assert (
+            qm.submit_support("u", 0.8, assignment=node)
+            is AnswerOutcome.RECORDED
+        )
+        # the reaper lost the race: nothing pending, nothing to expire
+        assert qm.expire_pending("u", node) == []
+        follow_up = qm.next_question("u")
+        assert follow_up is None or follow_up.assignment != node
+
+    def test_mark_answered_suppresses_redelivery_after_expiry(self, engine):
+        qm = self._queue(engine)
+        question = qm.next_question("u")
+        node = question.assignment
+        qm.expire_pending("u", node)
+        # resume path seeds the member's answer map while the node is
+        # back on their stack: it must not be asked again
+        qm.mark_answered("u", node, 0.8)
+        follow_up = qm.next_question("u")
+        assert follow_up is None or follow_up.assignment != node
+
+
+class TestDeadlineBoundaries:
+    """Service-level: the deadline comparison and config validation."""
+
+    def test_zero_and_negative_timeouts_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(question_timeout=0.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(question_timeout=-1.0)
+
+    def test_question_overdue_at_exact_deadline(self, engine, demo, clock):
+        manager = make_manager(engine, clock, question_timeout=10.0)
+        manager.create_session(demo.query(0.4), session_id="q")
+        manager.attach_member("a")
+        [question] = manager.next_batch("a", k=1)
+        assert question.deadline == pytest.approx(10.0)
+        clock.advance(10.0 - 1e-9)
+        assert manager.reap_expired() == []
+        clock.advance(1e-9)
+        reaped = manager.reap_expired()
+        assert [q.assignment for q in reaped] == [question.assignment]
+
+    def test_reap_with_no_in_flight_is_empty(self, engine, demo, clock):
+        manager = make_manager(engine, clock)
+        manager.create_session(demo.query(0.4), session_id="q")
+        manager.attach_member("a")
+        assert manager.reap_expired() == []
+
+
+class TestAttemptBound:
+    """The attempt counter must exhaust exactly at ``max_attempts``."""
+
+    def test_retry_below_bound_then_exhaust_at_bound(self, engine, demo, clock):
+        manager = make_manager(
+            engine, clock, max_attempts=2, question_timeout=10.0
+        )
+        manager.create_session(demo.query(0.4), session_id="q", sample_size=1)
+        manager.attach_member("a")
+        manager.attach_member("b")
+        [first] = manager.next_batch("a", k=1)
+        node = first.assignment
+        assert first.attempt == 1
+
+        # attempt 1 < max_attempts: requeued with backoff, not abandoned
+        clock.advance(10.0)
+        assert [q.assignment for q in manager.reap_expired()] == [node]
+        assert manager.next_batch("a", k=1) == []  # inside backoff window
+        clock.advance(1.5)  # backoff_base * 2**0 = 1.0
+        [second] = manager.next_batch("a", k=1)
+        assert second.assignment == node
+        assert second.attempt == 2
+
+        # attempt 2 == max_attempts: abandoned for `a`, not retried again
+        clock.advance(10.0)
+        assert [q.assignment for q in manager.reap_expired()] == [node]
+        clock.advance(100.0)
+        assert all(
+            q.assignment != node for q in manager.next_batch("a", k=4)
+        )
+
+    def test_session_completes_via_other_member_after_exhaustion(
+        self, engine, demo, clock
+    ):
+        manager = make_manager(
+            engine, clock, max_attempts=1, question_timeout=10.0
+        )
+        session = manager.create_session(
+            demo.query(0.4), session_id="q", sample_size=1
+        )
+        manager.attach_member("a")
+        manager.attach_member("b")
+        [doomed] = manager.next_batch("a", k=1)
+        clock.advance(10.0)
+        manager.reap_expired()  # attempt 1 == max_attempts: reassign
+
+        members = {
+            m.member_id: m for m in demo.build_crowd(size=2)
+        }
+        by_service_id = {"a": members["u0"], "b": members["u1"]}
+        for _ in range(10_000):
+            if manager.all_done():
+                break
+            progress = False
+            for member_id in ("a", "b"):
+                for question in manager.next_batch(member_id, k=4):
+                    progress = True
+                    answer = by_service_id[member_id].answer_concrete(
+                        _concrete(question)
+                    )
+                    manager.submit(question, answer.support)
+            if not progress:
+                manager.reap_expired()
+                clock.advance(1.0)
+        assert manager.all_done()
+        assert session.state.value == "completed"
+
+
+def _concrete(question):
+    from repro.crowd.questions import ConcreteQuestion
+
+    return ConcreteQuestion(question.assignment, question.fact_set)
