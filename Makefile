@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint typecheck bench bench-suite serve-bench bench-faults chaos examples figures stats clean
+.PHONY: install test lint doclint typecheck bench bench-suite serve-bench bench-faults chaos examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -14,6 +14,11 @@ test:
 # non-zero on any error-severity finding, so CI can gate on it
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
+
+# doc cross-link checker: fails on dangling `docs/*.md` references
+# anywhere in the repository's markdown (part of the CI lint job)
+doclint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.doclint .
 
 # mypy is configured in pyproject.toml (strict on repro.analysis,
 # repro.service and repro.faults, lenient elsewhere); requires mypy on PATH

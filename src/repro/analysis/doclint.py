@@ -1,0 +1,122 @@
+"""Documentation cross-link checker (``make doclint``).
+
+The handbook pages reference each other constantly — ``docs/TUNING.md``
+points at ``PERFORMANCE.md`` for rationale, README points at every
+``docs/*.md`` — and a renamed or deleted page silently strands every
+reference to it.  This checker walks the repository's markdown files and
+fails on **dangling references**: any markdown link target or inline-code
+mention that *looks like* a local ``.md`` path but does not resolve to a
+file.
+
+Two reference forms are recognised:
+
+* markdown links — ``[text](ARCHITECTURE.md)`` /
+  ``[text](docs/TUNING.md#anchor)`` — resolved relative to the referring
+  file (URLs with a scheme are ignored);
+* inline code — `` `docs/PERFORMANCE.md` `` or, inside ``docs/``, the
+  bare sibling form `` `TUNING.md` `` — resolved relative to the
+  referring file first, then the repository root.
+
+Runnable as ``python -m repro.analysis.doclint [root]``; exit status is 0
+when every reference resolves, 1 otherwise — ``make doclint`` and the CI
+lint job gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, NamedTuple, Sequence
+
+#: markdown files checked, relative to the repository root
+DOC_GLOBS: Sequence[str] = ("*.md", "docs/*.md")
+
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_INLINE_CODE = re.compile(r"`([^`\n]+)`")
+#: something that plausibly names a local markdown file
+_MD_PATH = re.compile(r"^[A-Za-z0-9_./\-]+\.md$")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+class DanglingReference(NamedTuple):
+    """One unresolvable ``.md`` reference."""
+
+    file: Path
+    line: int
+    target: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: dangling doc reference {self.target!r}"
+
+
+def _reference_targets(line: str) -> List[str]:
+    """The ``.md`` reference candidates on one line of markdown."""
+    targets: List[str] = []
+    for match in _MARKDOWN_LINK.finditer(line):
+        raw = match.group(1).split("#", 1)[0]
+        if "://" in raw or not raw:
+            continue
+        if raw.endswith(".md"):
+            targets.append(raw)
+    for match in _INLINE_CODE.finditer(line):
+        raw = match.group(1).split("#", 1)[0]
+        if _MD_PATH.match(raw):
+            targets.append(raw)
+    return targets
+
+
+def _resolves(target: str, referrer: Path, root: Path) -> bool:
+    if target.startswith("/"):
+        return False  # absolute paths are never portable references
+    return (referrer.parent / target).is_file() or (root / target).is_file()
+
+
+def check_file(path: Path, root: Path) -> List[DanglingReference]:
+    """Every dangling ``.md`` reference in one markdown file."""
+    dangling: List[DanglingReference] = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue  # code blocks quote paths illustratively
+        for target in _reference_targets(line):
+            if not _resolves(target, path, root):
+                dangling.append(DanglingReference(path.relative_to(root), number, target))
+    return dangling
+
+
+def check_tree(root: Path) -> List[DanglingReference]:
+    """Check every documentation file under ``root`` (sorted, stable)."""
+    dangling: List[DanglingReference] = []
+    for pattern in DOC_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            dangling.extend(check_file(path, root))
+    return dangling
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) > 1:
+        print("usage: python -m repro.analysis.doclint [root]", file=sys.stderr)
+        return 2
+    root = Path(args[0]) if args else Path(".")
+    if not root.is_dir():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = check_tree(root.resolve())
+    for finding in findings:
+        print(finding.render(), file=sys.stderr)
+    checked = sum(len(list(root.glob(pattern))) for pattern in DOC_GLOBS)
+    if findings:
+        print(f"doclint: {len(findings)} dangling reference(s) "
+              f"in {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"doclint: {checked} markdown file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

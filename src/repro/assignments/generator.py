@@ -102,9 +102,25 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
         # MORE facts proposed by the crowd (the UI's "more" button): extra
         # successors registered per node, verified like any other assignment
         self._proposed_more: Dict[Assignment, List[Assignment]] = {}
-        # per-dropped-subset inverted index: var -> value -> tuple indices,
-        # making single-valued expansion checks O(values) instead of O(tuples)
-        self._tuple_index: Dict[FrozenSet[str], Dict[str, Dict[Term, Set[int]]]] = {}
+        # per-dropped-subset inverted index: var -> value -> tuple bitmask,
+        # making expansion checks bitwise-AND work instead of per-tuple leq
+        self._tuple_index: Dict[FrozenSet[str], Dict[str, Dict[Term, int]]] = {}
+        # (dropped, var, value) -> (witness values, domination mask): the
+        # concrete tuple values the assignment value generalizes, and the
+        # OR of their tuple masks.  Memoized across expansion checks — the
+        # same few hundred (var, value) pairs recur for every candidate
+        # node, and recomputing them per node used to dominate travel runs
+        self._witness_memo: Dict[
+            Tuple[FrozenSet[str], str, Term], Tuple[Tuple[Term, ...], int]
+        ] = {}
+        # per-assignment leq digests (see leq()); invalidated when either
+        # order's version stamp moves, like every closure-derived cache
+        self._digest_stamp: Tuple[int, int] = (-1, -1)
+        self._left_digest: Dict[Assignment, tuple] = {}
+        self._right_digest: Dict[Assignment, tuple] = {}
+        # chain-partition sort keys for ordered_successors (lazy)
+        self._chain_stamp: Tuple[int, int] = (-1, -1)
+        self._chain_pos: Dict[Term, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------ valid base
 
@@ -330,7 +346,8 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
             def emit(candidate: Assignment) -> None:
                 if (
                     candidate not in seen
-                    and node.strictly_leq(candidate, self.vocabulary)
+                    and candidate != node
+                    and self.leq(node, candidate)
                     and self.in_expansion(candidate)
                 ):
                     seen.add(candidate)
@@ -366,6 +383,60 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
                 tracer.count("lattice.successors.generated", len(out))
             return list(out)
 
+    def ordered_successors(self, node: Assignment) -> List[Assignment]:
+        """Successors in chain-partitioned question order.
+
+        Taxonomy chains (greedy path decomposition, per the complexity
+        companion paper) group the successors so a top-down traversal
+        descends one chain at a time: specializations along a chain come
+        first (ordered by chain, then position), then added incomparable
+        values, then MORE extensions.  The order is fully deterministic —
+        ties break on ``repr`` — which also makes runs reproducible across
+        interpreter hash seeds.
+        """
+        successors = self.successors(node)
+        if len(successors) <= 1:
+            return list(successors)
+        return sorted(
+            successors, key=lambda s: self._successor_sort_key(node, s)
+        )
+
+    def _successor_sort_key(
+        self, node: Assignment, successor: Assignment
+    ) -> Tuple[int, int, int, str]:
+        """(kind, chain id, chain position, repr) of one successor edge."""
+        if len(successor.more) > len(node.more):
+            return (2, 0, 0, repr(successor))
+        for name in self._sat_vars:
+            old = node.get(name)
+            new = successor.get(name)
+            if new == old:
+                continue
+            added = new - old
+            if added:
+                value = min(added)
+                chain_id, position = self._chain_position(value)
+                kind = 0 if len(new) == len(old) else 1
+                return (kind, chain_id, position, repr(successor))
+        return (3, 0, 0, repr(successor))
+
+    def _chain_position(self, value: Term) -> Tuple[int, int]:
+        """Chain coordinates of ``value`` across both orders (memoized)."""
+        stamp = (
+            self.vocabulary.element_order.version,
+            self.vocabulary.relation_order.version,
+        )
+        if stamp != self._chain_stamp:
+            element_chains = self.vocabulary.element_order.chain_partition()
+            relation_chains = self.vocabulary.relation_order.chain_partition()
+            offset = len(element_chains)
+            merged = dict(element_chains)
+            for term, (chain_id, position) in relation_chains.items():
+                merged[term] = (chain_id + offset, position)
+            self._chain_pos = merged
+            self._chain_stamp = stamp
+        return self._chain_pos.get(value, (-1, 0))
+
     def propose_more_fact(self, node: Assignment, fact: Fact) -> Optional[Assignment]:
         """Register a crowd-proposed MORE extension of ``node``.
 
@@ -396,7 +467,7 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
         seen: Set[Assignment] = set()
 
         def emit(candidate: Assignment) -> None:
-            if candidate not in seen and candidate.strictly_leq(node, self.vocabulary):
+            if candidate not in seen and candidate != node and self.leq(candidate, node):
                 seen.add(candidate)
                 out.append(candidate)
 
@@ -424,7 +495,140 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
         return list(out)
 
     def leq(self, a: Assignment, b: Assignment) -> bool:
-        return a.leq(b, self.vocabulary)
+        """Def. 4.1 domination, accelerated with the closure bitsets.
+
+        Each assignment is compiled once into a *digest*: per variable the
+        descendant bitsets of its values (left side) and the OR of its
+        values' interned-id bits (right side), plus the componentwise
+        analogue for MORE facts.  ``a ≤ b`` then reduces to a handful of
+        bitwise ANDs instead of nested ``vocabulary.leq`` loops — this is
+        the innermost comparison of classification inference, called tens
+        of millions of times per crowd run.  Digests are invalidated when
+        either order's version stamp moves (the standard contract; see
+        docs/PERFORMANCE.md).
+        """
+        if a is b:
+            return True
+        stamp = (
+            self.vocabulary.element_order.version,
+            self.vocabulary.relation_order.version,
+        )
+        if stamp != self._digest_stamp:
+            self._left_digest.clear()
+            self._right_digest.clear()
+            self._digest_stamp = stamp
+        left = self._left_digest.get(a)
+        if left is None:
+            left = self._compile_left_digest(a)
+            self._left_digest[a] = left
+        right = self._right_digest.get(b)
+        if right is None:
+            right = self._compile_right_digest(b)
+            self._right_digest[b] = right
+        value_masks, more_right = right
+        for name, regs, unregs in left[0]:
+            masks = value_masks.get(name)
+            if masks is None:
+                return False
+            elem_mask, rel_mask = masks
+            for desc, is_elem in regs:
+                if not desc & (elem_mask if is_elem else rel_mask):
+                    return False
+            if unregs:
+                b_vals = b.values[name]
+                for term in unregs:
+                    if term not in b_vals:
+                        return False
+        for fact_checks in left[1]:
+            for g in more_right:
+                if all(
+                    mode == 0
+                    or (mode == 1 and payload & g_bit)
+                    or (mode == 2 and payload == g_term)
+                    for (mode, payload), (g_bit, g_term) in zip(fact_checks, g)
+                ):
+                    break
+            else:
+                return False
+        return True
+
+    def _compile_left_digest(self, a: Assignment) -> tuple:
+        """Digest of ``a`` as the left (more general) side of ``leq``.
+
+        Per variable: ``(name, regs, unregs)`` where ``regs`` holds the
+        descendant bitset of each order-registered value (tagged by kind)
+        and ``unregs`` the values the orders do not know — those only match
+        themselves, exactly like ``vocabulary.leq``'s reflexive fallback.
+        """
+        element_order = self.vocabulary.element_order
+        relation_order = self.vocabulary.relation_order
+        vals = []
+        for name, values in a.values.items():
+            regs = []
+            unregs = []
+            for v in values:
+                is_elem = isinstance(v, Element)
+                order = element_order if is_elem else relation_order
+                bits = order.descendants_bits(v)
+                if bits:
+                    regs.append((bits, is_elem))
+                else:
+                    unregs.append(v)
+            vals.append((name, tuple(regs), tuple(unregs)))
+        more = tuple(
+            (
+                self._left_fact_component(f.subject, element_order, ANY_ELEMENT),
+                self._left_fact_component(
+                    f.relation, relation_order, ANY_RELATION_WILDCARD
+                ),
+                self._left_fact_component(f.obj, element_order, ANY_ELEMENT),
+            )
+            for f in a.more
+        )
+        return (tuple(vals), more)
+
+    @staticmethod
+    def _left_fact_component(term: Term, order, wildcard: Term) -> Tuple[int, object]:
+        """One MORE-fact component check: 0=wildcard, 1=bitset, 2=exact."""
+        if term == wildcard:
+            return (0, None)
+        bits = order.descendants_bits(term)
+        if bits:
+            return (1, bits)
+        return (2, term)
+
+    def _compile_right_digest(self, b: Assignment) -> tuple:
+        """Digest of ``b`` as the right (more specific) side of ``leq``."""
+        element_order = self.vocabulary.element_order
+        relation_order = self.vocabulary.relation_order
+        value_masks: Dict[str, Tuple[int, int]] = {}
+        for name, values in b.values.items():
+            elem_mask = 0
+            rel_mask = 0
+            for v in values:
+                if isinstance(v, Element):
+                    tid = element_order.term_id(v)
+                    if tid is not None:
+                        elem_mask |= 1 << tid
+                else:
+                    tid = relation_order.term_id(v)
+                    if tid is not None:
+                        rel_mask |= 1 << tid
+            value_masks[name] = (elem_mask, rel_mask)
+
+        def bit_of(order, term):
+            tid = order.term_id(term)
+            return 0 if tid is None else 1 << tid
+
+        more = tuple(
+            (
+                (bit_of(element_order, f.subject), f.subject),
+                (bit_of(relation_order, f.relation), f.relation),
+                (bit_of(element_order, f.obj), f.obj),
+            )
+            for f in b.more
+        )
+        return (value_masks, more)
 
     def is_valid(self, node: Assignment) -> bool:
         """Validity w.r.t. the WHERE clause and multiplicity annotations."""
@@ -488,86 +692,105 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
         relevant = [name for name in constrained if node.get(name)]
         if not relevant or not tuples:
             return bool(tuples) or not relevant
-        indices = {name: constrained.index(name) for name in relevant}
+        index = self._get_tuple_index(dropped, constrained, tuples)
         multi = [name for name in relevant if len(node.get(name)) > 1]
         if not multi:
-            # single-valued: one dominating tuple suffices.  Use the inverted
-            # value->tuples index: the witnesses of value v in variable x are
-            # the tuples whose x-value specializes v.
-            index = self._get_tuple_index(dropped, constrained, tuples)
-            surviving: Optional[Set[int]] = None
+            # single-valued: one dominating tuple suffices — AND the
+            # per-(var, value) domination masks and test for a survivor
+            surviving = -1
             for name in relevant:
                 (value,) = node.get(name)
-                witnesses: Set[int] = set()
-                per_value = index[name]
-                # intersect the closure with the index keys, iterating the
-                # smaller side (the closure can span thousands of terms at
-                # paper scale while the tuple index stays query-sized)
-                descendants = self.vocabulary.descendants(value)
-                if len(per_value) < len(descendants):
-                    for specialization, bucket in per_value.items():
-                        if specialization in descendants:
-                            witnesses |= bucket
-                else:
-                    for specialization in descendants:
-                        bucket = per_value.get(specialization)
-                        if bucket:
-                            witnesses |= bucket
-                if not witnesses:
-                    return False
-                surviving = witnesses if surviving is None else surviving & witnesses
+                _, dominated = self._witness_info(dropped, index, name, value)
+                surviving &= dominated
                 if not surviving:
                     return False
-            return surviving is None or bool(surviving)
-        return self._witness_grid_exists(node, relevant, indices, tuples)
+            return True
+        return self._witness_grid_exists(node, relevant, dropped, index)
 
     def _get_tuple_index(
         self,
         dropped: FrozenSet[str],
         constrained: Tuple[str, ...],
         tuples: Set[Tuple],
-    ) -> Dict[str, Dict[Term, Set[int]]]:
+    ) -> Dict[str, Dict[Term, int]]:
+        """Per variable: concrete value -> bitmask of the tuples holding it."""
         cached = self._tuple_index.get(dropped)
         if cached is not None:
             return cached
-        index: Dict[str, Dict[Term, Set[int]]] = {name: {} for name in constrained}
+        index: Dict[str, Dict[Term, int]] = {name: {} for name in constrained}
         for position, t in enumerate(sorted(tuples, key=repr)):
+            bit = 1 << position
             for slot, name in enumerate(constrained):
-                index[name].setdefault(t[slot], set()).add(position)
+                per_value = index[name]
+                per_value[t[slot]] = per_value.get(t[slot], 0) | bit
         self._tuple_index[dropped] = index
         return index
 
-    def _witness_grid_exists(self, node, relevant, indices, tuples) -> bool:
+    def _witness_info(
+        self,
+        dropped: FrozenSet[str],
+        index: Dict[str, Dict[Term, int]],
+        name: str,
+        value: Term,
+    ) -> Tuple[Tuple[Term, ...], int]:
+        """Witness values of ``value`` at variable ``name`` + their mask.
+
+        The witnesses are the concrete tuple values ``value`` generalizes
+        (``value ≤ w``); the mask is the OR of their tuple bitmasks (the
+        tuples with *some* witness for ``value`` at ``name``).  Memoized —
+        candidate nodes share (var, value) pairs heavily, and membership in
+        the precompiled descendant closure replaces a per-tuple ``leq``
+        cascade.
+        """
+        key = (dropped, name, value)
+        cached = self._witness_memo.get(key)
+        if cached is not None:
+            return cached
+        per_value = index[name]
+        # intersect the closure with the index keys, iterating the smaller
+        # side (the closure can span thousands of terms at paper scale
+        # while the tuple index stays query-sized)
+        descendants = self.vocabulary.descendants(value)
+        witnesses: List[Term] = []
+        mask = 0
+        if len(per_value) < len(descendants):
+            for specialization, bits in per_value.items():
+                if specialization in descendants:
+                    witnesses.append(specialization)
+                    mask |= bits
+        else:
+            for specialization in descendants:
+                bits = per_value.get(specialization)
+                if bits:
+                    witnesses.append(specialization)
+                    mask |= bits
+        result = (tuple(sorted(witnesses, key=lambda t: t.name)), mask)
+        self._witness_memo[key] = result
+        return result
+
+    def _witness_grid_exists(self, node, relevant, dropped, index) -> bool:
         """Search for per-variable witness sets whose grid is all-valid."""
         # witness options per (variable, value)
-        options: List[Tuple[str, List[Term]]] = []
+        options: List[Tuple[str, Tuple[Term, ...]]] = []
         for name in relevant:
             for value in sorted(node.get(name), key=lambda t: t.name):
-                witnesses = sorted(
-                    {t[indices[name]] for t in tuples
-                     if self.vocabulary.leq(value, t[indices[name]])},
-                    key=lambda t: t.name,
-                )
+                witnesses, _ = self._witness_info(dropped, index, name, value)
                 if not witnesses:
                     return False
                 options.append((name, witnesses))
-        tuple_set = set(tuples)
 
         def grid_ok(choice: Dict[str, Set[Term]]) -> bool:
-            names = relevant
-            value_lists = [sorted(choice[n], key=lambda t: t.name) for n in names]
+            # every cross-product selection of the chosen witness values
+            # must be realized by some tuple: AND the exact-value masks
+            value_lists = [
+                sorted(choice[n], key=lambda t: t.name) for n in relevant
+            ]
             for combo in itertools.product(*value_lists):
-                candidate = [None] * len(next(iter(tuple_set)))
-                for name, value in zip(names, combo):
-                    candidate[indices[name]] = value
-                if not any(
-                    all(
-                        candidate[i] is None or candidate[i] == t[i]
-                        for i in range(len(t))
-                    )
-                    for t in tuple_set
-                ):
-                    return False
+                mask = -1
+                for name, value in zip(relevant, combo):
+                    mask &= index[name].get(value, 0)
+                    if not mask:
+                        return False
             return True
 
         # brute force over witness choices with a safety cap
@@ -576,27 +799,36 @@ class QueryAssignmentSpace(AssignmentSpace[Assignment]):
             total *= len(witnesses)
             if total > 20000:
                 # fall back to the (slightly looser) per-selection test
-                return self._selectionwise_dominated(node, relevant, indices, tuples)
+                return self._selectionwise_dominated(node, relevant, dropped, index)
+        tried: Set[Tuple[Tuple[Term, ...], ...]] = set()
         for combo in itertools.product(*(w for _, w in options)):
             choice: Dict[str, Set[Term]] = {}
             for (name, _), witness in zip(options, combo):
                 choice.setdefault(name, set()).add(witness)
+            fingerprint = tuple(
+                tuple(sorted(choice[n], key=lambda t: t.name)) for n in relevant
+            )
+            if fingerprint in tried:
+                continue
+            tried.add(fingerprint)
             if grid_ok(choice):
                 return True
         return False
 
-    def _selectionwise_dominated(self, node, relevant, indices, tuples) -> bool:
+    def _selectionwise_dominated(self, node, relevant, dropped, index) -> bool:
         """Looser fallback: every single-value selection has a witness tuple."""
+        masks: Dict[Tuple[str, Term], int] = {}
+        for name in relevant:
+            for value in node.get(name):
+                _, dominated = self._witness_info(dropped, index, name, value)
+                masks[(name, value)] = dominated
         value_lists = [sorted(node.get(name)) for name in relevant]
         for combo in itertools.product(*value_lists):
-            if not any(
-                all(
-                    self.vocabulary.leq(value, t[indices[name]])
-                    for name, value in zip(relevant, combo)
-                )
-                for t in tuples
-            ):
-                return False
+            surviving = -1
+            for name, value in zip(relevant, combo):
+                surviving &= masks[(name, value)]
+                if not surviving:
+                    return False
         return True
 
     def _multiplicities_ok(self, node: Assignment) -> bool:

@@ -1,5 +1,6 @@
 """Crowd substrate: personal DBs, questions, members, aggregation, caching."""
 
+from .backend import BackendDecision, BackendFeatures, choose_backend
 from .aggregator import (
     Aggregator,
     FixedSampleAggregator,
@@ -10,7 +11,12 @@ from .aggregator import (
 from .cache import CrowdCache
 from .journal import DurableCrowdCache, JournalRecord, replay_journal
 from .member import CrowdMember, OracleMember, SpammerMember
-from .personal_db import PersonalDatabase, Transaction
+from .personal_db import (
+    PersonalDatabase,
+    Transaction,
+    set_support_backend,
+    support_backend,
+)
 from .questions import (
     FREQUENCY_SCALE,
     Answer,
@@ -33,6 +39,8 @@ __all__ = [
     "FREQUENCY_SCALE",
     "Aggregator",
     "Answer",
+    "BackendDecision",
+    "BackendFeatures",
     "ConcreteQuestion",
     "CrowdCache",
     "CrowdMember",
@@ -55,11 +63,14 @@ __all__ = [
     "Transaction",
     "TrustWeightedAggregator",
     "Verdict",
+    "choose_backend",
     "consistency_violation_ratio",
     "filter_members",
     "frequency_to_support",
     "quantize_support",
     "replay_journal",
+    "set_support_backend",
+    "support_backend",
     "support_to_frequency",
     "trust_scores",
 ]

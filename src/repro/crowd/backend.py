@@ -1,0 +1,118 @@
+"""Adaptive support-backend selection (the per-query cost model).
+
+Support counting has two implementations with opposite scaling:
+
+* the **reference scan** walks every transaction and runs the semantic
+  ``leq`` cascade — cost per question is roughly *transactions × facts per
+  transaction × query facts*, independent of the taxonomy;
+* the **TID-bitset index** (:mod:`repro.crowd.tid_index`) pays a per-novel-
+  query-fact *witness build* — component bitset unions bounded by the
+  taxonomy closure size — after which repeated facts cost a few bitwise
+  ANDs.  Cost per question is dominated by the novel-fact rate times the
+  closure width, plus a one-off index compile per database version.
+
+Neither wins everywhere: a two-transaction member DB is scanned faster
+than a single witness union over a thousand-term taxonomy, while a
+hundred-transaction history amortizes the index within a handful of
+questions.  :func:`choose_backend` measures both regimes with shape
+features that are all O(1) or O(|D|) to read — database size, taxonomy
+width/depth from the compiled closure bitsets, and the candidate fan-out
+the assignment generator reports for the active query — and picks the
+cheaper backend *per (query, member database)*.
+
+The decision is observable: every fresh choice bumps
+``backend.choose.<backend>``, reuse of a cached decision bumps
+``backend.decisions.cached``, and a process-wide override (see
+:func:`repro.crowd.personal_db.set_support_backend`) bumps
+``backend.overridden``.  ``docs/TUNING.md`` explains how to read them.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from ..vocabulary.vocabulary import Vocabulary
+
+#: A member database smaller than this many implication checks per question
+#: is cheaper to scan than to index: below the threshold even one novel
+#: witness union (∝ average closure size) costs more than the whole scan.
+#: Calibrated with ``benchmarks/bench_report.py``'s micro suite — see
+#: docs/PERFORMANCE.md for the calibration table.
+SCAN_WORK_FACTOR = 4.0
+
+
+class BackendFeatures(NamedTuple):
+    """The cost-model inputs, all cheap to read (O(1) or one O(|D|) pass)."""
+
+    #: number of transactions in the member database
+    transactions: int
+    #: total facts across all transactions
+    total_facts: int
+    #: element-taxonomy shape from the compiled closure bitsets
+    taxonomy_terms: int
+    taxonomy_height: int
+    #: average reflexive descendant-closure size (the witness-union bound)
+    avg_closure: float
+    #: candidate fan-out reported by the assignment generator (successors
+    #: per frontier node), or 0 when no query workload hint is available
+    fan_out: float
+
+
+class BackendDecision(NamedTuple):
+    """A backend choice plus the evidence it was made on."""
+
+    backend: str  # "tid" | "reference"
+    features: BackendFeatures
+    #: the two cost estimates the rule compared (scan, tid), for --stats-json
+    scan_cost: float
+    tid_cost: float
+
+
+def collect_features(
+    database, vocabulary: Vocabulary, fan_out: Optional[float] = None
+) -> BackendFeatures:
+    """Read the cost-model features for one member database."""
+    transactions = len(database)
+    total_facts = sum(len(t.facts) for t in database)
+    terms, height, avg_closure = vocabulary.element_order.closure_stats()
+    return BackendFeatures(
+        transactions=transactions,
+        total_facts=total_facts,
+        taxonomy_terms=terms,
+        taxonomy_height=height,
+        avg_closure=avg_closure,
+        fan_out=float(fan_out) if fan_out else 0.0,
+    )
+
+
+def choose_backend(
+    database, vocabulary: Vocabulary, fan_out: Optional[float] = None
+) -> BackendDecision:
+    """Pick the cheaper support backend for ``(database, vocabulary)``.
+
+    The model compares per-question cost estimates:
+
+    * ``scan_cost`` — the reference scan's implication checks: every
+      transaction tests every query fact against its facts (query size
+      cancels out of the comparison, so it is left out of both sides);
+    * ``tid_cost`` — the index's witness build for a novel fact, one
+      closure-bounded union.  High candidate fan-out *lowers* the
+      effective cost because sibling candidates share component terms and
+      hit the per-fact witness memo, so the novel-fact rate drops.
+
+    A small database under a wide taxonomy therefore scans; everything
+    else indexes.
+    """
+    features = collect_features(database, vocabulary, fan_out)
+    scan_cost = float(features.total_facts)
+    # memo reuse discount: each unit of fan-out shares witness masks
+    # across sibling candidates (diminishing, never below 25%)
+    reuse = max(0.25, 1.0 / (1.0 + features.fan_out / 8.0))
+    tid_cost = features.avg_closure * reuse
+    backend = "reference" if scan_cost * SCAN_WORK_FACTOR < tid_cost else "tid"
+    return BackendDecision(
+        backend=backend,
+        features=features,
+        scan_cost=scan_cost,
+        tid_cost=tid_cost,
+    )

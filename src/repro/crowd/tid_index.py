@@ -37,7 +37,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..observability import count as _obs_count
+from ..observability import count as _obs_count, span as _obs_span
 from ..ontology.facts import Fact, FactSet
 from ..vocabulary.terms import ANY_ELEMENT, ANY_RELATION_WILDCARD, Term
 from ..vocabulary.vocabulary import Vocabulary
@@ -80,6 +80,10 @@ class TidIndex:
             self._rebuild()
 
     def _rebuild(self) -> None:
+        with _obs_span("backend.compile"):
+            self._do_rebuild()
+
+    def _do_rebuild(self) -> None:
         self._fact_ids.clear()
         self._by_subject.clear()
         self._by_relation.clear()

@@ -151,6 +151,26 @@ class OassisEngine:
 
     # ------------------------------------------------------------ execution
 
+    @staticmethod
+    def _push_workload_hints(
+        space: QueryAssignmentSpace, members: Sequence[CrowdMember]
+    ) -> None:
+        """Tell each member database the query's candidate fan-out.
+
+        The adaptive support backend weighs the fan-out (successors per
+        frontier node — how many structurally-similar candidates will
+        share witness masks) in its scan-vs-index decision.  Members whose
+        databases predate the hint API are skipped.
+        """
+        roots = space.roots()
+        if not roots:
+            return
+        fan_out = sum(len(space.successors(r)) for r in roots) / len(roots)
+        for member in members:
+            database = getattr(member, "database", None)
+            if database is not None and hasattr(database, "set_workload_hint"):
+                database.set_workload_hint(fan_out)
+
     def execute(
         self,
         query: Union[str, Query],
@@ -201,6 +221,7 @@ class OassisEngine:
             aggregator = FixedSampleAggregator(
                 parsed.threshold, sample_size=run.sample_size
             )
+            self._push_workload_hints(space, members)
             users = [MemberUser(member, space) for member in members]
             miner = MultiUserMiner(
                 space,
@@ -256,6 +277,7 @@ class OassisEngine:
             space = self.build_space(
                 parsed, more_pool=more_pool if more_pool is not None else ()
             )
+            self._push_workload_hints(space, [member])
             answers: Dict[Assignment, float] = {}
 
             def oracle(node: Assignment) -> float:

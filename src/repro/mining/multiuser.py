@@ -240,6 +240,11 @@ class MultiUserMiner(Generic[Node]):
         self.targets = (
             TargetTracker(self.state, target_msps) if target_msps is not None else None
         )
+        # chain-partitioned question order when the space provides it
+        # (QueryAssignmentSpace does); plain successor order otherwise
+        self._ordered_successors: Callable[[Node], Sequence[Node]] = getattr(
+            space, "ordered_successors", space.successors
+        )
         self.stats = QuestionStats()
         self.questions = 0
         self.questions_per_user: Dict[str, int] = {}
@@ -406,7 +411,7 @@ class MultiUserMiner(Generic[Node]):
     def _pose_specialization(self, session: _Session[Node], node: Node) -> None:
         candidates = [
             s
-            for s in self.space.successors(node)
+            for s in self._ordered_successors(node)
             if self.state.status(s) is not Status.INSIGNIFICANT
             and s not in session.answers
             and not any(
@@ -459,11 +464,16 @@ class MultiUserMiner(Generic[Node]):
         extended = self.space.propose_more_fact(node, tip)
         if extended is not None:
             self.stats.more_tips += 1
+            # an unconfirmed candidate MSP gains a successor mid-run: the
+            # tracker's pending frontier must include it
+            self.tracker.note_new_successor(node, extended)
             if self._obs is not None:
                 self._obs.count("crowd.more_tips")
 
     def _push_successors(self, session: _Session[Node], node: Node) -> None:
-        for successor in self.space.successors(node):
+        # reversed: the stack pops in chain-partition order, so a user
+        # walks one taxonomy chain to its end before switching chains
+        for successor in reversed(self._ordered_successors(node)):
             if successor not in session.visited:
                 session.stack.append(successor)
 

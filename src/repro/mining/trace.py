@@ -10,7 +10,17 @@ once every successor is classified insignificant).
 
 from __future__ import annotations
 
-from typing import Generic, Hashable, List, NamedTuple, Optional, Sequence, Set, TypeVar
+from typing import (
+    Dict,
+    Generic,
+    Hashable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    TypeVar,
+)
 
 from ..assignments.lattice import AssignmentSpace
 from .state import ClassificationState, Status
@@ -72,7 +82,16 @@ class MiningTrace:
 
 
 class MspTracker(Generic[Node]):
-    """Maintains the confirmed-MSP set as classification progresses."""
+    """Maintains the confirmed-MSP set incrementally.
+
+    A candidate (a node decided significant) is a confirmed MSP once every
+    successor is classified insignificant.  Instead of re-expanding every
+    candidate's successor list on each refresh, the tracker keeps a
+    *pending frontier* per candidate — the successors not yet known
+    insignificant — and each refresh only re-examines that shrinking set.
+    Classification is monotone, so a successor leaves the frontier at most
+    once and a candidate is confirmed exactly when its frontier drains.
+    """
 
     def __init__(
         self,
@@ -84,6 +103,8 @@ class MspTracker(Generic[Node]):
         self.state = state
         # nodes explicitly decided significant (by ask or aggregator verdict)
         self._significant_decided: Set[Node] = set()
+        # candidate -> successors not yet classified insignificant
+        self._pending: Dict[Node, List[Node]] = {}
         self._confirmed: Set[Node] = set()
         self._confirmed_valid: Set[Node] = set()
         self._stride = max(1, stride)
@@ -91,26 +112,42 @@ class MspTracker(Generic[Node]):
 
     def note_significant(self, node: Node) -> None:
         """Register a node decided significant (candidate MSP)."""
+        if node in self._significant_decided:
+            return
         self._significant_decided.add(node)
+        self._pending[node] = list(self.space.successors(node))
+
+    def note_new_successor(self, node: Node, successor: Node) -> None:
+        """Register a successor added to ``node`` after it became a candidate.
+
+        Lazy spaces can grow mid-run (crowd-proposed MORE extensions); an
+        unconfirmed candidate must then also see the new successor
+        classified insignificant before it is confirmed.
+        """
+        pending = self._pending.get(node)
+        if pending is not None and successor not in pending:
+            pending.append(successor)
 
     def refresh(self, force: bool = False) -> None:
-        """Re-derive which candidates are now confirmed MSPs.
+        """Advance the pending frontiers and confirm drained candidates.
 
-        A candidate is a confirmed MSP when no successor is (or can become)
-        significant: every successor is classified insignificant.  Like
-        :class:`ValidProgress`, a full rescan is throttled to every
+        Like :class:`ValidProgress`, the scan is throttled to every
         ``stride`` calls; pass ``force=True`` before reading final results.
         """
         self._calls += 1
         if not force and self._stride > 1 and self._calls % self._stride != 1:
             return
-        for node in self._significant_decided:
-            if node in self._confirmed:
-                continue
-            successors = self.space.successors(node)
-            if all(
-                self.state.status(s) is Status.INSIGNIFICANT for s in successors
-            ):
+        status = self.state.status
+        for node in list(self._pending):
+            remaining = [
+                s
+                for s in self._pending[node]
+                if status(s) is not Status.INSIGNIFICANT
+            ]
+            if remaining:
+                self._pending[node] = remaining
+            else:
+                del self._pending[node]
                 self._confirmed.add(node)
                 if self.space.is_valid(node):
                     self._confirmed_valid.add(node)

@@ -25,6 +25,13 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
     {
         # crowd answer aggregation
         "aggregator.answers",
+        # adaptive support-backend selection (repro.crowd.backend)
+        "backend.choose.reference",
+        "backend.choose.tid",
+        "backend.decisions.cached",
+        "backend.overridden",
+        "support.count.reference",
+        "support.count.tid",
         # the CrowdCache answer store
         "cache.answers.recorded",
         "cache.hits",
@@ -60,6 +67,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "mining.skipped.insignificant",
         "mining.skipped.user_pruned",
         # bitset-compiled taxonomy closures
+        "orders.chain_partitions",
         "orders.closure.anc_compiles",
         "orders.closure.anc_views",
         "orders.closure.desc_compiles",
@@ -118,6 +126,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
 #: every registered span name (the nodes of the span tree)
 SPAN_NAMES: FrozenSet[str] = frozenset(
     {
+        "backend.compile",
         "engine.execute",
         "engine.parse",
         "engine.replay",

@@ -74,6 +74,10 @@ class PartialOrder:
         self._desc_view: Dict[Term, FrozenSet[Term]] = {}
         self._anc_view: Dict[Term, FrozenSet[Term]] = {}
         self._depth_cache: Dict[Term, int] = {}
+        self._chain_pos: Dict[Term, Tuple[int, int]] = {}
+        self._chain_compiled_at = -1
+        self._closure_stats: Tuple[int, int, float] = (0, 0, 0.0)
+        self._closure_stats_at = -1
         self._sorted_children: Dict[Term, Tuple[Term, ...]] = {}
         self._sorted_parents: Dict[Term, Tuple[Term, ...]] = {}
         self._edge_count = 0
@@ -421,6 +425,75 @@ class PartialOrder:
         if not self._children:
             return 0
         return max(self.depth(t) for t in self._children)
+
+    def closure_stats(self) -> Tuple[int, int, float]:
+        """``(terms, height, average closure size)`` of the order.
+
+        The average reflexive-descendant-closure size is one popcount per
+        compiled bitset — the width/depth shape signal the adaptive
+        support backend feeds its cost model (a term's closure size is
+        exactly the union work the TID index spends on a novel query fact
+        touching it).  Memoized per version stamp.
+        """
+        if self._closure_stats_at == self.version:
+            return self._closure_stats
+        n = len(self._terms_by_id)
+        if n == 0:
+            stats = (0, 0, 0.0)
+        else:
+            self._ensure_desc_compiled()
+            mass = sum(bits.bit_count() for bits in self._desc_bits)
+            stats = (n, self.height(), mass / n)
+        self._closure_stats = stats
+        self._closure_stats_at = self.version
+        return stats
+
+    def chain_partition(self) -> Dict[Term, Tuple[int, int]]:
+        """Greedy chain decomposition: term -> (chain id, position).
+
+        Partitions the order into maximal chains by a deterministic
+        top-down sweep: each term extends the chain of the first parent
+        (in sorted order) whose chain it can still prolong, otherwise it
+        starts a new chain.  The companion complexity paper shows crowd
+        question cost is governed by the chain structure of the taxonomy;
+        traversals use this partition to ask questions chain-by-chain so
+        one insignificant answer prunes a whole suffix.  Memoized until
+        the next structural edit.
+        """
+        if self._chain_compiled_at == self.version:
+            return self._chain_pos
+        pos: Dict[Term, Tuple[int, int]] = {}
+        tails: Dict[int, Term] = {}
+        chains = 0
+        # deterministic topological sweep (sorted roots, sorted children)
+        indegree = {t: len(ps) for t, ps in self._parents.items()}
+        queue = sorted(t for t, d in indegree.items() if d == 0)
+        head = 0
+        while head < len(queue):
+            term = queue[head]
+            head += 1
+            extended = None
+            for parent in self.parents_sorted(term):
+                parent_pos = pos.get(parent)
+                if parent_pos is not None and tails.get(parent_pos[0]) == parent:
+                    extended = parent_pos
+                    break
+            if extended is None:
+                pos[term] = (chains, 0)
+                tails[chains] = term
+                chains += 1
+            else:
+                chain_id, depth = extended
+                pos[term] = (chain_id, depth + 1)
+                tails[chain_id] = term
+            for child in self.children_sorted(term):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        self._chain_pos = pos
+        self._chain_compiled_at = self.version
+        _obs_count("orders.chain_partitions")
+        return pos
 
     def minimal_generalization_steps(self, general: Term, specific: Term) -> int:
         """Shortest edge distance from ``general`` down to ``specific``.

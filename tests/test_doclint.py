@@ -1,0 +1,89 @@
+"""Tests for the documentation cross-link checker (repro.analysis.doclint)."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.doclint import check_file, check_tree, main
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestReferenceForms:
+    def _check(self, tmp_path, text, name="page.md"):
+        page = tmp_path / name
+        page.parent.mkdir(parents=True, exist_ok=True)
+        page.write_text(text)
+        return check_file(page, tmp_path)
+
+    def test_markdown_link_to_missing_file_is_dangling(self, tmp_path):
+        findings = self._check(tmp_path, "see [the guide](MISSING.md).")
+        assert len(findings) == 1
+        assert findings[0].target == "MISSING.md"
+        assert findings[0].line == 1
+
+    def test_markdown_link_to_existing_file_resolves(self, tmp_path):
+        (tmp_path / "OTHER.md").write_text("x")
+        assert self._check(tmp_path, "see [other](OTHER.md).") == []
+
+    def test_anchor_suffix_is_stripped(self, tmp_path):
+        (tmp_path / "OTHER.md").write_text("x")
+        assert self._check(tmp_path, "see [s](OTHER.md#section).") == []
+
+    def test_inline_code_reference_checked(self, tmp_path):
+        findings = self._check(tmp_path, "read `docs/GONE.md` first")
+        assert [f.target for f in findings] == ["docs/GONE.md"]
+
+    def test_sibling_reference_resolves_relative_to_referrer(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "A.md").write_text("x")
+        findings = self._check(tmp_path, "see `A.md`", name="docs/B.md")
+        assert findings == []
+
+    def test_root_fallback_for_docs_pages(self, tmp_path):
+        (tmp_path / "README.md").write_text("x")
+        findings = self._check(tmp_path, "see `README.md`", name="docs/B.md")
+        assert findings == []
+
+    def test_external_urls_ignored(self, tmp_path):
+        text = "see [x](https://example.com/page.md) and `http://a.md`"
+        assert self._check(tmp_path, text) == []
+
+    def test_fenced_code_blocks_ignored(self, tmp_path):
+        text = "```text\nsee docs/IMAGINARY.md and [x](FAKE.md)\n```\n"
+        assert self._check(tmp_path, text) == []
+
+    def test_absolute_paths_always_dangle(self, tmp_path):
+        findings = self._check(tmp_path, "see `/etc/anything/NOPE.md`")
+        assert [f.target for f in findings] == ["/etc/anything/NOPE.md"]
+
+
+class TestTreeAndCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "README.md").write_text("see [d](docs/D.md)")
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "D.md").write_text("see `README.md`")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_dangling_tree_exits_one(self, tmp_path, capsys):
+        (tmp_path / "README.md").write_text("see [d](docs/NOPE.md)")
+        assert main([str(tmp_path)]) == 1
+        assert "NOPE.md" in capsys.readouterr().err
+
+    def test_usage_error(self, tmp_path):
+        assert main([str(tmp_path), "extra"]) == 2
+        assert main([str(tmp_path / "not-a-dir")]) == 2
+
+
+class TestRealTree:
+    def test_repository_docs_have_no_dangling_references(self):
+        findings = check_tree(ROOT)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_repository_has_cross_links_to_check(self):
+        """The checker must actually be exercising references — the
+        handbook pages cross-link heavily by design."""
+        tuning = (ROOT / "docs" / "TUNING.md").read_text()
+        assert "PERFORMANCE.md" in tuning
+        assert "OBSERVABILITY.md" in tuning

@@ -39,24 +39,34 @@ class TestLanguageGuide:
             parse_query(query)
 
 
+def _python_blocks(doc_name):
+    text = (DOCS / doc_name).read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def _execute_blocks(doc_name, monkeypatch, capsys):
+    """Run a doc's ```python blocks cumulatively in one namespace, top to
+    bottom, like a reader following the guide in a REPL.
+
+    Runs from the repository root (the PERFORMANCE.md table renderer
+    reads ``BENCH_perf.json`` relatively) with the support backend reset
+    to the shipped default (TUNING.md asserts it)."""
+    from repro.crowd import set_support_backend
+
+    monkeypatch.chdir(ROOT)
+    set_support_backend("adaptive")
+    namespace = {}
+    for index, block in enumerate(_python_blocks(doc_name)):
+        code = compile(block, f"{doc_name}[block {index}]", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own docs
+
+
 class TestObservabilityGuide:
-    """Every ```python block in docs/OBSERVABILITY.md must execute.
-
-    Blocks run cumulatively in one namespace, top to bottom, like a
-    reader following the guide in a REPL."""
-
-    def _blocks(self):
-        text = (DOCS / "OBSERVABILITY.md").read_text()
-        return re.findall(r"```python\n(.*?)```", text, re.S)
-
     def test_has_worked_examples(self):
-        assert len(self._blocks()) >= 2
+        assert len(_python_blocks("OBSERVABILITY.md")) >= 2
 
-    def test_python_blocks_execute(self):
-        namespace = {}
-        for index, block in enumerate(self._blocks()):
-            code = compile(block, f"OBSERVABILITY.md[block {index}]", "exec")
-            exec(code, namespace)  # noqa: S102 - executing our own docs
+    def test_python_blocks_execute(self, monkeypatch, capsys):
+        _execute_blocks("OBSERVABILITY.md", monkeypatch, capsys)
 
     def test_documented_counters_match_the_code(self):
         """Counter names in the doc's table exist in the source (and the
@@ -69,6 +79,10 @@ class TestObservabilityGuide:
                 text,
             )
         )
+        self._assert_counters_recorded(documented)
+
+    @staticmethod
+    def _assert_counters_recorded(documented):
         assert documented, "the naming-scheme table went missing"
         src = ROOT / "src" / "repro"
         source_text = "\n".join(p.read_text() for p in src.rglob("*.py"))
@@ -76,6 +90,44 @@ class TestObservabilityGuide:
             name for name in documented if f'"{name}"' not in source_text
         }
         assert not missing, f"documented but never recorded: {sorted(missing)}"
+
+
+class TestPerformanceGuide:
+    """docs/PERFORMANCE.md: the profiling handbook stays executable and
+    its backend-choice table always renders from BENCH_perf.json."""
+
+    def test_has_worked_examples(self):
+        assert len(_python_blocks("PERFORMANCE.md")) >= 2
+
+    def test_python_blocks_execute(self, monkeypatch, capsys):
+        _execute_blocks("PERFORMANCE.md", monkeypatch, capsys)
+
+    def test_table_renders_every_benched_domain(self, monkeypatch, capsys):
+        import json
+
+        _execute_blocks("PERFORMANCE.md", monkeypatch, capsys)
+        rendered = capsys.readouterr().out
+        report = json.loads((ROOT / "BENCH_perf.json").read_text())
+        for domain in report["e2e"]:
+            assert domain in rendered, f"{domain} missing from the table"
+
+
+class TestTuningGuide:
+    """docs/TUNING.md: every operator recipe must execute as written."""
+
+    def test_has_worked_examples(self):
+        assert len(_python_blocks("TUNING.md")) >= 2
+
+    def test_python_blocks_execute(self, monkeypatch, capsys):
+        _execute_blocks("TUNING.md", monkeypatch, capsys)
+
+    def test_documented_backend_counters_match_the_code(self):
+        text = (DOCS / "TUNING.md").read_text()
+        documented = set(
+            re.findall(r"`((?:backend|support\.count|tid_index)\.[a-z_.]+)`", text)
+        )
+        assert documented, "the backend-counter table went missing"
+        TestObservabilityGuide._assert_counters_recorded(documented)
 
 
 class TestExampleData:
@@ -111,5 +163,7 @@ class TestExampleData:
 
     def test_documented_files_exist(self):
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
-                     "docs/LANGUAGE.md", "docs/ARCHITECTURE.md", "Makefile"):
+                     "docs/LANGUAGE.md", "docs/ARCHITECTURE.md",
+                     "docs/PERFORMANCE.md", "docs/TUNING.md",
+                     "BENCH_perf.json", "Makefile"):
             assert (ROOT / name).exists(), name

@@ -248,3 +248,52 @@ class TestUniverses:
     def test_top_values(self, fragment_space):
         assert fragment_space.top_values("x") == {E("Attraction")}
         assert fragment_space.top_values("y") == {E("Activity")}
+
+
+class TestDigestLeq:
+    """space.leq must equal the semantic Assignment.leq on real lattices."""
+
+    def test_matches_semantic_leq_on_traversed_nodes(self, fragment_space):
+        vocabulary = fragment_space.vocabulary
+        nodes = list(fragment_space.descend_iter(max_nodes=60))
+        assert len(nodes) >= 10
+        for a in nodes:
+            for b in nodes:
+                assert fragment_space.leq(a, b) == a.leq(b, vocabulary), (
+                    f"digest leq diverged on {a!r} vs {b!r}"
+                )
+
+    def test_digests_invalidate_on_order_mutation(self, fragment_space):
+        nodes = list(fragment_space.descend_iter(max_nodes=10))
+        a, b = nodes[0], nodes[-1]
+        before = fragment_space.leq(a, b)
+        # bump the element-order version with an unrelated term; the digest
+        # caches must rebuild rather than serve stale bitsets
+        vocabulary = fragment_space.vocabulary
+        vocabulary.element_order.add_term(E("Totally Unrelated"))
+        assert fragment_space.leq(a, b) == before == a.leq(b, vocabulary)
+
+
+class TestOrderedSuccessors:
+    def test_same_set_as_successors(self, fragment_space):
+        for node in fragment_space.descend_iter(max_nodes=30):
+            assert set(fragment_space.ordered_successors(node)) == set(
+                fragment_space.successors(node)
+            )
+
+    def test_order_is_deterministic(self):
+        """Two independently built spaces order successors identically —
+        the chain-partition sort keys are hash-seed independent."""
+        def build():
+            ontology = running_example.build_ontology()
+            query = parse_query(running_example.FRAGMENT_QUERY)
+            return QueryAssignmentSpace(ontology, query, max_values_per_var=2)
+
+        first, second = build(), build()
+        first_nodes = list(first.descend_iter(max_nodes=40))
+        second_nodes = list(second.descend_iter(max_nodes=40))
+        assert first_nodes == second_nodes
+        for node in first_nodes:
+            assert [repr(s) for s in first.ordered_successors(node)] == [
+                repr(s) for s in second.ordered_successors(node)
+            ]

@@ -102,3 +102,102 @@ class TestWitnessStrategy:
         )
         state.mark_significant(biking)
         assert state.status(monkey) is Status.UNKNOWN
+
+
+class TestIncrementalMspTracker:
+    """MspTracker keeps a shrinking pending frontier per candidate."""
+
+    def _diamond(self):
+        dag = ExplicitDAG()
+        for a, b in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+            dag.add_edge(a, b)
+        return dag
+
+    def test_confirms_when_frontier_drains(self):
+        from repro.mining.trace import MspTracker
+
+        dag = self._diamond()
+        state = ClassificationState(dag)
+        tracker = MspTracker(dag, state)
+        state.mark_significant(0)
+        tracker.note_significant(0)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == set()  # successors 1, 2 undecided
+
+        state.mark_insignificant(1)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == set()  # 2 still pending
+
+        state.mark_insignificant(2)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == {0}
+        assert tracker.counts()[0] == 1
+
+    def test_frontier_shrinks_monotonically(self):
+        from repro.mining.trace import MspTracker
+
+        dag = self._diamond()
+        state = ClassificationState(dag)
+        tracker = MspTracker(dag, state)
+        state.mark_significant(0)
+        tracker.note_significant(0)
+        assert sorted(tracker._pending[0]) == [1, 2]
+        state.mark_insignificant(1)
+        tracker.refresh(force=True)
+        assert tracker._pending[0] == [2]  # 1 left the frontier for good
+
+    def test_note_new_successor_reopens_candidate(self):
+        from repro.mining.trace import MspTracker
+
+        dag = self._diamond()
+        state = ClassificationState(dag)
+        tracker = MspTracker(dag, state)
+        state.mark_significant(0)
+        tracker.note_significant(0)
+        state.mark_insignificant(1)
+        state.mark_insignificant(2)
+
+        # the lattice grows mid-run (e.g. a crowd-proposed MORE extension)
+        # before the frontier drained: the candidate must wait for the new
+        # successor too
+        dag.add_edge(0, 4)
+        tracker.note_new_successor(0, 4)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == set()
+
+        state.mark_insignificant(4)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == {0}
+
+    def test_note_new_successor_ignores_confirmed_candidates(self):
+        from repro.mining.trace import MspTracker
+
+        dag = self._diamond()
+        state = ClassificationState(dag)
+        tracker = MspTracker(dag, state)
+        state.mark_significant(0)
+        tracker.note_significant(0)
+        state.mark_insignificant(1)
+        state.mark_insignificant(2)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == {0}
+        # confirmation is final: late successors don't resurrect the frontier
+        tracker.note_new_successor(0, 4)
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == {0}
+
+    def test_stride_throttles_but_force_overrides(self):
+        from repro.mining.trace import MspTracker
+
+        dag = self._diamond()
+        state = ClassificationState(dag)
+        tracker = MspTracker(dag, state, stride=10)
+        state.mark_significant(0)
+        tracker.note_significant(0)
+        tracker.refresh()  # call 1 runs (1 % 10 == 1)
+        state.mark_insignificant(1)
+        state.mark_insignificant(2)
+        tracker.refresh()  # throttled
+        assert tracker.confirmed() == set()
+        tracker.refresh(force=True)
+        assert tracker.confirmed() == {0}

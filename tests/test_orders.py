@@ -156,3 +156,55 @@ class TestOrderQueries:
     def test_edges_iteration(self):
         order = sport_order()
         assert (Element("Sport"), Element("Biking")) in set(order.edges())
+
+
+class TestClosureStats:
+    def test_shape_summary(self):
+        order = sport_order()
+        terms, height, avg_closure = order.closure_stats()
+        assert terms == 6
+        # Activity -> Sport -> Ball Game -> Basketball = 3 edges deep
+        assert height == 3
+        # closure sizes: Activity 6, Sport 5, Ball Game 3, leaves 1 each
+        assert avg_closure == pytest.approx((6 + 5 + 3 + 1 + 1 + 1) / 6)
+
+    def test_memoized_until_mutation(self):
+        order = sport_order()
+        first = order.closure_stats()
+        assert order.closure_stats() is first or order.closure_stats() == first
+        order.add_edge(Element("Sport"), Element("Skiing"))
+        terms, _, _ = order.closure_stats()
+        assert terms == 7
+
+    def test_empty_order(self):
+        assert PartialOrder().closure_stats() == (0, 0, 0.0)
+
+
+class TestChainPartition:
+    def test_covers_every_term_exactly_once(self):
+        order = sport_order()
+        partition = order.chain_partition()
+        assert set(partition) == set(order.terms())
+
+    def test_chains_are_paths_down_the_order(self):
+        order = sport_order()
+        partition = order.chain_partition()
+        # group terms by chain and check consecutive positions specialize
+        chains = {}
+        for term, (chain_id, position) in partition.items():
+            chains.setdefault(chain_id, {})[position] = term
+        for members in chains.values():
+            assert sorted(members) == list(range(len(members)))
+            for position in range(len(members) - 1):
+                assert order.leq(members[position], members[position + 1])
+
+    def test_deterministic_across_instances(self):
+        assert sport_order().chain_partition() == sport_order().chain_partition()
+
+    def test_invalidated_by_mutation(self):
+        order = sport_order()
+        before = order.chain_partition()
+        order.add_edge(Element("Biking"), Element("Mountain Biking"))
+        after = order.chain_partition()
+        assert Element("Mountain Biking") in after
+        assert Element("Mountain Biking") not in before
