@@ -182,6 +182,55 @@ SILENT_EXCEPT_MODULE_PREFIXES: Tuple[str, ...] = (
 COUNTER_CALL_NAMES: FrozenSet[str] = frozenset({"count", "_obs_count"})
 
 
+# ------------------------------------------------------------ fork safety
+
+#: module prefixes imported into the shard worker processes — the spawn
+#: closure of ``repro.service.shard.worker`` (the serving layers plus
+#: everything a worker rebuilds: datasets, engine, crowd, vocabulary,
+#: ontology, observability).  Module-level locks / RNGs / thread-locals
+#: there are a process-safety trap: a fork child inherits a lock in
+#: whatever state the parent held it, a spawn child silently gets a
+#: *fresh* one (so "shared" state diverges), and any object graph that
+#: carries one stops pickling across the process boundary.
+SHARD_IMPORTED_MODULE_PREFIXES: Tuple[str, ...] = (
+    "repro/service/",
+    "repro/crowd/",
+    "repro/engine/",
+    "repro/mining/",
+    "repro/datasets/",
+    "repro/vocabulary/",
+    "repro/ontology/",
+    "repro/observability/",
+)
+
+#: constructors whose call at *module import time* creates that state
+#: (the ``threading``/``multiprocessing`` lock family, RNG instances,
+#: thread-locals, and this repo's own named-lock factories)
+FORK_UNSAFE_FACTORIES: FrozenSet[str] = frozenset(
+    {
+        "Barrier",
+        "BoundedSemaphore",
+        "Condition",
+        "Event",
+        "Lock",
+        "RLock",
+        "Random",
+        "Semaphore",
+        "SystemRandom",
+        "local",
+        "named_lock",
+        "named_rlock",
+    }
+)
+
+#: methods that mark a class as owning its process-boundary story: a
+#: class body may hold fork-unsafe state if it also defines one of these
+#: (it decides explicitly what crosses the boundary)
+FORK_STATE_EXEMPTING_METHODS: FrozenSet[str] = frozenset(
+    {"__getstate__", "__reduce__", "__reduce_ex__"}
+)
+
+
 # ------------------------------------------------------------ determinism
 
 #: module suffixes that must stay deterministic for replay: no global

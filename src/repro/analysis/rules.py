@@ -20,7 +20,11 @@ only documented prose:
 * ``silent-except`` — broad excepts in the serving/fault layer must log
   a counter or re-raise (``docs/RELIABILITY.md``);
 * ``unseeded-random`` / ``wall-clock`` — core algorithm modules stay
-  deterministic for replay.
+  deterministic for replay;
+* ``fork-unsafe-state`` — modules imported into shard worker processes
+  hold no import-time locks/RNGs/thread-locals (``docs/SHARDING.md``):
+  build such state in a factory called after spawn, or own the process
+  boundary with ``__getstate__``.
 
 Rule ids double as suppression keys: ``# repro-lint: disable=RULE``.
 See ``docs/ANALYSIS.md`` for the full catalogue.
@@ -826,6 +830,68 @@ class WallClockRule(Rule):
                 )
 
 
+class ForkUnsafeStateRule(Rule):
+    id = "fork-unsafe-state"
+    severity = Severity.ERROR
+    summary = "import-time lock/RNG state breaks process shards"
+
+    def _unsafe_factory(self, value: Optional[ast.expr]) -> Optional[str]:
+        """The offending factory name, if ``value`` calls one."""
+        if not isinstance(value, ast.Call):
+            return None
+        name = _last_component(value.func)
+        if name in project.FORK_UNSAFE_FACTORIES:
+            return name
+        return None
+
+    def _assigned_values(
+        self, statements: Sequence[ast.stmt]
+    ) -> Iterator[Tuple[ast.stmt, Optional[ast.expr]]]:
+        for statement in statements:
+            if isinstance(statement, ast.Assign):
+                yield statement, statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                yield statement, statement.value
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_any(project.SHARD_IMPORTED_MODULE_PREFIXES):
+            return
+        for statement, value in self._assigned_values(module.tree.body):
+            factory = self._unsafe_factory(value)
+            if factory:
+                yield self.finding(
+                    module,
+                    statement,
+                    f"module-level {factory}() runs at import time in a "
+                    "shard-imported module: a fork child inherits it in the "
+                    "parent's state, a spawn child silently gets a fresh "
+                    "one, and objects carrying it stop pickling — create "
+                    "it in a factory called after the worker process starts",
+                )
+        for node in module.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if methods & project.FORK_STATE_EXEMPTING_METHODS:
+                continue  # the class owns its process-boundary story
+            for statement, value in self._assigned_values(node.body):
+                factory = self._unsafe_factory(value)
+                if factory:
+                    yield self.finding(
+                        module,
+                        statement,
+                        f"class-level {factory}() is created at import time "
+                        "and shared by every instance; in a shard-imported "
+                        "module either move it into __init__ (per-instance, "
+                        "post-spawn) or define __getstate__ so the class "
+                        "owns what crosses the process boundary",
+                    )
+
+
 # -------------------------------------------------------------- the registry
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -842,6 +908,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     SilentExceptRule(),
     UnseededRandomRule(),
     WallClockRule(),
+    ForkUnsafeStateRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

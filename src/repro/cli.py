@@ -83,6 +83,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="simulation domain: demo, travel, culinary, health")
     p_serve.add_argument("--sessions", type=int, default=8)
     p_serve.add_argument("--workers", type=int, default=4)
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="serve through N worker processes instead of "
+                              "threads (fault knobs do not apply)")
     p_serve.add_argument("--crowd-size", type=int, default=6)
     p_serve.add_argument("--sample-size", type=int, default=3)
     p_serve.add_argument("--drop-every", type=int, default=5,
@@ -114,6 +117,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--workers", type=int, default=3)
     p_chaos.add_argument("--crowd-size", type=int, default=6)
     p_chaos.add_argument("--sample-size", type=int, default=3)
+    p_chaos.add_argument("--shards", type=int, default=0,
+                         help="run the kill-one-shard campaign against a "
+                              "process-sharded fleet of N workers instead "
+                              "of the threaded runner")
+    p_chaos.add_argument("--after-nodes", type=int, default=5,
+                         help="with --shards: classify this many nodes "
+                              "before the victim shard is killed")
     p_chaos.add_argument("--crashes", type=int, default=2,
                          help="worker-thread crashes to inject per run")
     p_chaos.add_argument("--state-dir", metavar="DIR",
@@ -276,6 +286,22 @@ def _cmd_serve_sim(args) -> int:
     from .service import run_simulation
 
     def simulate():
+        if args.shards > 0:
+            # process-sharded mode: the thread-pool fault knobs
+            # (--drop-every, --departures, --question-timeout) do not
+            # apply and are not forwarded
+            return run_simulation(
+                domain=args.domain,
+                sessions=args.sessions,
+                shards=args.shards,
+                crowd_size=args.crowd_size,
+                sample_size=args.sample_size,
+                drop_every=0,
+                departures=0,
+                max_runtime=args.max_runtime,
+                verify=not args.no_verify,
+                seed=args.seed,
+            )
         return run_simulation(
             domain=args.domain,
             sessions=args.sessions,
@@ -302,10 +328,16 @@ def _cmd_serve_sim(args) -> int:
 
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
-        print(
-            f"{args.sessions} session(s), {args.workers} worker(s), "
-            f"crowd of {report['crowd_size']}"
-        )
+        if args.shards > 0:
+            print(
+                f"{args.sessions} session(s), {args.shards} shard process(es), "
+                f"crowd of {report['crowd_size']}"
+            )
+        else:
+            print(
+                f"{args.sessions} session(s), {args.workers} worker(s), "
+                f"crowd of {report['crowd_size']}"
+            )
         for session_id, info in sorted(report["sessions"].items()):
             print(
                 f"  {session_id:16} {info['state']:10} "
@@ -344,6 +376,8 @@ def _cmd_chaos(args) -> int:
     if not seeds:
         print("--seeds named no seeds", file=sys.stderr)
         return 2
+    if args.shards > 0:
+        return _cmd_shard_chaos(args, seeds)
     campaign = run_chaos_campaign(
         seeds,
         domain=args.domain,
@@ -375,6 +409,45 @@ def _cmd_chaos(args) -> int:
         verdict = "ok" if campaign["ok"] else "FAILED"
         print(
             f"campaign over seeds {campaign['seeds']} "
+            f"({campaign['domain']}): {verdict}"
+        )
+    return 0 if campaign["ok"] else 1
+
+
+def _cmd_shard_chaos(args, seeds) -> int:
+    from .service.shard import run_shard_chaos_campaign
+
+    campaign = run_shard_chaos_campaign(
+        seeds,
+        domain=args.domain,
+        durable_dir=args.state_dir,
+        shards=args.shards,
+        sessions=args.sessions,
+        crowd_size=args.crowd_size,
+        sample_size=args.sample_size,
+        after_nodes=args.after_nodes,
+        max_runtime=args.max_runtime,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(campaign, indent=2, sort_keys=True))
+    else:
+        for report in campaign["reports"]:
+            verdict = "ok" if report["ok"] else "VIOLATIONS"
+            print(
+                f"seed {report['seed']}: {verdict}, killed shard "
+                f"{report['killed_shard']}/{report['shards']}, "
+                f"{report['reasks']} reask(s), "
+                f"{report['wal_replayed']} WAL answer(s) replayed, "
+                f"{report['completed_sessions']}/{report['sessions']} "
+                f"sessions, {report['elapsed_seconds']:.2f}s"
+            )
+            for violation in report["violations"]:
+                print(f"  violation: {violation}", file=sys.stderr)
+        verdict = "ok" if campaign["ok"] else "FAILED"
+        print(
+            f"shard chaos campaign over seeds {campaign['seeds']} "
             f"({campaign['domain']}): {verdict}"
         )
     return 0 if campaign["ok"] else 1

@@ -175,9 +175,30 @@ class DurableCrowdCache(CrowdCache):
             for record in records:
                 self._answers[record.key].append((record.member, record.support))
         self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        self._heal_torn_tail()
         self._handle: Optional[IO[str]] = self.journal_path.open(
             "a", encoding="utf-8"
         )
+
+    def _heal_torn_tail(self) -> None:
+        """Terminate a torn final line before appending resumes.
+
+        A crash mid-write (the kill-one-shard scenario) can leave the
+        journal without a trailing newline.  Appending straight after
+        would glue the next record onto the torn line, turning an
+        *acknowledged* answer into one more corrupt line on the next
+        replay.  Writing the missing newline confines the damage to the
+        torn (never-acknowledged) line itself.
+        """
+        if not self.journal_path.exists():
+            return
+        with self.journal_path.open("rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
 
     def record(self, assignment: Hashable, member_id: str, support: float) -> None:
         """Journal, flush, then apply — the write-ahead discipline.

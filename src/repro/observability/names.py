@@ -108,6 +108,31 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "service.sessions.resumed",
         "service.timeouts",
         "service.workers.crashed",
+        # process-sharded serving (repro.service.shard)
+        "shard.answers.merged",
+        "shard.asks.resent",
+        "shard.asks.sent",
+        "shard.backpressure.deferred",
+        "shard.batches.sent",
+        "shard.closure.compiles",
+        "shard.deltas.received",
+        "shard.deltas.stale",
+        "shard.fleet.answers",
+        "shard.fleet.asks",
+        "shard.fleet.cached",
+        "shard.fleet.compiles",
+        "shard.fleet.computed",
+        "shard.fleet.replayed",
+        "shard.kills",
+        "shard.nodes.asked",
+        "shard.nodes.classified",
+        "shard.restores",
+        "shard.serve.timeouts",
+        "shard.sessions.completed",
+        "shard.sessions.created",
+        "shard.shutdown.errors",
+        "shard.spawns",
+        "shard.wal.replayed",
         # SPARQL-ish BGP evaluation
         "sparql.closure_cache.hits",
         "sparql.closure_cache.misses",
@@ -141,6 +166,10 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "service.dispatch",
         "service.reap",
         "service.submit",
+        "shard.restore",
+        "shard.serve",
+        "shard.spawn",
+        "shard.start",
         "sparql.match",
     }
 )

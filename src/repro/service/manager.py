@@ -350,6 +350,15 @@ class SessionManager:
             attempt = self._attempts.get(key, 0) + 1
             self._attempts[key] = attempt
             self._backoff.pop(key, None)
+            window = self.config.question_timeout
+            if self.config.scale_deadlines:
+                # the n-th question a member holds cannot even be looked
+                # at before the n-1 ahead of it are answered; its clock
+                # gets n timeout windows, not one (see ServiceConfig)
+                position = 1 + sum(
+                    1 for held in self._in_flight if held[1] == question.member_id
+                )
+                window *= position
             dispatched = DispatchedQuestion(
                 session_id,
                 question.member_id,
@@ -358,7 +367,7 @@ class SessionManager:
                 question.fact_set,
                 attempt=attempt,
                 issued_at=now,
-                deadline=now + self.config.question_timeout,
+                deadline=now + window,
             )
             self._in_flight[key] = dispatched
         return dispatched

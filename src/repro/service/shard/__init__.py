@@ -1,0 +1,24 @@
+"""Process-sharded crowd serving (see ``docs/SHARDING.md``).
+
+Partitions simulated members across worker *processes* on a
+consistent-hash ring, with per-shard WAL journals, shared-memory closure
+bitsets, and a single-threaded coordinator that owns query lifecycle and
+merges per-shard support deltas — the layer that takes question
+throughput past the GIL ceiling of the threaded runner.
+"""
+
+from .chaos import run_shard_chaos_campaign, run_shard_chaos_once
+from .coordinator import VIRTUAL_MEMBER, ShardCoordinator
+from .hashring import DEFAULT_REPLICAS, HashRing, split_quota
+from .simulation import run_sharded_simulation
+
+__all__ = [
+    "DEFAULT_REPLICAS",
+    "HashRing",
+    "ShardCoordinator",
+    "VIRTUAL_MEMBER",
+    "run_shard_chaos_campaign",
+    "run_shard_chaos_once",
+    "run_sharded_simulation",
+    "split_quota",
+]

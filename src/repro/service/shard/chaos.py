@@ -1,0 +1,132 @@
+"""Kill-one-shard chaos campaigns for the process-sharded serving layer.
+
+The sharded counterpart of :mod:`repro.faults.chaos`: each run serves a
+multi-session campaign through a shard fleet, hard-kills one worker
+process mid-flight (``SIGKILL`` — no shutdown handshake, no flush beyond
+the WAL appends already on disk), restores it from its per-shard WAL and
+requires the campaign to finish with the exact serial MSP set.  A
+campaign sweeps that scenario over several seeds; any divergence,
+timeout or untriggered kill fails the campaign.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .simulation import run_sharded_simulation
+
+
+def run_shard_chaos_once(
+    *,
+    seed: int,
+    domain: str = "demo",
+    shards: int = 3,
+    sessions: int = 4,
+    crowd_size: int = 6,
+    sample_size: int = 3,
+    kill_shard: Optional[int] = None,
+    after_nodes: int = 5,
+    durable_dir: Optional[Union[str, "Path"]] = None,
+    max_runtime: float = 120.0,
+) -> Dict[str, Any]:
+    """One kill → WAL-restore → identical-MSP run; returns its verdict.
+
+    ``kill_shard`` defaults to ``seed % shards`` so a multi-seed campaign
+    rotates the victim.  ``durable_dir`` (the WAL home) is created as a
+    temporary directory when omitted.
+    """
+    victim = kill_shard if kill_shard is not None else seed % shards
+    if not 0 <= victim < shards:
+        raise ValueError(f"kill_shard {victim} out of range for {shards} shards")
+
+    def _run(wal_home: Union[str, Path]) -> Dict[str, Any]:
+        return run_sharded_simulation(
+            domain=domain,
+            shards=shards,
+            sessions=sessions,
+            crowd_size=crowd_size,
+            sample_size=sample_size,
+            max_runtime=max_runtime,
+            verify=True,
+            seed=seed,
+            durable_dir=wal_home,
+            chaos_kill=(victim, after_nodes),
+        )
+
+    if durable_dir is None:
+        with tempfile.TemporaryDirectory(prefix="shard-chaos-") as scratch:
+            report = _run(scratch)
+    else:
+        home = Path(durable_dir)
+        home.mkdir(parents=True, exist_ok=True)
+        report = _run(home)
+
+    chaos = report["chaos"]
+    violations: List[str] = []
+    if report["timed_out"]:
+        violations.append("campaign hit max_runtime before settling")
+    if not chaos["triggered"]:
+        violations.append(
+            f"kill never triggered: fewer than {after_nodes} nodes classified"
+        )
+    if not report["verified"]:
+        violations.append(
+            f"{len(report['mismatches'])} session(s) diverged from serial MSPs"
+        )
+    incomplete = [
+        session_id
+        for session_id, info in report["sessions"].items()
+        if info["state"] != "completed"
+    ]
+    if incomplete:
+        violations.append(f"unfinished sessions: {sorted(incomplete)}")
+    return {
+        "seed": seed,
+        "shards": shards,
+        "killed_shard": victim,
+        "after_nodes": after_nodes,
+        "triggered": chaos["triggered"],
+        "reasks": chaos["reasks"],
+        "wal_replayed": report["wal_replayed"],
+        "sessions": sessions,
+        "completed_sessions": sessions - len(incomplete),
+        "questions_answered": report["questions_answered"],
+        "elapsed_seconds": report["elapsed_seconds"],
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+def run_shard_chaos_campaign(
+    seeds: Sequence[int] = (0, 1, 2),
+    *,
+    domain: str = "demo",
+    durable_dir: Optional[str] = None,
+    **options: Union[int, float, None],
+) -> Dict[str, Any]:
+    """Run :func:`run_shard_chaos_once` per seed; aggregate the verdict.
+
+    ``durable_dir`` gets one subdirectory per seed so per-shard WALs
+    never collide across runs.  Extra keyword options are forwarded
+    verbatim.
+    """
+    reports: List[Dict[str, Any]] = []
+    for seed in seeds:
+        seed_dir = f"{durable_dir}/seed-{seed}" if durable_dir is not None else None
+        reports.append(
+            run_shard_chaos_once(
+                seed=seed,
+                domain=domain,
+                durable_dir=seed_dir,
+                **options,  # type: ignore[arg-type]
+            )
+        )
+    return {
+        "domain": domain,
+        "seeds": list(seeds),
+        "ok": all(report["ok"] for report in reports),
+        "total_reasks": sum(report["reasks"] for report in reports),
+        "reports": reports,
+    }

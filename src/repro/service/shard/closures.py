@@ -1,0 +1,99 @@
+"""Ship compiled taxonomy closures to shards via shared memory.
+
+Compiling the transitive-closure bitsets of a large taxonomy is the one
+expensive, redundant piece of shard start-up — every shard would burn
+the same CPU recompiling what the coordinator already has.  Instead the
+coordinator exports both vocabulary orders once
+(:meth:`~repro.vocabulary.orders.PartialOrder.export_closures`) into a
+single read-only :class:`multiprocessing.shared_memory.SharedMemory`
+segment, and each shard adopts them by name
+(:meth:`~repro.vocabulary.orders.PartialOrder.adopt_closures`) — a
+structural SHA-1 signature inside each blob guarantees the shard's
+locally-built vocabulary matches the coordinator's before any bit is
+trusted.
+
+Lifecycle: the coordinator owns the segment (``close()`` + ``unlink()``
+via :meth:`SharedClosures.unlink`); shards only ever attach and
+``close()``.  Shards must *not* unregister the segment from the
+resource tracker — under the ``spawn`` start method children share the
+parent's tracker process, and an explicit unregister there would drop
+the parent's own registration.
+"""
+
+from __future__ import annotations
+
+import struct
+from multiprocessing import shared_memory
+from typing import Tuple
+
+from ...vocabulary.vocabulary import Vocabulary
+
+#: segment layout: lengths of the element/relation closure blobs
+_SEGMENT_HEADER = struct.Struct("!II")
+
+
+class SharedClosures:
+    """Coordinator-side owner of the exported closure segment."""
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        element_blob = vocabulary.element_order.export_closures()
+        relation_blob = vocabulary.relation_order.export_closures()
+        size = _SEGMENT_HEADER.size + len(element_blob) + len(relation_blob)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        view = self._shm.buf
+        _SEGMENT_HEADER.pack_into(
+            view, 0, len(element_blob), len(relation_blob)
+        )
+        offset = _SEGMENT_HEADER.size
+        view[offset : offset + len(element_blob)] = element_blob
+        offset += len(element_blob)
+        view[offset : offset + len(relation_blob)] = relation_blob
+        self.size = size
+
+    @property
+    def name(self) -> str:
+        """The segment name shards attach to."""
+        return self._shm.name
+
+    def unlink(self) -> None:
+        """Release the segment (idempotent); coordinator-side only."""
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedClosures":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.unlink()
+
+
+def read_closure_blobs(name: str) -> Tuple[bytes, bytes]:
+    """Attach to a closure segment and copy out both blobs (shard side)."""
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        view = shm.buf
+        element_len, relation_len = _SEGMENT_HEADER.unpack_from(view, 0)
+        offset = _SEGMENT_HEADER.size
+        element_blob = bytes(view[offset : offset + element_len])
+        offset += element_len
+        relation_blob = bytes(view[offset : offset + relation_len])
+        return element_blob, relation_blob
+    finally:
+        # attach-only: never unlink or unregister from the shard side
+        shm.close()
+
+
+def adopt_shared_closures(name: str, vocabulary: Vocabulary) -> None:
+    """Install the coordinator's compiled closures into ``vocabulary``.
+
+    Raises ``ValueError`` when the shard's vocabulary is structurally
+    different from the exporter's (the signature check) — the safe
+    failure mode is a recompile, so callers should treat this as fatal
+    misconfiguration rather than fall back silently.
+    """
+    element_blob, relation_blob = read_closure_blobs(name)
+    vocabulary.element_order.adopt_closures(element_blob)
+    vocabulary.relation_order.adopt_closures(relation_blob)

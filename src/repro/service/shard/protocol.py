@@ -1,0 +1,181 @@
+"""The coordinator ↔ shard wire protocol: length-prefixed JSON frames.
+
+One frame = a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON.  The framing is deliberately boring — shards are trusted
+local processes, the cost model is dominated by support computation, and
+a self-describing text protocol keeps the chaos suite's torn-frame and
+kill-mid-conversation scenarios debuggable from a hexdump.
+
+Frame types (the ``t`` field):
+
+==============  =========  ====================================================
+type            direction  payload
+==============  =========  ====================================================
+``ready``       s → c      ``shard``, ``members``, ``replayed`` (WAL
+                           records restored on start), ``compiles``
+                           (closure compiles observed — must stay 0 when
+                           closures were adopted)
+``ask_batch``   c → s      ``asks``: list of ask objects, each ``qid``,
+                           ``key``, ``facts`` (triples), ``start``
+                           (member round-robin offset), ``quota``
+``delta``       s → c      ``qid``, ``key``, ``shard``, ``runs``
+                           (run-length-encoded ``[support, count]`` pairs)
+``shutdown``    c → s      graceful stop; the shard flushes and exits
+``stats``       s → c      final shard counters, sent in response to
+                           ``shutdown`` just before exit
+==============  =========  ====================================================
+
+Support **runs** are the batching trick of the delta path: a shard never
+ships one message per answer — it ships ``[[support, count], ...]``,
+collapsing the (typically identical) answers of one quota into a pair.
+``runs_merge``/``runs_total`` keep that encoding canonical.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Sequence
+
+#: 4-byte big-endian frame length prefix
+FRAME_HEADER = struct.Struct("!I")
+
+#: refuse frames past this size — a corrupt length prefix must not make
+#: the coordinator try to allocate gigabytes
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: a run-length-encoded list of (support, count) pairs
+Runs = List[List[float]]
+
+
+class ProtocolError(RuntimeError):
+    """A malformed or oversized frame arrived on a shard connection."""
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialize and send one frame (blocking until fully written)."""
+    data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the cap")
+    sock.sendall(FRAME_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary.
+
+    A connection that dies mid-frame (the kill-one-shard chaos case)
+    raises :class:`ProtocolError` — the caller treats it exactly like a
+    dead shard, never like a clean shutdown.
+    """
+    header = _recv_exact(sock, FRAME_HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"incoming frame claims {length} bytes")
+    body = _recv_exact(sock, length, eof_ok=False)
+    assert body is not None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(payload, dict) or "t" not in payload:
+        raise ProtocolError("frame payload is not a typed object")
+    return payload
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, *, eof_ok: bool
+) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed {remaining} bytes into a "
+                f"{count}-byte read"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ------------------------------------------------------------ support runs
+
+
+def runs_merge(runs: Runs, support: float, count: int = 1) -> None:
+    """Fold ``count`` answers of ``support`` into an RLE run list."""
+    if count <= 0:
+        return
+    if runs and runs[-1][0] == support:
+        runs[-1][1] += count
+    else:
+        runs.append([support, count])
+
+
+def runs_total(runs: Sequence[Sequence[float]]) -> int:
+    """Total answer count carried by a run list."""
+    return int(sum(count for _, count in runs))
+
+
+def runs_clip(runs: Sequence[Sequence[float]], limit: int) -> Runs:
+    """The first ``limit`` answers of a run list, re-encoded."""
+    out: Runs = []
+    remaining = limit
+    for support, count in runs:
+        if remaining <= 0:
+            break
+        take = min(int(count), remaining)
+        runs_merge(out, float(support), take)
+        remaining -= take
+    return out
+
+
+# ------------------------------------------------------- frame constructors
+
+
+def ready_frame(
+    shard: int,
+    members: int,
+    replayed: int,
+    compiles: int,
+) -> Dict[str, Any]:
+    return {
+        "t": "ready",
+        "shard": shard,
+        "members": members,
+        "replayed": replayed,
+        "compiles": compiles,
+    }
+
+
+def ask_batch_frame(asks: List[Dict[str, Any]]) -> Dict[str, Any]:
+    return {"t": "ask_batch", "asks": asks}
+
+
+def ask_entry(
+    qid: int,
+    key: str,
+    facts: List[List[str]],
+    start: int,
+    quota: int,
+) -> Dict[str, Any]:
+    return {"qid": qid, "key": key, "facts": facts, "start": start, "quota": quota}
+
+
+def delta_frame(qid: int, key: str, shard: int, runs: Runs) -> Dict[str, Any]:
+    return {"t": "delta", "qid": qid, "key": key, "shard": shard, "runs": runs}
+
+
+def shutdown_frame() -> Dict[str, Any]:
+    return {"t": "shutdown"}
+
+
+def stats_frame(shard: int, counters: Dict[str, int]) -> Dict[str, Any]:
+    return {"t": "stats", "shard": shard, "counters": counters}

@@ -1,0 +1,176 @@
+"""Process-sharded simulations: the ``shards=N`` mode of ``run_simulation``.
+
+Serves the same multi-session campaigns as
+:func:`repro.service.simulation.run_simulation`, but through a
+:class:`~repro.service.shard.coordinator.ShardCoordinator` fleet of
+worker processes instead of a thread pool — the report keeps the same
+shape (per-session states, questions, MSP counts, throughput) so the
+CLI and benchmarks treat both modes interchangeably.
+
+Correctness rides the identical oracle: with ``verify=True`` every
+session's confirmed MSP set is compared against a serial
+``engine.execute`` of the same query, exactly as the threaded runner is
+verified.  ``chaos_kill=(shard, after_nodes)`` injects the kill-one-
+shard → WAL-restore campaign mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+import os
+
+from ...datasets.base import DomainDataset
+from ...engine.engine import OassisEngine
+from .coordinator import ShardCoordinator
+
+
+def run_sharded_simulation(
+    *,
+    domain: str = "demo",
+    shards: int = 2,
+    sessions: int = 8,
+    crowd_size: int = 6,
+    sample_size: int = 3,
+    thresholds: Optional[Sequence[float]] = None,
+    max_runtime: float = 120.0,
+    verify: bool = True,
+    seed: int = 0,
+    durable_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+    batch_size: int = 8,
+    max_outstanding: int = 32,
+    chaos_kill: Optional[Tuple[int, int]] = None,
+    verify_crowd_size: Optional[int] = None,
+    _keep_handles: bool = False,
+) -> Dict[str, Any]:
+    """Serve ``sessions`` concurrent sessions through ``shards`` processes.
+
+    ``chaos_kill=(shard, after_nodes)`` hard-kills the given shard once
+    ``after_nodes`` nodes have been classified, then immediately restores
+    it from its WAL — the campaign must still finish with the serial MSP
+    set.  Requires ``durable_dir`` (the WAL home).
+
+    ``verify_crowd_size`` sizes the serial reference crowd of the oracle
+    (default: ``crowd_size``).  With identical members the serial MSP set
+    is crowd-size-invariant — any ``sample_size`` answers average to the
+    same value — so large campaigns may verify against a smaller serial
+    crowd without weakening the check, skipping the cost of building one
+    ``MemberUser`` per member in ``engine.execute``.  Must still be
+    ``>= sample_size``.
+    """
+    from ..simulation import DEFAULT_THRESHOLDS, DOMAINS, build_identical_crowd
+
+    if domain not in DOMAINS:
+        raise ValueError(f"unknown domain {domain!r}; pick from {sorted(DOMAINS)}")
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    if chaos_kill is not None and durable_dir is None:
+        raise ValueError("chaos_kill requires durable_dir (the WAL home)")
+    serial_size = crowd_size if verify_crowd_size is None else verify_crowd_size
+    if serial_size < sample_size:
+        raise ValueError("verify_crowd_size must be at least sample_size")
+    cycle = tuple(thresholds) if thresholds is not None else DEFAULT_THRESHOLDS
+    dataset: DomainDataset = DOMAINS[domain]()
+    engine = OassisEngine(dataset.ontology)
+
+    chaos_state = {"triggered": False, "reasks": 0}
+
+    def _chaos(coordinator: ShardCoordinator) -> None:
+        assert chaos_kill is not None
+        shard_index, after_nodes = chaos_kill
+        if chaos_state["triggered"]:
+            return
+        if coordinator.nodes_classified < after_nodes:
+            return
+        chaos_state["triggered"] = True
+        coordinator.kill_shard(shard_index)
+        chaos_state["reasks"] = coordinator.restore_shard(shard_index)
+
+    coordinator = ShardCoordinator(
+        dataset,
+        shards=shards,
+        crowd_size=crowd_size,
+        sample_size=sample_size,
+        domain=domain,
+        seed=seed,
+        engine=engine,
+        durable_dir=durable_dir,
+        batch_size=batch_size,
+        max_outstanding=max_outstanding,
+        max_runtime=max_runtime,
+        chaos_hook=_chaos if chaos_kill is not None else None,
+    )
+    queries: Dict[str, str] = {}
+    try:
+        coordinator.start()
+        for index in range(sessions):
+            threshold = cycle[index % len(cycle)]
+            session_id = f"{domain}-{index}"
+            queries[session_id] = dataset.query(threshold)
+            coordinator.create_session(queries[session_id], session_id)
+        coordinator.serve()
+    finally:
+        # stats frames are collected at close, so close before reporting;
+        # _keep_handles callers still get the (closed) coordinator for
+        # post-hoc queue/session inspection
+        coordinator.close()
+    report = coordinator.report()
+    report["domain"] = domain
+    report["crowd_size"] = crowd_size
+    report["sample_size"] = sample_size
+    if chaos_kill is not None:
+        report["chaos"] = {
+            "killed_shard": chaos_kill[0],
+            "after_nodes": chaos_kill[1],
+            "triggered": chaos_state["triggered"],
+            "reasks": chaos_state["reasks"],
+        }
+    if verify:
+        report["verified"], report["mismatches"] = _verify_against_serial(
+            engine,
+            coordinator,
+            queries,
+            dataset,
+            serial_size,
+            sample_size,
+            seed,
+            build_identical_crowd,
+        )
+    if _keep_handles:
+        # live objects for invariant auditors; pop before serializing
+        report["_coordinator"] = coordinator
+    return report
+
+
+def _verify_against_serial(
+    engine: OassisEngine,
+    coordinator: ShardCoordinator,
+    queries: Dict[str, str],
+    dataset: DomainDataset,
+    crowd_size: int,
+    sample_size: int,
+    seed: int,
+    build_identical_crowd: Any,
+) -> Tuple[bool, List[Dict[str, Any]]]:
+    """Compare each session's MSPs with a serial run of the same query."""
+    mismatches: List[Dict[str, Any]] = []
+    serial_cache: Dict[str, List[str]] = {}
+    for session in coordinator.sessions():
+        query = queries[session.session_id]
+        if query not in serial_cache:
+            baseline = build_identical_crowd(
+                dataset, crowd_size, seed=seed, prefix="serial-m"
+            )
+            result = engine.execute(query, baseline, sample_size=sample_size)
+            serial_cache[query] = sorted(repr(a) for a in result.all_msps)
+        expected = serial_cache[query]
+        got = sorted(repr(a) for a in session.queue.current_msps())
+        if got != expected:
+            mismatches.append(
+                {
+                    "session": session.session_id,
+                    "state": session.state,
+                    "expected": expected,
+                    "got": got,
+                }
+            )
+    return (not mismatches), mismatches

@@ -1,0 +1,176 @@
+"""The shard worker process: owns a member partition, answers asks.
+
+``shard_main`` is the ``spawn`` entry point.  A shard is deliberately
+*stateless about queries*: it receives ``(key, facts, start, quota)``
+asks, computes the selected members' support for the instantiated
+fact-set, journals every fresh answer to its own WAL, and ships the
+result back as a run-length-encoded delta.  All query lifecycle —
+traversal, classification, inference, MSP tracking — stays on the
+coordinator.
+
+Determinism is the whole protocol: the shard derives its member
+partition from ``(crowd_size, shards, shard_index)`` through the same
+:class:`~repro.service.shard.hashring.HashRing` the coordinator uses,
+and selects members for an ask by round-robin from the coordinator's
+``start`` offset.  A re-ask after a crash therefore selects the *same*
+members, whose answers the restored WAL already holds — recovery is a
+cache hit, never a divergence.
+
+Closure bitsets are adopted read-only from the coordinator's shared
+memory segment (see :mod:`repro.service.shard.closures`); the final
+``stats`` frame reports the closure-compile counters so the coordinator
+can assert shards never recompiled.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List
+
+from ...crowd.journal import DurableCrowdCache
+from ...crowd.member import CrowdMember
+from ...crowd.questions import ConcreteQuestion
+from ...observability import tracing
+from ...ontology.facts import FactSet
+from .closures import adopt_shared_closures
+from .hashring import DEFAULT_REPLICAS, HashRing
+from .protocol import (
+    Runs,
+    delta_frame,
+    ready_frame,
+    recv_frame,
+    runs_merge,
+    send_frame,
+    stats_frame,
+)
+
+#: counters a shard reports in its final ``stats`` frame
+STAT_KEYS = ("asks", "answers", "computed", "cached", "replayed", "compiles")
+
+
+def member_ids(crowd_size: int) -> List[str]:
+    """The canonical member-id universe (matches ``build_identical_crowd``)."""
+    return [f"m{index}" for index in range(crowd_size)]
+
+
+def shard_main(spec: Dict[str, Any], sock: socket.socket) -> None:
+    """Entry point of a spawned shard worker; serves until shutdown/EOF."""
+    with tracing() as tracer:
+        try:
+            _serve(spec, sock, tracer)
+        finally:
+            sock.close()
+
+
+def _serve(spec: Dict[str, Any], sock: socket.socket, tracer: Any) -> None:
+    from ..simulation import DOMAINS
+
+    shard_index = int(spec["shard"])
+    dataset = DOMAINS[str(spec["domain"])]()
+    vocabulary = dataset.ontology.vocabulary
+    if spec.get("closures"):
+        adopt_shared_closures(str(spec["closures"]), vocabulary)
+
+    ring = HashRing(
+        int(spec["shards"]), int(spec.get("replicas", DEFAULT_REPLICAS))
+    )
+    mine = ring.partition(member_ids(int(spec["crowd_size"])))[shard_index]
+    prototype = dataset.build_crowd(
+        size=1,
+        seed=int(spec["seed"]),
+        noise=0.0,
+        specialization_ratio=0.0,
+        pruning_ratio=0.0,
+        more_tip_ratio=0.0,
+    )[0]
+    members = {
+        member_id: CrowdMember(member_id, prototype.database, vocabulary)
+        for member_id in mine
+    }
+
+    # key -> member -> support; the WAL replay seeds this, so restored
+    # shards answer re-asks from memory instead of recomputing
+    known: Dict[str, Dict[str, float]] = {}
+    wal = None
+    replayed = 0
+    if spec.get("wal"):
+        wal = DurableCrowdCache(str(spec["wal"]), key_fn=str)
+        for key in wal.assignments():
+            for member_id, support in wal.answers_for(key):
+                known.setdefault(str(key), {})[member_id] = support
+                replayed += 1
+
+    stats = {name: 0 for name in STAT_KEYS}
+    stats["replayed"] = replayed
+    try:
+        send_frame(
+            sock,
+            ready_frame(
+                shard_index, len(mine), replayed, _compiles(tracer)
+            ),
+        )
+        while True:
+            frame = recv_frame(sock)
+            if frame is None:
+                return  # coordinator vanished: exit quietly
+            if frame["t"] == "shutdown":
+                stats["compiles"] = _compiles(tracer)
+                send_frame(sock, stats_frame(shard_index, stats))
+                return
+            if frame["t"] != "ask_batch":
+                raise RuntimeError(f"unexpected frame type {frame['t']!r}")
+            for ask in frame["asks"]:
+                stats["asks"] += 1
+                runs = _answer(ask, mine, members, known, wal, stats)
+                send_frame(
+                    sock,
+                    delta_frame(
+                        int(ask["qid"]), str(ask["key"]), shard_index, runs
+                    ),
+                )
+    finally:
+        if wal is not None:
+            wal.close()
+
+
+def _answer(
+    ask: Dict[str, Any],
+    mine: List[str],
+    members: Dict[str, CrowdMember],
+    known: Dict[str, Dict[str, float]],
+    wal: "DurableCrowdCache | None",
+    stats: Dict[str, int],
+) -> Runs:
+    """Collect ``quota`` member answers for one ask (WAL-backed, idempotent)."""
+    key = str(ask["key"])
+    quota = int(ask["quota"])
+    if quota > len(mine):
+        raise ValueError(
+            f"ask quota {quota} exceeds shard partition of {len(mine)}"
+        )
+    fact_set = FactSet(tuple(triple) for triple in ask["facts"])
+    answers = known.setdefault(key, {})
+    start = int(ask["start"]) % len(mine)
+    runs: Runs = []
+    for offset in range(quota):
+        member_id = mine[(start + offset) % len(mine)]
+        support = answers.get(member_id)
+        if support is None:
+            question = ConcreteQuestion(key, fact_set)
+            support = members[member_id].answer_concrete(question).support
+            answers[member_id] = support
+            if wal is not None:
+                wal.record(key, member_id, support)
+            stats["computed"] += 1
+        else:
+            stats["cached"] += 1
+        runs_merge(runs, support)
+    stats["answers"] += quota
+    return runs
+
+
+def _compiles(tracer: Any) -> int:
+    return int(
+        tracer.value("orders.closure.desc_compiles")
+        + tracer.value("orders.closure.anc_compiles")
+    )

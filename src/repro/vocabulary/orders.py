@@ -37,10 +37,17 @@ Cycles are rejected on insertion (a partial order must be acyclic).
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..observability import count as _obs_count
 from .terms import Term
+
+#: header of a packed-closure blob: (term count, row stride in bytes)
+_CLOSURE_HEADER = struct.Struct("!II")
+#: length of the structural signature embedded after the header
+_CLOSURE_SIG_LEN = 20
 
 
 class CycleError(ValueError):
@@ -212,6 +219,95 @@ class PartialOrder:
             out.append(terms_by_id[low.bit_length() - 1])
             bits ^= low
         return frozenset(out)
+
+    # ------------------------------------------------- closure import/export
+
+    def closure_signature(self) -> bytes:
+        """A digest of the order's structure (terms in id order + edges).
+
+        Two orders built by the same deterministic construction sequence
+        have equal signatures; the signature travels with exported closure
+        blobs so an adopting process can prove its own order is aligned
+        (same interning layout, same edges) before trusting foreign bits.
+        """
+        digest = hashlib.sha1()
+        for term in self._terms_by_id:
+            digest.update(term.name.encode("utf-8"))
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+        for general in self._terms_by_id:
+            for child in sorted(self._children[general]):
+                digest.update(general.name.encode("utf-8"))
+                digest.update(b"\x00")
+                digest.update(child.name.encode("utf-8"))
+                digest.update(b"\x00")
+        return digest.digest()
+
+    def export_closures(self) -> bytes:
+        """Serialize both compiled closures as one read-only byte blob.
+
+        Layout: a ``(term count, row stride)`` header, the structural
+        signature, then the descendant rows followed by the ancestor rows,
+        each row the fixed-stride little-endian encoding of that term's
+        closure bitset.  The blob is position-independent — built for
+        shipping through ``multiprocessing.shared_memory`` to shard worker
+        processes so they can serve ``leq``/closure queries without ever
+        compiling (see :mod:`repro.service.shard.closures`).
+        """
+        self._ensure_desc_compiled()
+        self._ensure_anc_compiled()
+        nterms = len(self._terms_by_id)
+        stride = max(1, (nterms + 7) // 8)
+        out = bytearray(_CLOSURE_HEADER.pack(nterms, stride))
+        out += self.closure_signature()
+        for bits in self._desc_bits:
+            out += bits.to_bytes(stride, "little")
+        for bits in self._anc_bits:
+            out += bits.to_bytes(stride, "little")
+        return bytes(out)
+
+    def adopt_closures(self, blob: bytes) -> None:
+        """Install closures exported by an identically built order.
+
+        The inverse of :meth:`export_closures`: validates the embedded
+        term count and structural signature against *this* order, then
+        installs the decoded bitsets and stamps them current — so the
+        first ``leq``/``descendants`` query does a bit test instead of a
+        topological sweep, and ``orders.closure.*_compiles`` stays at
+        zero in the adopting process.  Raises ``ValueError`` on any
+        mismatch (adopting foreign closures would silently corrupt every
+        downstream classification).
+        """
+        header_len = _CLOSURE_HEADER.size
+        if len(blob) < header_len + _CLOSURE_SIG_LEN:
+            raise ValueError("closure blob too short for header + signature")
+        nterms, stride = _CLOSURE_HEADER.unpack_from(blob, 0)
+        if nterms != len(self._terms_by_id):
+            raise ValueError(
+                f"closure blob describes {nterms} terms, "
+                f"this order has {len(self._terms_by_id)}"
+            )
+        sig_end = header_len + _CLOSURE_SIG_LEN
+        if blob[header_len:sig_end] != self.closure_signature():
+            raise ValueError("closure blob signature does not match this order")
+        expected = sig_end + 2 * nterms * stride
+        if len(blob) != expected:
+            raise ValueError(
+                f"closure blob is {len(blob)} bytes, expected {expected}"
+            )
+        desc: List[int] = []
+        anc: List[int] = []
+        offset = sig_end
+        for _ in range(nterms):
+            desc.append(int.from_bytes(blob[offset : offset + stride], "little"))
+            offset += stride
+        for _ in range(nterms):
+            anc.append(int.from_bytes(blob[offset : offset + stride], "little"))
+            offset += stride
+        self._desc_bits = desc
+        self._anc_bits = anc
+        self._desc_compiled_at = self.version
+        self._anc_compiled_at = self.version
 
     # ----------------------------------------------------------------- query
 

@@ -415,6 +415,103 @@ class TestDeterminismRules:
         assert lint(tmp_path, "wall-clock").findings == []
 
 
+class TestForkUnsafeStateRule:
+    def test_module_level_lock_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/shard/mod.py",
+            "import threading\n_LOCK = threading.Lock()\n",
+        )
+        result = lint(tmp_path, "fork-unsafe-state")
+        assert rule_ids(result) == ["fork-unsafe-state"]
+        assert "Lock()" in result.findings[0].message
+
+    def test_module_level_rng_and_thread_local_fire(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/crowd/mod.py",
+            "import random\nimport threading\n"
+            "RNG = random.Random(0)\n"
+            "_STATE = threading.local()\n",
+        )
+        result = lint(tmp_path, "fork-unsafe-state")
+        assert rule_ids(result) == ["fork-unsafe-state"] * 2
+
+    def test_named_lock_factory_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/engine/mod.py",
+            "from repro.analysis.lockcheck import named_lock\n"
+            "_GUARD = named_lock('engine.global')\n",
+        )
+        assert rule_ids(lint(tmp_path, "fork-unsafe-state")) == [
+            "fork-unsafe-state"
+        ]
+
+    def test_annotated_assignment_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/mod.py",
+            "import threading\n_LOCK: threading.Lock = threading.Lock()\n",
+        )
+        assert rule_ids(lint(tmp_path, "fork-unsafe-state")) == [
+            "fork-unsafe-state"
+        ]
+
+    def test_class_level_lock_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/mod.py",
+            "import threading\n"
+            "class Registry:\n"
+            "    lock = threading.Lock()\n",
+        )
+        result = lint(tmp_path, "fork-unsafe-state")
+        assert rule_ids(result) == ["fork-unsafe-state"]
+        assert "__getstate__" in result.findings[0].message
+
+    def test_getstate_class_is_exempt(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/mod.py",
+            "import threading\n"
+            "class Cache:\n"
+            "    lock = threading.Lock()\n"
+            "    def __getstate__(self):\n"
+            "        return {}\n",
+        )
+        assert lint(tmp_path, "fork-unsafe-state").findings == []
+
+    def test_instance_state_in_init_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/service/mod.py",
+            "import threading\n"
+            "class Cache:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n",
+        )
+        assert lint(tmp_path, "fork-unsafe-state").findings == []
+
+    def test_factory_function_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/crowd/mod.py",
+            "import random\n"
+            "def fresh_rng(seed):\n"
+            "    return random.Random(seed)\n",
+        )
+        assert lint(tmp_path, "fork-unsafe-state").findings == []
+
+    def test_outside_shard_imported_prefixes_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/analysis/mod.py",
+            "import threading\n_LOCK = threading.Lock()\n",
+        )
+        assert lint(tmp_path, "fork-unsafe-state").findings == []
+
+
 class TestSuppressions:
     def test_line_suppression(self, tmp_path):
         write(

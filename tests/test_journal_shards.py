@@ -1,0 +1,178 @@
+"""``repro.crowd.journal`` under process-shard semantics (PR 7 satellite).
+
+The sharded serving layer gives every worker process its *own*
+:class:`~repro.crowd.journal.DurableCrowdCache` journal
+(``shard-<i>.wal``) over a disjoint member partition, and the
+coordinator's view is the union of all of them.  These tests pin the
+journal behaviours that recovery relies on:
+
+* per-shard journals written concurrently merge into one consistent
+  answer cache (no loss, no cross-shard contamination, idempotent on
+  re-merge);
+* a torn tail — the artifact of killing exactly one shard mid-write —
+  costs that shard at most its unacknowledged final line and costs the
+  *other* shards nothing;
+* compaction racing a replay never exposes a truncated hybrid: every
+  replay sees either the old journal or the compacted one (the
+  tmp-file + ``os.replace`` guarantee).
+"""
+
+import threading
+
+import pytest
+
+from repro.crowd.cache import CrowdCache
+from repro.crowd.journal import DurableCrowdCache, replay_journal
+
+SHARDS = 3
+#: (key, member, support) fixture rows, partitioned by member like the
+#: consistent-hash ring partitions a crowd: member m<i> lives on shard
+#: ``i % SHARDS`` and nowhere else
+ANSWERS = [
+    (f"node-{node}", f"m{member}", float(member % 2))
+    for node in range(4)
+    for member in range(6)
+]
+
+
+def shard_rows(shard):
+    return [row for row in ANSWERS if int(row[1][1:]) % SHARDS == shard]
+
+
+def wal(tmp_path, shard):
+    return tmp_path / f"shard-{shard}.wal"
+
+
+def write_shard_journals(tmp_path):
+    """Concurrently write each shard's rows into its own journal."""
+    barrier = threading.Barrier(SHARDS)
+
+    def run(shard):
+        with DurableCrowdCache(wal(tmp_path, shard), key_fn=str) as cache:
+            barrier.wait()
+            for key, member, support in shard_rows(shard):
+                cache.record(key, member, support)
+
+    threads = [
+        threading.Thread(target=run, args=(shard,)) for shard in range(SHARDS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def merge_journals(tmp_path):
+    """Replay every shard journal into one coordinator-side cache."""
+    merged = CrowdCache()
+    corrupt = 0
+    for shard in range(SHARDS):
+        records, bad = replay_journal(wal(tmp_path, shard))
+        corrupt += bad
+        for record in records:
+            merged.record(record.key, record.member, record.support)
+    return merged, corrupt
+
+
+class TestConcurrentShardJournals:
+    def test_merge_recovers_every_answer_exactly_once(self, tmp_path):
+        write_shard_journals(tmp_path)
+        merged, corrupt = merge_journals(tmp_path)
+        assert corrupt == 0
+        assert merged.total_answers() == len(ANSWERS)
+        for key, member, support in ANSWERS:
+            assert merged.lookup(key, member) == support
+
+    def test_shards_stay_disjoint(self, tmp_path):
+        write_shard_journals(tmp_path)
+        seen = {}
+        for shard in range(SHARDS):
+            records, _ = replay_journal(wal(tmp_path, shard))
+            for record in records:
+                # a member's answers live in exactly one shard's journal
+                assert seen.setdefault(record.member, shard) == shard
+
+    def test_remerge_is_idempotent(self, tmp_path):
+        write_shard_journals(tmp_path)
+        # a restored shard reopens its own journal: replayed identities
+        # make re-recording the same answers a no-op
+        with DurableCrowdCache(wal(tmp_path, 0), key_fn=str) as reopened:
+            before = reopened.total_answers()
+            for key, member, support in shard_rows(0):
+                reopened.record(key, member, support)
+            assert reopened.total_answers() == before
+        records, _ = replay_journal(wal(tmp_path, 0))
+        assert len(records) == len(shard_rows(0))
+
+
+class TestTornTailOnOneShard:
+    def test_only_the_torn_shard_pays(self, tmp_path):
+        write_shard_journals(tmp_path)
+        victim = wal(tmp_path, 1)
+        with victim.open("a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "k": "node-9", "m": "m1", "s"')  # no newline
+        merged, corrupt = merge_journals(tmp_path)
+        assert corrupt == 1
+        # the torn line was never acknowledged, so the merged view holds
+        # exactly the acknowledged answers — from every shard
+        assert merged.total_answers() == len(ANSWERS)
+        assert merged.lookup("node-9", "m1") is None
+
+    def test_torn_shard_reopens_and_keeps_appending(self, tmp_path):
+        write_shard_journals(tmp_path)
+        victim = wal(tmp_path, 1)
+        with victim.open("a", encoding="utf-8") as handle:
+            handle.write('{"k": "torn"')
+        reopened = DurableCrowdCache(victim, key_fn=str)
+        assert reopened.corrupt_lines == 1
+        assert reopened.total_answers() == len(shard_rows(1))
+        reopened.record("node-9", "m1", 1.0)
+        reopened.close()
+        records, corrupt = replay_journal(victim)
+        # the fresh append lands after the torn line and replays fine
+        assert corrupt == 1
+        assert ("node-9", "m1", "concrete") in {r.identity for r in records}
+
+
+class TestCompactionRacingReplay:
+    def test_replay_never_sees_a_truncated_hybrid(self, tmp_path):
+        path = wal(tmp_path, 0)
+        rows = shard_rows(0)
+        cache = DurableCrowdCache(path, key_fn=str)
+        for key, member, support in rows:
+            cache.record(key, member, support)
+
+        stop = threading.Event()
+        failures = []
+
+        def compact_loop():
+            while not stop.is_set():
+                cache.compact()
+
+        def replay_loop():
+            for _ in range(200):
+                records, corrupt = replay_journal(path)
+                identities = {record.identity for record in records}
+                if corrupt or len(identities) != len(rows):
+                    failures.append((corrupt, len(identities)))
+                    break
+            stop.set()
+
+        compactor = threading.Thread(target=compact_loop)
+        replayer = threading.Thread(target=replay_loop)
+        compactor.start()
+        replayer.start()
+        replayer.join()
+        stop.set()
+        compactor.join()
+        cache.close()
+        assert failures == []
+
+    def test_compaction_preserves_the_merged_view(self, tmp_path):
+        write_shard_journals(tmp_path)
+        # compact one shard mid-fleet; the merged view is unchanged
+        with DurableCrowdCache(wal(tmp_path, 2), key_fn=str) as cache:
+            assert cache.compact() == len(shard_rows(2))
+        merged, corrupt = merge_journals(tmp_path)
+        assert corrupt == 0
+        assert merged.total_answers() == len(ANSWERS)

@@ -219,6 +219,68 @@ class TestTimeoutsAndRetries:
         assert question.assignment not in assigned
 
 
+class TestDeadlineScaling:
+    """PR 7 satellite: deadlines scale with the member's queue depth.
+
+    A member answering a held batch serially cannot even look at its
+    n-th question before finishing the n-1 ahead of it, so a fixed
+    per-question clock reaps questions the member was never slow on.
+    """
+
+    def test_deadline_scales_with_in_flight_position(self, engine, demo, clock):
+        manager = make_manager(
+            engine, clock, question_timeout=5.0, backoff_base=0.0, batch_size=3
+        )
+        # one frontier node per session; three sessions let one member
+        # hold a batch of three simultaneously
+        for _ in range(3):
+            manager.create_session(demo.query(0.4))
+        manager.attach_member("u0")
+        batch = manager.next_batch("u0", k=3)
+        assert len(batch) == 3
+        assert [q.deadline for q in batch] == [5.0, 10.0, 15.0]
+        clock.advance(5.0)
+        # only the head-of-queue question is overdue; the rest are still
+        # inside their scaled windows
+        assert [q.assignment for q in manager.reap_expired()] == [
+            batch[0].assignment
+        ]
+        clock.advance(5.0)
+        assert [q.assignment for q in manager.reap_expired()] == [
+            batch[1].assignment
+        ]
+
+    def test_fixed_deadlines_when_disabled(self, engine, demo, clock):
+        manager = make_manager(
+            engine,
+            clock,
+            question_timeout=5.0,
+            backoff_base=0.0,
+            batch_size=3,
+            scale_deadlines=False,
+        )
+        for _ in range(3):
+            manager.create_session(demo.query(0.4))
+        manager.attach_member("u0")
+        batch = manager.next_batch("u0", k=3)
+        assert [q.deadline for q in batch] == [5.0, 5.0, 5.0]
+        clock.advance(5.0)
+        assert len(manager.reap_expired()) == 3
+
+    def test_position_counts_only_that_member(self, engine, demo, clock):
+        manager = make_manager(engine, clock, question_timeout=5.0, batch_size=4)
+        for _ in range(3):
+            manager.create_session(demo.query(0.4))
+        manager.attach_member("u0")
+        manager.attach_member("u1")
+        held = manager.next_batch("u0", k=2)
+        assert [q.deadline for q in held] == [5.0, 10.0]
+        # u1 holds nothing, so its first question gets a single window
+        # regardless of u0's queue depth
+        [first] = manager.next_batch("u1", k=1)
+        assert first.deadline == 5.0
+
+
 class TestDepartures:
     def test_departure_reassigns_in_flight(self, engine, demo, clock):
         manager = make_manager(engine, clock)
