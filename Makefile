@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint doclint typecheck bench bench-suite serve-bench serve-bench-full bench-faults chaos shard-chaos examples figures stats clean
+.PHONY: install test lint doclint typecheck bench bench-suite serve-bench serve-bench-full bench-faults bench-gateway bench-gateway-full gateway-smoke chaos shard-chaos examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -21,9 +21,10 @@ doclint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.doclint .
 
 # mypy is configured in pyproject.toml (strict on repro.analysis,
-# repro.service and repro.faults, lenient elsewhere); requires mypy on PATH
+# repro.service, repro.faults, repro.gateway and repro.api, lenient
+# elsewhere); requires mypy on PATH
 typecheck:
-	$(PYTHON) -m mypy src/repro/analysis src/repro/service src/repro/faults
+	$(PYTHON) -m mypy src/repro/analysis src/repro/service src/repro/faults src/repro/gateway src/repro/api
 
 # quick perf report: micro-benches + backend A/B equivalence (fails on any
 # mining divergence), then schema/threshold validation of the JSON output
@@ -53,6 +54,23 @@ serve-bench-full:
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --output BENCH_faults.json
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py --validate BENCH_faults.json
+
+# loopback-HTTP gateway load test (docs/GATEWAY.md): simulated-member
+# campaigns over real sockets, gated on serial MSP identity plus the
+# throughput floor and per-endpoint latency budgets
+bench-gateway:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py --quick --output BENCH_gateway_quick.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py --validate BENCH_gateway_quick.json
+
+# the committed BENCH_gateway.json: demo + travel, three seeds each
+bench-gateway-full:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py --output BENCH_gateway.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_gateway.py --validate BENCH_gateway.json
+
+# CI smoke: start the gateway, replay a 1-seed campaign through it over
+# loopback HTTP, assert MSP identity and a clean shutdown
+gateway-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro gateway --domain demo --sessions 2 --crowd-size 4 --seed 0
 
 # seeded chaos campaigns (docs/RELIABILITY.md): every durability
 # invariant checked across three fixed seeds; a failing seed reproduces

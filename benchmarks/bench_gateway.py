@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Load-test report for the network-facing crowd gateway (PR 8).
+
+Replays simulated-member campaigns over **loopback HTTP** — real
+sockets, real request framing, the same :mod:`repro.gateway` server CI
+smokes — and emits one JSON document (``BENCH_gateway.json``) with two
+gates:
+
+* **identity** — for every (domain, seed) campaign, the MSP sets the
+  gateway streams from ``/result`` must be *identical* to a serial
+  ``engine.execute`` of the same queries over a fresh identical crowd.
+  The wire (auth, long-polling, batching, retries, backpressure) must
+  not change what gets mined — the paper's algorithms do not know the
+  transport exists.
+* **budget** — sustained throughput of the slowest campaign must clear
+  ``MIN_QUESTIONS_PER_SECOND``, and the per-endpoint latency histograms
+  (``gateway.latency.*``, recorded by the server itself) must keep
+  ``POST /answer`` p95 under ``MAX_ANSWER_P95_SECONDS``.  ``GET /next``
+  is reported but not latency-gated: a long-poll is *supposed* to hold
+  the line open.
+
+Every campaign's per-endpoint p50/p95/p99 land in the report, so the
+numbers PERFORMANCE.md talks about are regenerable from one command.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py                 # full
+    PYTHONPATH=src python benchmarks/bench_gateway.py --quick         # CI-size
+    PYTHONPATH=src python benchmarks/bench_gateway.py --validate BENCH_gateway.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # allow `python benchmarks/bench_gateway.py` without PYTHONPATH fiddling
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gateway import GatewayApp, replay_campaign, serve_in_thread
+from repro.observability import atomic_write_json, tracing
+
+SCHEMA_VERSION = 1
+
+#: the slowest campaign must sustain at least this many answered
+#: questions per second end-to-end over loopback HTTP
+MIN_QUESTIONS_PER_SECOND = 25.0
+#: p95 budget for the answer-ingestion path (seconds)
+MAX_ANSWER_P95_SECONDS = 0.25
+
+#: campaigns per mode: (domain, seeds)
+FULL_CAMPAIGNS = (("demo", (0, 1, 2)), ("travel", (0, 1, 2)))
+QUICK_CAMPAIGNS = (("demo", (0, 1)), ("travel", (0,)))
+
+#: short member polls keep the latency histograms about the server, not
+#: about how long the bench chose to long-poll
+MEMBER_WAIT_SECONDS = 0.05
+
+
+def run_campaign(domain: str, seed: int, *, sessions: int, crowd_size: int,
+                 max_runtime: float) -> dict:
+    """One traced loopback campaign; returns report + latency quantiles."""
+    app = GatewayApp()
+    with tracing() as tracer:
+        with serve_in_thread(app) as handle:
+            report = replay_campaign(
+                host=handle.host,
+                port=handle.port,
+                domain=domain,
+                sessions=sessions,
+                crowd_size=crowd_size,
+                sample_size=3,
+                seed=seed,
+                wait=MEMBER_WAIT_SECONDS,
+                max_runtime=max_runtime,
+                verify=True,
+            )
+    latencies = {}
+    for name, histogram in sorted(tracer.histograms.items()):
+        if histogram.count == 0:
+            continue
+        latencies[name] = {
+            "count": histogram.count,
+            "p50_ms": round(histogram.quantile(0.50) * 1000, 3),
+            "p95_ms": round(histogram.quantile(0.95) * 1000, 3),
+            "p99_ms": round(histogram.quantile(0.99) * 1000, 3),
+            "max_ms": round(histogram.max_seconds * 1000, 3),
+        }
+    counters = tracer.counters
+    return {
+        "domain": domain,
+        "seed": seed,
+        "sessions": sessions,
+        "crowd_size": crowd_size,
+        "verified": bool(report.get("verified")),
+        "mismatches": report.get("mismatches", []),
+        "errors": report.get("errors", []),
+        "timed_out": bool(report.get("timed_out")),
+        "questions_answered": report["questions_answered"],
+        "elapsed_seconds": report["elapsed_seconds"],
+        "questions_per_second": report["questions_per_second"],
+        "requests": counters.get("gateway.requests", 0),
+        "duplicates": counters.get("gateway.answers.duplicate", 0),
+        "backpressure_rejections": counters.get(
+            "gateway.backpressure.rejected", 0
+        ),
+        "latency": latencies,
+    }
+
+
+def build_report(quick: bool) -> dict:
+    campaigns = QUICK_CAMPAIGNS if quick else FULL_CAMPAIGNS
+    runs = []
+    for domain, seeds in campaigns:
+        for seed in seeds:
+            runs.append(
+                run_campaign(
+                    domain,
+                    seed,
+                    sessions=2,
+                    crowd_size=4,
+                    max_runtime=120.0,
+                )
+            )
+    throughputs = [r["questions_per_second"] for r in runs]
+    answer_p95s = [
+        r["latency"]["gateway.latency.answer"]["p95_ms"] / 1000.0
+        for r in runs
+        if "gateway.latency.answer" in r["latency"]
+    ]
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "gateway",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "member_wait_seconds": MEMBER_WAIT_SECONDS,
+        "runs": runs,
+        "all_identical": all(r["verified"] for r in runs),
+        "min_questions_per_second": round(min(throughputs), 2),
+        "throughput_floor": MIN_QUESTIONS_PER_SECOND,
+        "worst_answer_p95_seconds": round(max(answer_p95s), 4)
+        if answer_p95s
+        else None,
+        "answer_p95_budget_seconds": MAX_ANSWER_P95_SECONDS,
+    }
+
+
+def validate(report: dict) -> list:
+    """Schema and acceptance checks; returns a list of problems."""
+    problems = []
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(f"schema_version != {SCHEMA_VERSION}")
+    runs = report.get("runs", [])
+    if len(runs) < 2:
+        problems.append("fewer than 2 campaigns in the report")
+    domains = {run.get("domain") for run in runs}
+    if not {"demo", "travel"} <= domains:
+        problems.append(f"campaigns must cover demo and travel, got {sorted(domains)}")
+    for run in runs:
+        tag = f"{run.get('domain')}/seed{run.get('seed')}"
+        if not run.get("verified"):
+            problems.append(f"{tag}: gateway MSPs diverged from serial execute")
+        if run.get("errors"):
+            problems.append(f"{tag}: member errors {run['errors']}")
+        if run.get("timed_out"):
+            problems.append(f"{tag}: campaign timed out")
+        latency = run.get("latency", {})
+        for endpoint in ("gateway.latency.answer", "gateway.latency.next",
+                         "gateway.latency.query", "gateway.latency.result"):
+            row = latency.get(endpoint, {})
+            for key in ("p50_ms", "p95_ms", "p99_ms"):
+                if not isinstance(row.get(key), (int, float)):
+                    problems.append(f"{tag}: {endpoint} missing {key}")
+    if not report.get("all_identical"):
+        problems.append("all_identical is false")
+    floor = report.get("throughput_floor", MIN_QUESTIONS_PER_SECOND)
+    slowest = report.get("min_questions_per_second")
+    if not isinstance(slowest, (int, float)) or slowest < floor:
+        problems.append(
+            f"sustained throughput {slowest} q/s is below the {floor} q/s floor"
+        )
+    budget = report.get("answer_p95_budget_seconds", MAX_ANSWER_P95_SECONDS)
+    worst = report.get("worst_answer_p95_seconds")
+    if not isinstance(worst, (int, float)) or worst > budget:
+        problems.append(
+            f"worst POST /answer p95 {worst}s exceeds the {budget}s budget"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer seeds per domain (CI-size)")
+    parser.add_argument("--output", default="BENCH_gateway.json")
+    parser.add_argument("--validate", metavar="PATH",
+                        help="re-check an existing report; no runs")
+    args = parser.parse_args(argv)
+
+    if args.validate:
+        report = json.loads(Path(args.validate).read_text(encoding="utf-8"))
+        problems = validate(report)
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        print(f"{args.validate}: {'FAIL' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    report = build_report(args.quick)
+    atomic_write_json(args.output, report)
+    for run in report["runs"]:
+        answer = run["latency"].get("gateway.latency.answer", {})
+        print(
+            f"{run['domain']:7} seed {run['seed']}: "
+            f"{run['questions_answered']:6} answers "
+            f"{run['questions_per_second']:8.1f} q/s  "
+            f"answer p95 {answer.get('p95_ms', '-'):>8} ms  "
+            f"identical={run['verified']}"
+        )
+    print(
+        f"slowest campaign: {report['min_questions_per_second']} q/s "
+        f"(floor {report['throughput_floor']}); worst answer p95 "
+        f"{report['worst_answer_p95_seconds']}s "
+        f"(budget {report['answer_p95_budget_seconds']}s)"
+    )
+    print(f"wrote {args.output}")
+    problems = validate(report)
+    for problem in problems:
+        print(f"problem: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -145,7 +145,7 @@ STAMP_GUARDED_CLASSES: Tuple[StampGuardedClass, ...] = (
 
 #: modules allowed to reference the deprecation machinery (they define it)
 SHIM_HOME_MODULES: FrozenSet[str] = frozenset(
-    {"repro/engine/config.py", "repro/engine/engine.py"}
+    {"repro/engine/config.py", "repro/engine/engine.py", "repro/api/__init__.py"}
 )
 
 #: names of the shim helpers nobody else may import or call
@@ -176,6 +176,7 @@ LEGACY_POSITIONAL_LIMITS = {
 SILENT_EXCEPT_MODULE_PREFIXES: Tuple[str, ...] = (
     "repro/service/",
     "repro/faults/",
+    "repro/gateway/",
 )
 
 #: call names the silent-except rule accepts as "the error was logged"
@@ -266,6 +267,30 @@ WALL_CLOCK_CALLS = {
     "datetime": frozenset({"now", "utcnow", "today"}),
     "date": frozenset({"today"}),
 }
+
+# ------------------------------------------------------------ async serving
+
+#: module prefixes whose ``async def`` bodies must never block: the
+#: gateway multiplexes every connected member over one event loop, so a
+#: single blocking call stalls all of them at once
+ASYNC_MODULE_PREFIXES: Tuple[str, ...] = ("repro/gateway/",)
+
+#: calls that block the event loop (module name -> attrs), banned inside
+#: ``async def`` in the modules above; each has an asyncio-native
+#: replacement (asyncio.sleep, open_connection, create_subprocess_exec,
+#: run_in_executor)
+BLOCKING_CALLS_IN_ASYNC = {
+    "time": frozenset({"sleep"}),
+    "socket": frozenset({"create_connection", "getaddrinfo", "gethostbyname"}),
+    "subprocess": frozenset(
+        {"run", "call", "check_call", "check_output", "Popen"}
+    ),
+    "os": frozenset({"system", "wait", "waitpid"}),
+    "requests": frozenset({"get", "post", "put", "delete", "head", "request"}),
+}
+
+#: bare builtins that block inside ``async def`` (filesystem and tty I/O)
+BLOCKING_BUILTINS_IN_ASYNC: FrozenSet[str] = frozenset({"open", "input"})
 
 
 # ---------------------------------------------------------------- hygiene

@@ -618,9 +618,14 @@ class TracerNameRule(Rule):
 
     _COUNTER_FUNCS = frozenset({"count", "_obs_count"})
     _SPAN_FUNCS = frozenset({"span", "_obs_span"})
+    _HIST_FUNCS = frozenset({"observe", "_obs_observe"})
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
-        from ..observability.names import COUNTER_NAMES, SPAN_NAMES
+        from ..observability.names import (
+            COUNTER_NAMES,
+            HISTOGRAM_NAMES,
+            SPAN_NAMES,
+        )
 
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call) or not node.args:
@@ -636,6 +641,8 @@ class TracerNameRule(Rule):
                 kind, registry = "counter", COUNTER_NAMES
             elif func_name in self._SPAN_FUNCS:
                 kind, registry = "span", SPAN_NAMES
+            elif func_name in self._HIST_FUNCS:
+                kind, registry = "histogram", HISTOGRAM_NAMES
             else:
                 continue
             first = node.args[0]
@@ -892,6 +899,49 @@ class ForkUnsafeStateRule(Rule):
                     )
 
 
+class AsyncBlockingRule(Rule):
+    id = "async-blocking-io"
+    severity = Severity.ERROR
+    summary = "blocking call inside async def stalls the event loop"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_any(project.ASYNC_MODULE_PREFIXES):
+            return
+        reported: Set[int] = set()
+        for outer in ast.walk(module.tree):
+            if not isinstance(outer, ast.AsyncFunctionDef):
+                continue
+            for node in ast.walk(outer):
+                if not isinstance(node, ast.Call) or id(node) in reported:
+                    continue
+                func = node.func
+                if isinstance(func, ast.Name):
+                    if func.id not in project.BLOCKING_BUILTINS_IN_ASYNC:
+                        continue
+                    reported.add(id(node))
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{func.id}() blocks the event loop inside an async "
+                        "def; every connected client stalls behind it — use "
+                        "the asyncio equivalent or run_in_executor",
+                    )
+                elif isinstance(func, ast.Attribute):
+                    base = _last_component(func.value)
+                    banned = project.BLOCKING_CALLS_IN_ASYNC.get(base or "")
+                    if not banned or func.attr not in banned:
+                        continue
+                    reported.add(id(node))
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{base}.{func.attr}() blocks the event loop inside "
+                        "an async def; every connected client stalls behind "
+                        "it — use the asyncio equivalent (e.g. "
+                        "asyncio.sleep, loop.run_in_executor)",
+                    )
+
+
 # -------------------------------------------------------------- the registry
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -909,6 +959,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     UnseededRandomRule(),
     WallClockRule(),
     ForkUnsafeStateRule(),
+    AsyncBlockingRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

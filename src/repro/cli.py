@@ -13,6 +13,10 @@ Commands:
   threads (see :mod:`repro.service`);
 * ``chaos`` — run seeded fault-injection campaigns against the serving
   layer and check the durability invariants (see :mod:`repro.faults`);
+* ``gateway`` — start the network-facing crowd gateway on loopback HTTP
+  and replay a simulated-member campaign through it, checking the MSP
+  sets against serial execution (see :mod:`repro.gateway` and
+  ``docs/GATEWAY.md``);
 * ``figures`` — regenerate one of the paper's figures and print its table;
 * ``lint`` — run the project-invariant linter (:mod:`repro.analysis`).
 """
@@ -79,6 +83,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve-sim",
         help="simulate the concurrent crowd-serving layer (repro.service)",
     )
+    p_serve.add_argument("--config", metavar="PATH",
+                         help="JSON file of argument defaults, validated "
+                         "against the gateway SimulationSpec schema "
+                         "(explicit flags still win)")
     p_serve.add_argument("--domain", default="demo",
                          help="simulation domain: demo, travel, culinary, health")
     p_serve.add_argument("--sessions", type=int, default=8)
@@ -109,6 +117,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos",
         help="run seeded fault-injection campaigns (repro.faults)",
     )
+    p_chaos.add_argument("--config", metavar="PATH",
+                         help="JSON file of argument defaults, validated "
+                         "against the gateway SimulationSpec schema "
+                         "(explicit flags still win)")
     p_chaos.add_argument("--seeds", default="0,1,2",
                          help="comma-separated campaign seeds (default: 0,1,2)")
     p_chaos.add_argument("--domain", default="demo",
@@ -133,6 +145,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_chaos.add_argument("--json", action="store_true",
                          help="emit the campaign report as JSON")
 
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="serve the crowd gateway over loopback HTTP and replay a "
+             "simulated-member campaign through it (repro.gateway)",
+    )
+    p_gateway.add_argument("--domain", default="demo",
+                           help="dataset to activate: demo, travel, "
+                                "culinary, health")
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 = pick a free one)")
+    p_gateway.add_argument("--sessions", type=int, default=2)
+    p_gateway.add_argument("--crowd-size", type=int, default=4)
+    p_gateway.add_argument("--sample-size", type=int, default=3)
+    p_gateway.add_argument("--seed", type=int, default=0)
+    p_gateway.add_argument("--wait", type=float, default=0.3,
+                           help="member long-poll wait per /next request")
+    p_gateway.add_argument("--max-runtime", type=float, default=60.0)
+    p_gateway.add_argument("--admin-token", default=None,
+                           help="require this bearer token on the admin "
+                                "endpoints (default: open gateway)")
+    p_gateway.add_argument("--no-verify", action="store_true",
+                           help="skip the serial MSP-identity check")
+    p_gateway.add_argument("--json", action="store_true",
+                           help="emit the campaign report as JSON")
+    p_gateway.add_argument("--stats", action="store_true",
+                           help="trace the run and print the observability "
+                                "summary (gateway counters + latency "
+                                "histograms)")
+
     p_fig = sub.add_parser("figures", help="regenerate a paper figure")
     p_fig.add_argument(
         "which",
@@ -154,6 +196,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="print the rule catalogue and exit")
 
     args = parser.parse_args(argv)
+    if getattr(args, "config", None):
+        # two-pass parse: the config file's fields become the command's
+        # argument defaults, then the argv is re-parsed so explicit
+        # flags still win over the file
+        subparser = p_serve if args.command == "serve-sim" else p_chaos
+        status = _apply_config(subparser, args.command, args.config)
+        if status is not None:
+            return status
+        args = parser.parse_args(argv)
     if args.command == "parse":
         return _cmd_parse(args)
     if args.command == "run":
@@ -164,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve_sim(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "gateway":
+        return _cmd_gateway(args)
     if args.command == "figures":
         return _cmd_figures(args)
     if args.command == "lint":
@@ -279,6 +332,65 @@ def _run_custom(args) -> int:
     result = engine.execute_single_user(query, member)
     print(result.to_json() if args.json else result.render())
     return 0
+
+
+#: which SimulationSpec fields each --config-aware command consumes;
+#: the rest are ignored, so one file can drive both commands
+_CONFIG_DESTS = {
+    "serve-sim": frozenset({
+        "domain", "sessions", "workers", "shards", "crowd_size",
+        "sample_size", "drop_every", "departures", "question_timeout",
+        "max_runtime", "seed", "verify",
+    }),
+    "chaos": frozenset({
+        "domain", "sessions", "workers", "shards", "crowd_size",
+        "sample_size", "max_runtime", "seeds", "crashes", "after_nodes",
+        "state_dir",
+    }),
+}
+
+
+def _apply_config(subparser, command: str, path: str) -> Optional[int]:
+    """Load a ``--config`` JSON file into ``subparser``'s defaults.
+
+    The file is validated against the gateway wire schema
+    (:class:`repro.gateway.schema.SimulationSpec`), so a config that
+    drives the CLI is also a valid gateway payload.  Returns an exit
+    code on failure, None on success.
+    """
+    import json
+
+    from .gateway.schema import SchemaError, SimulationSpec
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        print(f"cannot read --config {path}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"--config {path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    if isinstance(payload, dict):
+        payload.setdefault("v", 1)
+    try:
+        spec = SimulationSpec.from_wire(payload)
+    except SchemaError as error:
+        print(f"--config {path} is invalid: {error}", file=sys.stderr)
+        return 2
+    overrides = {
+        name: value
+        for name, value in spec.overrides().items()
+        if name in _CONFIG_DESTS[command]
+    }
+    # two fields need translating to their argparse destinations:
+    # the boolean is stored inverted, and chaos seeds are a comma string
+    if "verify" in overrides:
+        overrides["no_verify"] = not overrides.pop("verify")
+    if "seeds" in overrides:
+        overrides["seeds"] = ",".join(str(s) for s in overrides["seeds"])
+    subparser.set_defaults(**overrides)
+    return None
 
 
 def _cmd_serve_sim(args) -> int:
@@ -451,6 +563,71 @@ def _cmd_shard_chaos(args, seeds) -> int:
             f"({campaign['domain']}): {verdict}"
         )
     return 0 if campaign["ok"] else 1
+
+
+def _cmd_gateway(args) -> int:
+    from .gateway import GatewayApp, replay_campaign, serve_in_thread
+    from .observability import render_report, tracing
+
+    def campaign():
+        app = GatewayApp(admin_token=args.admin_token)
+        with serve_in_thread(app, host=args.host, port=args.port) as handle:
+            print(f"gateway listening on {handle.base_url}", file=sys.stderr)
+            return replay_campaign(
+                host=handle.host,
+                port=handle.port,
+                admin_token=args.admin_token,
+                domain=args.domain,
+                sessions=args.sessions,
+                crowd_size=args.crowd_size,
+                sample_size=args.sample_size,
+                seed=args.seed,
+                wait=args.wait,
+                max_runtime=args.max_runtime,
+                verify=not args.no_verify,
+            )
+
+    if args.stats:
+        with tracing() as tracer:
+            report = campaign()
+    else:
+        tracer = None
+        report = campaign()
+
+    if args.json:
+        import json
+
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"{args.sessions} session(s) over loopback HTTP, "
+            f"crowd of {report['crowd_size']}"
+        )
+        for session_id, info in sorted(report["sessions"].items()):
+            print(
+                f"  {session_id:16} {info['state']:10} "
+                f"{info['questions']:5} question(s)  "
+                f"{len(info['msps'])} answer(s)"
+            )
+        print(
+            f"{report['questions_answered']} answers in "
+            f"{report['elapsed_seconds']:.2f}s "
+            f"({report['questions_per_second']:.0f} questions/s)"
+        )
+        if "verified" in report:
+            verdict = "identical" if report["verified"] else "DIVERGED"
+            print(f"serial MSP check: {verdict}")
+    if tracer is not None:
+        print()
+        print(render_report(tracer.report()))
+    for error in report["errors"]:
+        print(f"member error: {error}", file=sys.stderr)
+    if report["timed_out"]:
+        print("campaign hit --max-runtime before settling", file=sys.stderr)
+        return 1
+    if report["errors"] or not report.get("verified", True):
+        return 1
+    return 0
 
 
 def _cmd_lint(args) -> int:

@@ -33,6 +33,12 @@ Injection sites (the serving layer's failure surface):
     consulted by :meth:`~repro.service.manager.SessionManager.submit`
     after an answer arrives; ``DUPLICATE`` re-applies the same answer a
     second time (the second application must come back ``STALE``).
+``gateway.request``
+    consulted by the HTTP gateway (:mod:`repro.gateway`) once per parsed
+    request, before dispatch; ``DISCONNECT`` drops the connection without
+    a response (the client must retry idempotently) and ``SLOW_CLIENT``
+    delays the response past the configured stall, probing client
+    timeout handling.
 """
 
 from __future__ import annotations
@@ -47,7 +53,13 @@ from ..observability import count as _obs_count
 
 #: the named injection points wired through repro.service
 SITES = frozenset(
-    {"member.answer", "runner.worker", "manager.dispatch", "manager.submit"}
+    {
+        "member.answer",
+        "runner.worker",
+        "manager.dispatch",
+        "manager.submit",
+        "gateway.request",
+    }
 )
 
 
@@ -64,6 +76,10 @@ class FaultKind(enum.Enum):
     MALFORMED = "malformed"
     #: the worker thread dies while holding a member checkout
     CRASH = "crash"
+    #: the gateway drops the connection before writing a response
+    DISCONNECT = "disconnect"
+    #: the gateway stalls the response past the configured delay
+    SLOW_CLIENT = "slow_client"
 
 
 class InjectedCrash(RuntimeError):

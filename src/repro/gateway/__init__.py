@@ -1,0 +1,77 @@
+"""repro.gateway — the network-facing crowd gateway (HTTP + MCP).
+
+The wire surface of the OASSIS reproduction: an asyncio HTTP server
+(:mod:`~repro.gateway.http`) and an MCP tool surface
+(:mod:`~repro.gateway.mcp`) sharing one transport-independent core
+(:class:`~repro.gateway.app.GatewayApp`) and one set of versioned wire
+DTOs (:mod:`~repro.gateway.schema`).  See ``docs/GATEWAY.md`` for the
+endpoint table, auth model, backpressure and failure modes, and
+:mod:`repro.api` for the in-process client facade built on the same
+DTOs.
+"""
+
+from .app import (
+    AuthError,
+    BackpressureError,
+    ConflictError,
+    ForbiddenError,
+    GatewayApp,
+    GatewayConfig,
+    GatewayError,
+    NotFoundError,
+)
+from .client import GatewayClient, GatewayClientError, replay_campaign
+from .http import GatewayHandle, GatewayServer, serve_in_thread
+from .mcp import McpGateway
+from .schema import (
+    SCHEMA_VERSION,
+    ActivateRequest,
+    ActivateResponse,
+    AnswerRequest,
+    AnswerResponse,
+    DatasetList,
+    ErrorResponse,
+    JoinRequest,
+    JoinResponse,
+    QueryAccepted,
+    QueryRequest,
+    QuestionBatch,
+    QuestionDTO,
+    ResultResponse,
+    SchemaError,
+    SimulationSpec,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ActivateRequest",
+    "ActivateResponse",
+    "AnswerRequest",
+    "AnswerResponse",
+    "AuthError",
+    "BackpressureError",
+    "ConflictError",
+    "DatasetList",
+    "ErrorResponse",
+    "ForbiddenError",
+    "GatewayApp",
+    "GatewayClient",
+    "GatewayClientError",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayHandle",
+    "GatewayServer",
+    "JoinRequest",
+    "JoinResponse",
+    "McpGateway",
+    "NotFoundError",
+    "QueryAccepted",
+    "QueryRequest",
+    "QuestionBatch",
+    "QuestionDTO",
+    "ResultResponse",
+    "SchemaError",
+    "SimulationSpec",
+    "replay_campaign",
+    "serve_in_thread",
+]

@@ -1,0 +1,433 @@
+"""GatewayApp: the transport-independent core of the crowd gateway.
+
+One :class:`GatewayApp` owns the full serving state — the dataset
+registry, the active :class:`~repro.engine.engine.OassisEngine` +
+:class:`~repro.service.manager.SessionManager` pair, per-member auth
+tokens and the qid ledger mapping wire question ids back to live
+:class:`~repro.service.manager.DispatchedQuestion` objects.  Both
+transports drive it: the asyncio HTTP server (:mod:`repro.gateway.http`)
+and the MCP tool surface (:mod:`repro.gateway.mcp`) are thin adapters
+that decode a wire DTO, call one method here and encode the result.
+
+Methods raise :class:`GatewayError` subclasses carrying an HTTP status;
+the transports map them to 4xx responses (never a 500 — an unhandled
+exception is the only thing that becomes a server error).
+
+Thread-safety: the HTTP server serializes calls on its event loop, but
+the MCP surface and tests may call from other threads, so the app's own
+bookkeeping (tokens, qids, sessions) is guarded by one leaf lock.  The
+underlying :class:`SessionManager` has its own documented locking; the
+two are never held together.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..engine.engine import OassisEngine
+from ..faults.plan import FaultPlan
+from ..observability import count as _obs_count
+from ..service.manager import DispatchedQuestion, SessionManager
+from ..service.simulation import DOMAINS
+from .schema import (
+    ActivateResponse,
+    AnswerResponse,
+    DatasetList,
+    JoinResponse,
+    QueryAccepted,
+    QueryRequest,
+    QuestionBatch,
+    QuestionDTO,
+    ResultResponse,
+    facts_to_wire,
+)
+
+
+class GatewayError(Exception):
+    """A client-attributable failure; ``status`` is the HTTP code."""
+
+    status = 400
+    error = "bad_request"
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(detail)
+        self.detail = detail
+
+
+class AuthError(GatewayError):
+    status = 401
+    error = "unauthorized"
+
+
+class ForbiddenError(GatewayError):
+    status = 403
+    error = "forbidden"
+
+
+class NotFoundError(GatewayError):
+    status = 404
+    error = "not_found"
+
+
+class ConflictError(GatewayError):
+    status = 409
+    error = "conflict"
+
+
+class BackpressureError(GatewayError):
+    """The member is at their cross-session in-flight cap (HTTP 429)."""
+
+    status = 429
+    error = "backpressure"
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Serving knobs for one gateway (see ``docs/GATEWAY.md``).
+
+    The session-layer fields are forwarded verbatim to
+    :class:`~repro.service.config.ServiceConfig`; the long-poll fields
+    shape the HTTP ``/next`` endpoint (``long_poll_max_wait`` caps the
+    client-requested wait, ``poll_interval`` is the idle re-check
+    cadence) and ``slow_client_delay`` is the stall injected by a
+    ``SLOW_CLIENT`` fault.
+    """
+
+    question_timeout: float = 5.0
+    max_attempts: int = 3
+    backoff_base: float = 0.01
+    in_flight_limit: int = 4
+    batch_size: int = 2
+    sample_size: int = 3
+    scale_deadlines: bool = True
+    long_poll_max_wait: float = 10.0
+    poll_interval: float = 0.005
+    slow_client_delay: float = 0.05
+
+
+@dataclass
+class _MemberRecord:
+    member_id: str
+    token: str
+
+
+@dataclass
+class _SessionRecord:
+    session_id: str
+    query_text: str
+    qids: List[str] = field(default_factory=list)
+
+
+class GatewayApp:
+    """The gateway's application state: datasets, sessions, members, qids."""
+
+    def __init__(
+        self,
+        *,
+        config: Optional[GatewayConfig] = None,
+        datasets: Optional[Mapping[str, Callable[[], object]]] = None,
+        admin_token: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
+        token_factory: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.config = config if config is not None else GatewayConfig()
+        self.datasets: Dict[str, Callable[[], object]] = dict(
+            datasets if datasets is not None else DOMAINS
+        )
+        #: when set, ``/query``, ``/result`` and ``/datasets/activate``
+        #: require it as the bearer token (None = open gateway)
+        self.admin_token = admin_token
+        #: consulted by the transports at the ``gateway.request`` site
+        self.faults = faults
+        self._mint = token_factory if token_factory is not None else (
+            lambda: secrets.token_hex(16)
+        )
+        self._lock = threading.Lock()
+        self._active: Optional[str] = None
+        self._dataset: Optional[object] = None
+        self._engine: Optional[OassisEngine] = None
+        self._manager: Optional[SessionManager] = None
+        self._members_by_token: Dict[str, _MemberRecord] = {}
+        self._members_by_id: Dict[str, _MemberRecord] = {}
+        self._sessions: Dict[str, _SessionRecord] = {}
+        self._questions: Dict[str, DispatchedQuestion] = {}
+        self._answered: Dict[str, str] = {}  # qid -> first outcome
+        self._next_qid = 0
+        self._next_session = 0
+
+    # ---------------------------------------------------------------- health
+
+    @property
+    def active_dataset(self) -> Optional[str]:
+        with self._lock:
+            return self._active
+
+    @property
+    def engine(self) -> Optional[OassisEngine]:
+        """The active dataset's engine (None before activation)."""
+        with self._lock:
+            return self._engine
+
+    @property
+    def dataset(self) -> Optional[object]:
+        """The active dataset object (None before activation)."""
+        with self._lock:
+            return self._dataset
+
+    # -------------------------------------------------------------- datasets
+
+    def list_datasets(self) -> DatasetList:
+        with self._lock:
+            return DatasetList(
+                datasets=tuple(sorted(self.datasets)), active=self._active
+            )
+
+    def activate_dataset(self, name: str) -> ActivateResponse:
+        """Build the engine + session manager for ``name``.
+
+        Idempotent for the already-active dataset; switching datasets
+        while sessions are open is a conflict (cancel them first) —
+        an activation tears down all member/session/qid state.
+        """
+        if name not in self.datasets:
+            raise NotFoundError(
+                f"unknown dataset {name!r}; pick from {sorted(self.datasets)}"
+            )
+        with self._lock:
+            if self._active == name:
+                return ActivateResponse(name=name, activated=False)
+            manager = self._manager
+        if manager is not None and any(s.open for s in manager.sessions()):
+            raise ConflictError(
+                "cannot switch datasets while sessions are open; "
+                "finish or cancel them first"
+            )
+        dataset = self.datasets[name]()
+        engine = OassisEngine(dataset.ontology)  # type: ignore[attr-defined]
+        cfg = self.config
+        fresh = engine.session_manager(
+            question_timeout=cfg.question_timeout,
+            max_attempts=cfg.max_attempts,
+            backoff_base=cfg.backoff_base,
+            in_flight_limit=cfg.in_flight_limit,
+            batch_size=cfg.batch_size,
+            scale_deadlines=cfg.scale_deadlines,
+        )
+        with self._lock:
+            self._active = name
+            self._dataset = dataset
+            self._engine = engine
+            self._manager = fresh
+            self._members_by_token.clear()
+            self._members_by_id.clear()
+            self._sessions.clear()
+            self._questions.clear()
+            self._answered.clear()
+        _obs_count("gateway.datasets.activated")
+        return ActivateResponse(name=name, activated=True)
+
+    def _require_manager(self) -> SessionManager:
+        with self._lock:
+            manager = self._manager
+        if manager is None:
+            raise ConflictError(
+                "no dataset is active; POST /datasets/activate first"
+            )
+        return manager
+
+    # ------------------------------------------------------------------ auth
+
+    def require_admin(self, token: Optional[str]) -> None:
+        """Operator endpoints: a wrong or missing admin token is a 401."""
+        if self.admin_token is None:
+            return
+        if token != self.admin_token:
+            _obs_count("gateway.auth.rejected")
+            raise AuthError("admin token required")
+
+    def authenticate(self, token: Optional[str]) -> str:
+        """The member id a bearer token identifies; 401 otherwise."""
+        if token:
+            with self._lock:
+                record = self._members_by_token.get(token)
+            if record is not None:
+                return record.member_id
+        _obs_count("gateway.auth.rejected")
+        raise AuthError("a member bearer token is required; POST /join first")
+
+    # --------------------------------------------------------------- members
+
+    def join(self, member_id: Optional[str] = None) -> JoinResponse:
+        """Attach a member and mint their bearer token.
+
+        Re-joining an existing ``member_id`` is idempotent and returns
+        the original token (the retry after an injected disconnect must
+        not lock the member out of their own identity).
+        """
+        manager = self._require_manager()
+        with self._lock:
+            if member_id is not None and member_id in self._members_by_id:
+                record = self._members_by_id[member_id]
+                return JoinResponse(member_id=record.member_id, token=record.token)
+            if member_id is None:
+                member_id = f"w{len(self._members_by_id) + 1}"
+                while member_id in self._members_by_id:
+                    member_id = f"w{len(self._members_by_id) + secrets.randbelow(1000) + 2}"
+            record = _MemberRecord(member_id=member_id, token=self._mint())
+            self._members_by_token[record.token] = record
+            self._members_by_id[member_id] = record
+        manager.attach_member(member_id)
+        _obs_count("gateway.members.joined")
+        return JoinResponse(member_id=record.member_id, token=record.token)
+
+    # --------------------------------------------------------------- queries
+
+    def pose_query(self, request: QueryRequest) -> QueryAccepted:
+        """Open a mining session from a :class:`QueryRequest`."""
+        manager = self._require_manager()
+        with self._lock:
+            dataset = self._dataset
+        text = request.query
+        if text is None:
+            if dataset is None or not hasattr(dataset, "query"):
+                raise ConflictError(
+                    "no query text given and the active dataset has no "
+                    "query template"
+                )
+            text = dataset.query(request.threshold)  # type: ignore[attr-defined]
+        session_id = request.session_id
+        with self._lock:
+            if session_id is None:
+                self._next_session += 1
+                session_id = f"g{self._next_session}"
+            if session_id in self._sessions:
+                raise ConflictError(f"session {session_id!r} already exists")
+        try:
+            manager.create_session(
+                text, session_id=session_id, sample_size=request.sample_size
+            )
+        except ValueError as error:
+            raise ConflictError(str(error)) from error
+        except Exception as error:
+            # a query that fails to parse/validate is a client error
+            raise GatewayError(f"query rejected: {error}") from error
+        with self._lock:
+            self._sessions[session_id] = _SessionRecord(
+                session_id=session_id, query_text=text
+            )
+        _obs_count("gateway.queries.posed")
+        return QueryAccepted(session_id=session_id, query=text)
+
+    # ------------------------------------------------------------- questions
+
+    def at_capacity(self, member_id: str) -> bool:
+        """Is the member at their cross-session in-flight cap?
+
+        The gateway's backpressure reuses the session layer's limit: a
+        member holding ``in_flight_limit`` questions gets HTTP 429 from
+        ``/next`` instead of an idle long-poll they cannot benefit from.
+        """
+        manager = self._require_manager()
+        held = sum(
+            1 for question in manager.in_flight() if question.member_id == member_id
+        )
+        return held >= self.config.in_flight_limit
+
+    def next_questions(self, member_id: str, k: Optional[int] = None) -> QuestionBatch:
+        """One non-waiting dispatch attempt (the long-poll loops on this)."""
+        manager = self._require_manager()
+        try:
+            batch = manager.next_batch(member_id, k)
+        except KeyError as error:
+            raise ForbiddenError(str(error)) from error
+        now = manager.clock()
+        questions: List[QuestionDTO] = []
+        with self._lock:
+            for dispatched in batch:
+                self._next_qid += 1
+                qid = f"q{self._next_qid}"
+                self._questions[qid] = dispatched
+                record = self._sessions.get(dispatched.session_id)
+                if record is not None:
+                    record.qids.append(qid)
+                facts: Tuple[Tuple[str, str, str], ...] = ()
+                if dispatched.fact_set is not None:
+                    facts = facts_to_wire(dispatched.fact_set)
+                questions.append(
+                    QuestionDTO(
+                        qid=qid,
+                        session_id=dispatched.session_id,
+                        text=dispatched.text,
+                        facts=facts,
+                        deadline_s=max(0.0, dispatched.deadline - now),
+                        attempt=dispatched.attempt,
+                    )
+                )
+        return QuestionBatch(questions=tuple(questions))
+
+    # --------------------------------------------------------------- answers
+
+    def submit_answer(
+        self, member_id: str, qid: str, support: Optional[float]
+    ) -> AnswerResponse:
+        """Feed one answer to the session layer; duplicates are idempotent.
+
+        A re-submission of an already-answered qid comes back ``stale``
+        (the session layer drops the second application), so a client
+        that retries after a dropped connection cannot double-count.
+        """
+        manager = self._require_manager()
+        with self._lock:
+            dispatched = self._questions.get(qid)
+            already = self._answered.get(qid)
+        if dispatched is None:
+            raise NotFoundError(f"unknown question id {qid!r}")
+        if dispatched.member_id != member_id:
+            _obs_count("gateway.auth.rejected")
+            raise ForbiddenError(
+                f"question {qid} was dispatched to another member"
+            )
+        outcome = manager.submit(dispatched, support)
+        name = outcome.name.lower()
+        if already is not None:
+            _obs_count("gateway.answers.duplicate")
+        elif name in ("recorded", "passed"):
+            _obs_count("gateway.answers.accepted")
+        with self._lock:
+            if already is None:
+                self._answered[qid] = name
+        return AnswerResponse(qid=qid, outcome=name)
+
+    # --------------------------------------------------------------- results
+
+    def result(self, session_id: str) -> ResultResponse:
+        """The session's incremental MSP set (poll until ``done``)."""
+        manager = self._require_manager()
+        with self._lock:
+            if session_id not in self._sessions:
+                raise NotFoundError(f"unknown session {session_id!r}")
+        manager.all_done()  # probe completion before reporting
+        session = manager.session(session_id)
+        msps = tuple(sorted(repr(a) for a in session.msps()))
+        valid = tuple(sorted(repr(a) for a in session.valid_msps()))
+        _obs_count("gateway.results.served")
+        return ResultResponse(
+            session_id=session_id,
+            state=session.state.value,
+            done=not session.open,
+            questions_asked=session.questions_asked(),
+            msps=msps,
+            valid_msps=valid,
+        )
+
+    def session_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def all_done(self) -> bool:
+        """Are all posed sessions settled?"""
+        manager = self._require_manager()
+        return manager.all_done()

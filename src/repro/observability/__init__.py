@@ -23,6 +23,7 @@ naming scheme and the crowd-vs-computation cost model.
 """
 
 from .core import (
+    Histogram,
     SpanNode,
     Tracer,
     count,
@@ -30,6 +31,7 @@ from .core import (
     enable,
     enabled,
     get_tracer,
+    observe,
     span,
     tracing,
 )
@@ -37,8 +39,10 @@ from .io import atomic_write_json, atomic_write_text
 from .names import (
     ALL_NAMES,
     COUNTER_NAMES,
+    HISTOGRAM_NAMES,
     SPAN_NAMES,
     is_registered_counter,
+    is_registered_histogram,
     is_registered_span,
     registered_names,
     unregistered_names,
@@ -47,6 +51,7 @@ from .report import (
     REPORT_VERSION,
     build_report,
     derive,
+    derive_gateway,
     derive_service,
     render_report,
     render_spans,
@@ -55,6 +60,8 @@ from .report import (
 __all__ = [
     "ALL_NAMES",
     "COUNTER_NAMES",
+    "HISTOGRAM_NAMES",
+    "Histogram",
     "REPORT_VERSION",
     "SPAN_NAMES",
     "SpanNode",
@@ -64,14 +71,17 @@ __all__ = [
     "build_report",
     "count",
     "derive",
+    "derive_gateway",
     "derive_service",
     "disable",
     "enable",
     "enabled",
     "get_tracer",
     "is_registered_counter",
+    "is_registered_histogram",
     "is_registered_span",
     "registered_names",
+    "observe",
     "render_report",
     "render_spans",
     "span",

@@ -64,6 +64,89 @@ class SpanNode:
         )
 
 
+#: log-spaced histogram bucket upper bounds (seconds): five per decade
+#: from 10µs to ~63s, which bounds the relative quantile error at the
+#: bucket ratio (~1.58x) while keeping every histogram a fixed 36 ints
+_HISTOGRAM_BOUNDS: tuple = tuple(
+    round(1e-5 * 10 ** (exponent / 5), 10) for exponent in range(36)
+)
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (seconds).
+
+    Log-spaced buckets keep memory constant no matter how many requests a
+    gateway serves; quantiles are interpolated inside the winning bucket
+    and clamped to the observed min/max, so p50/p95/p99 are exact at the
+    extremes and within one bucket ratio everywhere else.  Mutation is
+    guarded by the owning :class:`Tracer`'s lock.
+    """
+
+    __slots__ = ("count", "total_seconds", "min_seconds", "max_seconds", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+        self.buckets = [0] * (len(_HISTOGRAM_BOUNDS) + 1)
+
+    def observe(self, seconds: float) -> None:
+        value = max(0.0, seconds)
+        self.count += 1
+        self.total_seconds += value
+        if value < self.min_seconds:
+            self.min_seconds = value
+        if value > self.max_seconds:
+            self.max_seconds = value
+        for index, bound in enumerate(_HISTOGRAM_BOUNDS):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """The latency at quantile ``q`` in [0, 1] (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        seen = 0.0
+        for index, in_bucket in enumerate(self.buckets):
+            seen += in_bucket
+            if seen >= rank and in_bucket:
+                upper = (
+                    _HISTOGRAM_BOUNDS[index]
+                    if index < len(_HISTOGRAM_BOUNDS)
+                    else self.max_seconds
+                )
+                lower = _HISTOGRAM_BOUNDS[index - 1] if index > 0 else 0.0
+                # interpolate within the bucket, clamp to observed range
+                fraction = 1.0 - (seen - rank) / in_bucket
+                estimate = lower + (upper - lower) * fraction
+                return min(self.max_seconds, max(self.min_seconds, estimate))
+        return self.max_seconds
+
+    def as_dict(self) -> Dict:
+        """JSON-serializable summary (seconds rounded to the microsecond)."""
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total_s": round(self.total_seconds, 6),
+            "mean_s": round(self.total_seconds / self.count, 6),
+            "min_s": round(self.min_seconds, 6),
+            "max_s": round(self.max_seconds, 6),
+            "p50_s": round(self.quantile(0.50), 6),
+            "p95_s": round(self.quantile(0.95), 6),
+            "p99_s": round(self.quantile(0.99), 6),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, total_s={self.total_seconds:.6f})"
+
+
 class Tracer:
     """Collects counters and nested timed spans for one traced run.
 
@@ -82,6 +165,7 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self._clock = clock
         self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self.root = SpanNode("<root>")
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -103,6 +187,20 @@ class Tracer:
     def value(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
         return self.counters.get(name, 0)
+
+    # ----------------------------------------------------------- histograms
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one latency sample into the histogram ``name``."""
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.observe(seconds)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The histogram ``name``, or None when nothing was observed."""
+        return self.histograms.get(name)
 
     # ---------------------------------------------------------------- spans
 
@@ -241,3 +339,10 @@ def count(name: str, amount: int = 1) -> None:
     tracer = _ACTIVE.get()
     if tracer is not None:
         tracer.count(name, amount)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a latency sample on the active tracer; no-op when disabled."""
+    tracer = _ACTIVE.get()
+    if tracer is not None:
+        tracer.observe(name, seconds)

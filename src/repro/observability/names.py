@@ -47,9 +47,29 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         # injected faults, by kind (repro.faults)
         "faults.injected.crash",
         "faults.injected.departure",
+        "faults.injected.disconnect",
         "faults.injected.duplicate",
         "faults.injected.malformed",
+        "faults.injected.slow_client",
         "faults.injected.timeout",
+        # the network-facing crowd gateway (repro.gateway)
+        "gateway.answers.accepted",
+        "gateway.answers.duplicate",
+        "gateway.auth.rejected",
+        "gateway.backpressure.rejected",
+        "gateway.datasets.activated",
+        "gateway.disconnects.injected",
+        "gateway.errors.client",
+        "gateway.errors.server",
+        "gateway.longpoll.empty",
+        "gateway.longpoll.waits",
+        "gateway.mcp.calls",
+        "gateway.mcp.unavailable",
+        "gateway.members.joined",
+        "gateway.queries.posed",
+        "gateway.requests",
+        "gateway.results.served",
+        "gateway.slow_responses.injected",
         # assignment lattice traversal
         "lattice.bfs.nodes",
         "lattice.desc_cache.misses",
@@ -174,8 +194,26 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
     }
 )
 
+#: every registered latency-histogram name (``Tracer.observe``); the
+#: ``gateway.latency.*`` family is one histogram per HTTP endpoint plus
+#: the MCP dispatch surface (see ``docs/GATEWAY.md``)
+HISTOGRAM_NAMES: FrozenSet[str] = frozenset(
+    {
+        "gateway.latency.activate",
+        "gateway.latency.answer",
+        "gateway.latency.datasets",
+        "gateway.latency.health",
+        "gateway.latency.join",
+        "gateway.latency.mcp",
+        "gateway.latency.next",
+        "gateway.latency.other",
+        "gateway.latency.query",
+        "gateway.latency.result",
+    }
+)
+
 #: the union, for callers that do not care about the kind
-ALL_NAMES: FrozenSet[str] = COUNTER_NAMES | SPAN_NAMES
+ALL_NAMES: FrozenSet[str] = COUNTER_NAMES | SPAN_NAMES | HISTOGRAM_NAMES
 
 
 def is_registered_counter(name: str) -> bool:
@@ -186,6 +224,11 @@ def is_registered_counter(name: str) -> bool:
 def is_registered_span(name: str) -> bool:
     """Is ``name`` a registered span name?"""
     return name in SPAN_NAMES
+
+
+def is_registered_histogram(name: str) -> bool:
+    """Is ``name`` a registered histogram name?"""
+    return name in HISTOGRAM_NAMES
 
 
 def _span_leaf_names(tracer: Tracer) -> Iterable[str]:
@@ -207,15 +250,21 @@ def unregistered_names(tracer: Tracer) -> FrozenSet[str]:
     for name in _span_leaf_names(tracer):
         if name not in SPAN_NAMES:
             stray.add(name)
+    for name in getattr(tracer, "histograms", {}):
+        if name not in HISTOGRAM_NAMES:
+            stray.add(name)
     return frozenset(stray)
 
 
 def registered_names(kind: Union[str, None] = None) -> FrozenSet[str]:
-    """The registered names: ``"counter"``, ``"span"`` or both (None)."""
+    """The registered names: ``"counter"``, ``"span"``, ``"histogram"``
+    or all of them (None)."""
     if kind == "counter":
         return COUNTER_NAMES
     if kind == "span":
         return SPAN_NAMES
+    if kind == "histogram":
+        return HISTOGRAM_NAMES
     if kind is None:
         return ALL_NAMES
     raise ValueError(f"unknown name kind {kind!r}")

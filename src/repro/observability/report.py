@@ -85,6 +85,40 @@ def derive_service(counters: Dict[str, int]) -> Optional[Dict]:
     }
 
 
+def derive_gateway(counters: Dict[str, int]) -> Optional[Dict]:
+    """The ``gateway`` section: network-facing request accounting.
+
+    Present only when the run went through :mod:`repro.gateway` (any
+    ``gateway.*`` counter fired); reports request volume, the rejection
+    paths (auth, backpressure, client errors) and the long-poll and
+    answer pipelines.  Per-endpoint latency lives in the ``histograms``
+    section.  See ``docs/GATEWAY.md``.
+    """
+    if not any(name.startswith("gateway.") for name in counters):
+        return None
+    requests = counters.get("gateway.requests", 0)
+    rejected = (
+        counters.get("gateway.auth.rejected", 0)
+        + counters.get("gateway.backpressure.rejected", 0)
+        + counters.get("gateway.errors.client", 0)
+    )
+    return {
+        "requests": requests,
+        "rejected": rejected,
+        "auth_rejected": counters.get("gateway.auth.rejected", 0),
+        "backpressure_rejected": counters.get("gateway.backpressure.rejected", 0),
+        "client_errors": counters.get("gateway.errors.client", 0),
+        "server_errors": counters.get("gateway.errors.server", 0),
+        "members_joined": counters.get("gateway.members.joined", 0),
+        "queries_posed": counters.get("gateway.queries.posed", 0),
+        "answers_accepted": counters.get("gateway.answers.accepted", 0),
+        "longpoll_waits": counters.get("gateway.longpoll.waits", 0),
+        "longpoll_empty": counters.get("gateway.longpoll.empty", 0),
+        "results_served": counters.get("gateway.results.served", 0),
+        "rejection_rate": _ratio(rejected, requests),
+    }
+
+
 def build_report(tracer) -> Dict:
     """The machine-readable report of one traced run."""
     counters = dict(sorted(tracer.counters.items()))
@@ -94,9 +128,18 @@ def build_report(tracer) -> Dict:
         "derived": derive(counters),
         "spans": [child.as_dict() for child in tracer.root.children.values()],
     }
+    histograms = getattr(tracer, "histograms", None)
+    if histograms:
+        report["histograms"] = {
+            name: histogram.as_dict()
+            for name, histogram in sorted(histograms.items())
+        }
     service = derive_service(counters)
     if service is not None:
         report["service"] = service
+    gateway = derive_gateway(counters)
+    if gateway is not None:
+        report["gateway"] = gateway
     return report
 
 
@@ -170,6 +213,39 @@ def render_report(report: Dict) -> str:
         ]
         for key, value in service_rows:
             lines.append(f"  {key:<38} {value:>12}")
+
+    gateway = report.get("gateway")
+    if gateway is not None:
+        lines.append("-- gateway --")
+        rejection = gateway["rejection_rate"]
+        gateway_rows = [
+            ("requests served", str(gateway["requests"])),
+            (
+                "rejection rate",
+                "n/a" if rejection is None else f"{100.0 * rejection:.1f}%",
+            ),
+            ("members joined", str(gateway["members_joined"])),
+            ("queries posed", str(gateway["queries_posed"])),
+            ("answers accepted", str(gateway["answers_accepted"])),
+            (
+                "long-polls (empty)",
+                f"{gateway['longpoll_waits']} ({gateway['longpoll_empty']})",
+            ),
+        ]
+        for key, value in gateway_rows:
+            lines.append(f"  {key:<38} {value:>12}")
+
+    histograms = report.get("histograms")
+    if histograms:
+        lines.append("-- latency histograms --")
+        for name, summary in histograms.items():
+            if summary["count"] == 0:
+                continue
+            lines.append(
+                f"  {name:<38} p50={summary['p50_s'] * 1e3:7.2f}ms "
+                f"p95={summary['p95_s'] * 1e3:7.2f}ms "
+                f"p99={summary['p99_s'] * 1e3:7.2f}ms  x{summary['count']}"
+            )
 
     if report["spans"]:
         lines.append("-- per-phase wall time --")

@@ -324,6 +324,29 @@ class TestTracerNameRule:
         )
         assert rule_ids(lint(tmp_path, "tracer-name")) == ["tracer-name"]
 
+    def test_unregistered_histogram_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "from repro.observability import observe\n"
+            "observe('gateway.latency.bogus', 0.1)\n",
+        )
+        assert rule_ids(lint(tmp_path, "tracer-name")) == ["tracer-name"]
+
+    def test_registered_histogram_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "from repro.observability import observe\n"
+            "observe('gateway.latency.next', 0.1)\n",
+        )
+        assert lint(tmp_path, "tracer-name").findings == []
+
+    def test_bucket_observe_with_float_arg_is_silent(self, tmp_path):
+        # Histogram.observe(seconds) takes a float, not a name
+        write(tmp_path, "mod.py", "histogram.observe(0.25)\n")
+        assert lint(tmp_path, "tracer-name").findings == []
+
 
 class TestShimCallerRule:
     def test_importing_shim_helper_fires(self, tmp_path):
@@ -374,6 +397,89 @@ class TestShimCallerRule:
             "warn_deprecated('k', 'm')\n",
         )
         assert lint(tmp_path, "shim-caller").findings == []
+
+    def test_api_facade_is_a_shim_home(self, tmp_path):
+        # repro.api hosts the PR-8 legacy shims, so its warn_deprecated
+        # calls are legitimate
+        write(
+            tmp_path,
+            "repro/api/__init__.py",
+            "from ..engine.config import warn_deprecated\n"
+            "warn_deprecated('k', 'm')\n",
+        )
+        assert lint(tmp_path, "shim-caller").findings == []
+
+
+class TestAsyncBlockingRule:
+    def test_time_sleep_in_async_gateway_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(0.1)\n",
+        )
+        result = lint(tmp_path, "async-blocking-io")
+        assert rule_ids(result) == ["async-blocking-io"]
+        assert "time.sleep" in result.findings[0].message
+
+    def test_open_in_async_gateway_fires(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "async def handler(path):\n"
+            "    with open(path) as handle:\n"
+            "        return handle.read()\n",
+        )
+        assert rule_ids(lint(tmp_path, "async-blocking-io")) == [
+            "async-blocking-io"
+        ]
+
+    def test_asyncio_sleep_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "import asyncio\n"
+            "async def handler():\n"
+            "    await asyncio.sleep(0.1)\n",
+        )
+        assert lint(tmp_path, "async-blocking-io").findings == []
+
+    def test_sync_function_in_gateway_is_silent(self, tmp_path):
+        # client threads are allowed to block; only async defs share
+        # the event loop
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "import time\n"
+            "def poll():\n"
+            "    time.sleep(0.1)\n",
+        )
+        assert lint(tmp_path, "async-blocking-io").findings == []
+
+    def test_async_def_outside_gateway_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/mining/mod.py",
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(0.1)\n",
+        )
+        assert lint(tmp_path, "async-blocking-io").findings == []
+
+    def test_nested_async_defs_report_once(self, tmp_path):
+        write(
+            tmp_path,
+            "repro/gateway/mod.py",
+            "import time\n"
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        time.sleep(0.1)\n"
+            "    await inner()\n",
+        )
+        assert rule_ids(lint(tmp_path, "async-blocking-io")) == [
+            "async-blocking-io"
+        ]
 
 
 class TestDeterminismRules:

@@ -1,0 +1,183 @@
+"""The repro.api facade: one Client, typed DTOs, warn-once legacy shims."""
+
+import warnings
+
+import pytest
+
+import repro.api as api
+from repro.api import Client
+from repro.engine import reset_deprecation_warnings
+from repro.engine.results import QueryResult
+from repro.gateway import GatewayConfig, NotFoundError
+from repro.gateway.schema import (
+    AnswerResponse,
+    DatasetList,
+    JoinResponse,
+    QueryAccepted,
+    QuestionBatch,
+    ResultResponse,
+)
+from repro.service.simulation import DOMAINS, build_identical_crowd
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+@pytest.fixture()
+def client():
+    return Client(domain="demo", config=GatewayConfig(question_timeout=60.0))
+
+
+class TestSessionStyle:
+    def test_methods_return_the_wire_dtos(self, client):
+        listing = client.datasets()
+        assert isinstance(listing, DatasetList)
+        assert listing.active == "demo"
+        joined = client.join(member_id="m0")
+        assert isinstance(joined, JoinResponse)
+        accepted = client.pose_query(threshold=0.4)
+        assert isinstance(accepted, QueryAccepted)
+        batch = client.next_questions(member_id="m0", k=1)
+        assert isinstance(batch, QuestionBatch)
+        assert batch.questions
+        answered = client.submit_answer(
+            member_id="m0", qid=batch.questions[0].qid, support=1.0
+        )
+        assert isinstance(answered, AnswerResponse)
+        assert answered.outcome in ("recorded", "passed")
+        result = client.result(session_id=accepted.session_id)
+        assert isinstance(result, ResultResponse)
+        assert result.session_id == accepted.session_id
+
+    def test_methods_are_keyword_only(self, client):
+        with pytest.raises(TypeError):
+            client.activate("demo")  # noqa: the old positional shape
+        with pytest.raises(TypeError):
+            client.join("m0")
+        with pytest.raises(TypeError):
+            client.result("s1")
+
+    def test_errors_surface_as_gateway_errors(self, client):
+        with pytest.raises(NotFoundError):
+            client.activate(name="atlantis")
+        with pytest.raises(NotFoundError):
+            client.result(session_id="never-posed")
+
+    def test_engine_requires_an_active_dataset(self):
+        bare = Client()
+        with pytest.raises(RuntimeError, match="no dataset is active"):
+            bare.engine
+        with pytest.raises(RuntimeError, match="no dataset is active"):
+            bare.execute(members=[])
+        bare.activate(name="demo")
+        assert bare.engine is not None
+
+
+class TestBatchStyle:
+    def test_execute_matches_the_legacy_entry_point(self, client):
+        dataset = DOMAINS["demo"]()
+        members = build_identical_crowd(dataset, 4, seed=0)
+        modern = client.execute(query=None, members=members, threshold=0.4)
+        assert isinstance(modern, QueryResult)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = api.execute(
+                dataset.ontology,
+                dataset.query(0.4),
+                build_identical_crowd(dataset, 4, seed=0),
+            )
+        assert sorted(repr(a) for a in modern.all_msps) == sorted(
+            repr(a) for a in legacy.all_msps
+        )
+
+    def test_simulate_defaults_to_the_active_domain(self, client):
+        report = client.simulate(
+            sessions=1, workers=2, crowd_size=4, sample_size=3,
+            question_timeout=0.25, max_runtime=30.0, seed=0,
+        )
+        assert report["domain"] == "demo"
+        assert report["verified"]
+
+    def test_shard_coordinator_wires_the_active_dataset(self, client):
+        coordinator = client.shard_coordinator(
+            shards=1, crowd_size=4, sample_size=3
+        )
+        assert coordinator is not None
+
+    def test_serve_lifts_the_same_state_onto_http(self, client):
+        from repro.gateway import GatewayClient
+
+        accepted = client.pose_query(threshold=0.4, session_id="s-served")
+        with client.serve() as handle:
+            remote = GatewayClient(handle.host, handle.port)
+            assert remote.health()["dataset"] == "demo"
+            result = remote.result(accepted.session_id)
+            assert result.session_id == "s-served"
+            remote.close()
+
+    def test_mcp_shares_the_application_state(self, client):
+        mcp = client.mcp()
+        assert "pose_query" in mcp.available_tools()
+
+
+class TestLegacyShims:
+    def test_each_shim_warns_exactly_once(self):
+        dataset = DOMAINS["demo"]()
+        members = build_identical_crowd(dataset, 4, seed=0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.execute(dataset.ontology, dataset.query(0.4), members)
+            api.execute(dataset.ontology, dataset.query(0.4), members)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "Client" in str(deprecations[0].message)
+
+    def test_run_simulation_shim_delegates_and_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = api.run_simulation(
+                domain="demo", sessions=1, workers=2, crowd_size=4,
+                sample_size=3, question_timeout=0.25, max_runtime=30.0,
+                seed=0,
+            )
+        assert report["verified"]
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "simulate" in str(deprecations[0].message)
+
+    def test_shard_coordinator_shim_warns(self):
+        dataset = DOMAINS["demo"]()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            coordinator = api.shard_coordinator(
+                dataset, shards=1, crowd_size=4, sample_size=3, domain="demo"
+            )
+        assert coordinator is not None
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_warned_keys_are_distinct_per_shim(self):
+        dataset = DOMAINS["demo"]()
+        members = build_identical_crowd(dataset, 2, seed=0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.execute(dataset.ontology, dataset.query(0.4), members)
+            api.run_simulation(
+                domain="demo", sessions=1, workers=1, crowd_size=4,
+                sample_size=3, question_timeout=0.25, max_runtime=30.0,
+                seed=0,
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2

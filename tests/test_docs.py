@@ -130,6 +130,25 @@ class TestTuningGuide:
         TestObservabilityGuide._assert_counters_recorded(documented)
 
 
+class TestGatewayGuide:
+    """docs/GATEWAY.md: the serving recipes execute, and every counter
+    the doc names is actually recorded by the gateway."""
+
+    def test_has_worked_examples(self):
+        assert len(_python_blocks("GATEWAY.md")) >= 2
+
+    def test_python_blocks_execute(self, monkeypatch, capsys):
+        _execute_blocks("GATEWAY.md", monkeypatch, capsys)
+
+    def test_documented_gateway_counters_match_the_code(self):
+        text = (DOCS / "GATEWAY.md").read_text()
+        documented = set(
+            re.findall(r"`(gateway\.[a-z_.]+[a-z_])`", text)
+        )
+        assert documented, "the observability section went missing"
+        TestObservabilityGuide._assert_counters_recorded(documented)
+
+
 class TestExampleData:
     def test_shipped_ontology_loads(self):
         from repro.ontology import turtle
@@ -165,5 +184,6 @@ class TestExampleData:
         for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                      "docs/LANGUAGE.md", "docs/ARCHITECTURE.md",
                      "docs/PERFORMANCE.md", "docs/TUNING.md",
-                     "BENCH_perf.json", "Makefile"):
+                     "docs/GATEWAY.md", "docs/MIGRATION.md",
+                     "BENCH_perf.json", "BENCH_gateway.json", "Makefile"):
             assert (ROOT / name).exists(), name

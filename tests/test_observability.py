@@ -8,6 +8,7 @@ from repro import CrowdMember, EngineConfig, OassisEngine
 from repro.datasets import running_example
 from repro.observability import (
     REPORT_VERSION,
+    Histogram,
     Tracer,
     build_report,
     count,
@@ -17,7 +18,9 @@ from repro.observability import (
     enabled,
     get_tracer,
     is_registered_counter,
+    is_registered_histogram,
     is_registered_span,
+    observe,
     registered_names,
     render_report,
     render_spans,
@@ -315,8 +318,68 @@ class TestEngineIntegration:
         assert is_registered_counter("crowd.questions")
         assert not is_registered_counter("engine.execute")
         assert is_registered_span("engine.execute")
-        assert registered_names("counter") | registered_names("span") == (
-            registered_names()
-        )
+        assert is_registered_histogram("gateway.latency.next")
+        assert not is_registered_histogram("gateway.requests")
+        assert (
+            registered_names("counter")
+            | registered_names("span")
+            | registered_names("histogram")
+        ) == registered_names()
         with pytest.raises(ValueError):
             registered_names("bogus")
+
+
+class TestHistograms:
+    def test_quantiles_are_clamped_to_observed_range(self):
+        histogram = Histogram()
+        for value in (0.001, 0.002, 0.003, 0.004, 0.100):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.quantile(0.0) == pytest.approx(0.001)
+        assert histogram.quantile(1.0) == pytest.approx(0.100)
+        assert 0.001 <= histogram.quantile(0.5) <= 0.004
+
+    def test_empty_histogram_quantile_is_zero(self):
+        histogram = Histogram()
+        assert histogram.quantile(0.99) == 0.0
+        assert histogram.as_dict() == {"count": 0}
+
+    def test_tracer_observe_aggregates_by_name(self):
+        tracer = Tracer()
+        tracer.observe("gateway.latency.next", 0.01)
+        tracer.observe("gateway.latency.next", 0.02)
+        tracer.observe("gateway.latency.answer", 0.005)
+        assert tracer.histograms["gateway.latency.next"].count == 2
+        assert tracer.histograms["gateway.latency.answer"].count == 1
+
+    def test_module_level_observe_reaches_active_tracer(self):
+        with tracing() as tracer:
+            observe("gateway.latency.health", 0.003)
+        assert tracer.histograms["gateway.latency.health"].count == 1
+        observe("gateway.latency.health", 0.003)  # disabled: a no-op
+        assert tracer.histograms["gateway.latency.health"].count == 1
+
+    def test_unregistered_histogram_name_is_flagged(self):
+        tracer = Tracer()
+        tracer.observe("gateway.latency.bogus", 0.001)
+        assert "gateway.latency.bogus" in unregistered_names(tracer)
+        tracer2 = Tracer()
+        tracer2.observe("gateway.latency.next", 0.001)
+        assert unregistered_names(tracer2) == frozenset()
+
+    def test_report_carries_histograms_and_gateway_section(self):
+        tracer = Tracer()
+        tracer.observe("gateway.latency.next", 0.01)
+        tracer.count("gateway.requests")
+        tracer.count("gateway.answers.accepted")
+        report = tracer.report()
+        assert report["histograms"]["gateway.latency.next"]["count"] == 1
+        assert report["gateway"]["requests"] == 1
+        text = render_report(report)
+        assert "gateway" in text
+        assert "latency histograms" in text
+
+    def test_gateway_section_absent_without_gateway_traffic(self):
+        tracer = Tracer()
+        tracer.count("crowd.questions")
+        assert tracer.report().get("gateway") is None
