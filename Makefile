@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint doclint typecheck bench bench-suite serve-bench serve-bench-full bench-faults bench-gateway bench-gateway-full gateway-smoke chaos shard-chaos examples figures stats clean
+.PHONY: install test lint deep-lint doclint typecheck bench bench-suite serve-bench serve-bench-full bench-faults bench-gateway bench-gateway-full gateway-smoke chaos shard-chaos examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -15,16 +15,23 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis src/
 
+# the whole-program pass on top of the per-file linter: call-graph
+# effect inference, static lock-order, wire taint — every finding
+# carries a witness call chain (docs/ANALYSIS.md).  The cache file is
+# hash-keyed over the analyzed tree, so unchanged reruns are instant
+deep-lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis src/ --deep --cache .deep-analysis-cache.json
+
 # doc cross-link checker: fails on dangling `docs/*.md` references
 # anywhere in the repository's markdown (part of the CI lint job)
 doclint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis.doclint .
 
 # mypy is configured in pyproject.toml (strict on repro.analysis,
-# repro.service, repro.faults, repro.gateway and repro.api, lenient
-# elsewhere); requires mypy on PATH
+# repro.service, repro.faults, repro.gateway, repro.api and
+# repro.observability, lenient elsewhere); requires mypy on PATH
 typecheck:
-	$(PYTHON) -m mypy src/repro/analysis src/repro/service src/repro/faults src/repro/gateway src/repro/api
+	$(PYTHON) -m mypy src/repro/analysis src/repro/service src/repro/faults src/repro/gateway src/repro/api src/repro/observability
 
 # quick perf report: micro-benches + backend A/B equivalence (fails on any
 # mining divergence), then schema/threshold validation of the JSON output

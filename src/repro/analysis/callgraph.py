@@ -1,0 +1,957 @@
+"""A project-wide call graph over ``src/repro``.
+
+The per-module linter (:mod:`repro.analysis.rules`) can only see one
+function at a time; the deep rules (:mod:`repro.analysis.deep`) need to
+know *what calls what* across the whole package: a blocking call two
+frames below an async handler, a wall-clock read leaking into the mining
+core through a helper.  This module builds that graph statically:
+
+* **modules** — every ``.py`` file under a source root, named by its
+  dotted path (``src/repro/service/manager.py`` ->
+  ``repro.service.manager``);
+* **functions** — module-level functions, methods (of arbitrarily
+  nested classes) and nested functions, each with a dotted qualname
+  (``repro.service.manager.SessionManager.submit``); module-level
+  statements are attributed to a synthetic ``<module>`` function so
+  import-time calls (including decorator application) have a caller;
+* **edges** — one :class:`CallEdge` per resolved call site, tagged with
+  how it was resolved (``direct``, ``self``, ``typed``, ``import``,
+  ``constructor``, ``by-name``); calls the resolver cannot pin down are
+  recorded as explicit :class:`UnresolvedCall` entries with a reason
+  (``external``, ``dynamic-receiver``, ``ambiguous-method``) instead of
+  being silently dropped.
+
+Resolution is deliberately *best effort* but leans on everything the
+source declares:
+
+* import tables per module, following ``from x import y`` re-export
+  chains through package ``__init__`` files (with a cycle guard);
+* self-dispatch: ``self.m()`` resolves within the enclosing class, then
+  through project-resolvable base classes;
+* a lightweight local type environment: parameter annotations,
+  ``x = ClassName(...)`` constructor assignments, ``self.attr``
+  annotations/assignments seen in ``__init__``, and the return
+  annotations of already-resolved callees (``Optional[X]`` unwraps to
+  ``X``) — so ``manager = self._require_manager()`` followed by
+  ``manager.next_batch(...)`` resolves precisely;
+* unique-method fallback: ``x.m()`` with an unknown receiver resolves
+  only when exactly one project class defines ``m`` *and* ``m`` is not
+  a common container/stdlib method name (``get``, ``items``, ``close``,
+  ... — the blocklist lives in :mod:`repro.analysis.project`), so dict
+  lookups never alias a project method.
+
+The graph is plain data plus BFS helpers (:meth:`CallGraph.reachable`,
+:meth:`CallGraph.shortest_chain`) — effect inference and the deep rules
+live in :mod:`repro.analysis.effects` / :mod:`repro.analysis.deep`.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from . import project
+
+#: the synthetic function name holding a module's import-time statements
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method known to the graph."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    path: str
+    lineno: int
+    end_lineno: int
+    is_async: bool
+
+    @property
+    def is_public(self) -> bool:
+        """Public = no leading underscore anywhere past the module path."""
+        tail = self.qualname[len(self.module) + 1 :]
+        return not any(part.startswith("_") for part in tail.split("."))
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee``."""
+
+    caller: str
+    callee: str
+    lineno: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class UnresolvedCall:
+    """A call site the resolver could not pin to a project function."""
+
+    caller: str
+    target: str
+    lineno: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One hop of a witness chain: ``qualname`` called at ``lineno``."""
+
+    qualname: str
+    lineno: int
+
+
+@dataclass
+class _ClassInfo:
+    qualname: str
+    module: str
+    name: str
+    methods: Dict[str, str] = field(default_factory=dict)
+    bases: Tuple[str, ...] = ()
+    #: self.attr -> project class qualname (from __init__/annotations)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class _ModuleInfo:
+    name: str
+    path: Path
+    display: str
+    tree: ast.Module
+    source: str
+    #: local name -> dotted target ("module:<dotted>" or "symbol:<dotted>")
+    imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: top-level function name -> qualname
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: top-level class name -> class qualname
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+def _module_name(path: Path, root: Path, package: str) -> str:
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package] + parts) if parts else package
+
+
+def _strip_optional(annotation: ast.expr) -> ast.expr:
+    """``Optional[X]`` / ``X | None`` / ``"X"`` -> the X expression."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return annotation
+    if isinstance(annotation, ast.Subscript):
+        base = annotation.value
+        base_name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else None
+        )
+        if base_name == "Optional":
+            return _strip_optional(annotation.slice)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = annotation.left
+        right = annotation.right
+        if isinstance(right, ast.Constant) and right.value is None:
+            return _strip_optional(left)
+        if isinstance(left, ast.Constant) and left.value is None:
+            return _strip_optional(right)
+    return annotation
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    """``a.b.c`` -> ``"a.b.c"`` (None for anything non-dotted)."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class CallGraph:
+    """The built graph: functions, classes, edges, unresolved calls."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, _ClassInfo] = {}
+        self.edges: List[CallEdge] = []
+        self.unresolved: List[UnresolvedCall] = []
+        self.modules: Dict[str, _ModuleInfo] = {}
+        #: qualname -> AST node (kept for effect extraction)
+        self.function_asts: Dict[str, ast.AST] = {}
+        self._out: Dict[str, List[CallEdge]] = {}
+        self._in: Dict[str, List[CallEdge]] = {}
+
+    # ------------------------------------------------------------- accessors
+
+    def add_edge(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self._out.setdefault(edge.caller, []).append(edge)
+        self._in.setdefault(edge.callee, []).append(edge)
+
+    def callees_of(self, qualname: str) -> List[CallEdge]:
+        return self._out.get(qualname, [])
+
+    def callers_of(self, qualname: str) -> List[CallEdge]:
+        return self._in.get(qualname, [])
+
+    def find(self, needle: str) -> List[FunctionInfo]:
+        """Functions whose qualname equals or ends with ``needle``."""
+        if needle in self.functions:
+            return [self.functions[needle]]
+        suffix = needle if needle.startswith(".") else "." + needle
+        return sorted(
+            (f for q, f in self.functions.items() if q.endswith(suffix)),
+            key=lambda f: f.qualname,
+        )
+
+    # ------------------------------------------------------------ traversals
+
+    def reachable(self, start: str) -> Set[str]:
+        """Every function reachable from ``start`` (inclusive)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for edge in self.callees_of(node):
+                if edge.callee not in seen:
+                    seen.add(edge.callee)
+                    frontier.append(edge.callee)
+        return seen
+
+    def shortest_chain(
+        self,
+        start: str,
+        accept: Callable[[str], bool],
+        follow: Optional[Callable[[str], bool]] = None,
+    ) -> Optional[List[ChainStep]]:
+        """BFS for the shortest ``start -> ... -> f`` with ``accept(f)``.
+
+        ``follow`` (when given) prunes the search to nodes it accepts;
+        the returned chain starts at ``start`` (lineno 0) and each later
+        step carries the call-site line in its *caller*.
+        """
+        if accept(start):
+            return [ChainStep(start, 0)]
+        parents: Dict[str, Tuple[str, int]] = {}
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                for edge in self.callees_of(node):
+                    callee = edge.callee
+                    if callee in seen:
+                        continue
+                    if follow is not None and not follow(callee):
+                        continue
+                    seen.add(callee)
+                    parents[callee] = (node, edge.lineno)
+                    if accept(callee):
+                        chain = [ChainStep(callee, edge.lineno)]
+                        current = node
+                        while current != start:
+                            parent, lineno = parents[current]
+                            chain.append(ChainStep(current, lineno))
+                            current = parent
+                        chain.append(ChainStep(start, 0))
+                        chain.reverse()
+                        return chain
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return None
+
+
+class _SymbolResolver:
+    """Resolves ``module``-scoped names through import/re-export chains."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+
+    def resolve_symbol(
+        self, module: str, name: str, _seen: Optional[Set[Tuple[str, str]]] = None
+    ) -> Optional[Tuple[str, str]]:
+        """``(kind, qualname)`` for ``name`` in ``module``'s namespace.
+
+        kind is ``"function"``, ``"class"`` or ``"module"``; follows
+        ``from x import y`` chains (re-exports) with a cycle guard.
+        """
+        if _seen is None:
+            _seen = set()
+        if (module, name) in _seen:
+            return None
+        _seen.add((module, name))
+        info = self.graph.modules.get(module)
+        if info is None:
+            return None
+        if name in info.functions:
+            return ("function", info.functions[name])
+        if name in info.classes:
+            return ("class", info.classes[name])
+        imported = info.imports.get(name)
+        if imported is None:
+            # ``from pkg import submodule`` with no explicit import also
+            # works at runtime once the submodule is loaded; model it
+            candidate = f"{module}.{name}"
+            if candidate in self.graph.modules:
+                return ("module", candidate)
+            return None
+        kind, target = imported
+        if kind == "module":
+            if target in self.graph.modules:
+                return ("module", target)
+            return None
+        # symbol import: target is "source_module.symbol"
+        source, _, symbol = target.rpartition(".")
+        if source in self.graph.modules:
+            resolved = self.resolve_symbol(source, symbol, _seen)
+            if resolved is not None:
+                return resolved
+            # the source module exists but does not define the symbol
+            # statically (e.g. a lazy __getattr__ re-export)
+            return None
+        if target in self.graph.modules:
+            return ("module", target)
+        return None
+
+    def resolve_dotted(
+        self, module: str, dotted: str
+    ) -> Optional[Tuple[str, str]]:
+        """Resolve ``a.b.c`` seen in ``module`` to a project symbol."""
+        head, _, rest = dotted.partition(".")
+        resolved = self.resolve_symbol(module, head)
+        if resolved is None:
+            return None
+        kind, target = resolved
+        while rest:
+            part, _, rest = rest.partition(".")
+            if kind == "module":
+                resolved = self.resolve_symbol(target, part)
+                if resolved is None:
+                    return None
+                kind, target = resolved
+            elif kind == "class":
+                info = self.graph.classes.get(target)
+                if info is None or part not in info.methods:
+                    return None
+                kind, target = "function", info.methods[part]
+            else:
+                return None
+        return (kind, target)
+
+
+class _FunctionWalker(ast.NodeVisitor):
+    """Extracts call edges from one function body."""
+
+    def __init__(
+        self,
+        builder: "_GraphBuilder",
+        module: _ModuleInfo,
+        caller: str,
+        class_info: Optional[_ClassInfo],
+        env: Dict[str, str],
+    ) -> None:
+        self.builder = builder
+        self.module = module
+        self.caller = caller
+        self.class_info = class_info
+        self.env = env  # local name -> project class qualname
+
+    # nested defs are separate graph nodes; do not descend into them here
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        for decorator in node.decorator_list:
+            self._record_call_expr(decorator, node.lineno)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        for decorator in node.decorator_list:
+            self._record_call_expr(decorator, node.lineno)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for decorator in node.decorator_list:
+            self._record_call_expr(decorator, node.lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._track_assignment(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            klass = self.builder.annotation_class(self.module, node.annotation)
+            if klass is not None:
+                self.env[node.target.id] = klass
+        if node.value is not None:
+            self._track_assignment([node.target], node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.builder.resolve_call(
+            self.module, self.caller, self.class_info, self.env, node
+        )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ internals
+
+    def _record_call_expr(self, expr: ast.expr, lineno: int) -> None:
+        """Decorator application is a call from the enclosing scope."""
+        call = expr if isinstance(expr, ast.Call) else ast.Call(
+            func=expr, args=[], keywords=[]
+        )
+        ast.copy_location(call, expr)
+        if not hasattr(call, "lineno"):
+            call.lineno = lineno  # type: ignore[attr-defined]
+        self.builder.resolve_call(
+            self.module, self.caller, self.class_info, self.env, call
+        )
+
+    def _track_assignment(
+        self, targets: Sequence[ast.expr], value: ast.expr
+    ) -> None:
+        klass = self.builder.value_class(
+            self.module, self.class_info, self.env, value
+        )
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if klass is not None:
+                    self.env[target.id] = klass
+                else:
+                    self.env.pop(target.id, None)
+
+
+class _GraphBuilder:
+    """Drives the two passes: index every def, then resolve every call."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.resolver = _SymbolResolver(graph)
+        #: method name -> class qualnames defining it
+        self.method_index: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------ pass one
+
+    def index_module(self, info: _ModuleInfo) -> None:
+        self.graph.modules[info.name] = info
+        self._collect_imports(info)
+        self._index_scope(info, info.tree.body, info.name, None)
+        # the synthetic module-body function
+        body = FunctionInfo(
+            qualname=f"{info.name}.{MODULE_BODY}",
+            module=info.name,
+            name=MODULE_BODY,
+            class_name=None,
+            path=info.display,
+            lineno=1,
+            end_lineno=len(info.source.splitlines()) or 1,
+            is_async=False,
+        )
+        self.graph.functions[body.qualname] = body
+        self.graph.function_asts[body.qualname] = info.tree
+
+    def _collect_imports(self, info: _ModuleInfo) -> None:
+        package = (
+            info.name
+            if info.path.name == "__init__.py"
+            else info.name.rpartition(".")[0]
+        )
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    info.imports[bound] = ("module", target)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                if node.level:
+                    base = package
+                    for _ in range(node.level - 1):
+                        base = base.rpartition(".")[0]
+                    source = f"{base}.{node.module}" if node.module else base
+                else:
+                    source = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    info.imports[bound] = ("symbol", f"{source}.{alias.name}")
+
+    def _index_scope(
+        self,
+        info: _ModuleInfo,
+        body: Sequence[ast.stmt],
+        prefix: str,
+        class_info: Optional[_ClassInfo],
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                function = FunctionInfo(
+                    qualname=qualname,
+                    module=info.name,
+                    name=node.name,
+                    class_name=class_info.qualname if class_info else None,
+                    path=info.display,
+                    lineno=node.lineno,
+                    end_lineno=getattr(node, "end_lineno", node.lineno),
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                )
+                # first def wins (overloads/conditional redefinition)
+                self.graph.functions.setdefault(qualname, function)
+                self.graph.function_asts.setdefault(qualname, node)
+                if class_info is not None:
+                    class_info.methods.setdefault(node.name, qualname)
+                    self.method_index.setdefault(node.name, []).append(
+                        class_info.qualname
+                    )
+                elif prefix == info.name:
+                    info.functions.setdefault(node.name, qualname)
+                self._index_scope(info, node.body, qualname, None)
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}.{node.name}"
+                bases = tuple(
+                    dotted
+                    for dotted in (_dotted(base) for base in node.bases)
+                    if dotted is not None
+                )
+                klass = _ClassInfo(
+                    qualname=qualname,
+                    module=info.name,
+                    name=node.name,
+                    bases=bases,
+                )
+                self.graph.classes.setdefault(qualname, klass)
+                if prefix == info.name:
+                    info.classes.setdefault(node.name, qualname)
+                self._index_scope(info, node.body, qualname, klass)
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                # defs guarded by TYPE_CHECKING / try-import still exist
+                self._index_scope(
+                    info, self._nested_bodies(node), prefix, class_info
+                )
+
+    @staticmethod
+    def _nested_bodies(node: ast.stmt) -> List[ast.stmt]:
+        collected: List[ast.stmt] = []
+        for name in ("body", "orelse", "finalbody", "handlers"):
+            block = getattr(node, name, None)
+            if not block:
+                continue
+            for item in block:
+                if isinstance(item, ast.ExceptHandler):
+                    collected.extend(item.body)
+                else:
+                    collected.append(item)
+        return collected
+
+    # ------------------------------------------------------------ pass two
+
+    def finish_index(self) -> None:
+        """After every module is indexed: attr types + base resolution."""
+        for klass in self.graph.classes.values():
+            init = klass.methods.get("__init__")
+            node = self.graph.function_asts.get(init) if init else None
+            if node is not None:
+                self._collect_attr_types(klass, node)
+
+    def _collect_attr_types(self, klass: _ClassInfo, init: ast.AST) -> None:
+        module = self.graph.modules[klass.module]
+        # annotated __init__ parameters type the names they are assigned
+        # from (`self.cache = cache` with `cache: Optional[CrowdCache]`)
+        env = self._seed_env(module, klass, init)
+        for node in ast.walk(init):
+            target: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, annotation, value = node.target, node.annotation, node.value
+            else:
+                continue
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            resolved: Optional[str] = None
+            if annotation is not None:
+                resolved = self.annotation_class(module, annotation)
+            if resolved is None and value is not None:
+                resolved = self.value_class(module, klass, env, value)
+            if resolved is not None:
+                klass.attr_types.setdefault(target.attr, resolved)
+
+    def annotation_class(
+        self, module: _ModuleInfo, annotation: ast.expr
+    ) -> Optional[str]:
+        stripped = _strip_optional(annotation)
+        dotted = _dotted(stripped)
+        if dotted is None:
+            return None
+        resolved = self.resolver.resolve_dotted(module.name, dotted)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        return None
+
+    def value_class(
+        self,
+        module: _ModuleInfo,
+        class_info: Optional[_ClassInfo],
+        env: Dict[str, str],
+        value: ast.expr,
+    ) -> Optional[str]:
+        """The project class a value expression evaluates to, if known."""
+        if isinstance(value, ast.Name):
+            return env.get(value.id)
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and class_info is not None
+        ):
+            return self._attr_type(class_info, value.attr)
+        if isinstance(value, ast.Call):
+            dotted = _dotted(value.func)
+            if dotted is not None:
+                resolved = self.resolver.resolve_dotted(module.name, dotted)
+                if resolved is not None and resolved[0] == "class":
+                    return resolved[1]
+            # a resolved callee's return annotation, Optional-stripped
+            callee = self._callee_of(module, class_info, env, value)
+            if callee is not None:
+                node = self.graph.function_asts.get(callee)
+                returns = getattr(node, "returns", None)
+                if returns is not None:
+                    callee_module = self.graph.modules.get(
+                        self.graph.functions[callee].module
+                    )
+                    if callee_module is not None:
+                        return self.annotation_class(callee_module, returns)
+        return None
+
+    def _attr_type(self, klass: _ClassInfo, attr: str) -> Optional[str]:
+        seen: Set[str] = set()
+        frontier = [klass.qualname]
+        while frontier:
+            current = self.graph.classes.get(frontier.pop())
+            if current is None or current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if attr in current.attr_types:
+                return current.attr_types[attr]
+            frontier.extend(self._base_qualnames(current))
+        return None
+
+    def _base_qualnames(self, klass: _ClassInfo) -> List[str]:
+        names: List[str] = []
+        for base in klass.bases:
+            resolved = self.resolver.resolve_dotted(klass.module, base)
+            if resolved is not None and resolved[0] == "class":
+                names.append(resolved[1])
+        return names
+
+    def _method_on(self, class_qualname: str, method: str) -> Optional[str]:
+        """Resolve ``method`` on a class, walking project bases."""
+        seen: Set[str] = set()
+        frontier = [class_qualname]
+        while frontier:
+            current = self.graph.classes.get(frontier.pop(0))
+            if current is None or current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if method in current.methods:
+                return current.methods[method]
+            frontier.extend(self._base_qualnames(current))
+        return None
+
+    def _callee_of(
+        self,
+        module: _ModuleInfo,
+        class_info: Optional[_ClassInfo],
+        env: Dict[str, str],
+        call: ast.Call,
+    ) -> Optional[str]:
+        """The qualname ``call`` resolves to, or None (no edge recorded)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.resolver.resolve_symbol(module.name, func.id)
+            if resolved is None:
+                return None
+            kind, target = resolved
+            if kind == "function":
+                return target
+            if kind == "class":
+                return self._method_on(target, "__init__")
+            return None
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                if class_info is not None:
+                    return self._method_on(class_info.qualname, func.attr)
+                return None
+            receiver_class: Optional[str] = None
+            if isinstance(receiver, ast.Name):
+                receiver_class = env.get(receiver.id)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and class_info is not None
+            ):
+                receiver_class = self._attr_type(class_info, receiver.attr)
+            if receiver_class is not None:
+                return self._method_on(receiver_class, func.attr)
+            dotted = _dotted(func)
+            if dotted is not None:
+                resolved = self.resolver.resolve_dotted(module.name, dotted)
+                if resolved is not None:
+                    kind, target = resolved
+                    if kind == "function":
+                        return target
+                    if kind == "class":
+                        return self._method_on(target, "__init__")
+            # unique-method fallback
+            owners = self.method_index.get(func.attr, [])
+            if (
+                len(owners) == 1
+                and func.attr not in project.COMMON_METHOD_NAMES
+            ):
+                return self.graph.classes[owners[0]].methods[func.attr]
+        return None
+
+    def resolve_call(
+        self,
+        module: _ModuleInfo,
+        caller: str,
+        class_info: Optional[_ClassInfo],
+        env: Dict[str, str],
+        call: ast.Call,
+    ) -> None:
+        func = call.func
+        lineno = getattr(call, "lineno", 1)
+        if isinstance(func, ast.Name):
+            resolved = self.resolver.resolve_symbol(module.name, func.id)
+            if resolved is not None:
+                kind, target = resolved
+                if kind == "function":
+                    self.graph.add_edge(
+                        CallEdge(caller, target, lineno, "direct")
+                    )
+                    return
+                if kind == "class":
+                    init = self._method_on(target, "__init__")
+                    if init is not None:
+                        self.graph.add_edge(
+                            CallEdge(caller, init, lineno, "constructor")
+                        )
+                    return
+                return  # calling a module object: not a thing
+            if func.id in module.imports or hasattr(builtins, func.id):
+                return  # external/builtin call: out of scope for edges
+            # a local variable / parameter holding a callable: dynamic
+            self.graph.unresolved.append(
+                UnresolvedCall(caller, func.id, lineno, "dynamic-receiver")
+            )
+            return
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            if isinstance(receiver, ast.Name) and receiver.id == "self":
+                if class_info is not None:
+                    target = self._method_on(class_info.qualname, func.attr)
+                    if target is not None:
+                        self.graph.add_edge(
+                            CallEdge(caller, target, lineno, "self")
+                        )
+                        return
+                self.graph.unresolved.append(
+                    UnresolvedCall(
+                        caller, f"self.{func.attr}", lineno, "dynamic-receiver"
+                    )
+                )
+                return
+            receiver_class: Optional[str] = None
+            if isinstance(receiver, ast.Name):
+                receiver_class = env.get(receiver.id)
+            elif (
+                isinstance(receiver, ast.Attribute)
+                and isinstance(receiver.value, ast.Name)
+                and receiver.value.id == "self"
+                and class_info is not None
+            ):
+                receiver_class = self._attr_type(class_info, receiver.attr)
+            if receiver_class is not None:
+                target = self._method_on(receiver_class, func.attr)
+                if target is not None:
+                    self.graph.add_edge(
+                        CallEdge(caller, target, lineno, "typed")
+                    )
+                    return
+            dotted = _dotted(func)
+            if dotted is not None:
+                resolved = self.resolver.resolve_dotted(module.name, dotted)
+                if resolved is not None:
+                    kind, target_name = resolved
+                    if kind == "function":
+                        self.graph.add_edge(
+                            CallEdge(caller, target_name, lineno, "import")
+                        )
+                        return
+                    if kind == "class":
+                        init = self._method_on(target_name, "__init__")
+                        if init is not None:
+                            self.graph.add_edge(
+                                CallEdge(caller, init, lineno, "constructor")
+                            )
+                        return
+                head = dotted.split(".")[0]
+                if head in module.imports and module.imports[head][0] == "module":
+                    return  # stdlib/external module call
+            owners = self.method_index.get(func.attr, [])
+            if func.attr in project.COMMON_METHOD_NAMES:
+                return  # container-protocol name: never alias a project method
+            if len(owners) == 1:
+                target = self.graph.classes[owners[0]].methods[func.attr]
+                self.graph.add_edge(CallEdge(caller, target, lineno, "by-name"))
+                return
+            rendered = dotted if dotted is not None else f"?.{func.attr}"
+            reason = "ambiguous-method" if len(owners) > 1 else "external"
+            self.graph.unresolved.append(
+                UnresolvedCall(caller, rendered, lineno, reason)
+            )
+            return
+        # calling the result of an expression (x()() etc.): dynamic
+        self.graph.unresolved.append(
+            UnresolvedCall(caller, "<expression>", lineno, "dynamic-receiver")
+        )
+
+    # ---------------------------------------------------------- pass three
+
+    def walk_bodies(self) -> None:
+        for info in self.graph.modules.values():
+            self._walk_scope(info, info.tree.body, f"{info.name}.{MODULE_BODY}", None, {})
+            self._walk_defs(info, info.tree.body, info.name, None)
+
+    def _walk_defs(
+        self,
+        info: _ModuleInfo,
+        body: Sequence[ast.stmt],
+        prefix: str,
+        class_info: Optional[_ClassInfo],
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{node.name}"
+                if self.graph.function_asts.get(qualname) is node:
+                    env = self._seed_env(info, class_info, node)
+                    self._walk_scope(info, node.body, qualname, class_info, env)
+                self._walk_defs(info, node.body, qualname, None)
+            elif isinstance(node, ast.ClassDef):
+                qualname = f"{prefix}.{node.name}"
+                klass = self.graph.classes.get(qualname)
+                self._walk_defs(info, node.body, qualname, klass)
+            elif isinstance(node, (ast.If, ast.Try, ast.With)):
+                self._walk_defs(
+                    info, self._nested_bodies(node), prefix, class_info
+                )
+
+    def _seed_env(
+        self,
+        info: _ModuleInfo,
+        class_info: Optional[_ClassInfo],
+        node: ast.AST,
+    ) -> Dict[str, str]:
+        env: Dict[str, str] = {}
+        args = getattr(node, "args", None)
+        if args is None:
+            return env
+        every = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+        for argument in every:
+            if argument.annotation is not None:
+                klass = self.annotation_class(info, argument.annotation)
+                if klass is not None:
+                    env[argument.arg] = klass
+        return env
+
+    def _walk_scope(
+        self,
+        info: _ModuleInfo,
+        body: Sequence[ast.stmt],
+        caller: str,
+        class_info: Optional[_ClassInfo],
+        env: Dict[str, str],
+    ) -> None:
+        walker = _FunctionWalker(self, info, caller, class_info, env)
+        for statement in body:
+            walker.visit(statement)
+
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache"})
+
+
+def iter_source_files(root: Path) -> Iterator[Path]:
+    for candidate in sorted(root.rglob("*.py")):
+        if not _SKIP_DIRS.intersection(candidate.parts):
+            yield candidate
+
+
+def build_callgraph(
+    root: Path,
+    package: Optional[str] = None,
+    display_base: Optional[Path] = None,
+) -> CallGraph:
+    """Build the project call graph for the package rooted at ``root``.
+
+    ``root`` is the directory that *is* the package (e.g. ``src/repro``);
+    ``package`` defaults to the directory name.  Files that fail to parse
+    are skipped (the per-module linter reports the syntax error).
+    """
+    root = Path(root)
+    if package is None:
+        package = root.name
+    graph = CallGraph()
+    builder = _GraphBuilder(graph)
+    for path in iter_source_files(root):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError):
+            continue
+        display = (
+            str(path.relative_to(display_base))
+            if display_base is not None
+            else str(path)
+        )
+        info = _ModuleInfo(
+            name=_module_name(path, root, package),
+            path=path,
+            display=display,
+            tree=tree,
+            source=source,
+        )
+        builder.index_module(info)
+    builder.finish_index()
+    builder.walk_bodies()
+    return graph

@@ -1,0 +1,839 @@
+"""The whole-program ("deep") rules: ``repro lint --deep``.
+
+Where :mod:`repro.analysis.rules` inspects one function at a time, the
+four rules here run over the project call graph
+(:mod:`repro.analysis.callgraph`) and the inferred effect sets
+(:mod:`repro.analysis.effects`), so they see violations that are only
+visible across call boundaries.  **Every finding carries a witness call
+chain** — the shortest ``entry -> ... -> offending call`` path the
+analysis found — so a report is a debugging head start, not a puzzle.
+
+``async-blocking-transitive``
+    No ``blocking-io`` (or ``fsync``) effect may be *reachable* from an
+    ``async def`` in the gateway.  The local ``async-blocking-io`` rule
+    already flags direct calls; this one follows the call graph, so a
+    ``time.sleep`` two helpers below ``_handle_connection`` still
+    surfaces.  Chains of length one are left to the local rule.
+
+``determinism-transitive``
+    No ``wall-clock`` or ``unseeded-random`` effect may be reachable
+    from the public entry points of the mining / lattice / crowd core
+    (``DEEP_DETERMINISM_ENTRY_PREFIXES``): the replay and serial-MSP
+    identity oracles re-execute these and compare outputs bit-for-bit.
+
+``static-lock-order``
+    Builds the role-level lock acquisition graph *statically*: role A
+    -> role B when some function acquires B (possibly transitively)
+    while holding A.  Flags same-role nesting, cycles, and the
+    forbidden pairs from ``FORBIDDEN_LOCK_PAIRS`` (manager + session
+    held together — the contract the dynamic
+    :mod:`repro.analysis.lockcheck` enforces at runtime).  The edge set
+    is exposed for cross-validation: every edge the dynamic checker
+    observes must appear here.
+
+``wire-taint``
+    Raw wire payloads (``request.json()`` results, MCP
+    ``message``/``params``/``arguments`` dicts) must pass through a
+    ``repro.gateway.schema`` decode (``*.from_wire``) or an explicit
+    scalar validation (``isinstance`` / ``int()``/``float()``/``str()``)
+    before reaching ``GatewayApp`` / ``SessionManager`` methods.
+    Intra-procedural, per transport function, with the taint's
+    source-to-sink path in the message.
+
+Results are cached (``--cache``): the key hashes every analyzed file,
+so an unchanged tree re-reports instantly and any edit invalidates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, TextIO, Tuple
+
+import ast
+
+from . import project
+from .callgraph import (
+    MODULE_BODY,
+    CallEdge,
+    FunctionInfo,
+    build_callgraph,
+    iter_source_files,
+)
+from .effects import (
+    EFFECT_BLOCKING_IO,
+    EFFECT_FSYNC,
+    EFFECT_UNSEEDED_RANDOM,
+    EFFECT_WALL_CLOCK,
+    EffectAnalysis,
+    infer_effects,
+    lock_effect,
+    lock_role_of,
+)
+from .findings import Finding, Severity
+
+#: bump when the analysis logic changes so stale caches self-invalidate
+ANALYSIS_VERSION = 1
+
+RULE_ASYNC_BLOCKING = "async-blocking-transitive"
+RULE_DETERMINISM = "determinism-transitive"
+RULE_LOCK_ORDER = "static-lock-order"
+RULE_WIRE_TAINT = "wire-taint"
+RULE_ANNOTATION = "effect-annotation"
+
+
+@dataclass(frozen=True)
+class DeepRule:
+    """Catalogue row for ``--list-rules`` (the logic lives below)."""
+
+    id: str
+    severity: Severity
+    summary: str
+
+
+DEEP_RULES: Tuple[DeepRule, ...] = (
+    DeepRule(
+        RULE_ASYNC_BLOCKING,
+        Severity.ERROR,
+        "no blocking-io/fsync effect reachable from gateway async handlers",
+    ),
+    DeepRule(
+        RULE_DETERMINISM,
+        Severity.ERROR,
+        "no wall-clock/unseeded-random reachable from mining/lattice/crowd "
+        "core entry points",
+    ),
+    DeepRule(
+        RULE_LOCK_ORDER,
+        Severity.ERROR,
+        "static lock-role graph: no cycles, no forbidden pairs "
+        "(manager+session) held together",
+    ),
+    DeepRule(
+        RULE_WIRE_TAINT,
+        Severity.ERROR,
+        "raw HTTP/MCP payloads must pass schema decode before GatewayApp/"
+        "SessionManager",
+    ),
+    DeepRule(
+        RULE_ANNOTATION,
+        Severity.ERROR,
+        "a '# repro-effects: allow=' annotation names an unknown effect",
+    ),
+)
+
+DEEP_RULE_IDS: FrozenSet[str] = frozenset(rule.id for rule in DEEP_RULES)
+
+
+def _path_matches(path: str, prefix: str) -> bool:
+    """Same semantics as ModuleInfo.matches: trailing '/' means contains."""
+    posix = path.replace("\\", "/")
+    if prefix.endswith("/"):
+        return f"/{prefix}" in f"/{posix}"
+    return posix == prefix or posix.endswith(f"/{prefix}")
+
+
+def _in_any(path: str, prefixes: Sequence[str]) -> bool:
+    return any(_path_matches(path, prefix) for prefix in prefixes)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """Role A held while role B is acquired, with the static witness."""
+
+    holder: str
+    acquired: str
+    witness: str
+    path: str
+    lineno: int
+
+
+@dataclass
+class DeepResult:
+    """Everything one deep run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    lock_edges: List[LockEdge] = field(default_factory=list)
+    analysis: Optional[EffectAnalysis] = None
+    from_cache: bool = False
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def lock_pairs(self) -> Set[Tuple[str, str]]:
+        return {(edge.holder, edge.acquired) for edge in self.lock_edges}
+
+
+def discover_package_root(paths: Sequence[str]) -> Optional[Path]:
+    """The ``repro`` package directory implied by the lint paths.
+
+    ``src`` / ``src/repro`` / any path inside them all resolve to the
+    same package root; for fixture trees, a directory that *is* a
+    package (has ``__init__.py``) is accepted as-is.
+    """
+    candidates: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        candidates.append(path if path.is_dir() else path.parent)
+    candidates.append(Path("src"))
+    for candidate in candidates:
+        probe = candidate
+        for _ in range(6):
+            if probe.name == "repro" and (probe / "__init__.py").is_file():
+                return probe
+            nested = probe / "repro"
+            if (nested / "__init__.py").is_file():
+                return nested
+            srced = probe / "src" / "repro"
+            if (srced / "__init__.py").is_file():
+                return srced
+            if probe.parent == probe:
+                break
+            probe = probe.parent
+    for candidate in candidates:
+        if (candidate / "__init__.py").is_file():
+            return candidate
+    return None
+
+
+def analyze(root: Path) -> EffectAnalysis:
+    """Build the call graph for ``root`` and run effect inference."""
+    graph = build_callgraph(root)
+    return infer_effects(graph)
+
+
+# --------------------------------------------------------------- the rules
+
+
+def _chain_or_fallback(
+    analysis: EffectAnalysis, start: str, effect: str
+) -> str:
+    links = analysis.witness_chain(start, effect)
+    if links is None:
+        return f"(effect inherited through the call graph from {start})"
+    return analysis.render_chain(links)
+
+
+def _check_async_blocking(
+    analysis: EffectAnalysis, findings: List[Finding]
+) -> None:
+    for info in analysis.graph.functions.values():
+        if not info.is_async:
+            continue
+        if not _in_any(info.path, project.ASYNC_MODULE_PREFIXES):
+            continue
+        for effect in (EFFECT_BLOCKING_IO, EFFECT_FSYNC):
+            if effect not in analysis.effects_of(info.qualname):
+                continue
+            links = analysis.witness_chain(info.qualname, effect)
+            if links is not None and len(links) == 1:
+                continue  # direct call: the local async-blocking-io rule owns it
+            chain = (
+                analysis.render_chain(links)
+                if links is not None
+                else f"(chain through unresolved edges from {info.qualname})"
+            )
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=info.lineno,
+                    col=0,
+                    rule=RULE_ASYNC_BLOCKING,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"async handler reaches a {effect} call; "
+                        f"witness: {chain}"
+                    ),
+                )
+            )
+
+
+def _check_determinism(
+    analysis: EffectAnalysis, findings: List[Finding]
+) -> None:
+    local_prefixes = project.DETERMINISTIC_MODULE_PREFIXES
+    for info in analysis.graph.functions.values():
+        if info.name == MODULE_BODY or not info.is_public:
+            continue
+        if not _in_any(info.path, project.DEEP_DETERMINISM_ENTRY_PREFIXES):
+            continue
+        for effect in (EFFECT_WALL_CLOCK, EFFECT_UNSEEDED_RANDOM):
+            if effect not in analysis.effects_of(info.qualname):
+                continue
+            links = analysis.witness_chain(info.qualname, effect)
+            if (
+                links is not None
+                and len(links) == 1
+                and _in_any(info.path, local_prefixes)
+            ):
+                continue  # direct call: the local determinism rules own it
+            chain = (
+                analysis.render_chain(links)
+                if links is not None
+                else f"(chain through unresolved edges from {info.qualname})"
+            )
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=info.lineno,
+                    col=0,
+                    rule=RULE_DETERMINISM,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"replay entry point reaches a {effect} call; "
+                        f"witness: {chain}"
+                    ),
+                )
+            )
+
+
+def compute_lock_edges(analysis: EffectAnalysis) -> List[LockEdge]:
+    """The static role-level acquisition graph, with witnesses."""
+    edges: Dict[Tuple[str, str], LockEdge] = {}
+    graph = analysis.graph
+    for qualname, acquisitions in analysis.acquisitions.items():
+        info = graph.functions.get(qualname)
+        if info is None:
+            continue
+        call_edges = graph.callees_of(qualname)
+        reentrant = analysis.reentrant_roles
+        for acquisition in acquisitions:
+            held = acquisition.role
+            # nested direct acquisitions inside this block
+            for other in acquisitions:
+                if other is acquisition:
+                    continue
+                if held == other.role and held in reentrant:
+                    continue  # rlock re-entry: not an ordering event
+                if acquisition.body_start < other.lineno <= acquisition.body_end:
+                    witness = (
+                        f"{qualname}: with <{held}> at line "
+                        f"{acquisition.lineno} -> with <{other.role}> at "
+                        f"line {other.lineno}"
+                    )
+                    edges.setdefault(
+                        (held, other.role),
+                        LockEdge(
+                            held,
+                            other.role,
+                            witness,
+                            info.path,
+                            acquisition.lineno,
+                        ),
+                    )
+            # calls made while the lock is held
+            for call in call_edges:
+                if not (
+                    acquisition.body_start
+                    < call.lineno
+                    <= acquisition.body_end
+                ):
+                    continue
+                for effect in analysis.effects_of(call.callee):
+                    role = lock_role_of(effect)
+                    if role is None:
+                        continue
+                    if role == held and held in reentrant:
+                        continue  # rlock re-entry: not an ordering event
+                    links = analysis.witness_chain(
+                        call.callee, lock_effect(role)
+                    )
+                    tail = (
+                        analysis.render_chain(links)
+                        if links is not None
+                        else call.callee
+                    )
+                    witness = (
+                        f"{qualname}: with <{held}> at line "
+                        f"{acquisition.lineno} -> {tail}"
+                    )
+                    edges.setdefault(
+                        (held, role),
+                        LockEdge(
+                            held, role, witness, info.path, acquisition.lineno
+                        ),
+                    )
+    return list(edges.values())
+
+
+def _check_lock_order(
+    analysis: EffectAnalysis,
+    lock_edges: List[LockEdge],
+    findings: List[Finding],
+) -> None:
+    by_pair = {(edge.holder, edge.acquired): edge for edge in lock_edges}
+    # same-role nesting is an immediate deadlock on a non-reentrant lock
+    for (held, acquired), edge in sorted(by_pair.items()):
+        if held == acquired:
+            findings.append(
+                Finding(
+                    path=edge.path,
+                    line=edge.lineno,
+                    col=0,
+                    rule=RULE_LOCK_ORDER,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"same-role lock nesting on <{held}>; "
+                        f"witness: {edge.witness}"
+                    ),
+                )
+            )
+    # forbidden pairs, in either order
+    for first, second in project.FORBIDDEN_LOCK_PAIRS:
+        for held, acquired in ((first, second), (second, first)):
+            edge = by_pair.get((held, acquired))
+            if edge is not None:
+                findings.append(
+                    Finding(
+                        path=edge.path,
+                        line=edge.lineno,
+                        col=0,
+                        rule=RULE_LOCK_ORDER,
+                        severity=Severity.ERROR,
+                        message=(
+                            f"forbidden lock pair: <{held}> held while "
+                            f"acquiring <{acquired}>; witness: {edge.witness}"
+                        ),
+                    )
+                )
+    # cycles (beyond self-loops, reported above)
+    adjacency: Dict[str, List[str]] = {}
+    for held, acquired in by_pair:
+        if held != acquired:
+            adjacency.setdefault(held, []).append(acquired)
+    reported: Set[FrozenSet[str]] = set()
+    for start in sorted(adjacency):
+        stack = [(start, [start])]
+        while stack:
+            node, trail = stack.pop()
+            for neighbour in adjacency.get(node, []):
+                if neighbour == start and len(trail) > 1:
+                    cycle = frozenset(trail)
+                    if cycle in reported:
+                        continue
+                    reported.add(cycle)
+                    edge = by_pair[(trail[0], trail[1])]
+                    rendered = " -> ".join(trail + [start])
+                    findings.append(
+                        Finding(
+                            path=edge.path,
+                            line=edge.lineno,
+                            col=0,
+                            rule=RULE_LOCK_ORDER,
+                            severity=Severity.ERROR,
+                            message=(
+                                f"lock-order cycle: {rendered}; "
+                                f"witness for first edge: {edge.witness}"
+                            ),
+                        )
+                    )
+                elif neighbour not in trail:
+                    stack.append((neighbour, trail + [neighbour]))
+
+
+class _TaintWalker:
+    """Intra-procedural wire-taint tracking for one transport function."""
+
+    def __init__(
+        self,
+        analysis: EffectAnalysis,
+        info: FunctionInfo,
+        node: ast.AST,
+        findings: List[Finding],
+    ) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.node = node
+        self.findings = findings
+        #: name -> provenance ("request.json():376 -> payload:377")
+        self.taint: Dict[str, str] = {}
+        self.edges_by_line: Dict[int, List[CallEdge]] = {}
+        for edge in analysis.graph.callees_of(info.qualname):
+            self.edges_by_line.setdefault(edge.lineno, []).append(edge)
+
+    def run(self) -> None:
+        args = getattr(self.node, "args", None)
+        if args is not None:
+            names = [
+                argument.arg
+                for argument in (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+            ]
+            for name in names:
+                if name in project.WIRE_TAINT_PARAM_NAMES:
+                    self.taint[name] = f"wire parameter '{name}'"
+        for statement in getattr(self.node, "body", []):
+            self._walk(statement)
+
+    # ------------------------------------------------------------ traversal
+
+    def _walk(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # nested defs are analyzed as their own functions
+        if isinstance(node, ast.Assign):
+            self._scan_expr(node.value)
+            provenance = self._expr_taint(node.value)
+            for target in node.targets:
+                self._assign(target, provenance, node.lineno)
+            return
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._scan_expr(node.value)
+            self._assign(node.target, self._expr_taint(node.value), node.lineno)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child)
+            else:
+                self._walk(child)
+
+    def _assign(
+        self, target: ast.expr, provenance: Optional[str], lineno: int
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if provenance is None:
+            self.taint.pop(target.id, None)
+        else:
+            self.taint[target.id] = f"{provenance} -> {target.id}:{lineno}"
+
+    def _scan_expr(self, expr: ast.expr) -> None:
+        """Find isinstance validations and sink calls anywhere in ``expr``."""
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "isinstance"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                # an isinstance check is the scalar validation contract
+                self.taint.pop(node.args[0].id, None)
+                continue
+            self._check_sink(node)
+
+    def _check_sink(self, call: ast.Call) -> None:
+        sink = self._sink_target(call)
+        if sink is None:
+            return
+        arguments = list(call.args) + [kw.value for kw in call.keywords]
+        for position, argument in enumerate(arguments, start=1):
+            provenance = self._expr_taint(argument)
+            if provenance is None:
+                continue
+            self.findings.append(
+                Finding(
+                    path=self.info.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule=RULE_WIRE_TAINT,
+                    severity=Severity.ERROR,
+                    message=(
+                        f"raw wire payload reaches {sink} (arg {position}) "
+                        f"without a repro.gateway.schema decode; "
+                        f"witness: {provenance} -> {sink}:{call.lineno}"
+                    ),
+                )
+            )
+
+    def _sink_target(self, call: ast.Call) -> Optional[str]:
+        for edge in self.edges_by_line.get(call.lineno, []):
+            callee = self.analysis.graph.functions.get(edge.callee)
+            if callee is None or callee.class_name is None:
+                continue
+            class_short = callee.class_name.rsplit(".", 1)[-1]
+            if class_short in project.WIRE_SINK_CLASSES:
+                expected = callee.name
+                func = call.func
+                if isinstance(func, ast.Attribute) and func.attr == expected:
+                    return f"{class_short}.{callee.name}()"
+                if isinstance(func, ast.Name) and func.id == expected:
+                    return f"{class_short}.{callee.name}()"
+        return None
+
+    # ---------------------------------------------------------- taint logic
+
+    def _expr_taint(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return self.taint.get(expr.id)
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in project.WIRE_DECODE_METHODS:
+                    return None  # schema decode: clean by definition
+                if func.attr == "json":
+                    receiver = func.value
+                    rendered = (
+                        receiver.id
+                        if isinstance(receiver, ast.Name)
+                        else "<expr>"
+                    )
+                    return f"{rendered}.json():{expr.lineno}"
+                if func.attr in ("get", "pop", "setdefault"):
+                    return self._expr_taint(func.value)
+            if isinstance(func, ast.Name):
+                if func.id in ("int", "float", "str", "bool", "len"):
+                    return None  # scalar coercion validates the value
+                if func.id == "dict":
+                    for keyword in expr.keywords:
+                        provenance = self._expr_taint(keyword.value)
+                        if provenance is not None:
+                            return provenance
+                    for argument in expr.args:
+                        provenance = self._expr_taint(argument)
+                        if provenance is not None:
+                            return provenance
+            return None
+        if isinstance(expr, ast.Subscript):
+            return self._expr_taint(expr.value)
+        if isinstance(expr, ast.Attribute):
+            return self._expr_taint(expr.value)
+        if isinstance(expr, ast.Dict):
+            for value in list(expr.values) + [
+                key for key in expr.keys if key is not None
+            ]:
+                provenance = self._expr_taint(value)
+                if provenance is not None:
+                    return provenance
+            return None
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                provenance = self._expr_taint(value)
+                if provenance is not None:
+                    return provenance
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self._expr_taint(expr.body) or self._expr_taint(expr.orelse)
+        if isinstance(expr, (ast.Await, ast.Starred)):
+            return self._expr_taint(expr.value)
+        return None
+
+
+def _check_wire_taint(
+    analysis: EffectAnalysis, findings: List[Finding]
+) -> None:
+    for qualname, node in analysis.graph.function_asts.items():
+        info = analysis.graph.functions.get(qualname)
+        if info is None or info.name == MODULE_BODY:
+            continue
+        if not _in_any(info.path, project.WIRE_TAINT_MODULES):
+            continue
+        _TaintWalker(analysis, info, node, findings).run()
+
+
+def _check_annotations(
+    analysis: EffectAnalysis, findings: List[Finding]
+) -> None:
+    for error in analysis.annotation_errors:
+        findings.append(
+            Finding(
+                path=error.path,
+                line=error.lineno,
+                col=0,
+                rule=RULE_ANNOTATION,
+                severity=Severity.ERROR,
+                message=(
+                    f"unknown effect '{error.token}' in a "
+                    "'# repro-effects: allow=' annotation (known: "
+                    + ", ".join(
+                        sorted(
+                            {
+                                EFFECT_BLOCKING_IO,
+                                EFFECT_WALL_CLOCK,
+                                EFFECT_UNSEEDED_RANDOM,
+                                "spawn",
+                                "fsync",
+                            }
+                        )
+                    )
+                    + ", lock-acquire[ROLE])"
+                ),
+            )
+        )
+
+
+# ------------------------------------------------------------------ driver
+
+
+def _tree_key(root: Path) -> str:
+    digest = hashlib.sha256()
+    digest.update(f"analysis-version={ANALYSIS_VERSION}\n".encode())
+    for path in iter_source_files(root):
+        content = path.read_bytes()
+        digest.update(str(path).encode())
+        digest.update(b"\x00")
+        digest.update(hashlib.sha256(content).digest())
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _load_cache(cache_path: Path, key: str) -> Optional[DeepResult]:
+    try:
+        payload = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or payload.get("key") != key:
+        return None
+    if payload.get("version") != ANALYSIS_VERSION:
+        return None
+    try:
+        findings = [
+            Finding(
+                path=str(entry["path"]),
+                line=int(entry["line"]),
+                col=int(entry["col"]),
+                rule=str(entry["rule"]),
+                severity=Severity(str(entry["severity"])),
+                message=str(entry["message"]),
+            )
+            for entry in payload["findings"]
+        ]
+        lock_edges = [
+            LockEdge(
+                holder=str(entry["holder"]),
+                acquired=str(entry["acquired"]),
+                witness=str(entry["witness"]),
+                path=str(entry["path"]),
+                lineno=int(entry["lineno"]),
+            )
+            for entry in payload["lock_edges"]
+        ]
+        stats = {
+            str(name): int(value)
+            for name, value in payload.get("stats", {}).items()
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+    return DeepResult(
+        findings=findings,
+        lock_edges=lock_edges,
+        analysis=None,
+        from_cache=True,
+        stats=stats,
+    )
+
+
+def _write_cache(cache_path: Path, key: str, result: DeepResult) -> None:
+    payload = {
+        "version": ANALYSIS_VERSION,
+        "key": key,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "lock_edges": [
+            {
+                "holder": edge.holder,
+                "acquired": edge.acquired,
+                "witness": edge.witness,
+                "path": edge.path,
+                "lineno": edge.lineno,
+            }
+            for edge in result.lock_edges
+        ],
+        "stats": result.stats,
+    }
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        pass  # a cache that cannot be written is just a cache miss next time
+
+
+def run_deep(
+    paths: Sequence[str],
+    cache_path: Optional[Path] = None,
+) -> DeepResult:
+    """Run the four deep rules for the package implied by ``paths``."""
+    root = discover_package_root(paths)
+    if root is None:
+        raise FileNotFoundError(
+            "cannot locate a package root (looked for repro/__init__.py "
+            f"near {list(paths)!r})"
+        )
+    key = _tree_key(root) if cache_path is not None else ""
+    if cache_path is not None:
+        cached = _load_cache(cache_path, key)
+        if cached is not None:
+            return cached
+    analysis = analyze(root)
+    findings: List[Finding] = []
+    lock_edges = compute_lock_edges(analysis)
+    _check_async_blocking(analysis, findings)
+    _check_determinism(analysis, findings)
+    _check_lock_order(analysis, lock_edges, findings)
+    _check_wire_taint(analysis, findings)
+    _check_annotations(analysis, findings)
+    findings.sort()
+    result = DeepResult(
+        findings=findings,
+        lock_edges=lock_edges,
+        analysis=analysis,
+        from_cache=False,
+        stats={
+            "functions": len(analysis.graph.functions),
+            "edges": len(analysis.graph.edges),
+            "unresolved": len(analysis.graph.unresolved),
+            "lock_edges": len(lock_edges),
+        },
+    )
+    if cache_path is not None:
+        _write_cache(cache_path, key, result)
+    return result
+
+
+# ----------------------------------------------------------------- explain
+
+
+def explain_function(
+    paths: Sequence[str], needle: str, stream: TextIO = sys.stdout
+) -> int:
+    """``repro lint --explain FUNC``: effects + witness chains for FUNC."""
+    root = discover_package_root(paths)
+    if root is None:
+        print("cannot locate a package root", file=sys.stderr)
+        return 2
+    analysis = analyze(root)
+    matches = analysis.graph.find(needle)
+    if not matches:
+        print(f"no function matches {needle!r}", file=sys.stderr)
+        return 2
+    for info in matches:
+        stream.write(f"{info.qualname}  ({info.path}:{info.lineno})\n")
+        direct = sorted(analysis.direct_of(info.qualname))
+        visible = sorted(analysis.effects_of(info.qualname))
+        allows = sorted(analysis.allows.get(info.qualname, frozenset()))
+        stream.write(f"  direct effects:  {', '.join(direct) or '(none)'}\n")
+        stream.write(f"  visible effects: {', '.join(visible) or '(none)'}\n")
+        if allows:
+            stream.write(f"  allowed (masked): {', '.join(allows)}\n")
+        for effect in visible:
+            links = analysis.witness_chain(info.qualname, effect)
+            if links is not None:
+                stream.write(
+                    f"    {effect}: {analysis.render_chain(links)}\n"
+                )
+        callers = analysis.graph.callers_of(info.qualname)
+        if callers:
+            names = sorted({edge.caller for edge in callers})
+            preview = ", ".join(names[:6])
+            if len(names) > 6:
+                preview += f", ... ({len(names)} total)"
+            stream.write(f"  called by: {preview}\n")
+        unresolved = [
+            entry
+            for entry in analysis.graph.unresolved
+            if entry.caller == info.qualname
+        ]
+        for entry in unresolved:
+            stream.write(
+                f"  unresolved call: {entry.target} at line "
+                f"{entry.lineno} ({entry.reason})\n"
+            )
+        stream.write("\n")
+    return 0

@@ -350,3 +350,100 @@ PROTECTED_BUILTINS: FrozenSet[str] = frozenset(
 MUTABLE_DEFAULT_FACTORIES: FrozenSet[str] = frozenset(
     {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
 )
+
+
+# ------------------------------------------------------- deep (whole-program)
+
+#: method names the call-graph builder must NEVER resolve by uniqueness
+#: alone: they collide with dict/list/set/str/file/thread/queue protocol
+#: methods, so ``x.get(...)`` on an untyped receiver stays unresolved
+#: rather than aliasing some project method that happens to share the name
+COMMON_METHOD_NAMES: FrozenSet[str] = frozenset(
+    {name for t in (dict, list, set, tuple, str, bytes, frozenset) for name in dir(t)}
+    | {
+        "acquire",
+        "cancel",
+        "close",
+        "fileno",
+        "flush",
+        "get",
+        "get_nowait",
+        "is_alive",
+        "join",
+        "notify",
+        "notify_all",
+        "open",
+        "put",
+        "put_nowait",
+        "read",
+        "readline",
+        "release",
+        "run",
+        "send",
+        "set",
+        "start",
+        "stop",
+        "submit",
+        "wait",
+        "write",
+    }
+)
+
+#: callables whose invocation marks a function with the ``spawn`` effect
+SPAWN_FACTORIES: FrozenSet[str] = frozenset(
+    {
+        "Thread",
+        "Process",
+        "Pool",
+        "ThreadPool",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "Timer",
+        "start_new_thread",
+        "fork",
+        "spawn",
+    }
+)
+
+#: module prefixes whose *public* functions are determinism entry points
+#: for the transitive pass: the replay/identity oracles re-execute these,
+#: so no wall-clock read or unseeded-random call may be reachable.  This
+#: is a superset of DETERMINISTIC_MODULE_PREFIXES — the lattice /
+#: assignment core is included even though the local (direct-call) rule
+#: does not police it
+DEEP_DETERMINISM_ENTRY_PREFIXES: Tuple[str, ...] = (
+    "repro/mining/",
+    "repro/assignments/",
+    "repro/crowd/simulation.py",
+)
+
+#: lock-role pairs that must never be held together, in either order
+#: (mirrors the ``forbid_together`` contract the dynamic checker enforces
+#: on the service suite: the manager lock and a session lock held at once
+#: is the deadlock recipe documented in docs/SERVICE.md)
+FORBIDDEN_LOCK_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("service.manager", "service.session"),
+)
+
+#: transport modules whose raw payload dicts are wire-taint sources
+WIRE_TAINT_MODULES: Tuple[str, ...] = (
+    "repro/gateway/http.py",
+    "repro/gateway/mcp.py",
+)
+
+#: parameter names that carry raw (undecoded) wire payloads in the
+#: transport modules above — MCP hands ``message``/``params``/
+#: ``arguments`` dicts straight from JSON-RPC
+WIRE_TAINT_PARAM_NAMES: FrozenSet[str] = frozenset(
+    {"message", "params", "arguments", "payload"}
+)
+
+#: methods whose return value counts as *decoded*: the schema layer's
+#: versioned constructors (``XxxRequest.from_wire``)
+WIRE_DECODE_METHODS: FrozenSet[str] = frozenset({"from_wire"})
+
+#: classes whose methods are wire-taint sinks: raw payloads must not
+#: reach them without passing a schema decode or a scalar validation
+WIRE_SINK_CLASSES: FrozenSet[str] = frozenset(
+    {"GatewayApp", "SessionManager", "QueueManager"}
+)

@@ -194,6 +194,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated rule ids to run (default: all)")
     p_lint.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    p_lint.add_argument("--deep", action="store_true",
+                        help="also run the whole-program rules "
+                        "(call-graph effects, static lock-order, wire taint)")
+    p_lint.add_argument("--cache", metavar="PATH",
+                        help="hash-keyed cache file for --deep results")
+    p_lint.add_argument("--explain", metavar="FUNC",
+                        help="print inferred effects and witness chains "
+                        "for FUNC (qualname or suffix) and exit")
+    p_lint.add_argument("--baseline", metavar="PATH",
+                        help="suppress findings recorded in this baseline "
+                        "JSON; only new findings affect the exit code")
+    p_lint.add_argument("--write-baseline", metavar="PATH",
+                        help="record current findings as the accepted "
+                        "baseline and exit")
 
     args = parser.parse_args(argv)
     if getattr(args, "config", None):
@@ -640,6 +654,16 @@ def _cmd_lint(args) -> int:
         forwarded.extend(["--rules", args.rules])
     if args.list_rules:
         forwarded.append("--list-rules")
+    if args.deep:
+        forwarded.append("--deep")
+    if args.cache:
+        forwarded.extend(["--cache", args.cache])
+    if args.explain:
+        forwarded.extend(["--explain", args.explain])
+    if args.baseline:
+        forwarded.extend(["--baseline", args.baseline])
+    if args.write_baseline:
+        forwarded.extend(["--write-baseline", args.write_baseline])
     return lint_main(forwarded)
 
 

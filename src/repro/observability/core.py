@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import threading
 import time
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from contextvars import ContextVar
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class SpanNode:
@@ -34,7 +34,7 @@ class SpanNode:
 
     __slots__ = ("name", "count", "total_seconds", "children")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total_seconds = 0.0
@@ -48,7 +48,7 @@ class SpanNode:
             self.children[name] = node
         return node
 
-    def as_dict(self) -> Dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable form (seconds rounded to the microsecond)."""
         return {
             "name": self.name,
@@ -67,7 +67,7 @@ class SpanNode:
 #: log-spaced histogram bucket upper bounds (seconds): five per decade
 #: from 10µs to ~63s, which bounds the relative quantile error at the
 #: bucket ratio (~1.58x) while keeping every histogram a fixed 36 ints
-_HISTOGRAM_BOUNDS: tuple = tuple(
+_HISTOGRAM_BOUNDS: Tuple[float, ...] = tuple(
     round(1e-5 * 10 ** (exponent / 5), 10) for exponent in range(36)
 )
 
@@ -128,7 +128,7 @@ class Histogram:
                 return min(self.max_seconds, max(self.min_seconds, estimate))
         return self.max_seconds
 
-    def as_dict(self) -> Dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-serializable summary (seconds rounded to the microsecond)."""
         if self.count == 0:
             return {"count": 0}
@@ -162,7 +162,7 @@ class Tracer:
     shared tree root) rather than corrupting another thread's stack.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self.counters: Dict[str, int] = {}
         self.histograms: Dict[str, Histogram] = {}
@@ -246,7 +246,7 @@ class Tracer:
 
     # --------------------------------------------------------------- report
 
-    def report(self) -> Dict:
+    def report(self) -> Dict[str, Any]:
         """The machine-readable report (see ``docs/OBSERVABILITY.md``)."""
         from .report import build_report
 
@@ -264,7 +264,7 @@ class Tracer:
 _ACTIVE: ContextVar[Optional[Tracer]] = ContextVar("repro_tracer", default=None)
 
 
-class _NullSpan:
+class _NullSpan(AbstractContextManager[None]):
     """The shared no-op context manager returned by disabled ``span()``."""
 
     __slots__ = ()
@@ -272,7 +272,7 @@ class _NullSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -326,7 +326,7 @@ def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
         _ACTIVE.reset(token)
 
 
-def span(name: str):
+def span(name: str) -> AbstractContextManager[Optional[SpanNode]]:
     """A span on the active tracer, or a shared no-op when disabled."""
     tracer = _ACTIVE.get()
     if tracer is None:

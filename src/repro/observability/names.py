@@ -16,7 +16,7 @@ sorted).  A call site with an unregistered literal name fails
 
 from __future__ import annotations
 
-from typing import FrozenSet, Iterable, Union
+from typing import FrozenSet, Iterable, Set, Union
 
 from .core import Tracer
 
@@ -243,7 +243,7 @@ def unregistered_names(tracer: Tracer) -> FrozenSet[str]:
     the tracer of a representative run and assert the result is empty
     (see ``tests/test_observability.py``).
     """
-    stray: set = set()
+    stray: Set[str] = set()
     for name in tracer.counters:
         if name not in COUNTER_NAMES:
             stray.add(name)

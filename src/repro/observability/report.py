@@ -8,7 +8,10 @@ turns that dict into the human-readable summary table printed by the CLI's
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core import Tracer
 
 #: Schema version of the JSON report.  Bump on breaking changes.
 REPORT_VERSION = 1
@@ -20,7 +23,7 @@ def _ratio(numerator: int, denominator: int) -> Optional[float]:
     return round(numerator / denominator, 4)
 
 
-def derive(counters: Dict[str, int]) -> Dict:
+def derive(counters: Dict[str, int]) -> Dict[str, Any]:
     """The headline metrics computed from raw counters.
 
     These are the numbers the paper's cost model cares about (see
@@ -46,7 +49,7 @@ def derive(counters: Dict[str, int]) -> Dict:
     }
 
 
-def derive_service(counters: Dict[str, int]) -> Optional[Dict]:
+def derive_service(counters: Dict[str, int]) -> Optional[Dict[str, Any]]:
     """The ``service`` section: crowd-serving session-layer accounting.
 
     Present only when the run went through :mod:`repro.service` (i.e. any
@@ -85,7 +88,7 @@ def derive_service(counters: Dict[str, int]) -> Optional[Dict]:
     }
 
 
-def derive_gateway(counters: Dict[str, int]) -> Optional[Dict]:
+def derive_gateway(counters: Dict[str, int]) -> Optional[Dict[str, Any]]:
     """The ``gateway`` section: network-facing request accounting.
 
     Present only when the run went through :mod:`repro.gateway` (any
@@ -119,10 +122,10 @@ def derive_gateway(counters: Dict[str, int]) -> Optional[Dict]:
     }
 
 
-def build_report(tracer) -> Dict:
+def build_report(tracer: "Tracer") -> Dict[str, Any]:
     """The machine-readable report of one traced run."""
     counters = dict(sorted(tracer.counters.items()))
-    report = {
+    report: Dict[str, Any] = {
         "version": REPORT_VERSION,
         "counters": counters,
         "derived": derive(counters),
@@ -146,14 +149,14 @@ def build_report(tracer) -> Dict:
 # ------------------------------------------------------------------ rendering
 
 
-def _render_span(node: Dict, depth: int, lines: List[str]) -> None:
+def _render_span(node: Dict[str, Any], depth: int, lines: List[str]) -> None:
     label = "  " * depth + node["name"]
     lines.append(f"  {label:<38} {node['total_s']:>10.4f}s  x{node['count']}")
     for child in node["children"]:
         _render_span(child, depth + 1, lines)
 
 
-def render_spans(report: Dict) -> str:
+def render_spans(report: Dict[str, Any]) -> str:
     """Just the span tree of a :func:`build_report` dict (the CLI's
     ``--trace`` view)."""
     lines: List[str] = ["== span tree =="]
@@ -164,7 +167,7 @@ def render_spans(report: Dict) -> str:
     return "\n".join(lines)
 
 
-def render_report(report: Dict) -> str:
+def render_report(report: Dict[str, Any]) -> str:
     """The ``--stats`` summary table for a :func:`build_report` dict."""
     derived = report["derived"]
     lines: List[str] = ["== observability summary =="]

@@ -1,0 +1,291 @@
+"""Fixture-based tests for the project call-graph builder.
+
+Each test writes a miniature package under ``tmp_path`` and asserts the
+edges :func:`repro.analysis.callgraph.build_callgraph` recovers from it:
+direct calls, self-dispatch through inheritance, annotation- and
+constructor-driven method resolution, re-exports through ``__init__``,
+and the explicit ``unresolved`` records for calls the builder refuses to
+guess at.  The real source tree gets a smoke assertion at the end.
+"""
+
+from pathlib import Path
+
+from repro.analysis.callgraph import MODULE_BODY, build_callgraph
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def build(tmp_path, files):
+    """Write ``files`` under ``tmp_path/pkg`` and build its call graph."""
+    for rel, source in files.items():
+        path = tmp_path / "pkg" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return build_callgraph(tmp_path / "pkg")
+
+
+def edge_set(graph, kind=None):
+    return {
+        (edge.caller, edge.callee)
+        for edge in graph.edges
+        if kind is None or edge.kind == kind
+    }
+
+
+class TestIntraModuleResolution:
+    def test_direct_call_edge(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {"mod.py": "def helper():\n    return 1\n\ndef caller():\n    return helper()\n"},
+        )
+        assert ("pkg.mod.caller", "pkg.mod.helper") in edge_set(graph, "direct")
+
+    def test_decorated_function_is_indexed_and_callable(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import functools\n\n"
+                    "def helper():\n    return 1\n\n"
+                    "@functools.lru_cache(maxsize=None)\n"
+                    "def cached():\n    return helper()\n"
+                )
+            },
+        )
+        assert "pkg.mod.cached" in graph.functions
+        assert ("pkg.mod.cached", "pkg.mod.helper") in edge_set(graph, "direct")
+
+    def test_module_body_calls_attach_to_synthetic_function(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {"mod.py": "def helper():\n    return 1\n\nhelper()\n"},
+        )
+        body = f"pkg.mod.{MODULE_BODY}"
+        assert body in graph.functions
+        assert ("pkg.mod." + MODULE_BODY, "pkg.mod.helper") in edge_set(graph)
+
+    def test_nested_statement_bodies_are_indexed(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "mod.py": (
+                    "try:\n"
+                    "    def guarded():\n        return 1\n"
+                    "except ImportError:\n"
+                    "    def guarded():\n        return 2\n"
+                )
+            },
+        )
+        assert "pkg.mod.guarded" in graph.functions
+
+
+class TestMethodDispatch:
+    SOURCE = {
+        "core.py": (
+            "class Base:\n"
+            "    def shared(self):\n"
+            "        return self.hook()\n\n"
+            "    def hook(self):\n"
+            "        return 0\n\n\n"
+            "class Session(Base):\n"
+            "    def __init__(self):\n"
+            "        self.base = Base()\n\n"
+            "    def run(self):\n"
+            "        self.hook()\n"
+            "        return self.base.shared()\n"
+        )
+    }
+
+    def test_self_dispatch_resolves_through_inheritance(self, tmp_path):
+        graph = build(tmp_path, dict(self.SOURCE))
+        edges = edge_set(graph, "self")
+        # Base.shared -> self.hook() on its own class
+        assert ("pkg.core.Base.shared", "pkg.core.Base.hook") in edges
+        # Session.run -> self.hook(): Session has no hook, Base does
+        assert ("pkg.core.Session.run", "pkg.core.Base.hook") in edges
+
+    def test_attribute_types_learned_from_init(self, tmp_path):
+        # self.base = Base() in __init__ types the attribute, so
+        # self.base.shared() resolves without any annotation
+        graph = build(tmp_path, dict(self.SOURCE))
+        assert ("pkg.core.Session.run", "pkg.core.Base.shared") in edge_set(
+            graph, "typed"
+        )
+
+    def test_annotated_parameter_dispatch(self, tmp_path):
+        files = dict(self.SOURCE)
+        files["uses.py"] = (
+            "from pkg.core import Session\n\n"
+            "def typed(s: Session):\n"
+            "    return s.run()\n"
+        )
+        graph = build(tmp_path, files)
+        assert ("pkg.uses.typed", "pkg.core.Session.run") in edge_set(
+            graph, "typed"
+        )
+
+    def test_constructor_call_types_the_local(self, tmp_path):
+        files = dict(self.SOURCE)
+        files["uses.py"] = (
+            "from pkg.core import Session\n\n"
+            "def construct():\n"
+            "    s = Session()\n"
+            "    return s.run()\n"
+        )
+        graph = build(tmp_path, files)
+        assert ("pkg.uses.construct", "pkg.core.Session.__init__") in edge_set(
+            graph, "constructor"
+        )
+        assert ("pkg.uses.construct", "pkg.core.Session.run") in edge_set(
+            graph, "typed"
+        )
+
+
+class TestReExports:
+    def test_symbol_reexported_through_init(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "__init__.py": "from .core import helper\n",
+                "core.py": "def helper():\n    return 1\n",
+                "uses.py": (
+                    "from pkg import helper\n\n"
+                    "def go():\n    return helper()\n"
+                ),
+            },
+        )
+        assert ("pkg.uses.go", "pkg.core.helper") in edge_set(graph, "direct")
+
+    def test_chained_reexport(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "__init__.py": "from .middle import helper\n",
+                "middle.py": "from .core import helper\n",
+                "core.py": "def helper():\n    return 1\n",
+                "uses.py": (
+                    "from pkg import helper\n\n"
+                    "def go():\n    return helper()\n"
+                ),
+            },
+        )
+        assert ("pkg.uses.go", "pkg.core.helper") in edge_set(graph, "direct")
+
+
+class TestUnresolvedCalls:
+    def test_callable_parameter_is_an_explicit_unresolved_record(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {"mod.py": "def dynamic(cb):\n    return cb()\n"},
+        )
+        records = [
+            u for u in graph.unresolved if u.caller == "pkg.mod.dynamic"
+        ]
+        assert records and records[0].reason == "dynamic-receiver"
+
+    def test_unique_uncommon_method_name_resolves_by_name(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "core.py": (
+                    "class Widget:\n"
+                    "    def frobnicate_widget(self):\n        return 1\n"
+                ),
+                "uses.py": (
+                    "def byname(x):\n    return x.frobnicate_widget()\n"
+                ),
+            },
+        )
+        assert (
+            "pkg.uses.byname",
+            "pkg.core.Widget.frobnicate_widget",
+        ) in edge_set(graph, "by-name")
+
+    def test_ambiguous_method_name_stays_unresolved(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "core.py": (
+                    "class A:\n"
+                    "    def frobnicate_widget(self):\n        return 1\n\n\n"
+                    "class B:\n"
+                    "    def frobnicate_widget(self):\n        return 2\n"
+                ),
+                "uses.py": (
+                    "def byname(x):\n    return x.frobnicate_widget()\n"
+                ),
+            },
+        )
+        assert edge_set(graph, "by-name") == set()
+        reasons = {
+            u.reason for u in graph.unresolved if u.caller == "pkg.uses.byname"
+        }
+        assert "ambiguous-method" in reasons
+
+    def test_common_container_method_never_resolves_by_name(self, tmp_path):
+        # `get` is a dict method: a single project class defining it must
+        # not capture every untyped x.get(...) in the tree
+        graph = build(
+            tmp_path,
+            {
+                "core.py": "class Store:\n    def get(self, k):\n        return k\n",
+                "uses.py": "def common(x):\n    return x.get('k')\n",
+            },
+        )
+        assert ("pkg.uses.common", "pkg.core.Store.get") not in edge_set(graph)
+
+
+class TestTraversals:
+    FILES = {
+        "mod.py": (
+            "def a():\n    return b()\n\n"
+            "def b():\n    return c()\n\n"
+            "def c():\n    return 1\n\n"
+            "def island():\n    return 2\n"
+        )
+    }
+
+    def test_reachable(self, tmp_path):
+        graph = build(tmp_path, dict(self.FILES))
+        reached = graph.reachable("pkg.mod.a")
+        assert {"pkg.mod.a", "pkg.mod.b", "pkg.mod.c"} <= reached
+        assert "pkg.mod.island" not in reached
+
+    def test_shortest_chain_records_call_sites(self, tmp_path):
+        graph = build(tmp_path, dict(self.FILES))
+        chain = graph.shortest_chain(
+            "pkg.mod.a", lambda q: q == "pkg.mod.c"
+        )
+        assert [step.qualname for step in chain] == [
+            "pkg.mod.a",
+            "pkg.mod.b",
+            "pkg.mod.c",
+        ]
+        # the first step is the start (line 0); later steps carry the
+        # call-site line in their caller
+        assert chain[0].lineno == 0
+        assert all(step.lineno > 0 for step in chain[1:])
+
+    def test_shortest_chain_returns_none_when_unreachable(self, tmp_path):
+        graph = build(tmp_path, dict(self.FILES))
+        assert (
+            graph.shortest_chain("pkg.mod.island", lambda q: q == "pkg.mod.c")
+            is None
+        )
+
+    def test_find_matches_exact_and_suffix(self, tmp_path):
+        graph = build(tmp_path, dict(self.FILES))
+        assert [f.qualname for f in graph.find("pkg.mod.a")] == ["pkg.mod.a"]
+        assert [f.qualname for f in graph.find("mod.a")] == ["pkg.mod.a"]
+        assert graph.find("nope.nope") == []
+
+
+class TestRealTree:
+    def test_real_source_tree_builds(self):
+        graph = build_callgraph(REPO_SRC / "repro")
+        # sanity floor, not an exact count: the tree keeps growing
+        assert len(graph.functions) > 500
+        assert len(graph.edges) > 1000
+        # the service contract methods must be present and connected
+        (submit,) = graph.find("SessionManager.submit")
+        assert graph.callees_of(submit.qualname)

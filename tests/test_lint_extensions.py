@@ -1,0 +1,162 @@
+"""Stale-suppression detection and lint baselines.
+
+A ``# repro-lint: disable=RULE`` comment that no longer suppresses
+anything is itself an error (dead suppressions hide future regressions);
+the ``--baseline`` flow lets CI adopt the deep rules on a tree with
+known findings and fail only on *new* ones.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import (
+    finding_fingerprint,
+    load_baseline,
+    main,
+    run_lint,
+    write_baseline,
+)
+
+BARE_EXCEPT = "try:\n    pass\nexcept:\n    pass\n"
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def rules_of(result):
+    return [finding.rule for finding in result.findings]
+
+
+class TestStaleSuppressions:
+    def test_used_suppression_is_silent(self, tmp_path):
+        write(
+            tmp_path,
+            "mod.py",
+            "try:\n    pass\nexcept:  # repro-lint: disable=bare-except\n    pass\n",
+        )
+        result = run_lint([str(tmp_path)])
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_unused_suppression_is_an_error(self, tmp_path):
+        write(tmp_path, "mod.py", "x = 1  # repro-lint: disable=mutable-default\n")
+        result = run_lint([str(tmp_path)])
+        assert rules_of(result) == ["stale-suppression"]
+        assert "no longer suppresses any finding" in result.findings[0].message
+        assert result.findings[0].line == 1
+
+    def test_unknown_rule_token_is_an_error(self, tmp_path):
+        write(tmp_path, "mod.py", "x = 1  # repro-lint: disable=no-such-rule\n")
+        result = run_lint([str(tmp_path)])
+        assert rules_of(result) == ["stale-suppression"]
+        assert "unknown rule" in result.findings[0].message
+
+    def test_docstring_text_is_not_a_suppression(self, tmp_path):
+        # the collector is tokenize-based: the marker only counts inside
+        # a real comment, not inside string literals documenting it
+        write(
+            tmp_path,
+            "mod.py",
+            '"""Example: `# repro-lint: disable=bare-except` in docs."""\nx = 1\n',
+        )
+        assert run_lint([str(tmp_path)]).findings == []
+
+    def test_file_scope_suppression_used_and_stale(self, tmp_path):
+        used = write(
+            tmp_path,
+            "used.py",
+            "# repro-lint: disable-file=bare-except\n" + BARE_EXCEPT,
+        )
+        result = run_lint([str(used)])
+        assert result.findings == [] and result.suppressed == 1
+        used.write_text(
+            "# repro-lint: disable-file=bare-except\nx = 1\n", encoding="utf-8"
+        )
+        result = run_lint([str(used)])
+        assert rules_of(result) == ["stale-suppression"]
+        assert "disable-file=bare-except" in result.findings[0].message
+
+    def test_deep_rule_token_assessed_only_under_deep(self, tmp_path):
+        # a repro fixture package, so --deep can discover a root
+        root = tmp_path / "repro"
+        root.mkdir()
+        (root / "__init__.py").write_text("", encoding="utf-8")
+        (root / "mod.py").write_text(
+            "x = 1  # repro-lint: disable=wire-taint\n", encoding="utf-8"
+        )
+        # without --deep the token cannot be judged: stay silent
+        assert run_lint([str(root)]).findings == []
+        result = run_lint([str(root)], deep=True)
+        assert rules_of(result) == ["stale-suppression"]
+
+    def test_rule_selection_skips_staleness(self, tmp_path):
+        # a partial run cannot know the suppression is dead
+        write(tmp_path, "mod.py", "x = 1  # repro-lint: disable=bare-except\n")
+        result = run_lint([str(tmp_path)], rule_ids=["unused-import"])
+        assert result.findings == []
+
+    def test_stale_suppressions_fail_the_exit_code(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1  # repro-lint: disable=bare-except\n")
+        assert main([str(tmp_path)]) == 1
+        assert "stale-suppression" in capsys.readouterr().out
+
+
+class TestBaseline:
+    def seeded(self, tmp_path):
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        return tmp_path / "baseline.json"
+
+    def test_fingerprint_is_line_stable(self, tmp_path):
+        # moving a finding must not invalidate the baseline entry
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        first = run_lint([str(tmp_path)]).findings[0]
+        write(tmp_path, "mod.py", "x = 1\n" + BARE_EXCEPT)
+        moved = run_lint([str(tmp_path)]).findings[0]
+        assert first.line != moved.line
+        assert finding_fingerprint(first) == finding_fingerprint(moved)
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        baseline = self.seeded(tmp_path)
+        findings = run_lint([str(tmp_path)]).findings
+        write_baseline(baseline, findings)
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert load_baseline(baseline) == {
+            finding_fingerprint(f) for f in findings
+        }
+
+    def test_baselined_findings_pass_new_ones_fail(self, tmp_path, capsys):
+        baseline = self.seeded(tmp_path)
+        assert main([str(tmp_path), "--write-baseline", str(baseline)]) == 0
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # a fresh violation in another file is not covered
+        write(tmp_path, "mod2.py", BARE_EXCEPT)
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "mod2.py" in out and "mod.py:" not in out.replace("mod2.py", "")
+
+    def test_missing_baseline_file_is_a_usage_error(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", BARE_EXCEPT)
+        assert main([str(tmp_path), "--baseline", str(tmp_path / "no.json")]) == 2
+
+    def test_json_report_counts_baselined(self, tmp_path, capsys):
+        baseline = self.seeded(tmp_path)
+        main([str(tmp_path), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        assert (
+            main([str(tmp_path), "--baseline", str(baseline), "--json"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["baselined"] == 1
+        assert payload["errors"] == 0
+
+    def test_list_rules_includes_the_deep_catalogue(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "async-blocking-transitive" in out
+        assert "(deep)" in out
