@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint deep-lint doclint typecheck bench bench-suite serve-bench serve-bench-full bench-faults bench-gateway bench-gateway-full gateway-smoke chaos shard-chaos examples figures stats clean
+.PHONY: install test lint deep-lint doclint typecheck bench bench-suite serve-bench serve-bench-full bench-faults bench-gateway bench-gateway-full gateway-smoke chaos shard-chaos chaos-all bench-chaos bench-chaos-full examples figures stats clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -88,6 +88,23 @@ chaos:
 # process-sharded fleet (docs/SHARDING.md), three fixed seeds
 shard-chaos:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --shards 3 --seeds 0,1,2
+
+# the whole-stack kill-anything campaign (docs/RELIABILITY.md): gateway
+# restart from its journal, supervised shard auto-restart, coordinator
+# rebuild from shard WALs, client disconnect/duplicate faults — all
+# gated on serial MSP identity and exactly-once answers
+chaos-all:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --total --seeds 0,1,2
+
+# CI-size whole-stack chaos report with per-component MTTR
+bench-chaos:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py --quick --output BENCH_chaos_quick.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py --validate BENCH_chaos_quick.json
+
+# the committed BENCH_chaos.json: demo + travel, three seeds each
+bench-chaos-full:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py --output BENCH_chaos.json
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_chaos.py --validate BENCH_chaos.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -142,6 +142,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="back each session with a WAL journal and "
                          "checkpoints under DIR (per-seed subdirectories)")
     p_chaos.add_argument("--max-runtime", type=float, default=30.0)
+    p_chaos.add_argument("--total", action="store_true",
+                         help="run the whole-stack kill-anything campaign "
+                              "(gateway, shard, coordinator, client) with "
+                              "per-component MTTR instead of the "
+                              "single-layer campaigns")
     p_chaos.add_argument("--json", action="store_true",
                          help="emit the campaign report as JSON")
 
@@ -502,6 +507,8 @@ def _cmd_chaos(args) -> int:
     if not seeds:
         print("--seeds named no seeds", file=sys.stderr)
         return 2
+    if args.total:
+        return _cmd_total_chaos(args, seeds)
     if args.shards > 0:
         return _cmd_shard_chaos(args, seeds)
     campaign = run_chaos_campaign(
@@ -536,6 +543,37 @@ def _cmd_chaos(args) -> int:
         print(
             f"campaign over seeds {campaign['seeds']} "
             f"({campaign['domain']}): {verdict}"
+        )
+    return 0 if campaign["ok"] else 1
+
+
+def _cmd_total_chaos(args, seeds) -> int:
+    from .faults import run_total_chaos_campaign
+
+    campaign = run_total_chaos_campaign(
+        seeds,
+        domains=(args.domain,),
+        max_runtime=args.max_runtime,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(campaign, indent=2, sort_keys=True))
+    else:
+        for report in campaign["runs"]:
+            verdict = "ok" if report["ok"] else "VIOLATIONS"
+            mttrs = " ".join(
+                f"{name}={report['mttr_seconds'][name]}s"
+                for name in ("gateway", "shard", "coordinator")
+            )
+            print(f"seed {report['seed']}: {verdict}, mttr {mttrs}")
+            for violation in report["violations"]:
+                print(f"  violation: {violation}", file=sys.stderr)
+        verdict = "ok" if campaign["ok"] else "FAILED"
+        print(
+            f"total chaos campaign over seeds {campaign['seeds']} "
+            f"({args.domain}): {verdict}; supervisor restart p95 "
+            f"{campaign['supervisor_restart_p95_seconds']}s"
         )
     return 0 if campaign["ok"] else 1
 

@@ -9,7 +9,13 @@ from .aggregator import (
     Verdict,
 )
 from .cache import CrowdCache
-from .journal import DurableCrowdCache, JournalRecord, replay_journal
+from .journal import (
+    AppendLog,
+    DurableCrowdCache,
+    JournalRecord,
+    replay_journal,
+    replay_log,
+)
 from .member import CrowdMember, OracleMember, SpammerMember
 from .personal_db import (
     PersonalDatabase,
@@ -47,6 +53,7 @@ __all__ = [
     "CrowdSimulator",
     "DurableCrowdCache",
     "FixedSampleAggregator",
+    "AppendLog",
     "JournalRecord",
     "MajorityAggregator",
     "NoneOfTheseAnswer",
@@ -69,6 +76,7 @@ __all__ = [
     "frequency_to_support",
     "quantize_support",
     "replay_journal",
+    "replay_log",
     "set_support_backend",
     "support_backend",
     "support_to_frequency",

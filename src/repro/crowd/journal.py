@@ -29,6 +29,14 @@ Assignment keys are the stable ``repr`` of
 values — deterministic across processes).  Mapping keys back to live
 ``Assignment`` objects on recovery is the session-restore protocol of
 :mod:`repro.service.recovery`; see ``docs/RELIABILITY.md``.
+
+The file-format mechanics (torn-tail healing, tolerant line replay,
+atomic rewrite) live in :class:`AppendLog` / :func:`replay_log`, which
+know nothing about crowd answers — the gateway's session WAL
+(:mod:`repro.gateway.journal`) reuses them for a completely different
+record vocabulary.  Observability stays with the *callers*: ``AppendLog``
+emits no counters of its own, so each journal family (``recovery.wal.*``,
+``gateway.journal.*``) counts under its own registered names.
 """
 
 from __future__ import annotations
@@ -37,9 +45,12 @@ import json
 import os
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
+    Dict,
     Hashable,
     IO,
+    Iterable,
     List,
     Mapping,
     Optional,
@@ -53,6 +64,137 @@ from .cache import CrowdCache
 
 #: journal record schema version (bump on breaking changes)
 RECORD_VERSION = 1
+
+
+# --------------------------------------------------------- generic machinery
+
+
+def _heal_torn_tail(path: Path) -> None:
+    """Terminate a torn final line before appending resumes.
+
+    A crash mid-write can leave the log without a trailing newline.
+    Appending straight after would glue the next record onto the torn
+    line, turning an *acknowledged* record into one more corrupt line on
+    the next replay.  Writing the missing newline confines the damage to
+    the torn (never-acknowledged) line itself.
+    """
+    if not path.exists():
+        return
+    with path.open("rb+") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() == 0:
+            return
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) != b"\n":
+            handle.write(b"\n")
+
+
+def replay_log(path: "os.PathLike[str] | str") -> Tuple[List[Dict[str, Any]], int]:
+    """Read a JSONL log back; returns ``(payloads, corrupt_lines_skipped)``.
+
+    A torn or garbled line (the typical crash artifact) is skipped and
+    counted, never fatal — exactly the tolerance :func:`replay_journal`
+    applies, made reusable for any record vocabulary.  Lines that decode
+    to something other than a JSON object count as corrupt too.
+    """
+    payloads: List[Dict[str, Any]] = []
+    corrupt = 0
+    log = Path(path)
+    if not log.exists():
+        return payloads, corrupt
+    with log.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except (ValueError, UnicodeDecodeError):
+                corrupt += 1
+                continue
+            if not isinstance(payload, dict):
+                corrupt += 1
+                continue
+            payloads.append(payload)
+    return payloads, corrupt
+
+
+class AppendLog:
+    """An append-only JSONL file with WAL discipline.
+
+    The mechanical core shared by :class:`DurableCrowdCache` and the
+    gateway journal: every :meth:`append` is flushed (optionally fsynced)
+    before it returns, a torn final line is healed on open, and
+    :meth:`rewrite` swaps in a compacted snapshot atomically (tmp file +
+    ``os.replace`` — readers see the old log or the new one, never a
+    truncated hybrid).
+
+    Not thread-safe on its own: callers serialize access under their own
+    lock (the cache lock here, the journal lock in the gateway).
+    """
+
+    def __init__(
+        self, path: "os.PathLike[str] | str", *, fsync: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        _heal_torn_tail(self.path)
+        self._handle: Optional[IO[str]] = self.path.open("a", encoding="utf-8")
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def append_line(self, line: str) -> None:
+        """Append one pre-serialized record line, flush, optionally fsync."""
+        if self._handle is None:
+            raise RuntimeError(f"log {self.path} is closed")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def append(self, payload: Mapping[str, Any]) -> None:
+        """Append one record as a sorted-key JSON line."""
+        self.append_line(json.dumps(payload, sort_keys=True))
+
+    def rewrite(self, lines: Iterable[str]) -> int:
+        """Atomically replace the log's contents; returns the line count.
+
+        The append handle is reopened on the new file, so a live writer
+        keeps appending after the swap.  A crash mid-rewrite leaves the
+        old log intact (the tmp file is simply orphaned).
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        written = 0
+        with tmp.open("w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+                written += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._handle is not None:
+            self._handle.close()
+        os.replace(tmp, self.path)
+        self._handle = self.path.open("a", encoding="utf-8")
+        return written
+
+    def close(self) -> None:
+        """Flush and close the handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "AppendLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"AppendLog({str(self.path)!r})"
 
 
 class JournalRecord:
@@ -174,31 +316,7 @@ class DurableCrowdCache(CrowdCache):
         else:
             for record in records:
                 self._answers[record.key].append((record.member, record.support))
-        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
-        self._heal_torn_tail()
-        self._handle: Optional[IO[str]] = self.journal_path.open(
-            "a", encoding="utf-8"
-        )
-
-    def _heal_torn_tail(self) -> None:
-        """Terminate a torn final line before appending resumes.
-
-        A crash mid-write (the kill-one-shard scenario) can leave the
-        journal without a trailing newline.  Appending straight after
-        would glue the next record onto the torn line, turning an
-        *acknowledged* answer into one more corrupt line on the next
-        replay.  Writing the missing newline confines the damage to the
-        torn (never-acknowledged) line itself.
-        """
-        if not self.journal_path.exists():
-            return
-        with self.journal_path.open("rb+") as handle:
-            handle.seek(0, os.SEEK_END)
-            if handle.tell() == 0:
-                return
-            handle.seek(-1, os.SEEK_END)
-            if handle.read(1) != b"\n":
-                handle.write(b"\n")
+        self._log = AppendLog(self.journal_path, fsync=fsync)
 
     def record(self, assignment: Hashable, member_id: str, support: float) -> None:
         """Journal, flush, then apply — the write-ahead discipline.
@@ -212,19 +330,11 @@ class DurableCrowdCache(CrowdCache):
             if record.identity in self._seen:
                 _obs_count("recovery.wal.duplicates_skipped")
                 return
-            self._append_locked(record)
+            self._log.append_line(record.as_line())
             self._seen.add(record.identity)
             self._answers[assignment].append((member_id, support))
         _obs_count("cache.answers.recorded")
         _obs_count("recovery.wal.appends")
-
-    def _append_locked(self, record: JournalRecord) -> None:
-        if self._handle is None:
-            raise RuntimeError(f"journal {self.journal_path} is closed")
-        self._handle.write(record.as_line() + "\n")
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
 
     # ------------------------------------------------------------- durability
 
@@ -241,16 +351,7 @@ class DurableCrowdCache(CrowdCache):
                 for assignment, answers in self._answers.items()
                 for member, support in answers
             ]
-            tmp = self.journal_path.with_suffix(self.journal_path.suffix + ".tmp")
-            with tmp.open("w", encoding="utf-8") as handle:
-                for record in records:
-                    handle.write(record.as_line() + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            if self._handle is not None:
-                self._handle.close()
-            os.replace(tmp, self.journal_path)
-            self._handle = self.journal_path.open("a", encoding="utf-8")
+            self._log.rewrite(record.as_line() for record in records)
             self._seen = {record.identity for record in records}
         _obs_count("recovery.wal.compactions")
         return len(records)
@@ -258,10 +359,7 @@ class DurableCrowdCache(CrowdCache):
     def close(self) -> None:
         """Flush and close the journal handle (idempotent)."""
         with self._lock:
-            if self._handle is not None:
-                self._handle.flush()
-                self._handle.close()
-                self._handle = None
+            self._log.close()
 
     def __enter__(self) -> "DurableCrowdCache":
         return self

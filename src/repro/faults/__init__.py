@@ -18,7 +18,12 @@ production:
   kind, run under the dynamic lock-order checker, that verify the
   engine's durability invariants (no acknowledged answer lost, no answer
   applied twice, the planted bad member quarantined, MSPs identical to a
-  serial run).
+  serial run);
+* :func:`run_total_chaos_campaign` — the whole-stack escalation: kill
+  *any* component (gateway process, shard worker, the coordinator
+  itself, client connections) at seeded points and prove the same
+  serial-MSP-identity plus zero-reask / zero-double-charge gates, with
+  per-component MTTR in the report (``benchmarks/bench_chaos.py``).
 
 Every injection and breaker transition emits a ``faults.*`` /
 ``recovery.*`` counter registered in :mod:`repro.observability.names`.
@@ -39,9 +44,15 @@ from .plan import (
     SITES,
     chaos_plan,
 )
+from .total_chaos import (
+    COMPONENTS,
+    run_total_chaos_campaign,
+    run_total_chaos_once,
+)
 
 __all__ = [
     "BreakerState",
+    "COMPONENTS",
     "ChaosReport",
     "CircuitBreaker",
     "DuplicateDelivery",
@@ -54,4 +65,6 @@ __all__ = [
     "chaos_plan",
     "run_chaos_campaign",
     "run_chaos_once",
+    "run_total_chaos_campaign",
+    "run_total_chaos_once",
 ]

@@ -1,0 +1,742 @@
+"""Whole-stack chaos: kill *any* component, finish with the serial MSPs.
+
+PR 7 killed shards, PR 5 killed sessions, and the fault plan killed
+member answers — each behind its own harness.  This module is the
+kill-anything campaign that exercises every recovery path in one run:
+
+``gateway``
+    a journaled :class:`~repro.gateway.app.GatewayApp` is served over
+    loopback HTTP, then its server is stopped cold mid-campaign and a
+    *fresh* app is rebuilt from the same journal on the same port.
+    Member clients span the outage on their jittered retry budgets and
+    resume with their original bearer tokens.
+``shard``
+    one worker process of a supervised fleet is SIGKILLed mid-serve;
+    the :class:`~repro.service.supervisor.ShardSupervisor` must detect
+    the corpse and restart it from its WAL without operator help.
+``coordinator``
+    the shard coordinator itself "crashes" (:meth:`abort` — hard
+    teardown, no handshakes) and a fresh coordinator built over the
+    same ``durable_dir`` must recover purely from the shard WALs.
+``client``
+    connections are dropped by an injected ``DISCONNECT`` fault plan
+    and members deliberately re-send answers under the same
+    idempotency key — retries must be exactly-once.
+
+Every scenario is gated on the same invariants: final MSP sets
+identical to an uninterrupted serial ``engine.execute`` (the paper's
+oracle), **zero re-asks** (no member is asked again for a node whose
+answer was acknowledged as applied) and **zero double-charges** (no
+session cache holds two answers from one member for one assignment).
+Per-component MTTR — detect→serving wall seconds — lands in the
+report; ``benchmarks/bench_chaos.py`` turns a campaign into
+``BENCH_chaos.json`` and gates the supervisor restart p95.
+
+Determinism: seeds drive the fault plan, the member jitter and the
+crowd build, so a failing ``(seed, domain)`` pair is a bug report.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from .plan import FaultKind, FaultPlan, FaultSpec
+
+#: thresholds cycled across a campaign's sessions (matches replay_campaign)
+_THRESHOLDS = (0.2, 0.3, 0.4, 0.5)
+
+#: the components a total-chaos run kills, in execution order
+COMPONENTS = ("gateway", "shard", "coordinator", "client")
+
+
+# ----------------------------------------------------------------- utilities
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an unsorted sample sequence."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("no samples")
+    rank = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+    return ordered[rank]
+
+
+def _serial_msps(
+    dataset: Any,
+    engine: Any,
+    query: str,
+    crowd_size: int,
+    sample_size: int,
+    seed: int,
+    cache: Dict[str, List[str]],
+) -> List[str]:
+    """The serial oracle's MSP set for ``query`` (memoized per query)."""
+    from ..service.simulation import build_identical_crowd
+
+    if query not in cache:
+        baseline = build_identical_crowd(
+            dataset, crowd_size, seed=seed, prefix="serial-m"
+        )
+        result = engine.execute(query, baseline, sample_size=sample_size)
+        cache[query] = sorted(repr(a) for a in result.all_msps)
+    return cache[query]
+
+
+def _audit_double_charge(app: Any) -> List[str]:
+    """Zero-double-charge gate: one answer per (session, assignment, member)."""
+    manager = app._manager
+    if manager is None:
+        return []
+    violations: List[str] = []
+    for session in manager.sessions():
+        for assignment in session.cache.assignments():
+            charged = [m for m, _ in session.cache.answers_for(assignment)]
+            doubled = sorted({m for m in charged if charged.count(m) > 1})
+            if doubled:
+                violations.append(
+                    f"session {session.session_id}: {assignment!r} "
+                    f"charged more than once to {doubled}"
+                )
+    return violations
+
+
+# ------------------------------------------------------- gateway-side drivers
+
+
+def _tracked_member_loop(
+    host: str,
+    port: int,
+    token: str,
+    member: Any,
+    done: threading.Event,
+    wait: float,
+    errors: List[str],
+    reasks: List[str],
+    duplicate_every: int,
+    duplicates_sent: List[int],
+) -> None:
+    """A member thread that audits the zero-reask guarantee as it answers.
+
+    Tracks every ``(session, facts)`` node whose answer came back
+    applied (``recorded``/``passed``): seeing such a node dispatched to
+    this member *again* is a re-ask of an acknowledged answer — the
+    exact thing durable sessions and WAL resume exist to prevent.  With
+    ``duplicate_every > 0`` every Nth applied answer is immediately
+    re-submitted under the same idempotency key; the retry must come
+    back with the original outcome (the exactly-once probe).
+    """
+    from ..crowd.questions import ConcreteQuestion
+    from ..gateway.client import GatewayClient, GatewayClientError, RetryPolicy
+    from ..gateway.schema import facts_from_wire
+
+    # per-member deterministic jitter with a budget wide enough to span
+    # a gateway restart mid-campaign
+    policy = RetryPolicy(
+        retries=12, budget_s=60.0, seed=sum(ord(ch) for ch in member.member_id)
+    )
+    applied: Set[Tuple[str, Tuple[Tuple[str, str, str], ...]]] = set()
+    answered = 0
+    client = GatewayClient(host, port, token=token, retry=policy)
+    try:
+        while not done.is_set():
+            try:
+                batch = client.next_questions(wait=wait)
+            except GatewayClientError as error:
+                if error.status == 429:
+                    time.sleep(0.01)  # backpressure: let answers drain
+                    continue
+                if done.is_set():
+                    return  # campaign over; the failed poll is moot
+                errors.append(f"{member.member_id}: {error}")
+                return
+            for question in batch.questions:
+                node = (question.session_id, question.facts)
+                if node in applied:
+                    reasks.append(
+                        f"{member.member_id} re-asked acknowledged node "
+                        f"{question.qid} in {question.session_id}"
+                    )
+                fact_set = facts_from_wire(question.facts)
+                answer = member.answer_concrete(
+                    ConcreteQuestion(question.qid, fact_set)
+                )
+                key = f"{member.member_id}:{question.qid}"
+                try:
+                    response = client.submit_answer(
+                        question.qid, answer.support, idempotency_key=key
+                    )
+                except GatewayClientError as error:
+                    if error.status == 404:
+                        continue  # reaped while we were answering
+                    if done.is_set():
+                        return
+                    errors.append(f"{member.member_id}: {error}")
+                    return
+                if response.outcome not in ("recorded", "passed"):
+                    continue
+                applied.add(node)
+                answered += 1
+                if duplicate_every > 0 and answered % duplicate_every == 0:
+                    duplicates_sent[0] += 1
+                    try:
+                        retry = client.submit_answer(
+                            question.qid, answer.support, idempotency_key=key
+                        )
+                    except GatewayClientError as error:
+                        if error.status == 404 or done.is_set():
+                            continue
+                        errors.append(f"{member.member_id}: {error}")
+                        return
+                    if retry.outcome != response.outcome:
+                        errors.append(
+                            f"{member.member_id}: duplicate of {question.qid} "
+                            f"came back {retry.outcome!r}, first was "
+                            f"{response.outcome!r}"
+                        )
+    finally:
+        client.close()
+
+
+def _rebind(app: Any, host: str, port: int) -> Any:
+    """Bring a restarted gateway up on the port the fleet is retrying."""
+    from ..gateway.http import serve_in_thread
+
+    last: Optional[Exception] = None
+    for _attempt in range(20):
+        try:
+            return serve_in_thread(app, host=host, port=port)
+        except (RuntimeError, OSError) as error:
+            # the old listener may linger a beat; the clients' retry
+            # budgets dwarf this wait
+            last = error
+            time.sleep(0.05)
+    raise RuntimeError(f"could not rebind gateway on {host}:{port}: {last}")
+
+
+def _gateway_campaign(
+    *,
+    seed: int,
+    domain: str,
+    sessions: int,
+    crowd_size: int,
+    sample_size: int,
+    kill_after_questions: Optional[int],
+    faults: Optional[FaultPlan],
+    duplicate_every: int,
+    wait: float,
+    max_runtime: float,
+) -> Dict[str, Any]:
+    """One loopback campaign with optional mid-flight gateway restart."""
+    from ..engine.engine import OassisEngine
+    from ..gateway.app import GatewayApp
+    from ..gateway.client import GatewayClient, RetryPolicy
+    from ..gateway.http import serve_in_thread
+    from ..service.simulation import DOMAINS, build_identical_crowd
+
+    dataset = DOMAINS[domain]()
+    violations: List[str] = []
+    killed = False
+    mttr: Optional[float] = None
+    restored: Optional[Dict[str, int]] = None
+    with tempfile.TemporaryDirectory(prefix="total-chaos-gw-") as scratch:
+        journal = str(Path(scratch) / "gateway.journal")
+        app = GatewayApp(journal_path=journal, faults=faults)
+        handle = serve_in_thread(app)
+        host, port = handle.host, handle.port
+        admin = GatewayClient(
+            host, port, retry=RetryPolicy(retries=12, budget_s=60.0, seed=seed)
+        )
+        admin.activate(domain)
+        session_ids: List[str] = []
+        queries: Dict[str, str] = {}
+        for index in range(sessions):
+            accepted = admin.pose_query(
+                threshold=_THRESHOLDS[index % len(_THRESHOLDS)],
+                sample_size=sample_size,
+                session_id=f"{domain}-{index}",
+            )
+            session_ids.append(accepted.session_id)
+            queries[accepted.session_id] = accepted.query
+
+        members = build_identical_crowd(dataset, crowd_size, seed=seed)
+        done = threading.Event()
+        errors: List[str] = []
+        reasks: List[str] = []
+        duplicates_sent = [0]
+        threads: List[threading.Thread] = []
+        for member in members:
+            joined = admin.join(member.member_id)
+            thread = threading.Thread(
+                target=_tracked_member_loop,
+                args=(
+                    host,
+                    port,
+                    joined.token,
+                    member,
+                    done,
+                    wait,
+                    errors,
+                    reasks,
+                    duplicate_every,
+                    duplicates_sent,
+                ),
+                name=f"chaos-member-{member.member_id}",
+                daemon=True,
+            )
+            threads.append(thread)
+            thread.start()
+
+        results: Dict[str, Any] = {}
+        deadline = time.perf_counter() + max_runtime
+        timed_out = False
+        try:
+            while True:
+                for sid in session_ids:
+                    results[sid] = admin.result(sid)
+                answered = sum(r.questions_asked for r in results.values())
+                if (
+                    kill_after_questions is not None
+                    and not killed
+                    and answered >= kill_after_questions
+                ):
+                    killed = True
+                    down_at = time.perf_counter()
+                    handle.stop()
+                    # a crash keeps nothing in memory; closing only
+                    # releases the journal handle (appends are on disk)
+                    app.close()
+                    app = GatewayApp(journal_path=journal, faults=faults)
+                    handle = _rebind(app, host, port)
+                    mttr = time.perf_counter() - down_at
+                    restored = app.restored
+                if all(r.done for r in results.values()):
+                    break
+                if errors:
+                    break
+                if time.perf_counter() >= deadline:
+                    timed_out = True
+                    break
+                time.sleep(0.02)
+        finally:
+            done.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            admin.close()
+            handle.stop()
+            app.close()
+
+        engine = OassisEngine(dataset.ontology)  # type: ignore[attr-defined]
+        serial_cache: Dict[str, List[str]] = {}
+        mismatches: List[Dict[str, Any]] = []
+        for sid in session_ids:
+            expected = _serial_msps(
+                dataset,
+                engine,
+                queries[sid],
+                crowd_size,
+                sample_size,
+                seed,
+                serial_cache,
+            )
+            got = list(results[sid].msps) if sid in results else []
+            if got != expected:
+                mismatches.append(
+                    {"session": sid, "expected": expected, "got": got}
+                )
+        double_charges = _audit_double_charge(app)
+
+    if timed_out:
+        violations.append("campaign hit max_runtime before settling")
+    violations.extend(errors)
+    violations.extend(reasks)
+    violations.extend(double_charges)
+    if mismatches:
+        violations.append(
+            f"{len(mismatches)} session(s) diverged from serial MSPs"
+        )
+    if kill_after_questions is not None:
+        if not killed:
+            violations.append("gateway kill never triggered")
+        elif restored is None or restored.get("sessions", 0) < 1:
+            violations.append(
+                "restarted gateway did not restore sessions from its journal"
+            )
+    return {
+        "seed": seed,
+        "domain": domain,
+        "killed": killed,
+        "mttr_seconds": round(mttr, 4) if mttr is not None else None,
+        "restored": restored,
+        "questions_answered": sum(
+            r.questions_asked for r in results.values()
+        ),
+        "duplicates_sent": duplicates_sent[0],
+        "reasks": len(reasks),
+        "double_charges": len(double_charges),
+        "mismatches": mismatches,
+        "faults_injected": faults.injected() if faults is not None else {},
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+# ----------------------------------------------------------------- scenarios
+
+
+def _gateway_scenario(
+    seed: int, domain: str, *, sessions: int, crowd_size: int,
+    sample_size: int, kill_after_questions: int, max_runtime: float,
+) -> Dict[str, Any]:
+    """Kill the gateway process mid-campaign; restore from its journal."""
+    report = _gateway_campaign(
+        seed=seed,
+        domain=domain,
+        sessions=sessions,
+        crowd_size=crowd_size,
+        sample_size=sample_size,
+        kill_after_questions=kill_after_questions,
+        faults=None,
+        duplicate_every=0,
+        wait=0.2,
+        max_runtime=max_runtime,
+    )
+    report["component"] = "gateway"
+    return report
+
+
+def _client_scenario(
+    seed: int, domain: str, *, sessions: int, crowd_size: int,
+    sample_size: int, max_runtime: float,
+) -> Dict[str, Any]:
+    """Drop client connections and re-send answers; retries stay exactly-once."""
+    plan = FaultPlan(
+        [FaultSpec("gateway.request", FaultKind.DISCONNECT, rate=0.04, limit=6)],
+        seed=seed,
+    )
+    report = _gateway_campaign(
+        seed=seed,
+        domain=domain,
+        sessions=sessions,
+        crowd_size=crowd_size,
+        sample_size=sample_size,
+        kill_after_questions=None,
+        faults=plan,
+        duplicate_every=3,
+        wait=0.2,
+        max_runtime=max_runtime,
+    )
+    report["component"] = "client"
+    report["mttr_seconds"] = None  # nothing dies: the wire just misbehaves
+    if report["duplicates_sent"] < 1:
+        report["ok"] = False
+        report["violations"].append(
+            "no duplicate answers were sent; the exactly-once probe is vacuous"
+        )
+    return report
+
+
+def _shard_scenario(
+    seed: int, domain: str, *, shards: int, sessions: int, crowd_size: int,
+    sample_size: int, after_nodes: int, max_runtime: float,
+) -> Dict[str, Any]:
+    """SIGKILL one shard; the supervisor must restart it unassisted."""
+    from ..service.shard.simulation import run_sharded_simulation
+
+    with tempfile.TemporaryDirectory(prefix="total-chaos-shard-") as scratch:
+        report = run_sharded_simulation(
+            domain=domain,
+            shards=shards,
+            sessions=sessions,
+            crowd_size=crowd_size,
+            sample_size=sample_size,
+            max_runtime=max_runtime,
+            verify=True,
+            seed=seed,
+            durable_dir=scratch,
+            chaos_kill=(seed % shards, after_nodes),
+            chaos_kill_mode="supervised",
+            supervise=True,
+        )
+    supervisor = report["supervisor"]
+    violations: List[str] = []
+    if report["timed_out"]:
+        violations.append("campaign hit max_runtime before settling")
+    if not report["chaos"]["triggered"]:
+        violations.append("shard kill never triggered")
+    if not report["verified"]:
+        violations.append(
+            f"{len(report['mismatches'])} session(s) diverged from serial MSPs"
+        )
+    if supervisor["restarts"] < 1:
+        violations.append("supervisor never restarted the killed shard")
+    samples = supervisor["restart_seconds"]
+    return {
+        "component": "shard",
+        "seed": seed,
+        "domain": domain,
+        "killed_shard": seed % shards,
+        "mttr_seconds": round(max(samples), 4) if samples else None,
+        "restart_seconds": samples,
+        "supervisor": supervisor,
+        "questions_answered": report["questions_answered"],
+        "wal_replayed": report["wal_replayed"],
+        "mismatches": report["mismatches"],
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+class _CoordinatorCrash(RuntimeError):
+    """Raised by the chaos hook to unwind the serve loop mid-flight."""
+
+
+def _coordinator_scenario(
+    seed: int, domain: str, *, shards: int, sessions: int, crowd_size: int,
+    sample_size: int, after_nodes: int, max_runtime: float,
+) -> Dict[str, Any]:
+    """Crash the coordinator; a fresh one recovers from shard WALs alone."""
+    from ..engine.engine import OassisEngine
+    from ..service.shard.coordinator import ShardCoordinator
+    from ..service.shard.simulation import _verify_against_serial
+    from ..service.simulation import DOMAINS, build_identical_crowd
+
+    dataset = DOMAINS[domain]()
+    violations: List[str] = []
+    mttr: Optional[float] = None
+    crashed = False
+    report: Optional[Dict[str, Any]] = None
+    mismatches: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="total-chaos-coord-") as scratch:
+        crash = {"done": False}
+
+        def _hook(coordinator: ShardCoordinator) -> None:
+            if crash["done"] or coordinator.nodes_classified < after_nodes:
+                return
+            crash["done"] = True
+            coordinator.abort()
+            raise _CoordinatorCrash("injected coordinator crash")
+
+        def _build(hook: Any) -> Tuple[OassisEngine, ShardCoordinator]:
+            engine = OassisEngine(dataset.ontology)  # type: ignore[attr-defined]
+            return engine, ShardCoordinator(
+                dataset,
+                shards=shards,
+                crowd_size=crowd_size,
+                sample_size=sample_size,
+                domain=domain,
+                seed=seed,
+                engine=engine,
+                durable_dir=scratch,
+                max_runtime=max_runtime,
+                chaos_hook=hook,
+            )
+
+        queries = {
+            f"{domain}-{index}": dataset.query(
+                _THRESHOLDS[index % len(_THRESHOLDS)]
+            )
+            for index in range(sessions)
+        }
+        _engine, first = _build(_hook)
+        try:
+            first.start()
+            for sid, query in queries.items():
+                first.create_session(query, sid)
+            first.serve()
+        except _CoordinatorCrash:
+            crashed = True
+        finally:
+            if not crashed:
+                first.close()
+
+        if not crashed:
+            violations.append(
+                f"coordinator crash never triggered: fewer than "
+                f"{after_nodes} nodes classified"
+            )
+        else:
+            down_at = time.perf_counter()
+            engine, second = _build(None)
+            try:
+                second.start()
+                mttr = time.perf_counter() - down_at
+                for sid, query in queries.items():
+                    second.create_session(query, sid)
+                second.serve()
+            finally:
+                second.close()
+            report = second.report()
+            verified, mismatches = _verify_against_serial(
+                engine,
+                second,
+                queries,
+                dataset,
+                crowd_size,
+                sample_size,
+                seed,
+                build_identical_crowd,
+            )
+            if report["timed_out"]:
+                violations.append("recovery campaign hit max_runtime")
+            if report["wal_replayed"] < 1:
+                violations.append(
+                    "fresh coordinator replayed nothing from the shard WALs"
+                )
+            if not verified:
+                violations.append(
+                    f"{len(mismatches)} session(s) diverged from serial MSPs"
+                )
+    return {
+        "component": "coordinator",
+        "seed": seed,
+        "domain": domain,
+        "crashed": crashed,
+        "mttr_seconds": round(mttr, 4) if mttr is not None else None,
+        "wal_replayed": report["wal_replayed"] if report is not None else 0,
+        "questions_answered": (
+            report["questions_answered"] if report is not None else 0
+        ),
+        "mismatches": mismatches,
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+# ------------------------------------------------------------------ campaign
+
+
+def run_total_chaos_once(
+    *,
+    seed: int,
+    domain: str = "demo",
+    sessions: int = 2,
+    crowd_size: int = 4,
+    sample_size: int = 3,
+    shards: int = 3,
+    shard_crowd_size: int = 9,
+    shard_sessions: int = 4,
+    kill_after_questions: int = 4,
+    after_nodes: int = 4,
+    max_runtime: float = 120.0,
+) -> Dict[str, Any]:
+    """Kill every component once for ``(seed, domain)``; return the verdict.
+
+    Runs the four scenarios in :data:`COMPONENTS` order.  The gateway
+    and client scenarios share the HTTP campaign sizes
+    (``sessions``/``crowd_size``); the shard and coordinator scenarios
+    use the fleet sizes (``shards``/``shard_crowd_size``/
+    ``shard_sessions``) so every shard owns enough members to serve a
+    quota.
+    """
+    scenarios = {
+        "gateway": _gateway_scenario(
+            seed,
+            domain,
+            sessions=sessions,
+            crowd_size=crowd_size,
+            sample_size=sample_size,
+            kill_after_questions=kill_after_questions,
+            max_runtime=max_runtime,
+        ),
+        "shard": _shard_scenario(
+            seed,
+            domain,
+            shards=shards,
+            sessions=shard_sessions,
+            crowd_size=shard_crowd_size,
+            sample_size=sample_size,
+            after_nodes=after_nodes,
+            max_runtime=max_runtime,
+        ),
+        "coordinator": _coordinator_scenario(
+            seed,
+            domain,
+            shards=shards,
+            sessions=shard_sessions,
+            crowd_size=shard_crowd_size,
+            sample_size=sample_size,
+            after_nodes=after_nodes,
+            max_runtime=max_runtime,
+        ),
+        "client": _client_scenario(
+            seed,
+            domain,
+            sessions=sessions,
+            crowd_size=crowd_size,
+            sample_size=sample_size,
+            max_runtime=max_runtime,
+        ),
+    }
+    violations = [
+        f"{name}: {violation}"
+        for name in COMPONENTS
+        for violation in scenarios[name]["violations"]
+    ]
+    return {
+        "seed": seed,
+        "domain": domain,
+        "scenarios": scenarios,
+        "mttr_seconds": {
+            name: scenarios[name]["mttr_seconds"] for name in COMPONENTS
+        },
+        "ok": not violations,
+        "violations": violations,
+    }
+
+
+def run_total_chaos_campaign(
+    seeds: Sequence[int] = (0, 1, 2),
+    domains: Sequence[str] = ("demo", "travel"),
+    **options: Any,
+) -> Dict[str, Any]:
+    """Sweep :func:`run_total_chaos_once` over ``seeds × domains``.
+
+    Aggregates per-component MTTR (max / nearest-rank p95 over every
+    incident) and the supervisor's restart samples; extra keyword
+    options are forwarded verbatim to each run.
+    """
+    runs: List[Dict[str, Any]] = []
+    for domain in domains:
+        for seed in seeds:
+            runs.append(run_total_chaos_once(seed=seed, domain=domain, **options))
+    mttr: Dict[str, Optional[Dict[str, Any]]] = {}
+    for name in COMPONENTS:
+        samples = [
+            run["mttr_seconds"][name]
+            for run in runs
+            if run["mttr_seconds"][name] is not None
+        ]
+        mttr[name] = (
+            {
+                "incidents": len(samples),
+                "max_seconds": round(max(samples), 4),
+                "p95_seconds": round(_percentile(samples, 0.95), 4),
+                "mean_seconds": round(sum(samples) / len(samples), 4),
+            }
+            if samples
+            else None
+        )
+    restart_samples = [
+        sample
+        for run in runs
+        for sample in run["scenarios"]["shard"]["restart_seconds"]
+    ]
+    return {
+        "seeds": list(seeds),
+        "domains": list(domains),
+        "runs": runs,
+        "ok": all(run["ok"] for run in runs),
+        "mttr": mttr,
+        "supervisor_restart_p95_seconds": (
+            round(_percentile(restart_samples, 0.95), 4)
+            if restart_samples
+            else None
+        ),
+    }
+
+
+__all__ = ["COMPONENTS", "run_total_chaos_campaign", "run_total_chaos_once"]

@@ -20,8 +20,18 @@ from .app import (
     GatewayError,
     NotFoundError,
 )
-from .client import GatewayClient, GatewayClientError, replay_campaign
+from .client import (
+    GatewayClient,
+    GatewayClientError,
+    RetryPolicy,
+    replay_campaign,
+)
 from .http import GatewayHandle, GatewayServer, serve_in_thread
+from .journal import (
+    GatewayJournal,
+    GatewayLogState,
+    replay_gateway_journal,
+)
 from .mcp import McpGateway
 from .schema import (
     SCHEMA_VERSION,
@@ -60,11 +70,14 @@ __all__ = [
     "GatewayConfig",
     "GatewayError",
     "GatewayHandle",
+    "GatewayJournal",
+    "GatewayLogState",
     "GatewayServer",
     "JoinRequest",
     "JoinResponse",
     "McpGateway",
     "NotFoundError",
+    "RetryPolicy",
     "QueryAccepted",
     "QueryRequest",
     "QuestionBatch",
@@ -73,5 +86,6 @@ __all__ = [
     "SchemaError",
     "SimulationSpec",
     "replay_campaign",
+    "replay_gateway_journal",
     "serve_in_thread",
 ]

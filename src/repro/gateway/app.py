@@ -17,21 +17,42 @@ Thread-safety: the HTTP server serializes calls on its event loop, but
 the MCP surface and tests may call from other threads, so the app's own
 bookkeeping (tokens, qids, sessions) is guarded by one leaf lock.  The
 underlying :class:`SessionManager` has its own documented locking; the
-two are never held together.
+two are never held together.  Journaled mutations (activate / join /
+query / mint / answer) additionally serialize on a coarse ``_mutate``
+lock so the journal's record order matches the order the state actually
+changed; ``_mutate`` is strictly outermost — it may wrap the leaf lock,
+the journal's own lock and session-manager calls, and nothing ever
+acquires it while holding any of those.
+
+Durability (see ``docs/RELIABILITY.md``): constructed with a
+``journal_path``, the app write-ahead-logs every state transition
+through :class:`~repro.gateway.journal.GatewayJournal` with an
+**apply → journal → acknowledge** discipline — the journal and the
+in-memory state die together in a crash, so anything a client saw
+acknowledged is in the journal, and anything that is not journaled was
+never acknowledged and will be retried by the client.  A fresh app on
+the same path restores the active dataset, member tokens, sessions
+(answers replayed through the PR 5 lattice-resolve + resume machinery),
+the qid mint ledger and the idempotency map before serving.
 """
 
 from __future__ import annotations
 
+import os
 import secrets
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from ..crowd.cache import CrowdCache
+from ..crowd.journal import JournalRecord
 from ..engine.engine import OassisEngine
 from ..faults.plan import FaultPlan
-from ..observability import count as _obs_count
+from ..observability import count as _obs_count, span as _obs_span
 from ..service.manager import DispatchedQuestion, SessionManager
+from ..service.recovery import resolve_journal
 from ..service.simulation import DOMAINS
+from .journal import GatewayJournal, GatewayLogState, replay_gateway_journal
 from .schema import (
     ActivateResponse,
     AnswerResponse,
@@ -132,6 +153,8 @@ class GatewayApp:
         admin_token: Optional[str] = None,
         faults: Optional[FaultPlan] = None,
         token_factory: Optional[Callable[[], str]] = None,
+        journal_path: Optional["os.PathLike[str] | str"] = None,
+        journal_fsync: bool = False,
     ) -> None:
         self.config = config if config is not None else GatewayConfig()
         self.datasets: Dict[str, Callable[[], object]] = dict(
@@ -146,6 +169,7 @@ class GatewayApp:
             lambda: secrets.token_hex(16)
         )
         self._lock = threading.Lock()
+        self._mutate = threading.Lock()  # serializes journaled mutations
         self._active: Optional[str] = None
         self._dataset: Optional[object] = None
         self._engine: Optional[OassisEngine] = None
@@ -155,8 +179,123 @@ class GatewayApp:
         self._sessions: Dict[str, _SessionRecord] = {}
         self._questions: Dict[str, DispatchedQuestion] = {}
         self._answered: Dict[str, str] = {}  # qid -> first outcome
+        #: idempotency key -> (qid, outcome) for exactly-once retries
+        self._idempotency: Dict[str, Tuple[str, str]] = {}
+        #: pre-crash qids restored from the journal's mint ledger:
+        #: qid -> (session_id, assignment key, member_id)
+        self._minted: Dict[str, Tuple[str, str, str]] = {}
         self._next_qid = 0
         self._next_session = 0
+        self.journal: Optional[GatewayJournal] = None
+        #: restore statistics when this app came up from a journal
+        self.restored: Optional[Dict[str, int]] = None
+        if journal_path is not None:
+            path = str(journal_path)
+            state: Optional[GatewayLogState] = None
+            if os.path.exists(path) and os.path.getsize(path) > 0:
+                state = replay_gateway_journal(path)
+            self.journal = GatewayJournal(path, fsync=journal_fsync)
+            if state is not None and state.dataset is not None:
+                self._restore(state)
+
+    # ----------------------------------------------------------------- restore
+
+    def _restore(self, state: GatewayLogState) -> None:
+        """Rebuild the serving state a journal describes (crash recovery).
+
+        Mirrors ``activate_dataset`` + PR 5's ``restore_session``: the
+        dataset's engine/manager pair is rebuilt, members re-attach with
+        their *original* tokens, and each session is re-created with its
+        journaled answers resolved onto the fresh lattice (``resume=True``
+        so acknowledged answers are never re-asked).  A session whose
+        query no longer parses is skipped and counted rather than fatal —
+        a stale journal must not brick the gateway.
+        """
+        name = state.dataset
+        if name is None or name not in self.datasets:
+            raise RuntimeError(
+                f"gateway journal names unknown dataset {name!r}; "
+                f"registered: {sorted(self.datasets)}"
+            )
+        with _obs_span("gateway.restore"):
+            dataset = self.datasets[name]()
+            engine = OassisEngine(dataset.ontology)  # type: ignore[attr-defined]
+            cfg = self.config
+            manager = engine.session_manager(
+                question_timeout=cfg.question_timeout,
+                max_attempts=cfg.max_attempts,
+                backoff_base=cfg.backoff_base,
+                in_flight_limit=cfg.in_flight_limit,
+                batch_size=cfg.batch_size,
+                scale_deadlines=cfg.scale_deadlines,
+            )
+            for member_id, token in state.members.items():
+                record = _MemberRecord(member_id=member_id, token=token)
+                self._members_by_token[token] = record
+                self._members_by_id[member_id] = record
+                manager.attach_member(member_id)
+            answers_restored = 0
+            sessions_restored = 0
+            failures = 0
+            for session_id, (query_text, sample_size) in state.sessions.items():
+                try:
+                    parsed = engine._as_query(query_text)
+                    space = engine.build_space(parsed)
+                    records = [
+                        JournalRecord(
+                            key=answer["key"],
+                            member=answer["member"],
+                            support=answer["support"],
+                        )
+                        for answer in state.session_answers(session_id)
+                    ]
+                    resolved, _unresolved = resolve_journal(
+                        space, parsed.threshold, records
+                    )
+                    cache = CrowdCache()
+                    for assignment, answers in resolved.items():
+                        for member_id, support in answers:
+                            cache.record(assignment, member_id, support)
+                    manager.create_session(
+                        query_text,
+                        session_id=session_id,
+                        cache=cache,
+                        resume=True,
+                        sample_size=sample_size,
+                    )
+                except Exception:
+                    # counted, not fatal: one unrecoverable session must
+                    # not take down the survivors
+                    failures += 1
+                    _obs_count("gateway.journal.restore_failures")
+                    continue
+                answers_restored += sum(len(a) for a in resolved.values())
+                sessions_restored += 1
+                self._sessions[session_id] = _SessionRecord(
+                    session_id=session_id, query_text=query_text
+                )
+            self._active = name
+            self._dataset = dataset
+            self._engine = engine
+            self._manager = manager
+            self._answered = dict(state.answered)
+            self._idempotency = dict(state.idempotency)
+            self._minted = dict(state.mints)
+            self._next_qid = state.max_qid_ordinal()
+            self._next_session = state.max_session_ordinal()
+            self.restored = {
+                "sessions": sessions_restored,
+                "members": len(state.members),
+                "answers": answers_restored,
+                "corrupt": state.corrupt,
+                "failures": failures,
+            }
+        _obs_count("gateway.journal.restores")
+
+    def close(self) -> None:
+        """Release the journal handle (safe to call repeatedly)."""
+        if self.journal is not None:
+            self.journal.close()
 
     # ---------------------------------------------------------------- health
 
@@ -196,36 +335,41 @@ class GatewayApp:
             raise NotFoundError(
                 f"unknown dataset {name!r}; pick from {sorted(self.datasets)}"
             )
-        with self._lock:
-            if self._active == name:
-                return ActivateResponse(name=name, activated=False)
-            manager = self._manager
-        if manager is not None and any(s.open for s in manager.sessions()):
-            raise ConflictError(
-                "cannot switch datasets while sessions are open; "
-                "finish or cancel them first"
+        with self._mutate:
+            with self._lock:
+                if self._active == name:
+                    return ActivateResponse(name=name, activated=False)
+                manager = self._manager
+            if manager is not None and any(s.open for s in manager.sessions()):
+                raise ConflictError(
+                    "cannot switch datasets while sessions are open; "
+                    "finish or cancel them first"
+                )
+            dataset = self.datasets[name]()
+            engine = OassisEngine(dataset.ontology)  # type: ignore[attr-defined]
+            cfg = self.config
+            fresh = engine.session_manager(
+                question_timeout=cfg.question_timeout,
+                max_attempts=cfg.max_attempts,
+                backoff_base=cfg.backoff_base,
+                in_flight_limit=cfg.in_flight_limit,
+                batch_size=cfg.batch_size,
+                scale_deadlines=cfg.scale_deadlines,
             )
-        dataset = self.datasets[name]()
-        engine = OassisEngine(dataset.ontology)  # type: ignore[attr-defined]
-        cfg = self.config
-        fresh = engine.session_manager(
-            question_timeout=cfg.question_timeout,
-            max_attempts=cfg.max_attempts,
-            backoff_base=cfg.backoff_base,
-            in_flight_limit=cfg.in_flight_limit,
-            batch_size=cfg.batch_size,
-            scale_deadlines=cfg.scale_deadlines,
-        )
-        with self._lock:
-            self._active = name
-            self._dataset = dataset
-            self._engine = engine
-            self._manager = fresh
-            self._members_by_token.clear()
-            self._members_by_id.clear()
-            self._sessions.clear()
-            self._questions.clear()
-            self._answered.clear()
+            with self._lock:
+                self._active = name
+                self._dataset = dataset
+                self._engine = engine
+                self._manager = fresh
+                self._members_by_token.clear()
+                self._members_by_id.clear()
+                self._sessions.clear()
+                self._questions.clear()
+                self._answered.clear()
+                self._idempotency.clear()
+                self._minted.clear()
+            if self.journal is not None:
+                self.journal.log_activate(name)
         _obs_count("gateway.datasets.activated")
         return ActivateResponse(name=name, activated=True)
 
@@ -268,18 +412,23 @@ class GatewayApp:
         not lock the member out of their own identity).
         """
         manager = self._require_manager()
-        with self._lock:
-            if member_id is not None and member_id in self._members_by_id:
-                record = self._members_by_id[member_id]
-                return JoinResponse(member_id=record.member_id, token=record.token)
-            if member_id is None:
-                member_id = f"w{len(self._members_by_id) + 1}"
-                while member_id in self._members_by_id:
-                    member_id = f"w{len(self._members_by_id) + secrets.randbelow(1000) + 2}"
-            record = _MemberRecord(member_id=member_id, token=self._mint())
-            self._members_by_token[record.token] = record
-            self._members_by_id[member_id] = record
-        manager.attach_member(member_id)
+        with self._mutate:
+            with self._lock:
+                if member_id is not None and member_id in self._members_by_id:
+                    record = self._members_by_id[member_id]
+                    return JoinResponse(
+                        member_id=record.member_id, token=record.token
+                    )
+                if member_id is None:
+                    member_id = f"w{len(self._members_by_id) + 1}"
+                    while member_id in self._members_by_id:
+                        member_id = f"w{len(self._members_by_id) + secrets.randbelow(1000) + 2}"
+                record = _MemberRecord(member_id=member_id, token=self._mint())
+                self._members_by_token[record.token] = record
+                self._members_by_id[member_id] = record
+            manager.attach_member(member_id)
+            if self.journal is not None:
+                self.journal.log_join(record.member_id, record.token)
         _obs_count("gateway.members.joined")
         return JoinResponse(member_id=record.member_id, token=record.token)
 
@@ -299,25 +448,28 @@ class GatewayApp:
                 )
             text = dataset.query(request.threshold)  # type: ignore[attr-defined]
         session_id = request.session_id
-        with self._lock:
-            if session_id is None:
-                self._next_session += 1
-                session_id = f"g{self._next_session}"
-            if session_id in self._sessions:
-                raise ConflictError(f"session {session_id!r} already exists")
-        try:
-            manager.create_session(
-                text, session_id=session_id, sample_size=request.sample_size
-            )
-        except ValueError as error:
-            raise ConflictError(str(error)) from error
-        except Exception as error:
-            # a query that fails to parse/validate is a client error
-            raise GatewayError(f"query rejected: {error}") from error
-        with self._lock:
-            self._sessions[session_id] = _SessionRecord(
-                session_id=session_id, query_text=text
-            )
+        with self._mutate:
+            with self._lock:
+                if session_id is None:
+                    self._next_session += 1
+                    session_id = f"g{self._next_session}"
+                if session_id in self._sessions:
+                    raise ConflictError(f"session {session_id!r} already exists")
+            try:
+                manager.create_session(
+                    text, session_id=session_id, sample_size=request.sample_size
+                )
+            except ValueError as error:
+                raise ConflictError(str(error)) from error
+            except Exception as error:
+                # a query that fails to parse/validate is a client error
+                raise GatewayError(f"query rejected: {error}") from error
+            with self._lock:
+                self._sessions[session_id] = _SessionRecord(
+                    session_id=session_id, query_text=text
+                )
+            if self.journal is not None:
+                self.journal.log_query(session_id, text, request.sample_size)
         _obs_count("gateway.queries.posed")
         return QueryAccepted(session_id=session_id, query=text)
 
@@ -345,60 +497,119 @@ class GatewayApp:
             raise ForbiddenError(str(error)) from error
         now = manager.clock()
         questions: List[QuestionDTO] = []
-        with self._lock:
-            for dispatched in batch:
-                self._next_qid += 1
-                qid = f"q{self._next_qid}"
-                self._questions[qid] = dispatched
-                record = self._sessions.get(dispatched.session_id)
-                if record is not None:
-                    record.qids.append(qid)
-                facts: Tuple[Tuple[str, str, str], ...] = ()
-                if dispatched.fact_set is not None:
-                    facts = facts_to_wire(dispatched.fact_set)
-                questions.append(
-                    QuestionDTO(
-                        qid=qid,
-                        session_id=dispatched.session_id,
-                        text=dispatched.text,
-                        facts=facts,
-                        deadline_s=max(0.0, dispatched.deadline - now),
-                        attempt=dispatched.attempt,
+        mints: List[Tuple[str, str, str, str]] = []
+        with self._mutate:
+            with self._lock:
+                for dispatched in batch:
+                    self._next_qid += 1
+                    qid = f"q{self._next_qid}"
+                    self._questions[qid] = dispatched
+                    record = self._sessions.get(dispatched.session_id)
+                    if record is not None:
+                        record.qids.append(qid)
+                    facts: Tuple[Tuple[str, str, str], ...] = ()
+                    if dispatched.fact_set is not None:
+                        facts = facts_to_wire(dispatched.fact_set)
+                    mints.append(
+                        (
+                            qid,
+                            dispatched.session_id,
+                            repr(dispatched.assignment),
+                            dispatched.member_id,
+                        )
                     )
-                )
+                    questions.append(
+                        QuestionDTO(
+                            qid=qid,
+                            session_id=dispatched.session_id,
+                            text=dispatched.text,
+                            facts=facts,
+                            deadline_s=max(0.0, dispatched.deadline - now),
+                            attempt=dispatched.attempt,
+                        )
+                    )
+            if self.journal is not None and mints:
+                self.journal.log_mint(mints)
         return QuestionBatch(questions=tuple(questions))
 
     # --------------------------------------------------------------- answers
 
     def submit_answer(
-        self, member_id: str, qid: str, support: Optional[float]
+        self,
+        member_id: str,
+        qid: str,
+        support: Optional[float],
+        *,
+        idempotency_key: Optional[str] = None,
     ) -> AnswerResponse:
         """Feed one answer to the session layer; duplicates are idempotent.
 
         A re-submission of an already-answered qid comes back ``stale``
         (the session layer drops the second application), so a client
         that retries after a dropped connection cannot double-count.
+
+        ``idempotency_key`` makes the idempotence survive a gateway
+        restart: the first application's outcome is journaled under the
+        key, and any retry — to this process or to a restored successor —
+        returns the stored outcome without touching the session layer.
+        A qid minted by a *previous* incarnation (present in the restored
+        mint ledger but with no live dispatch) also resolves ``stale``
+        rather than 404: the session layer re-dispatches that node, so
+        the late answer is merely obsolete, not unknown.
         """
         manager = self._require_manager()
-        with self._lock:
-            dispatched = self._questions.get(qid)
-            already = self._answered.get(qid)
-        if dispatched is None:
-            raise NotFoundError(f"unknown question id {qid!r}")
-        if dispatched.member_id != member_id:
-            _obs_count("gateway.auth.rejected")
-            raise ForbiddenError(
-                f"question {qid} was dispatched to another member"
-            )
-        outcome = manager.submit(dispatched, support)
-        name = outcome.name.lower()
-        if already is not None:
-            _obs_count("gateway.answers.duplicate")
-        elif name in ("recorded", "passed"):
-            _obs_count("gateway.answers.accepted")
-        with self._lock:
-            if already is None:
-                self._answered[qid] = name
+        with self._mutate:
+            if idempotency_key is not None:
+                with self._lock:
+                    hit = self._idempotency.get(idempotency_key)
+                if hit is not None:
+                    _obs_count("gateway.answers.deduped")
+                    return AnswerResponse(qid=hit[0], outcome=hit[1])
+            with self._lock:
+                dispatched = self._questions.get(qid)
+                already = self._answered.get(qid)
+                minted = self._minted.get(qid)
+            if dispatched is None:
+                if minted is None and already is None:
+                    raise NotFoundError(f"unknown question id {qid!r}")
+                # pre-crash qid: the live dispatch died with the previous
+                # process; its node is re-dispatched by the session layer
+                name = already if already is not None else "stale"
+                _obs_count("gateway.answers.duplicate")
+                with self._lock:
+                    if idempotency_key is not None:
+                        self._idempotency[idempotency_key] = (qid, name)
+                return AnswerResponse(qid=qid, outcome=name)
+            if dispatched.member_id != member_id:
+                _obs_count("gateway.auth.rejected")
+                raise ForbiddenError(
+                    f"question {qid} was dispatched to another member"
+                )
+            outcome = manager.submit(dispatched, support)
+            name = outcome.name.lower()
+            if already is not None:
+                _obs_count("gateway.answers.duplicate")
+            elif name in ("recorded", "passed"):
+                _obs_count("gateway.answers.accepted")
+            with self._lock:
+                if already is None:
+                    self._answered[qid] = name
+                if idempotency_key is not None:
+                    self._idempotency[idempotency_key] = (qid, name)
+            if (
+                self.journal is not None
+                and already is None
+                and name in ("recorded", "passed")
+            ):
+                self.journal.log_answer(
+                    qid=qid,
+                    session_id=dispatched.session_id,
+                    key=repr(dispatched.assignment),
+                    member_id=member_id,
+                    support=support,
+                    outcome=name,
+                    idempotency_key=idempotency_key,
+                )
         return AnswerResponse(qid=qid, outcome=name)
 
     # --------------------------------------------------------------- results

@@ -2,10 +2,18 @@
 
 :class:`GatewayClient` is the reference consumer of the wire schema: a
 small ``http.client`` wrapper whose methods return the same typed DTOs
-the server encodes.  It retries once on a dropped connection, which is
-exactly the discipline an injected ``DISCONNECT`` fault demands — every
-gateway endpoint is idempotent-or-safe to retry (``/answer`` re-plays
-come back ``stale``).
+the server encodes.  Transport failures retry under a
+:class:`RetryPolicy` — jittered exponential backoff with a wall-clock
+budget, seedable for determinism — which is exactly the discipline both
+an injected ``DISCONNECT`` fault and a *restarting gateway* demand:
+every gateway endpoint is idempotent-or-safe to retry (``/answer``
+re-plays come back ``stale``, and with an ``idempotency_key`` the
+exactly-once guarantee survives a gateway restart).  ``429`` responses
+are honored uniformly: the client sleeps the server-advertised
+``retry_after_s`` (within the retry budget) before re-issuing, so
+recovering servers are never stormed.  The remaining budget is
+propagated to the server as the wire ``deadline_s`` field so a long
+poll never parks a client past its own deadline.
 
 :func:`replay_campaign` drives a full simulated-member campaign over
 loopback HTTP: activate a domain, pose sessions, run one answering
@@ -26,8 +34,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..crowd.member import CrowdMember
@@ -58,6 +68,35 @@ class GatewayClientError(RuntimeError):
         self.detail = detail
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff with a wall-clock retry budget.
+
+    Attempt ``n`` (0-based) sleeps ``backoff_base * 2**n`` capped at
+    ``backoff_cap``, scaled down by up to ``jitter`` (a fraction in
+    ``[0, 1]``) of itself — full-jitter style, so a fleet of clients
+    retrying against a recovering gateway spreads out instead of
+    thundering in lockstep.  ``budget_s`` bounds the *total* wall time
+    spent sleeping between attempts; a 429's server-advertised
+    ``retry_after_s`` is honored within the same budget.  ``seed``
+    makes the jitter deterministic for tests and chaos replays.
+    """
+
+    retries: int = 4
+    backoff_base: float = 0.02
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    budget_s: float = 30.0
+    seed: Optional[int] = None
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """The backoff before retry ``attempt`` (0-based), jittered."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        if self.jitter <= 0.0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
+
+
 class GatewayClient:
     """A minimal blocking client for one gateway."""
 
@@ -68,13 +107,22 @@ class GatewayClient:
         *,
         token: Optional[str] = None,
         timeout: float = 30.0,
-        retries: int = 1,
+        retries: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.token = token
         self.timeout = timeout
-        self.retries = retries
+        if retry is None:
+            retry = RetryPolicy() if retries is None else RetryPolicy(
+                retries=retries
+            )
+        elif retries is not None:
+            raise ValueError("pass either retries or retry, not both")
+        self.retry = retry
+        self.retries = retry.retries
+        self._rng = random.Random(retry.seed)
         self._connection: Optional[http.client.HTTPConnection] = None
 
     # -------------------------------------------------------------- plumbing
@@ -102,8 +150,10 @@ class GatewayClient:
         bearer = token if token is not None else self.token
         if bearer:
             headers["Authorization"] = f"Bearer {bearer}"
+        policy = self.retry
+        budget_ends = time.monotonic() + policy.budget_s
         last: Optional[Exception] = None
-        for _attempt in range(self.retries + 1):
+        for attempt in range(policy.retries + 1):
             try:
                 if self._connection is None:
                     self._connection = http.client.HTTPConnection(
@@ -118,10 +168,15 @@ class GatewayClient:
                 http.client.HTTPException,
                 OSError,
             ) as error:
-                # dropped mid-exchange (e.g. an injected DISCONNECT):
-                # reset the connection and retry idempotently
+                # dropped mid-exchange (an injected DISCONNECT, or the
+                # gateway restarting): reset the connection and retry
+                # idempotently under the jittered backoff
                 self.close()
                 last = error
+                if attempt >= policy.retries or not self._backoff(
+                    policy.delay(attempt, self._rng), budget_ends
+                ):
+                    break
                 continue
             try:
                 decoded = json.loads(raw.decode("utf-8")) if raw else {}
@@ -129,6 +184,17 @@ class GatewayClient:
                 raise GatewayClientError(
                     status, "undecodable", f"bad response body: {error}"
                 )
+            if status == 429 and attempt < policy.retries:
+                # honor the server's pushback uniformly: sleep what it
+                # asked for (or our own backoff), then re-issue
+                advertised = decoded.get("retry_after_s")
+                pause = (
+                    float(advertised)
+                    if isinstance(advertised, (int, float))
+                    else policy.delay(attempt, self._rng)
+                )
+                if self._backoff(pause, budget_ends):
+                    continue
             if status >= 400:
                 raise GatewayClientError(
                     status,
@@ -139,6 +205,18 @@ class GatewayClient:
         raise GatewayClientError(
             0, "unreachable", f"gateway did not respond: {last}"
         )
+
+    def _backoff(self, delay: float, budget_ends: float) -> bool:
+        """Sleep ``delay`` within the retry budget; False = budget spent."""
+        remaining = budget_ends - time.monotonic()
+        if remaining <= 0.0:
+            return False
+        time.sleep(max(0.0, min(delay, remaining)))
+        return True
+
+    def remaining_budget(self) -> float:
+        """The policy's full retry budget (propagated as ``deadline_s``)."""
+        return self.retry.budget_s
 
     # ------------------------------------------------------------- endpoints
 
@@ -179,20 +257,38 @@ class GatewayClient:
         )
 
     def next_questions(
-        self, *, wait: float = 0.0, k: Optional[int] = None
+        self,
+        *,
+        wait: float = 0.0,
+        k: Optional[int] = None,
+        deadline_s: Optional[float] = None,
     ) -> QuestionBatch:
         path = f"/next?wait={wait}"
         if k is not None:
             path += f"&k={k}"
+        if deadline_s is None:
+            deadline_s = self.remaining_budget()
+        path += f"&deadline_s={deadline_s}"
         return QuestionBatch.from_wire(self._request("GET", path))
 
     def submit_answer(
-        self, qid: str, support: Optional[float]
+        self,
+        qid: str,
+        support: Optional[float],
+        *,
+        idempotency_key: Optional[str] = None,
+        deadline_s: Optional[float] = None,
     ) -> AnswerResponse:
+        request = AnswerRequest(
+            qid,
+            support,
+            idempotency_key=idempotency_key,
+            deadline_s=(
+                deadline_s if deadline_s is not None else self.remaining_budget()
+            ),
+        )
         return AnswerResponse.from_wire(
-            self._request(
-                "POST", "/answer", AnswerRequest(qid, support).to_wire()
-            )
+            self._request("POST", "/answer", request.to_wire())
         )
 
     def result(self, session_id: str) -> ResultResponse:
@@ -217,7 +313,11 @@ def _member_loop(
     errors: List[str],
 ) -> None:
     """One simulated member: long-poll, answer, repeat until the campaign ends."""
-    client = GatewayClient(host, port, token=token)
+    # per-member deterministic jitter: the fleet must not retry in lockstep
+    policy = RetryPolicy(
+        retries=8, seed=sum(ord(ch) for ch in member.member_id)
+    )
+    client = GatewayClient(host, port, token=token, retry=policy)
     try:
         while not done.is_set():
             try:
@@ -234,7 +334,11 @@ def _member_loop(
                     ConcreteQuestion(question.qid, fact_set)
                 )
                 try:
-                    client.submit_answer(question.qid, answer.support)
+                    client.submit_answer(
+                        question.qid,
+                        answer.support,
+                        idempotency_key=f"{member.member_id}:{question.qid}",
+                    )
                 except GatewayClientError as error:
                     if error.status == 404:
                         continue  # reaped while we were answering

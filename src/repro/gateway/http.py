@@ -33,8 +33,17 @@ a response; ``SLOW_CLIENT`` stalls the response by
 ``slow_client_delay`` seconds.  Both are counted.
 
 Every request increments ``gateway.requests`` and lands one sample in
-the per-endpoint ``gateway.latency.*`` histogram (parse-to-flush wall
-time), registered in :mod:`repro.observability.names`.
+the per-endpoint ``gateway.latency.*`` histogram, registered in
+:mod:`repro.observability.names`.  Time a ``/next`` request spends
+*parked* in the long poll is not service time: it is recorded separately
+in ``gateway.poll.wait`` and subtracted from the ``gateway.latency.next``
+sample, so the handler histogram measures actual work (the PR 8 bench
+conflated the two and reported the poll sleep as p99).
+
+``GET /next`` also accepts ``deadline_s`` — the client's remaining retry
+budget, propagated from :class:`~repro.gateway.client.RetryPolicy` — and
+caps the long-poll wait to it so a recovering server never parks a
+client past its own deadline.
 """
 
 from __future__ import annotations
@@ -108,7 +117,15 @@ class _BadRequest(Exception):
 class _Request:
     """One parsed HTTP request."""
 
-    __slots__ = ("method", "path", "query", "headers", "body", "keep_alive")
+    __slots__ = (
+        "method",
+        "path",
+        "query",
+        "headers",
+        "body",
+        "keep_alive",
+        "poll_wait",
+    )
 
     def __init__(
         self,
@@ -125,6 +142,9 @@ class _Request:
         self.headers = headers
         self.body = body
         self.keep_alive = keep_alive
+        #: seconds this request spent parked in the long poll — excluded
+        #: from its service-time histogram sample
+        self.poll_wait = 0.0
 
     def bearer_token(self) -> Optional[str]:
         value = self.headers.get("authorization", "")
@@ -200,19 +220,24 @@ class GatewayServer:
                     return
                 started = time.perf_counter()
                 keep_alive = await self._dispatch(request, writer)
+                elapsed = time.perf_counter() - started
+                if request.poll_wait > 0.0:
+                    _obs_observe("gateway.poll.wait", request.poll_wait)
                 _obs_observe(
                     _LATENCY_NAMES.get(request.path, "gateway.latency.other"),
-                    time.perf_counter() - started,
+                    max(0.0, elapsed - request.poll_wait),
                 )
                 if not keep_alive:
                     return
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-exchange; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server tearing down (restart); connection dies with it
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
                 pass  # already torn down; close is best-effort
 
     async def _survive_faults(
@@ -316,7 +341,9 @@ class GatewayServer:
         except BackpressureError as error:
             _obs_count("gateway.backpressure.rejected")
             status, payload = error.status, ErrorResponse(
-                error.error, error.detail
+                error.error,
+                error.detail,
+                retry_after_s=self.app.config.poll_interval * 10,
             ).to_wire()
         except GatewayError as error:
             if error.status not in (401, 403):
@@ -362,7 +389,10 @@ class GatewayServer:
             member = app.authenticate(request.bearer_token())
             decoded_answer = AnswerRequest.from_wire(request.json())
             response = app.submit_answer(
-                member, decoded_answer.qid, decoded_answer.support
+                member,
+                decoded_answer.qid,
+                decoded_answer.support,
+                idempotency_key=decoded_answer.idempotency_key,
             )
             return 200, response.to_wire()
         if path == "/result" and method == "GET":
@@ -387,14 +417,21 @@ class GatewayServer:
             wait = float(request.query.get("wait", "0"))
             k_text = request.query.get("k")
             k = int(k_text) if k_text is not None else None
+            deadline_text = request.query.get("deadline_s")
+            client_deadline = (
+                float(deadline_text) if deadline_text is not None else None
+            )
         except ValueError:
-            raise _BadRequest(400, "wait and k must be numbers")
+            raise _BadRequest(400, "wait, k and deadline_s must be numbers")
         if app.at_capacity(member_id):
             raise BackpressureError(
                 f"member {member_id} is at the in-flight limit "
                 f"({app.config.in_flight_limit}); answer something first"
             )
         wait = max(0.0, min(wait, app.config.long_poll_max_wait))
+        if client_deadline is not None:
+            # never park a client past its own propagated retry budget
+            wait = max(0.0, min(wait, client_deadline))
         loop = asyncio.get_running_loop()
         deadline = loop.time() + wait
         waited = False
@@ -410,7 +447,9 @@ class GatewayServer:
                 empty = batch.to_wire()
                 empty["retry_after_s"] = app.config.poll_interval * 10
                 return 200, empty
+            slept_from = loop.time()
             await asyncio.sleep(app.config.poll_interval)
+            request.poll_wait += loop.time() - slept_from
 
     # -------------------------------------------------------------- response
 

@@ -336,21 +336,41 @@ class QuestionBatch:
 
 @dataclass(frozen=True)
 class AnswerRequest:
-    """``POST /answer``: ``support=None`` is an explicit pass."""
+    """``POST /answer``: ``support=None`` is an explicit pass.
+
+    ``idempotency_key`` is a client-minted opaque string, stable across
+    the retries of *one* submit: a gateway that already journaled an
+    answer under the key returns the recorded outcome without applying
+    the answer again — exactly-once even across a gateway restart.
+    ``deadline_s`` propagates the client's remaining retry budget so a
+    recovering server can shed work the client will no longer wait for.
+    Both fields are additive (absent = PR 8 behavior), so no version
+    bump.
+    """
 
     qid: str
     support: Optional[float] = None
+    idempotency_key: Optional[str] = None
+    deadline_s: Optional[float] = None
 
     def to_wire(self) -> Dict[str, Any]:
-        return _stamp({"qid": self.qid, "support": self.support})
+        body: Dict[str, Any] = {"qid": self.qid, "support": self.support}
+        if self.idempotency_key is not None:
+            body["idempotency_key"] = self.idempotency_key
+        if self.deadline_s is not None:
+            body["deadline_s"] = self.deadline_s
+        return _stamp(body)
 
     @classmethod
     def from_wire(cls, payload: Any) -> "AnswerRequest":
         payload = check_version(payload)
         support = _take(payload, "support", (int, float), None)
+        deadline = _take(payload, "deadline_s", (int, float), None)
         return cls(
             qid=_take(payload, "qid", (str,)),
             support=None if support is None else float(support),
+            idempotency_key=_take(payload, "idempotency_key", (str,), None),
+            deadline_s=None if deadline is None else float(deadline),
         )
 
 
@@ -428,20 +448,32 @@ class ResultResponse:
 
 @dataclass(frozen=True)
 class ErrorResponse:
-    """Every non-2xx body: a machine-readable ``error`` plus detail."""
+    """Every non-2xx body: a machine-readable ``error`` plus detail.
+
+    A 429 (backpressure) carries ``retry_after_s`` — the server's own
+    estimate of when retrying is worth it; retrying clients honor it
+    uniformly across endpoints instead of guessing (additive field, no
+    version bump).
+    """
 
     error: str
     detail: str = ""
+    retry_after_s: Optional[float] = None
 
     def to_wire(self) -> Dict[str, Any]:
-        return _stamp({"error": self.error, "detail": self.detail})
+        body: Dict[str, Any] = {"error": self.error, "detail": self.detail}
+        if self.retry_after_s is not None:
+            body["retry_after_s"] = self.retry_after_s
+        return _stamp(body)
 
     @classmethod
     def from_wire(cls, payload: Any) -> "ErrorResponse":
         payload = check_version(payload)
+        retry_after = _take(payload, "retry_after_s", (int, float), None)
         return cls(
             error=_take(payload, "error", (str,)),
             detail=_take(payload, "detail", (str,), ""),
+            retry_after_s=None if retry_after is None else float(retry_after),
         )
 
 

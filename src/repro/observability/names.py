@@ -54,6 +54,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "faults.injected.timeout",
         # the network-facing crowd gateway (repro.gateway)
         "gateway.answers.accepted",
+        "gateway.answers.deduped",
         "gateway.answers.duplicate",
         "gateway.auth.rejected",
         "gateway.backpressure.rejected",
@@ -61,6 +62,12 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "gateway.disconnects.injected",
         "gateway.errors.client",
         "gateway.errors.server",
+        "gateway.journal.appends",
+        "gateway.journal.compactions",
+        "gateway.journal.corrupt_skipped",
+        "gateway.journal.replayed",
+        "gateway.journal.restore_failures",
+        "gateway.journal.restores",
         "gateway.longpoll.empty",
         "gateway.longpoll.waits",
         "gateway.mcp.calls",
@@ -153,6 +160,14 @@ COUNTER_NAMES: FrozenSet[str] = frozenset(
         "shard.shutdown.errors",
         "shard.spawns",
         "shard.wal.replayed",
+        # the shard-fleet heartbeat supervisor (repro.service.supervisor)
+        "supervisor.deaths.detected",
+        "supervisor.degraded",
+        "supervisor.heartbeats.missed",
+        "supervisor.heartbeats.sent",
+        "supervisor.members.rehashed",
+        "supervisor.restart.failures",
+        "supervisor.restarts",
         # SPARQL-ish BGP evaluation
         "sparql.closure_cache.hits",
         "sparql.closure_cache.misses",
@@ -175,6 +190,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "engine.execute",
         "engine.parse",
         "engine.replay",
+        "gateway.restore",
         "lattice.build",
         "lattice.expand",
         "mine.horizontal",
@@ -191,6 +207,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset(
         "shard.spawn",
         "shard.start",
         "sparql.match",
+        "supervisor.restart",
     }
 )
 
@@ -209,6 +226,7 @@ HISTOGRAM_NAMES: FrozenSet[str] = frozenset(
         "gateway.latency.other",
         "gateway.latency.query",
         "gateway.latency.result",
+        "gateway.poll.wait",
     }
 )
 

@@ -30,6 +30,7 @@ from .recovery import read_checkpoint, resolve_journal, restore_session
 from .runner import DEPART, DROP, MemberScript, ServiceRunner
 from .session import CHECKPOINT_VERSION, QuerySession, SessionState
 from .simulation import DOMAINS, build_identical_crowd, run_simulation
+from .supervisor import ShardSupervisor, SupervisorConfig
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -43,6 +44,8 @@ __all__ = [
     "ServiceRunner",
     "SessionManager",
     "SessionState",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "build_identical_crowd",
     "read_checkpoint",
     "resolve_journal",

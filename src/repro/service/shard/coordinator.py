@@ -21,22 +21,44 @@ lives in the shard processes, each of which owns its member partition
 exclusively.  Backpressure is a per-shard cap on outstanding asks;
 batching groups asks into one frame up to ``batch_size``.
 
-Failure story (see ``docs/SHARDING.md``): :meth:`kill_shard` +
-:meth:`restore_shard` implement the chaos campaign's kill-one-shard →
-WAL-restore cycle.  Asks in flight at the dead shard are re-sent after
-restore; the stable per-node ``qid`` makes the restored shard select the
-*same* members, whose answers its replayed WAL already holds, so
-recovery never recomputes and never diverges.
+Failure story (see ``docs/SHARDING.md`` and ``docs/RELIABILITY.md``):
+:meth:`kill_shard` + :meth:`restore_shard` implement the chaos
+campaign's kill-one-shard → WAL-restore cycle.  Asks in flight at the
+dead shard are re-sent after restore; the stable per-node ``qid`` makes
+the restored shard select the *same* members, whose answers its
+replayed WAL already holds, so recovery never recomputes and never
+diverges.  With a :class:`~repro.service.supervisor.ShardSupervisor`
+attached, death detection and restart become *automatic*: a socket EOF,
+a torn frame, a dead process or a missed heartbeat routes through
+:meth:`_on_shard_failure` to the supervisor instead of raising, and the
+supervisor restarts the shard (WAL replay) or — after bounded restart
+failures — retires it via :meth:`degrade`, re-hashing its members onto
+survivors through the ring's churn path.  :meth:`abort` is the
+coordinator-crash fault: hard teardown with no shutdown handshake, so a
+rebuilt coordinator over the same ``durable_dir`` proves WAL recovery.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import selectors
+import signal
 import socket
 import time
 from pathlib import Path
-from typing import Any, Callable, Deque, Dict, List, Optional, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from collections import deque
 
@@ -51,12 +73,17 @@ from .protocol import (
     Runs,
     ask_batch_frame,
     ask_entry,
+    ping_frame,
     recv_frame,
+    reshard_frame,
     runs_total,
     send_frame,
     shutdown_frame,
 )
 from .worker import STAT_KEYS, member_ids, shard_main
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from ..supervisor import ShardSupervisor
 
 #: the coordinator's single traversal identity inside each QueueManager
 VIRTUAL_MEMBER = "shard-coordinator"
@@ -90,7 +117,21 @@ class _NodeAsk:
 class _ShardHandle:
     """Coordinator-side state of one shard process."""
 
-    __slots__ = ("index", "spec", "process", "sock", "alive", "outstanding", "inflight", "members", "replayed", "stats")
+    __slots__ = (
+        "index",
+        "spec",
+        "process",
+        "sock",
+        "alive",
+        "outstanding",
+        "inflight",
+        "members",
+        "replayed",
+        "stats",
+        "last_seen",
+        "ping_sent",
+        "retired",
+    )
 
     def __init__(self, index: int, spec: Dict[str, Any]) -> None:
         self.index = index
@@ -103,6 +144,12 @@ class _ShardHandle:
         self.members = 0
         self.replayed = 0
         self.stats: Dict[str, int] = {}
+        #: monotonic time of the last frame received (heartbeat liveness)
+        self.last_seen = 0.0
+        #: an unanswered ping as ``(seq, sent_at)``; None when quiet
+        self.ping_sent: Optional[Tuple[int, float]] = None
+        #: True once the supervisor gave up and rehashed this shard away
+        self.retired = False
 
 
 class _Session:
@@ -141,6 +188,7 @@ class ShardCoordinator:
         max_runtime: float = 120.0,
         spawn_timeout: float = 60.0,
         chaos_hook: Optional[Callable[["ShardCoordinator"], None]] = None,
+        supervisor: Optional["ShardSupervisor"] = None,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be at least 1")
@@ -165,8 +213,11 @@ class ShardCoordinator:
         self.partitions = self.ring.partition(member_ids(crowd_size))
         self.quotas = split_quota(sample_size, [len(p) for p in self.partitions])
         self.chaos_hook = chaos_hook
+        #: heartbeat monitor + auto-restart; None = PR 7 manual chaos
+        self.supervisor = supervisor
         self.timed_out = False
         self.nodes_classified = 0
+        self._ping_seq = 0
         self._started = False
         self._closed = False
         self._elapsed = 0.0
@@ -227,6 +278,8 @@ class ShardCoordinator:
             handle.alive = True
             handle.outstanding = 0
             handle.inflight = set()
+            handle.last_seen = time.monotonic()
+            handle.ping_sent = None
             self._selector.register(parent_sock, selectors.EVENT_READ, handle)
         _obs_count("shard.spawns")
 
@@ -278,6 +331,8 @@ class ShardCoordinator:
             while True:
                 if self.chaos_hook is not None:
                     self.chaos_hook(self)
+                if self.supervisor is not None:
+                    self.supervisor.tick(self)
                 progressed = self._dispatch()
                 if self._check_complete():
                     break
@@ -371,7 +426,13 @@ class ShardCoordinator:
                 handle.inflight.add(qid)
             if not entries:
                 break
-            send_frame(handle.sock, ask_batch_frame(entries))
+            try:
+                send_frame(handle.sock, ask_batch_frame(entries))
+            except OSError as error:
+                # the shard died under us mid-write; its inflight set
+                # already holds these qids, so a restore re-sends them
+                self._on_shard_failure(handle, f"ask write failed: {error}")
+                return sent
             handle.outstanding += len(entries)
             sent = True
             _obs_count("shard.batches.sent")
@@ -389,18 +450,57 @@ class ShardCoordinator:
             if not isinstance(handle, _ShardHandle) or not handle.alive:
                 continue
             assert handle.sock is not None
-            frame = recv_frame(handle.sock)
+            try:
+                frame = recv_frame(handle.sock)
+            except ProtocolError as error:
+                self._on_shard_failure(handle, f"torn frame: {error}")
+                continue
             if frame is None:
-                raise RuntimeError(
-                    f"shard {handle.index} exited unexpectedly"
-                )
-            if frame["t"] != "delta":
+                self._on_shard_failure(handle, "connection closed")
+                continue
+            handle.last_seen = time.monotonic()
+            kind = frame["t"]
+            if kind == "delta":
+                self._on_delta(handle, frame)
+                drained = True
+            elif kind == "pong":
+                handle.ping_sent = None
+            elif kind == "resharded":
+                handle.members = int(frame["members"])
+            else:
                 raise ProtocolError(
-                    f"unexpected {frame['t']!r} frame from shard {handle.index}"
+                    f"unexpected {kind!r} frame from shard {handle.index}"
                 )
-            self._on_delta(handle, frame)
-            drained = True
         return drained
+
+    def _on_shard_failure(self, handle: _ShardHandle, reason: str) -> None:
+        """A shard's socket or process failed mid-serve.
+
+        Without a supervisor this is fatal, exactly the PR 7 behavior.
+        With one, the handle is torn down and the death is reported; the
+        supervisor's next tick restarts the shard or degrades around it.
+        """
+        if self.supervisor is None:
+            raise RuntimeError(
+                f"shard {handle.index} exited unexpectedly ({reason})"
+            )
+        self._mark_dead(handle)
+        self.supervisor.record_death(handle.index, reason)
+
+    def _mark_dead(self, handle: _ShardHandle) -> None:
+        """Tear one shard's handle down (idempotent; kills a live process)."""
+        if handle.sock is not None:
+            try:
+                self._selector.unregister(handle.sock)
+            except (KeyError, ValueError):
+                pass  # selector already forgot it (double teardown)
+            handle.sock.close()
+            handle.sock = None
+        if handle.process is not None and handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=self.spawn_timeout)
+        handle.alive = False
+        handle.ping_sent = None
 
     def _on_delta(self, handle: _ShardHandle, frame: Dict[str, Any]) -> None:
         qid = int(frame["qid"])
@@ -478,14 +578,20 @@ class ShardCoordinator:
         handle = self._handles[index]
         if not handle.alive:
             return
-        assert handle.sock is not None and handle.process is not None
-        self._selector.unregister(handle.sock)
-        handle.process.kill()
-        handle.process.join(timeout=self.spawn_timeout)
-        handle.sock.close()
-        handle.sock = None
-        handle.alive = False
+        self._mark_dead(handle)
         _obs_count("shard.kills")
+
+    def hang_shard(self, index: int) -> None:
+        """SIGSTOP one shard: alive process, dead protocol (the hang fault).
+
+        Only the heartbeat can catch this — the socket stays open and
+        the process stays "alive", but pings go unanswered until the
+        supervisor declares it unresponsive and kills it for real.
+        """
+        handle = self._handles[index]
+        if not handle.alive or handle.process is None or handle.process.pid is None:
+            return
+        os.kill(handle.process.pid, signal.SIGSTOP)
 
     def restore_shard(self, index: int) -> int:
         """Respawn a killed shard on its WAL; re-send its lost asks.
@@ -495,7 +601,7 @@ class ShardCoordinator:
         from memory — the WAL-restore path of ``docs/SHARDING.md``.
         """
         handle = self._handles[index]
-        if handle.alive:
+        if handle.alive or handle.retired:
             return 0
         lost = sorted(handle.inflight)
         with _obs_span("shard.restore"):
@@ -514,8 +620,113 @@ class ShardCoordinator:
         _obs_count("shard.asks.resent", reasks)
         return reasks
 
+    def ping_shard(self, index: int) -> bool:
+        """Send a heartbeat probe; False when the write itself failed."""
+        handle = self._handles[index]
+        if not handle.alive or handle.sock is None:
+            return False
+        self._ping_seq += 1
+        try:
+            send_frame(handle.sock, ping_frame(self._ping_seq))
+        except OSError as error:
+            self._on_shard_failure(handle, f"ping write failed: {error}")
+            return False
+        handle.ping_sent = (self._ping_seq, time.monotonic())
+        return True
+
+    def degrade(self, index: int) -> int:
+        """Retire a dead shard and re-hash its members onto survivors.
+
+        The alive-aware ring recomputes partitions (only the retired
+        shard's members move — the churn property), quotas are re-split,
+        survivors get a ``reshard`` frame, and every not-yet-fed ask is
+        re-planned under a *fresh* qid so any delta still in flight for
+        the old plan drops on the existing stale path instead of
+        tripping the quota check.  Returns the member count re-hashed.
+        """
+        handle = self._handles[index]
+        if handle.retired:
+            return 0
+        if handle.alive:
+            self._mark_dead(handle)
+        handle.retired = True
+        alive = {
+            h.index for h in self._handles if h.alive and not h.retired
+        }
+        if not alive:
+            raise RuntimeError("no living shards left to degrade onto")
+        moved = len(self.partitions[index])
+        self.partitions = self.ring.partition(
+            member_ids(self.crowd_size), alive
+        )
+        self.quotas = split_quota(
+            self.sample_size, [len(p) for p in self.partitions]
+        )
+        for survivor in self._handles:
+            if survivor.alive and survivor.sock is not None:
+                try:
+                    send_frame(
+                        survivor.sock,
+                        reshard_frame(
+                            sorted(alive), self.quotas[survivor.index]
+                        ),
+                    )
+                except OSError as error:
+                    self._on_shard_failure(
+                        survivor, f"reshard write failed: {error}"
+                    )
+        replan = [
+            (session, ask)
+            for session, ask in self._asks.values()
+            if not ask.fed
+        ]
+        self._asks.clear()
+        for queue in self._sendq:
+            queue.clear()
+        for h in self._handles:
+            h.inflight.clear()
+            h.outstanding = 0
+        for session, ask in replan:
+            qid = self._next_qid
+            self._next_qid += 1
+            self._qids[(session.session_id, ask.key)] = qid
+            starts = {
+                shard: qid % len(self.partitions[shard])
+                for shard, quota in enumerate(self.quotas)
+                if quota > 0
+            }
+            fresh = _NodeAsk(
+                session.session_id, ask.node, ask.key, qid, ask.facts, starts
+            )
+            self._asks[qid] = (session, fresh)
+            for shard in fresh.waiting:
+                self._sendq[shard].append(qid)
+        return moved
+
     def alive_shards(self) -> List[int]:
         return [h.index for h in self._handles if h.alive]
+
+    def retired_shards(self) -> List[int]:
+        return [h.index for h in self._handles if h.retired]
+
+    def abort(self) -> None:
+        """Simulate a coordinator crash: hard teardown, no handshakes.
+
+        Kills every shard outright (no shutdown frame, no stats
+        collection) and releases OS resources — the shard WALs under
+        ``durable_dir`` are the only thing that survives, which is the
+        point: a fresh coordinator built over the same directory must
+        recover from them alone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            self._mark_dead(handle)
+        self._selector.close()
+        if self._closures is not None:
+            self._closures.unlink()
+            self._closures = None
 
     # ------------------------------------------------------------------ close
 
@@ -599,4 +810,8 @@ class ShardCoordinator:
                 str(handle.index): dict(handle.stats) for handle in self._handles
             },
             "wal_replayed": sum(h.replayed for h in self._handles),
+            "retired_shards": self.retired_shards(),
+            "supervisor": (
+                self.supervisor.report() if self.supervisor is not None else None
+            ),
         }

@@ -12,13 +12,18 @@ Two properties matter here:
 * **stability under resharding** — growing ``shards`` by one moves only
   ``~1/shards`` of the members, which is what keeps per-shard WAL files
   mostly valid across capacity changes (see ``docs/SHARDING.md``).
+
+The same churn path powers **degraded mode**: ``shard_of`` / ``partition``
+accept an ``alive`` set, and a member whose clockwise owner is dead keeps
+walking the ring to the next living shard — only the dead shard's members
+move, survivors keep their partitions (and their WALs) bit-identical.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence, Tuple
+from typing import AbstractSet, Dict, List, Optional, Sequence, Tuple
 
 #: virtual points per shard; 64 keeps the max/min partition ratio tight
 #: (~1.3 at 4 shards) while the ring stays a few hundred entries
@@ -50,25 +55,49 @@ class HashRing:
         self._points = [p for p, _ in points]
         self._owners = [s for _, s in points]
 
-    def shard_of(self, member_id: str) -> int:
-        """The shard owning ``member_id`` (first point clockwise)."""
-        where = bisect.bisect_right(self._points, _point(member_id))
-        if where == len(self._points):
-            where = 0
-        return self._owners[where]
+    def shard_of(
+        self, member_id: str, alive: Optional[AbstractSet[int]] = None
+    ) -> int:
+        """The shard owning ``member_id`` (first point clockwise).
 
-    def partition(self, member_ids: Sequence[str]) -> List[List[str]]:
-        """Split ``member_ids`` into per-shard lists, input order kept."""
+        With ``alive``, the walk skips points owned by dead shards and
+        settles on the first *living* owner — the consistent-hash churn
+        path: only the dead shard's members move.
+        """
+        if alive is not None and not alive:
+            raise ValueError("alive set must not be empty")
+        where = bisect.bisect_right(self._points, _point(member_id))
+        for step in range(len(self._points)):
+            index = (where + step) % len(self._points)
+            owner = self._owners[index]
+            if alive is None or owner in alive:
+                return owner
+        raise ValueError(f"no living shard owns any ring point: {alive}")
+
+    def partition(
+        self,
+        member_ids: Sequence[str],
+        alive: Optional[AbstractSet[int]] = None,
+    ) -> List[List[str]]:
+        """Split ``member_ids`` into per-shard lists, input order kept.
+
+        Dead shards (not in ``alive``) get empty partitions; their
+        members land on the next living shard clockwise.
+        """
         parts: List[List[str]] = [[] for _ in range(self.shards)]
         for member_id in member_ids:
-            parts[self.shard_of(member_id)].append(member_id)
+            parts[self.shard_of(member_id, alive)].append(member_id)
         return parts
 
-    def counts(self, member_ids: Sequence[str]) -> Dict[int, int]:
+    def counts(
+        self,
+        member_ids: Sequence[str],
+        alive: Optional[AbstractSet[int]] = None,
+    ) -> Dict[int, int]:
         """Members per shard — the balance diagnostic of ``docs/SHARDING.md``."""
         out = {shard: 0 for shard in range(self.shards)}
         for member_id in member_ids:
-            out[self.shard_of(member_id)] += 1
+            out[self.shard_of(member_id, alive)] += 1
         return out
 
 

@@ -23,6 +23,15 @@ type            direction  payload
 ``shutdown``    c → s      graceful stop; the shard flushes and exits
 ``stats``       s → c      final shard counters, sent in response to
                            ``shutdown`` just before exit
+``ping``        c → s      heartbeat probe (``seq``); sent by the
+                           supervisor after a silence interval
+``pong``        s → c      heartbeat reply echoing ``seq``; any frame
+                           counts as liveness, the pong just forces one
+``reshard``     c → s      degraded-mode membership update: ``alive``
+                           (surviving shard indexes) and ``quota`` (this
+                           shard's new per-node answer quota)
+``resharded``   s → c      acknowledges a ``reshard``: ``shard``,
+                           ``members`` (the new local member count)
 ==============  =========  ====================================================
 
 Support **runs** are the batching trick of the delta path: a shard never
@@ -179,3 +188,19 @@ def shutdown_frame() -> Dict[str, Any]:
 
 def stats_frame(shard: int, counters: Dict[str, int]) -> Dict[str, Any]:
     return {"t": "stats", "shard": shard, "counters": counters}
+
+
+def ping_frame(seq: int) -> Dict[str, Any]:
+    return {"t": "ping", "seq": seq}
+
+
+def pong_frame(shard: int, seq: int) -> Dict[str, Any]:
+    return {"t": "pong", "shard": shard, "seq": seq}
+
+
+def reshard_frame(alive: Sequence[int], quota: int) -> Dict[str, Any]:
+    return {"t": "reshard", "alive": sorted(alive), "quota": quota}
+
+
+def resharded_frame(shard: int, members: int) -> Dict[str, Any]:
+    return {"t": "resharded", "shard": shard, "members": members}

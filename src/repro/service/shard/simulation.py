@@ -21,6 +21,7 @@ import os
 
 from ...datasets.base import DomainDataset
 from ...engine.engine import OassisEngine
+from ..supervisor import ShardSupervisor, SupervisorConfig
 from .coordinator import ShardCoordinator
 
 
@@ -39,6 +40,9 @@ def run_sharded_simulation(
     batch_size: int = 8,
     max_outstanding: int = 32,
     chaos_kill: Optional[Tuple[int, int]] = None,
+    chaos_kill_mode: str = "restore",
+    supervise: bool = False,
+    supervisor_config: Optional[SupervisorConfig] = None,
     verify_crowd_size: Optional[int] = None,
     _keep_handles: bool = False,
 ) -> Dict[str, Any]:
@@ -48,6 +52,14 @@ def run_sharded_simulation(
     ``after_nodes`` nodes have been classified, then immediately restores
     it from its WAL — the campaign must still finish with the serial MSP
     set.  Requires ``durable_dir`` (the WAL home).
+
+    ``chaos_kill_mode="supervised"`` kills without restoring and leaves
+    recovery to the attached supervisor (requires ``supervise=True``):
+    the heartbeat loop detects the corpse and restarts it automatically,
+    which is the tentpole scenario of ``docs/RELIABILITY.md``.
+    ``supervise=True`` attaches a
+    :class:`~repro.service.supervisor.ShardSupervisor` so *any* shard
+    death mid-campaign — injected or not — is detected and repaired.
 
     ``verify_crowd_size`` sizes the serial reference crowd of the oracle
     (default: ``crowd_size``).  With identical members the serial MSP set
@@ -65,6 +77,10 @@ def run_sharded_simulation(
         raise ValueError("sessions must be at least 1")
     if chaos_kill is not None and durable_dir is None:
         raise ValueError("chaos_kill requires durable_dir (the WAL home)")
+    if chaos_kill_mode not in ("restore", "supervised"):
+        raise ValueError("chaos_kill_mode must be 'restore' or 'supervised'")
+    if chaos_kill_mode == "supervised" and not supervise:
+        raise ValueError("chaos_kill_mode='supervised' requires supervise=True")
     serial_size = crowd_size if verify_crowd_size is None else verify_crowd_size
     if serial_size < sample_size:
         raise ValueError("verify_crowd_size must be at least sample_size")
@@ -83,8 +99,13 @@ def run_sharded_simulation(
             return
         chaos_state["triggered"] = True
         coordinator.kill_shard(shard_index)
-        chaos_state["reasks"] = coordinator.restore_shard(shard_index)
+        if chaos_kill_mode == "restore":
+            chaos_state["reasks"] = coordinator.restore_shard(shard_index)
+        # supervised mode: leave the corpse for the supervisor's tick
 
+    supervisor = (
+        ShardSupervisor(supervisor_config) if supervise else None
+    )
     coordinator = ShardCoordinator(
         dataset,
         shards=shards,
@@ -98,6 +119,7 @@ def run_sharded_simulation(
         max_outstanding=max_outstanding,
         max_runtime=max_runtime,
         chaos_hook=_chaos if chaos_kill is not None else None,
+        supervisor=supervisor,
     )
     queries: Dict[str, str] = {}
     try:
@@ -121,6 +143,7 @@ def run_sharded_simulation(
         report["chaos"] = {
             "killed_shard": chaos_kill[0],
             "after_nodes": chaos_kill[1],
+            "mode": chaos_kill_mode,
             "triggered": chaos_state["triggered"],
             "reasks": chaos_state["reasks"],
         }

@@ -37,8 +37,10 @@ from .hashring import DEFAULT_REPLICAS, HashRing
 from .protocol import (
     Runs,
     delta_frame,
+    pong_frame,
     ready_frame,
     recv_frame,
+    resharded_frame,
     runs_merge,
     send_frame,
     stats_frame,
@@ -58,6 +60,8 @@ def shard_main(spec: Dict[str, Any], sock: socket.socket) -> None:
     with tracing() as tracer:
         try:
             _serve(spec, sock, tracer)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # coordinator died mid-frame; exit as quietly as EOF
         finally:
             sock.close()
 
@@ -117,6 +121,26 @@ def _serve(spec: Dict[str, Any], sock: socket.socket, tracer: Any) -> None:
                 stats["compiles"] = _compiles(tracer)
                 send_frame(sock, stats_frame(shard_index, stats))
                 return
+            if frame["t"] == "ping":
+                send_frame(sock, pong_frame(shard_index, int(frame["seq"])))
+                continue
+            if frame["t"] == "reshard":
+                # degraded mode: adopt the dead shards' members that the
+                # alive-aware ring now hashes onto this partition; the
+                # prototype database makes every member identical, so
+                # adopted members answer exactly as the dead shard's
+                # would have (the serial-identity precondition)
+                alive = {int(index) for index in frame["alive"]}
+                mine = ring.partition(
+                    member_ids(int(spec["crowd_size"])), alive
+                )[shard_index]
+                for member_id in mine:
+                    if member_id not in members:
+                        members[member_id] = CrowdMember(
+                            member_id, prototype.database, vocabulary
+                        )
+                send_frame(sock, resharded_frame(shard_index, len(mine)))
+                continue
             if frame["t"] != "ask_batch":
                 raise RuntimeError(f"unexpected frame type {frame['t']!r}")
             for ask in frame["asks"]:
